@@ -1,0 +1,285 @@
+// Benchmarks regenerating the paper's evaluation, one per table row
+// (see DESIGN.md's per-experiment index).  Each benchmark measures one
+// program invocation under one scheme and reports the simulated-cycle
+// cost alongside Go wall time; `go run ./cmd/omosbench` prints the
+// full side-by-side tables.
+package omos_test
+
+import (
+	"testing"
+
+	"omos"
+	"omos/internal/asm"
+	"omos/internal/bench"
+	"omos/internal/dynlink"
+	"omos/internal/jigsaw"
+	"omos/internal/link"
+	"omos/internal/minic"
+	"omos/internal/osim"
+	"omos/internal/workload"
+)
+
+// benchCG sizes codegen for benchmarks: the paper's full shape.
+func benchCG() workload.CodegenParams { return workload.DefaultCodegen() }
+
+// runSim runs launches under b.N, reporting simulated cycles per op.
+// One unmeasured warm-up launch precedes the timer so the one-time
+// image construction does not skew per-invocation costs (matching the
+// tables' methodology).
+func runSim(b *testing.B, launch func() (*osim.Process, error)) {
+	b.Helper()
+	if p, err := launch(); err == nil {
+		if _, err := p.Kern.RunToExit(p); err != nil {
+			b.Fatal(err)
+		}
+		p.Release()
+	} else {
+		b.Fatal(err)
+	}
+	var cycles uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := launch()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Kern.RunToExit(p); err != nil {
+			b.Fatal(err)
+		}
+		cycles += p.Clock.Elapsed()
+		p.Release()
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "simcycles/op")
+}
+
+func omosWorld(b *testing.B, cost osim.CostModel) *workload.OMOSWorld {
+	b.Helper()
+	w, err := workload.SetupOMOS(benchCG())
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.Kern.Cost = cost
+	return w
+}
+
+func baselineWorld(b *testing.B, cost osim.CostModel) *workload.BaselineWorld {
+	b.Helper()
+	w, err := workload.SetupBaseline(benchCG())
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.Kern.Cost = cost
+	return w
+}
+
+// ---- Table 1a: ls, one-entry directory, HP-UX cost model ----
+
+func BenchmarkTable1a_HPUXSharedLib(b *testing.B) {
+	w := baselineWorld(b, bench.HPUXCost())
+	runSim(b, func() (*osim.Process, error) {
+		return dynlink.Exec(w.Kern, w.LsPath, []string{"/data/one"}, dynlink.Options{})
+	})
+}
+
+func BenchmarkTable1a_OMOSBootstrap(b *testing.B) {
+	w := omosWorld(b, bench.HPUXCost())
+	runSim(b, func() (*osim.Process, error) {
+		return w.RT.ExecBootstrap("/bin/ls", []string{"/data/one"})
+	})
+}
+
+// ---- Table 1b: ls -laF ----
+
+func BenchmarkTable1b_HPUXSharedLib(b *testing.B) {
+	w := baselineWorld(b, bench.HPUXCost())
+	runSim(b, func() (*osim.Process, error) {
+		return dynlink.Exec(w.Kern, w.LsPath, []string{"-laF", "/data/many"}, dynlink.Options{})
+	})
+}
+
+func BenchmarkTable1b_OMOSBootstrap(b *testing.B) {
+	w := omosWorld(b, bench.HPUXCost())
+	runSim(b, func() (*osim.Process, error) {
+		return w.RT.ExecBootstrap("/bin/ls", []string{"-laF", "/data/many"})
+	})
+}
+
+// ---- Table 1c: codegen ----
+
+func BenchmarkTable1c_HPUXSharedLib(b *testing.B) {
+	w := baselineWorld(b, bench.HPUXCost())
+	runSim(b, func() (*osim.Process, error) {
+		return dynlink.Exec(w.Kern, w.CodegenPath, nil, dynlink.Options{})
+	})
+}
+
+func BenchmarkTable1c_OMOSBootstrap(b *testing.B) {
+	w := omosWorld(b, bench.HPUXCost())
+	runSim(b, func() (*osim.Process, error) {
+		return w.RT.ExecBootstrap("/bin/codegen", nil)
+	})
+}
+
+// ---- Table 1d: ls under the Mach/OSF-1 cost model ----
+
+func BenchmarkTable1d_OSF1SharedLib(b *testing.B) {
+	w := baselineWorld(b, bench.MachCost())
+	runSim(b, func() (*osim.Process, error) {
+		return dynlink.Exec(w.Kern, w.LsPath, []string{"/data/one"}, dynlink.Options{})
+	})
+}
+
+func BenchmarkTable1d_OMOSBootstrap(b *testing.B) {
+	w := omosWorld(b, bench.MachCost())
+	runSim(b, func() (*osim.Process, error) {
+		return w.RT.ExecBootstrap("/bin/ls", []string{"/data/one"})
+	})
+}
+
+func BenchmarkTable1d_OMOSIntegrated(b *testing.B) {
+	w := omosWorld(b, bench.MachCost())
+	runSim(b, func() (*osim.Process, error) {
+		return w.RT.ExecIntegrated("/bin/ls", []string{"/data/one"})
+	})
+}
+
+// ---- §4.1 reordering: codegen before/after ----
+
+func BenchmarkReorder(b *testing.B) {
+	cfg := bench.DefaultConfig()
+	cfg.ItersHPUX = 3
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Reorder(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Ratio(1), "elapsed-ratio")
+	}
+}
+
+// ---- §4.1 / [11] memory accounting ----
+
+func BenchmarkMemoryUse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Memory(bench.QuickConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Rows[0].Extra["resident-KB"], "sharedlib-resident-KB")
+		b.ReportMetric(t.Rows[1].Extra["resident-KB"], "static-resident-KB")
+	}
+}
+
+// ---- §2.1 link time ----
+
+func BenchmarkLinkTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := bench.LinkTime(bench.QuickConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(t.Rows[0].Clock.Elapsed()), "static-link-cycles")
+		b.ReportMetric(float64(t.Rows[2].Clock.Elapsed()), "shared-link-cycles")
+	}
+}
+
+// ---- §3.1 cache: warm instantiation ----
+
+func BenchmarkCacheWarmCold(b *testing.B) {
+	w := omosWorld(b, bench.HPUXCost())
+	// Cold build once (reported), then warm hits under the timer.
+	p := w.Kern.Spawn()
+	if _, err := w.Srv.Instantiate("/bin/codegen", p); err != nil {
+		b.Fatal(err)
+	}
+	cold := p.Clock.Server
+	p.Release()
+	b.ResetTimer()
+	var warm uint64
+	for i := 0; i < b.N; i++ {
+		p := w.Kern.Spawn()
+		if _, err := w.Srv.Instantiate("/bin/codegen", p); err != nil {
+			b.Fatal(err)
+		}
+		warm += p.Clock.Server
+		p.Release()
+	}
+	b.ReportMetric(float64(cold), "cold-simcycles")
+	b.ReportMetric(float64(warm)/float64(b.N), "warm-simcycles/op")
+}
+
+// ---- toolchain micro-benchmarks ----
+
+func BenchmarkAssemble(b *testing.B) {
+	src := workload.Crt0
+	for i := 0; i < b.N; i++ {
+		if _, err := asm.Assemble("crt0.s", src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompileC(b *testing.B) {
+	src := workload.LibcUnits()["string"]
+	for i := 0; i < b.N; i++ {
+		if _, err := minic.Compile(src, minic.Options{Unit: "string.c"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLinkLibc(b *testing.B) {
+	var objs []*jigsaw.Module
+	units := workload.LibcUnits()
+	for _, name := range workload.LibcUnitOrder() {
+		os, err := minic.Compile(units[name], minic.Options{Unit: name})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := jigsaw.NewModule(os...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		objs = append(objs, m)
+	}
+	merged, err := jigsaw.Merge(objs...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := link.Link(merged, link.Options{
+			Name: "libc", TextBase: 0x1000000, DataBase: 0x41000000,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVMExecution(b *testing.B) {
+	sys, err := omos.NewSystem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	err = sys.Define("/bin/loop", `
+(merge /lib/crt0.o (source "c" "
+int main() {
+    int i;
+    int s;
+    i = 0;
+    s = 0;
+    while (i < 10000) { s = s + i; i = i + 1; }
+    return s & 255;
+}
+"))`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Run("/bin/loop", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,375 @@
+// Command ofe is the Object File Editor: the non-server version of
+// OMOS described in §8.1, offering "a traditional command interface"
+// that "manipulates files in the normal Unix file namespace".  It
+// applies the Jigsaw module operators to ROF object files on the host
+// filesystem, assembles and compiles sources, links executables for
+// the simulated machine, and runs them.
+//
+// Usage:
+//
+//	ofe asm -o <file.rof> <file.s>
+//	ofe cc -o <outdir> [-pic] [-unit name] <file.c>
+//	ofe nm <file.rof>
+//	ofe dis <file.rof>
+//	ofe merge -o <out.rof> <in.rof>...
+//	ofe override -o <out.rof> <base.rof> <over.rof>
+//	ofe hide|show|restrict|project|freeze -pat <re> -o <out.rof> <in.rof>...
+//	ofe copyas -pat <re> -to <name> -o <out.rof> <in.rof>...
+//	ofe rename -pat <re> -to <tmpl> [-mode refs|defs|both] -o <out.rof> <in.rof>...
+//	ofe link -o <out.exe> [-text addr] [-data addr] [-entry sym] <in.rof>...
+//
+// Flags come before positional operands (Go flag parsing).  The
+// global -fmt rof|tof flag, given right after the command word,
+// selects the output object format; inputs are format-detected.
+//
+//	ofe run <out.exe> [args...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+
+	"omos/internal/asm"
+	"omos/internal/image"
+	"omos/internal/jigsaw"
+	"omos/internal/link"
+	"omos/internal/minic"
+	"omos/internal/obj"
+	"omos/internal/osim"
+	"omos/internal/vm"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	args := os.Args[2:]
+	// A leading -fmt flag selects the output object format.
+	if len(args) >= 2 && args[0] == "-fmt" {
+		outFormat = args[1]
+		args = args[2:]
+	}
+	var err error
+	switch cmd {
+	case "asm":
+		err = cmdAsm(args)
+	case "cc":
+		err = cmdCC(args)
+	case "nm":
+		err = cmdNm(args)
+	case "dis":
+		err = cmdDis(args)
+	case "merge", "override", "hide", "show", "restrict", "project", "freeze",
+		"copyas", "rename":
+		err = cmdModuleOp(cmd, args)
+	case "link":
+		err = cmdLink(args)
+	case "run":
+		err = cmdRun(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ofe:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: ofe <asm|cc|nm|dis|merge|override|hide|show|restrict|project|freeze|copyas|rename|link|run> ...`)
+	os.Exit(2)
+}
+
+func loadObj(path string) (*obj.Object, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	// The format switch (§7): ROF or TOF, detected by content.
+	return obj.DecodeAny(b)
+}
+
+// outFormat is settable with the global -fmt flag (rof or tof).
+var outFormat = "rof"
+
+func saveObj(path string, o *obj.Object) error {
+	f, ok := obj.LookupFormat(outFormat)
+	if !ok {
+		return fmt.Errorf("unknown object format %q (have %v)", outFormat, obj.Formats())
+	}
+	b, err := f.Encode(o)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+func cmdAsm(args []string) error {
+	fs := flag.NewFlagSet("asm", flag.ExitOnError)
+	out := fs.String("o", "", "output ROF path")
+	fs.Parse(args)
+	if fs.NArg() != 1 || *out == "" {
+		return fmt.Errorf("asm: want one source file and -o")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	o, err := asm.Assemble(fs.Arg(0), string(src))
+	if err != nil {
+		return err
+	}
+	return saveObj(*out, o)
+}
+
+func cmdCC(args []string) error {
+	fs := flag.NewFlagSet("cc", flag.ExitOnError)
+	out := fs.String("o", ".", "output directory")
+	pic := fs.Bool("pic", false, "position-independent output")
+	unit := fs.String("unit", "", "unit name (default: source path)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("cc: want one source file")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	u := *unit
+	if u == "" {
+		u = fs.Arg(0)
+	}
+	objs, err := minic.Compile(string(src), minic.Options{Unit: u, PIC: *pic})
+	if err != nil {
+		return err
+	}
+	for i, o := range objs {
+		path := fmt.Sprintf("%s/%s.%d.rof", *out, sanitize(u), i)
+		if err := saveObj(path, o); err != nil {
+			return err
+		}
+		fmt.Println(path)
+	}
+	return nil
+}
+
+func sanitize(s string) string {
+	out := []byte(s)
+	for i := range out {
+		if out[i] == '/' {
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+func cmdNm(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("nm: want one object file")
+	}
+	o, err := loadObj(args[0])
+	if err != nil {
+		return err
+	}
+	syms := append([]obj.Symbol(nil), o.Syms...)
+	sort.Slice(syms, func(i, j int) bool { return syms[i].Name < syms[j].Name })
+	for _, s := range syms {
+		if !s.Defined {
+			fmt.Printf("%16s U %s\n", "", s.Name)
+			continue
+		}
+		c := "T"
+		switch s.Section {
+		case obj.SecData:
+			c = "D"
+		case obj.SecBSS:
+			c = "B"
+		}
+		if s.Bind == obj.BindLocal {
+			c = string(c[0] + 32) // lower-case for locals, like nm(1)
+		}
+		fmt.Printf("%016x %s %s\n", s.Offset, c, s.Name)
+	}
+	return nil
+}
+
+func cmdDis(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("dis: want one object file")
+	}
+	o, err := loadObj(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Print(o.String())
+	fmt.Println()
+	fmt.Print(vm.Disassemble(o.Text, 0))
+	return nil
+}
+
+func cmdModuleOp(op string, args []string) error {
+	fs := flag.NewFlagSet(op, flag.ExitOnError)
+	out := fs.String("o", "", "output ROF path")
+	pat := fs.String("pat", "", "symbol pattern (regular expression)")
+	to := fs.String("to", "", "replacement name/template")
+	mode := fs.String("mode", "both", "rename mode: refs|defs|both")
+	fs.Parse(args)
+	if *out == "" || fs.NArg() == 0 {
+		return fmt.Errorf("%s: want input files and -o", op)
+	}
+	var objs []*obj.Object
+	for _, p := range fs.Args() {
+		o, err := loadObj(p)
+		if err != nil {
+			return err
+		}
+		objs = append(objs, o)
+	}
+	var m *jigsaw.Module
+	var err error
+	if op == "override" {
+		if len(objs) != 2 {
+			return fmt.Errorf("override: want exactly two inputs")
+		}
+		base, err1 := jigsaw.NewModule(objs[0])
+		over, err2 := jigsaw.NewModule(objs[1])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("override: %v %v", err1, err2)
+		}
+		m, err = jigsaw.Override(base, over)
+	} else {
+		m, err = jigsaw.NewModule(objs...)
+	}
+	if err != nil {
+		return err
+	}
+	if op != "merge" && op != "override" {
+		if *pat == "" {
+			return fmt.Errorf("%s: -pat is required", op)
+		}
+		re, rerr := regexp.Compile(*pat)
+		if rerr != nil {
+			return rerr
+		}
+		switch op {
+		case "hide":
+			m = m.Hide(re)
+		case "show":
+			m = m.Show(re)
+		case "restrict":
+			m = m.Restrict(re)
+		case "project":
+			m = m.Project(re)
+		case "freeze":
+			m = m.Freeze(re)
+		case "copyas":
+			if *to == "" {
+				return fmt.Errorf("copyas: -to is required")
+			}
+			m, err = m.CopyAs(re, *to)
+			if err != nil {
+				return err
+			}
+		case "rename":
+			if *to == "" {
+				return fmt.Errorf("rename: -to is required")
+			}
+			rm := jigsaw.RenameBoth
+			switch *mode {
+			case "refs":
+				rm = jigsaw.RenameRefs
+			case "defs":
+				rm = jigsaw.RenameDefs
+			case "both":
+			default:
+				return fmt.Errorf("rename: bad -mode %q", *mode)
+			}
+			m = m.Rename(re, *to, rm)
+		}
+	}
+	flat, err := link.Partial(m, *out)
+	if err != nil {
+		return err
+	}
+	return saveObj(*out, flat)
+}
+
+func cmdLink(args []string) error {
+	fs := flag.NewFlagSet("link", flag.ExitOnError)
+	out := fs.String("o", "", "output executable path")
+	text := fs.String("text", "0x100000", "text base address")
+	data := fs.String("data", "0x40000000", "data base address")
+	entry := fs.String("entry", "_start", "entry symbol")
+	fs.Parse(args)
+	if *out == "" || fs.NArg() == 0 {
+		return fmt.Errorf("link: want input files and -o")
+	}
+	tb, err := strconv.ParseUint(*text, 0, 64)
+	if err != nil {
+		return fmt.Errorf("link: bad -text: %v", err)
+	}
+	db, err := strconv.ParseUint(*data, 0, 64)
+	if err != nil {
+		return fmt.Errorf("link: bad -data: %v", err)
+	}
+	var objs []*obj.Object
+	for _, p := range fs.Args() {
+		o, lerr := loadObj(p)
+		if lerr != nil {
+			return lerr
+		}
+		objs = append(objs, o)
+	}
+	m, err := jigsaw.NewModule(objs...)
+	if err != nil {
+		return err
+	}
+	res, err := link.Link(m, link.Options{
+		Name: *out, TextBase: tb, DataBase: db, Entry: *entry,
+	})
+	if err != nil {
+		return err
+	}
+	f := &image.ExecFile{Image: *res.Image}
+	enc, err := image.EncodeExec(f)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(*out, enc, 0o755)
+}
+
+func cmdRun(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("run: want an executable")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	f, err := image.DecodeExec(data)
+	if err != nil {
+		return err
+	}
+	k := osim.NewKernel()
+	if err := k.FS.WriteFile("/exe", data); err != nil {
+		return err
+	}
+	p := k.Spawn()
+	if _, err := k.ExecNative(p, "/exe", args); err != nil {
+		return err
+	}
+	_ = f
+	code, err := k.RunToExit(p)
+	if err != nil {
+		return err
+	}
+	os.Stdout.WriteString(p.Output.String())
+	fmt.Fprintf(os.Stderr, "exit=%d %s\n", code, p.Clock.String())
+	os.Exit(int(code))
+	return nil
+}

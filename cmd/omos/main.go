@@ -1,0 +1,153 @@
+// Command omos is the client CLI for an omosd daemon.  It mirrors the
+// paper's user-facing surface: defining meta-objects, populating the
+// namespace, and invoking programs whose images the server constructs
+// and caches.
+//
+// Usage:
+//
+//	omos [-server addr] <command> [args]
+//
+// Commands:
+//
+//	ping
+//	ls [prefix]                 list the server namespace
+//	define <path> <file>        define a program meta-object from a blueprint file
+//	define-lib <path> <file>    define a library meta-object
+//	asm <path> <file.s>         assemble and store an object
+//	cc <dir> <unit> <file.c>    compile mini-C and store the objects
+//	put <path> <file.rof>       store an encoded ROF object
+//	rm <path>                   remove a namespace entry
+//	run <path> [args...]        run a program (integrated exec)
+//	run-boot <path> [args...]   run via the bootstrap loader
+//	dis <path>                  disassemble a stored object
+//	stats                       server and memory statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"omos/internal/ipc"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:7070", "omosd address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	c, err := ipc.Dial(*server)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "ping":
+		resp := call(c, &ipc.Request{Op: ipc.OpPing})
+		fmt.Println(resp.Text)
+	case "ls":
+		prefix := "/"
+		if len(rest) > 0 {
+			prefix = rest[0]
+		}
+		resp := call(c, &ipc.Request{Op: ipc.OpList, Path: prefix})
+		for _, p := range resp.Paths {
+			fmt.Println(p)
+		}
+	case "define", "define-lib":
+		if len(rest) != 2 {
+			usage()
+		}
+		text := readFile(rest[1])
+		op := ipc.OpDefine
+		if cmd == "define-lib" {
+			op = ipc.OpDefineLib
+		}
+		call(c, &ipc.Request{Op: op, Path: rest[0], Text: text})
+	case "asm":
+		if len(rest) != 2 {
+			usage()
+		}
+		call(c, &ipc.Request{Op: ipc.OpAssemble, Path: rest[0], Text: readFile(rest[1])})
+	case "cc":
+		if len(rest) != 3 {
+			usage()
+		}
+		resp := call(c, &ipc.Request{Op: ipc.OpCompile, Path: rest[0], Unit: rest[1], Text: readFile(rest[2])})
+		for _, p := range resp.Paths {
+			fmt.Println(p)
+		}
+	case "put":
+		if len(rest) != 2 {
+			usage()
+		}
+		blob, err := os.ReadFile(rest[1])
+		if err != nil {
+			fatal(err)
+		}
+		call(c, &ipc.Request{Op: ipc.OpPutObject, Path: rest[0], Blob: blob})
+	case "rm":
+		if len(rest) != 1 {
+			usage()
+		}
+		call(c, &ipc.Request{Op: ipc.OpRemove, Path: rest[0]})
+	case "run", "run-boot":
+		if len(rest) < 1 {
+			usage()
+		}
+		op := ipc.OpRun
+		if cmd == "run-boot" {
+			op = ipc.OpRunBoot
+		}
+		resp := call(c, &ipc.Request{Op: op, Path: rest[0], Args: rest[1:]})
+		fmt.Print(resp.Output)
+		fmt.Fprintf(os.Stderr, "exit=%d user=%d sys=%d server=%d wait=%d cycles\n",
+			resp.ExitCode, resp.User, resp.Sys, resp.Server, resp.Wait)
+		os.Exit(int(resp.ExitCode))
+	case "dis":
+		if len(rest) != 1 {
+			usage()
+		}
+		resp := call(c, &ipc.Request{Op: ipc.OpDisasm, Path: rest[0]})
+		fmt.Print(resp.Text)
+	case "stats":
+		resp := call(c, &ipc.Request{Op: ipc.OpStats})
+		fmt.Print(resp.Text)
+	default:
+		usage()
+	}
+}
+
+func call(c *ipc.Client, req *ipc.Request) *ipc.Response {
+	resp, err := c.Call(req)
+	if err != nil {
+		fatal(err)
+	}
+	return resp
+}
+
+func readFile(path string) string {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	return string(b)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "omos:", err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: omos [-server addr] <command> [args]
+commands: ping | ls [prefix] | define <path> <file> | define-lib <path> <file>
+          asm <path> <file.s> | cc <dir> <unit> <file.c> | put <path> <file.rof>
+          rm <path> | run <path> [args...] | run-boot <path> [args...]
+          dis <path> | stats`)
+	os.Exit(2)
+}

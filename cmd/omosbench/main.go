@@ -1,0 +1,78 @@
+// Command omosbench regenerates the paper's evaluation: every
+// sub-table of Table 1, the reordering and memory experiments, the
+// link-time comparison, the cache behaviour, and the constraint-system
+// demonstration.  EXPERIMENTS.md records the expected shapes.
+//
+// Usage:
+//
+//	omosbench [-quick] [-table id[,id...]] [-iters n]
+//
+// Table ids: 1a 1b 1c 1d reorder memory linktime cache constraints schemes binding cacheoff monitor clients all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"omos/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "small workloads and few iterations")
+	tables := flag.String("table", "all", "comma-separated table ids")
+	iters := flag.Int("iters", 0, "override iteration count")
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	if *quick {
+		cfg = bench.QuickConfig()
+	}
+	if *iters > 0 {
+		cfg.ItersHPUX = *iters
+		cfg.ItersMach = *iters
+	}
+
+	type exp struct {
+		id  string
+		run func(bench.Config) (*bench.Table, error)
+	}
+	all := []exp{
+		{"1a", bench.Table1a},
+		{"1b", bench.Table1b},
+		{"1c", bench.Table1c},
+		{"1d", bench.Table1d},
+		{"reorder", bench.Reorder},
+		{"memory", bench.Memory},
+		{"linktime", bench.LinkTime},
+		{"cache", bench.CacheWarmCold},
+		{"schemes", bench.Schemes},
+		{"cacheoff", bench.CacheAblation},
+		{"monitor", bench.MonitorOverhead},
+		{"clients", bench.Clients},
+		{"binding", bench.BindAblation},
+		{"constraints", bench.Constraints},
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(*tables, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	ran := 0
+	for _, e := range all {
+		if !want["all"] && !want[e.id] {
+			continue
+		}
+		t, err := e.run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omosbench: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(t.Format())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "omosbench: no matching tables (use -table 1a,1b,1c,1d,reorder,memory,linktime,cache,constraints,schemes,binding,cacheoff,monitor,clients or all)")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,48 @@
+// Command omosd runs a persistent OMOS server daemon: a simulated
+// machine with the object/meta-object server attached, reachable over
+// TCP.  This is the paper's deployment shape — the linker/loader as a
+// server that lives across program invocations — with the wire
+// protocol standing in for Mach IPC / SysV messages.
+//
+// Usage:
+//
+//	omosd [-listen :7070] [-workloads]
+//
+// With -workloads the daemon boots with the evaluation workloads
+// preinstalled (/bin/ls, /bin/codegen, /lib/libc, ...).
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+
+	"omos"
+	"omos/internal/daemon"
+	"omos/internal/ipc"
+	"omos/internal/workload"
+)
+
+func main() {
+	listen := flag.String("listen", ":7070", "TCP address to listen on")
+	workloads := flag.Bool("workloads", false, "preinstall the evaluation workloads")
+	flag.Parse()
+
+	sys, err := omos.NewSystem()
+	if err != nil {
+		log.Fatalf("omosd: %v", err)
+	}
+	if *workloads {
+		if err := daemon.InstallWorkloads(sys, workload.DefaultCodegen()); err != nil {
+			log.Fatalf("omosd: installing workloads: %v", err)
+		}
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("omosd: %v", err)
+	}
+	log.Printf("omosd: serving on %s (workloads=%v)", l.Addr(), *workloads)
+	if err := ipc.Serve(l, daemon.New(sys)); err != nil {
+		log.Fatalf("omosd: %v", err)
+	}
+}

@@ -1,0 +1,160 @@
+// Interpose reproduces Figure 2 of the paper: transparently trap
+// calls to malloc by inserting a wrapper with the Jigsaw module
+// operators — copy-as stashes the original under _REAL_malloc,
+// restrict virtualizes the binding, merge supplies the replacement,
+// and hide freezes the wrapper's private access to the original.
+//
+// No source is recompiled and no object file is rewritten: the whole
+// transformation is namespace manipulation at link level.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"omos"
+)
+
+func main() {
+	sys, err := omos.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The application and its libc, as ordinary objects.
+	if err := putSources(sys); err != nil {
+		log.Fatal(err)
+	}
+
+	// The untouched program: malloc returns block addresses; the app
+	// reports how many bytes it allocated.
+	err = sys.Define("/bin/app", `(merge /lib/crt0.o /obj/app /obj/libc)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Run("/bin/app", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plain run:      %s", res.Output)
+
+	// Figure 2, verbatim structure:
+	//
+	//   (hide "_REAL_malloc"
+	//     (merge
+	//       (restrict "^malloc$"
+	//         (copy_as "^malloc$" "_REAL_malloc"
+	//           (merge /obj/app /obj/libc)))
+	//       /obj/test_malloc))
+	err = sys.Define("/bin/app-traced", `
+(merge /lib/crt0.o
+  (hide "_REAL_malloc"
+    (merge
+      (restrict "^malloc$"
+        (copy_as "^malloc$" "_REAL_malloc"
+          (merge /obj/app /obj/libc)))
+      /obj/test_malloc)))
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := sys.Run("/bin/app-traced", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("interposed run: %s", res2.Output)
+	fmt.Println("every malloc call went through the tracing wrapper;")
+	fmt.Println("the wrapper reached the original via the hidden _REAL_malloc binding.")
+}
+
+func putSources(sys *omos.System) error {
+	// libc: a bump allocator.
+	if _, err := sys.CompileC("/obj/libc-parts", "libc", `
+int heap_cur = 0;
+char *malloc(int n) {
+    int p;
+    if (heap_cur == 0) { heap_cur = syscall(8, 0); }
+    p = heap_cur;
+    heap_cur = heap_cur + (n + 7) / 8 * 8;
+    syscall(8, heap_cur);
+    return p;
+}
+int write_str(char *s) {
+    int n;
+    n = 0;
+    while (s[n]) { n = n + 1; }
+    return syscall(2, 1, s, n);
+}
+char numbuf[24];
+int write_num(int v) {
+    int i;
+    i = 23;
+    if (v == 0) { numbuf[i] = '0'; i = i - 1; }
+    while (v > 0) { numbuf[i] = '0' + v % 10; v = v / 10; i = i - 1; }
+    return syscall(2, 1, &numbuf[i + 1], 23 - i);
+}
+char nl[] = "\n";
+int write_nl() { return syscall(2, 1, nl, 1); }
+`); err != nil {
+		return err
+	}
+	// The app allocates three blocks.
+	if _, err := sys.CompileC("/obj/app-parts", "app", `
+extern char *malloc(int n);
+extern int write_str(char *s);
+extern int write_num(int v);
+extern int write_nl();
+int main() {
+    char *a;
+    char *b;
+    char *c;
+    a = malloc(16);
+    b = malloc(100);
+    c = malloc(8);
+    write_str("allocated span: ");
+    write_num((c - a) + 8);
+    write_nl();
+    return 0;
+}
+`); err != nil {
+		return err
+	}
+	// The tracing wrapper (Figure 2's /lib/test_malloc.o): counts
+	// calls and delegates to the preserved original.
+	if _, err := sys.CompileC("/obj/tm-parts", "test_malloc", `
+extern char *_REAL_malloc(int n);
+extern int write_str(char *s);
+extern int write_num(int v);
+extern int write_nl();
+int malloc_calls = 0;
+char *malloc(int n) {
+    malloc_calls = malloc_calls + 1;
+    write_str("[malloc #");
+    write_num(malloc_calls);
+    write_str(" size ");
+    write_num(n);
+    write_str("] ");
+    return _REAL_malloc(n);
+}
+`); err != nil {
+		return err
+	}
+	// Group each unit's objects behind one meta-object name so the
+	// blueprints above can reference them as single operands.
+	group := func(meta, dir string) error {
+		paths := sys.List(dir)
+		bp := "(merge"
+		for _, p := range paths {
+			bp += " " + p
+		}
+		bp += ")"
+		return sys.Define(meta, bp)
+	}
+	if err := group("/obj/libc", "/obj/libc-parts"); err != nil {
+		return err
+	}
+	if err := group("/obj/app", "/obj/app-parts"); err != nil {
+		return err
+	}
+	return group("/obj/test_malloc", "/obj/tm-parts")
+}

@@ -1,0 +1,82 @@
+// Quickstart: boot an OMOS system, define a shared library and a
+// program as meta-objects, run the program twice, and watch the second
+// invocation hit the image cache — the paper's core mechanism.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"omos"
+)
+
+func main() {
+	sys, err := omos.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A library meta-object in the shape of the paper's Figure 1: a
+	// default address constraint followed by the construction plan.
+	err = sys.DefineLibrary("/lib/libgreet", `
+(constraint-list "T" 0x1000000 "D" 0x41000000)
+(merge
+  (source "c" "
+int greetings = 3;
+int write_str(char *s) {
+    int n;
+    n = 0;
+    while (s[n]) { n = n + 1; }
+    return syscall(2, 1, s, n);
+}
+int greet(char *who) {
+    write_str(\"hello, \");
+    write_str(who);
+    write_str(\"\\n\");
+    return greetings;
+}
+"))
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A program meta-object: crt0 + inline source + the library.
+	err = sys.Define("/bin/hello", `
+(merge /lib/crt0.o
+  (source "c" "
+extern int greet(char *who);
+int main(int argc, char **argv) {
+    int n;
+    n = greet(\"world\");
+    if (argc > 1) { greet(argv[1]); }
+    return n;
+}
+")
+  /lib/libgreet)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := sys.Run("/bin/hello", []string{"OMOS"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Output)
+	fmt.Printf("exit=%d  user=%d sys=%d server=%d cycles\n",
+		res.ExitCode, res.Clock.User, res.Clock.Sys, res.Clock.Server)
+
+	// Run it again: the image is cached, so the server does no
+	// construction work — only a lookup and a mapping.
+	res2, err := sys.Run("/bin/hello", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := sys.Srv.Stats
+	fmt.Printf("second run: server=%d cycles (first: %d); cache hits=%d, images built=%d\n",
+		res2.Clock.Server, res.Clock.Server, st.CacheHits, st.ImagesBuilt)
+
+	mem := sys.MemStats()
+	fmt.Printf("resident=%dKB shared-frames=%d\n", mem.Bytes()/1024, mem.SharedFrames)
+}

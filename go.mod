@@ -1,0 +1,3 @@
+module omos
+
+go 1.22

@@ -1,0 +1,422 @@
+// Package asm implements the assembler for the simulated machine,
+// producing ROF relocatable objects.
+//
+// Syntax overview (one statement per line; ';' or '#' starts a comment):
+//
+//	.text | .data | .bss          select current section
+//	.global NAME | .local NAME    set symbol binding (default: global,
+//	                              or local for names starting ".L")
+//	NAME:                         define a label at the current offset
+//	.quad V[, V...]               emit 64-bit words (V may be =sym+off)
+//	.byte V[, V...]               emit bytes
+//	.asciz "str"                  emit a NUL-terminated string
+//	.ascii "str"                  emit string bytes, no NUL
+//	.space N                      emit N zero bytes (or reserve in .bss)
+//
+// Instructions use the mnemonics from the vm package:
+//
+//	movi r1, 42          ; also: movi r1, 'c', movi r1, =sym+8 (ABS64 reloc)
+//	lea  r2, =buf        ; address materialization, ABS64 reloc
+//	ld   r3, [r2+8]      ; also st, ld8, st8
+//	add  r1, r2, r3      ; three-register ALU ops
+//	addi r1, r2, 16
+//	jmp  label           ; pc-relative, resolved at assembly
+//	beq  r1, r2, label
+//	call foo             ; absolute call: ABS64 reloc unless foo is local
+//	callpc foo           ; pc-relative call: PC64 reloc if foo external
+//	ldg  r4, @foo        ; load foo's GOT slot pc-relatively (GOTSLOT reloc)
+//	sys  3
+//
+// Branch targets must be labels defined in the same object's text
+// section; call/callpc/lea/movi/.quad may reference external symbols,
+// producing relocations.
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"omos/internal/obj"
+	"omos/internal/vm"
+)
+
+// Error describes an assembly failure with source position.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+// Error formats the position-tagged message.
+func (e *Error) Error() string { return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg) }
+
+type asmSym struct {
+	name    string
+	bind    obj.Binding
+	kind    obj.SymKind
+	defined bool
+	section obj.SectionKind
+	offset  uint64
+}
+
+type assembler struct {
+	file    string
+	section obj.SectionKind
+	text    []byte
+	data    []byte
+	bss     uint64
+
+	syms     map[string]*asmSym
+	symOrder []string
+	binds    map[string]obj.Binding // explicit .global/.local requests
+	relocs   []obj.Reloc
+}
+
+// Assemble assembles src into a relocatable object.  name becomes the
+// object's diagnostic name and the File in error positions.
+func Assemble(name, src string) (*obj.Object, error) {
+	a := &assembler{
+		file:  name,
+		syms:  make(map[string]*asmSym),
+		binds: make(map[string]obj.Binding),
+	}
+	lines := strings.Split(src, "\n")
+
+	// Pass 1: compute label offsets and section sizes.
+	if err := a.scan(lines, true); err != nil {
+		return nil, err
+	}
+	// Reset section cursors for pass 2.
+	a.text = a.text[:0]
+	a.data = a.data[:0]
+	a.bss = 0
+	a.section = obj.SecText
+	a.relocs = a.relocs[:0]
+	if err := a.scan(lines, false); err != nil {
+		return nil, err
+	}
+	return a.finish()
+}
+
+// scan runs one pass over the source.  In pass 1 (sizing=true) it only
+// tracks offsets and label definitions; in pass 2 it emits code, data,
+// and relocations.
+func (a *assembler) scan(lines []string, sizing bool) error {
+	a.section = obj.SecText
+	for i, raw := range lines {
+		lineno := i + 1
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly several on one line before a statement).
+		for {
+			idx := labelEnd(line)
+			if idx < 0 {
+				break
+			}
+			name := line[:idx]
+			if sizing {
+				if err := a.defineLabel(name, lineno); err != nil {
+					return err
+				}
+			}
+			line = strings.TrimSpace(line[idx+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+		var err error
+		if strings.HasPrefix(line, ".") {
+			err = a.directive(line, lineno, sizing)
+		} else {
+			err = a.instruction(line, lineno, sizing)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// labelEnd returns the index of ':' if line begins with "ident:", else -1.
+func labelEnd(line string) int {
+	for i, r := range line {
+		if r == ':' {
+			if i == 0 {
+				return -1
+			}
+			return i
+		}
+		if !isIdentRune(r, i == 0) {
+			return -1
+		}
+	}
+	return -1
+}
+
+func isIdentRune(r rune, first bool) bool {
+	if r == '_' || r == '.' || r == '$' {
+		return true
+	}
+	if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' {
+		return true
+	}
+	if !first && r >= '0' && r <= '9' {
+		return true
+	}
+	return false
+}
+
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case ';', '#':
+			if !inStr {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+func (a *assembler) errf(line int, format string, args ...interface{}) error {
+	return &Error{File: a.file, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (a *assembler) curOffset() uint64 {
+	switch a.section {
+	case obj.SecText:
+		return uint64(len(a.text))
+	case obj.SecData:
+		return uint64(len(a.data))
+	default:
+		return a.bss
+	}
+}
+
+func (a *assembler) defineLabel(name string, line int) error {
+	s := a.lookup(name)
+	if s.defined {
+		return a.errf(line, "label %q redefined", name)
+	}
+	s.defined = true
+	s.section = a.section
+	s.offset = a.curOffset()
+	if a.section == obj.SecText {
+		s.kind = obj.SymFunc
+	} else {
+		s.kind = obj.SymData
+	}
+	return nil
+}
+
+// lookup finds or creates the symbol record for name.
+func (a *assembler) lookup(name string) *asmSym {
+	if s, ok := a.syms[name]; ok {
+		return s
+	}
+	bind := obj.BindGlobal
+	if strings.HasPrefix(name, ".L") {
+		bind = obj.BindLocal
+	}
+	s := &asmSym{name: name, bind: bind}
+	a.syms[name] = s
+	a.symOrder = append(a.symOrder, name)
+	return s
+}
+
+func (a *assembler) emit(p []byte) {
+	switch a.section {
+	case obj.SecText:
+		a.text = append(a.text, p...)
+	case obj.SecData:
+		a.data = append(a.data, p...)
+	}
+}
+
+func (a *assembler) finish() (*obj.Object, error) {
+	o := &obj.Object{
+		Name:    a.file,
+		Text:    a.text,
+		Data:    a.data,
+		BSSSize: a.bss,
+		Relocs:  a.relocs,
+	}
+	// Apply explicit binding directives.
+	for name, b := range a.binds {
+		a.lookup(name).bind = b
+	}
+	// Compute function/data sizes: distance to the next defined symbol
+	// in the same section, or to section end.
+	type defsym struct {
+		s   *asmSym
+		off uint64
+	}
+	bySec := map[obj.SectionKind][]defsym{}
+	for _, name := range a.symOrder {
+		s := a.syms[name]
+		if s.defined {
+			bySec[s.section] = append(bySec[s.section], defsym{s, s.offset})
+		}
+	}
+	sizes := map[string]uint64{}
+	for sec, list := range bySec {
+		sort.Slice(list, func(i, j int) bool { return list[i].off < list[j].off })
+		end := uint64(0)
+		switch sec {
+		case obj.SecText:
+			end = uint64(len(a.text))
+		case obj.SecData:
+			end = uint64(len(a.data))
+		case obj.SecBSS:
+			end = a.bss
+		}
+		for i, d := range list {
+			hi := end
+			if i+1 < len(list) {
+				hi = list[i+1].off
+			}
+			sizes[d.s.name] = hi - d.off
+		}
+	}
+	for _, name := range a.symOrder {
+		s := a.syms[name]
+		sym := obj.Symbol{
+			Name:    s.name,
+			Kind:    s.kind,
+			Bind:    s.bind,
+			Defined: s.defined,
+			Section: s.section,
+			Offset:  s.offset,
+			Size:    sizes[s.name],
+		}
+		o.Syms = append(o.Syms, sym)
+	}
+	if err := o.Validate(); err != nil {
+		return nil, fmt.Errorf("asm %s: %w", a.file, err)
+	}
+	return o, nil
+}
+
+// operand parsing ----------------------------------------------------
+
+// splitOperands splits on commas not inside quotes.
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 && !inStr {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	last := strings.TrimSpace(s[start:])
+	if last != "" || len(out) > 0 {
+		out = append(out, last)
+	}
+	return out
+}
+
+var regNames = map[string]uint8{
+	"sp": vm.RegSP, "fp": vm.RegFP,
+}
+
+func parseReg(s string) (uint8, bool) {
+	s = strings.ToLower(s)
+	if r, ok := regNames[s]; ok {
+		return r, true
+	}
+	if len(s) >= 2 && s[0] == 'r' {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < vm.NumRegs {
+			return uint8(n), true
+		}
+	}
+	return 0, false
+}
+
+// parseInt parses decimal, hex (0x), and character ('c') literals.
+func parseInt(s string) (int64, bool) {
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		body, err := strconv.Unquote(s)
+		if err != nil || len(body) != 1 {
+			return 0, false
+		}
+		return int64(body[0]), true
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		// Allow full-range unsigned hex.
+		u, uerr := strconv.ParseUint(s, 0, 64)
+		if uerr != nil {
+			return 0, false
+		}
+		return int64(u), true
+	}
+	return v, true
+}
+
+// symRef is "=name" or "=name+off" or "=name-off".
+func parseSymRef(s string) (name string, addend int64, ok bool) {
+	if !strings.HasPrefix(s, "=") {
+		return "", 0, false
+	}
+	s = s[1:]
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			off, err := strconv.ParseInt(s[i:], 0, 64)
+			if err != nil {
+				return "", 0, false
+			}
+			return s[:i], off, true
+		}
+	}
+	if s == "" {
+		return "", 0, false
+	}
+	return s, 0, true
+}
+
+// parseMem parses "[rb]", "[rb+off]", "[rb-off]".
+func parseMem(s string) (rb uint8, off int64, ok bool) {
+	if len(s) < 3 || s[0] != '[' || s[len(s)-1] != ']' {
+		return 0, 0, false
+	}
+	body := strings.TrimSpace(s[1 : len(s)-1])
+	i := strings.IndexAny(body, "+-")
+	if i < 0 {
+		r, ok := parseReg(body)
+		return r, 0, ok
+	}
+	r, ok1 := parseReg(strings.TrimSpace(body[:i]))
+	v, ok2 := parseInt(strings.TrimSpace(body[i:]))
+	if !ok1 || !ok2 {
+		return 0, 0, false
+	}
+	return r, v, true
+}

@@ -1,0 +1,219 @@
+package asm
+
+import (
+	"testing"
+
+	"omos/internal/obj"
+	"omos/internal/vm"
+)
+
+func mustAssemble(t *testing.T, src string) *obj.Object {
+	t.Helper()
+	o, err := Assemble("t.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestRelocKinds(t *testing.T) {
+	o := mustAssemble(t, `
+.text
+f:
+    lea r1, =g          ; abs64
+    lea r2, =g+16       ; abs64 with addend
+    call h              ; abs64 (call)
+    callpc h            ; pc64 (external)
+    leapc r3, =g        ; pc64
+    ldg r4, @g          ; gotslot
+    ret
+.data
+d:
+    .quad =g
+    .quad =g-8
+`)
+	kinds := map[obj.RelocKind]int{}
+	var addends []int64
+	for _, r := range o.Relocs {
+		kinds[r.Kind]++
+		addends = append(addends, r.Addend)
+	}
+	if kinds[obj.RelAbs64] != 5 { // lea x2, call, .quad x2
+		t.Fatalf("abs64 = %d (relocs %v)", kinds[obj.RelAbs64], o.Relocs)
+	}
+	if kinds[obj.RelPC64] != 2 {
+		t.Fatalf("pc64 = %d", kinds[obj.RelPC64])
+	}
+	if kinds[obj.RelGotSlot] != 1 {
+		t.Fatalf("gotslot = %d", kinds[obj.RelGotSlot])
+	}
+	found16, foundMinus8 := false, false
+	for _, a := range addends {
+		if a == 16 {
+			found16 = true
+		}
+		if a == -8 {
+			foundMinus8 = true
+		}
+	}
+	if !found16 || !foundMinus8 {
+		t.Fatalf("addends = %v", addends)
+	}
+}
+
+func TestCallPCLocalResolvesAtAssembly(t *testing.T) {
+	o := mustAssemble(t, `
+.text
+a:
+    callpc b
+    ret
+b:
+    ret
+`)
+	// Local pc-relative call needs no relocation.
+	if len(o.Relocs) != 0 {
+		t.Fatalf("relocs = %v", o.Relocs)
+	}
+	in, err := vm.Decode(o.Text[:vm.InstSize])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Op != vm.CALLPC || in.Imm != 24 { // b is at offset 24, call at 0
+		t.Fatalf("callpc imm = %d", int64(in.Imm))
+	}
+}
+
+func TestAlignDirective(t *testing.T) {
+	o := mustAssemble(t, `
+.data
+a:
+    .byte 1
+.align 8
+b:
+    .quad 2
+.bss
+c:
+    .space 3
+.align 16
+d:
+    .space 8
+`)
+	bSym := o.FindSym("b")
+	if bSym.Offset%8 != 0 {
+		t.Fatalf("b at %d", bSym.Offset)
+	}
+	dSym := o.FindSym("d")
+	if dSym.Offset%16 != 0 {
+		t.Fatalf("d at %d", dSym.Offset)
+	}
+}
+
+func TestAsciiVsAsciz(t *testing.T) {
+	o := mustAssemble(t, `
+.data
+a:
+    .ascii "ab"
+b:
+    .asciz "cd"
+`)
+	if string(o.Data) != "ab"+"cd\x00" {
+		t.Fatalf("data = %q", o.Data)
+	}
+}
+
+func TestCharAndHexLiterals(t *testing.T) {
+	o := mustAssemble(t, `
+.text
+f:
+    movi r1, 'A'
+    movi r2, 0xFF
+    movi r3, -5
+    halt
+`)
+	dec := func(i int) vm.Inst {
+		in, err := vm.Decode(o.Text[i*vm.InstSize:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	if dec(0).Imm != 'A' || dec(1).Imm != 0xFF || int64(dec(2).Imm) != -5 {
+		t.Fatalf("immediates: %v %v %v", dec(0).Imm, dec(1).Imm, int64(dec(2).Imm))
+	}
+}
+
+func TestGlobalLocalDirectives(t *testing.T) {
+	o := mustAssemble(t, `
+.text
+.local exported_not
+exported_not:
+    ret
+.global made_global
+made_global:
+    ret
+`)
+	if s := o.FindSym("exported_not"); s.Bind != obj.BindLocal {
+		t.Fatalf("exported_not bind = %v", s.Bind)
+	}
+	if s := o.FindSym("made_global"); s.Bind != obj.BindGlobal {
+		t.Fatalf("made_global bind = %v", s.Bind)
+	}
+}
+
+func TestMemOperandForms(t *testing.T) {
+	o := mustAssemble(t, `
+.text
+f:
+    ld r1, [r2]
+    ld r1, [r2+8]
+    ld r1, [r2-8]
+    ld r1, [sp+16]
+    st [fp-24], r3
+    halt
+`)
+	in, _ := vm.Decode(o.Text[3*vm.InstSize:])
+	if in.Rb != vm.RegSP || in.Imm != 16 {
+		t.Fatalf("sp operand: %+v", in)
+	}
+	in, _ = vm.Decode(o.Text[4*vm.InstSize:])
+	if in.Rb != vm.RegFP || int64(in.Imm) != -24 {
+		t.Fatalf("fp operand: %+v", in)
+	}
+}
+
+func TestMoreErrors(t *testing.T) {
+	cases := []string{
+		".text\nf:\n    ldg r1, g",     // missing @
+		".text\nf:\n    leapc r1, g",   // missing =
+		".text\nf:\n    ld r1, [r2+x]", // bad offset
+		".text\nf:\n    movi r1",       // arity
+		".text\nf:\n    add r1, r2",    // arity
+		".align 3",                     // non power of two
+		".space -1",                    // negative
+		".ascii noquotes",              // bad string
+		".data\nx:\n    .quad =",       // empty symbol ref
+	}
+	for _, src := range cases {
+		if _, err := Assemble("bad.s", src); err == nil {
+			t.Errorf("Assemble(%q) succeeded", src)
+		}
+	}
+}
+
+func TestFunctionSizes(t *testing.T) {
+	o := mustAssemble(t, `
+.text
+first:
+    nop
+    nop
+    ret
+second:
+    ret
+`)
+	if s := o.FindSym("first"); s.Size != 3*vm.InstSize {
+		t.Fatalf("first size = %d", s.Size)
+	}
+	if s := o.FindSym("second"); s.Size != vm.InstSize {
+		t.Fatalf("second size = %d", s.Size)
+	}
+}

@@ -1,0 +1,22 @@
+package asm
+
+import "testing"
+
+// FuzzAssemble: arbitrary source must never panic the assembler;
+// successful assemblies must produce valid objects.
+func FuzzAssemble(f *testing.F) {
+	f.Add(".text\nmain:\n    movi r1, 42\n    halt\n")
+	f.Add(".data\ns:\n    .asciz \"x\"\n")
+	f.Add(".text\nf:\n    ldg r1, @g\n    callpc h\n")
+	f.Add(":::")
+	f.Add(".quad")
+	f.Fuzz(func(t *testing.T, src string) {
+		o, err := Assemble("fuzz.s", src)
+		if err != nil {
+			return
+		}
+		if err := o.Validate(); err != nil {
+			t.Fatalf("assembler produced invalid object: %v", err)
+		}
+	})
+}

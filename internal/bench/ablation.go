@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"omos/internal/dynlink"
+	"omos/internal/osim"
+	"omos/internal/workload"
+)
+
+// Schemes is an extension table beyond the paper's Table 1: every
+// library scheme in the repository, measured on the same workload
+// (ls -laF).  It covers the §4.2 partial-image scheme, which the paper
+// describes but never times, and a static baseline.
+func Schemes(cfg Config) (*Table, error) {
+	ow, bw, err := worlds(HPUXCost(), cfg.CG)
+	if err != nil {
+		return nil, err
+	}
+	if err := ow.RT.BuildPartialExec("/bin/ls", "/bin/ls.partial"); err != nil {
+		return nil, err
+	}
+	args := []string{"-laF", "/data/many"}
+	t := &Table{ID: "schemes", Title: "all schemes, ls -laF (extension beyond the paper)",
+		Iters: cfg.ItersHPUX,
+		Notes: []string{
+			"partial-image pays per-process stub binding (DYNLOAD + hash probe) but shares the library image",
+			"static pays no binding at all but shares nothing across different programs",
+		}}
+	rows := []struct {
+		label  string
+		launch func() (*osim.Process, error)
+	}{
+		{"Static link", func() (*osim.Process, error) {
+			return dynlink.Exec(bw.Kern, bw.LsStaticPath, args, dynlink.Options{})
+		}},
+		{"Traditional shared (lazy)", func() (*osim.Process, error) {
+			return dynlink.Exec(bw.Kern, bw.LsPath, args, dynlink.Options{})
+		}},
+		{"Traditional shared (bind-now)", func() (*osim.Process, error) {
+			return dynlink.Exec(bw.Kern, bw.LsPath, args, dynlink.Options{BindNow: true})
+		}},
+		{"OMOS self-contained (boot)", func() (*osim.Process, error) {
+			return ow.RT.ExecBootstrap("/bin/ls", args)
+		}},
+		{"OMOS self-contained (integ)", func() (*osim.Process, error) {
+			return ow.RT.ExecIntegrated("/bin/ls", args)
+		}},
+		{"OMOS partial-image", func() (*osim.Process, error) {
+			return ow.RT.ExecPartial("/bin/ls.partial", args)
+		}},
+	}
+	for _, r := range rows {
+		row, err := measure(cfg.ItersHPUX, r.launch)
+		if err != nil {
+			return nil, err
+		}
+		row.Label = r.label
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// BindAblation compares deferred (lazy) and immediate binding in the
+// traditional scheme on codegen, isolating the cost the paper
+// attributes to HP-UX's "-B deferred" default: lazy binding defers the
+// lookup to first call, immediate binding pays everything at load even
+// for routines the run never calls.
+func BindAblation(cfg Config) (*Table, error) {
+	bw, err := workload.SetupBaseline(cfg.CG)
+	if err != nil {
+		return nil, err
+	}
+	bw.Kern.Cost = HPUXCost()
+	t := &Table{ID: "binding", Title: "traditional scheme: deferred vs immediate binding (codegen)",
+		Iters: cfg.ItersHPUX,
+		Notes: []string{
+			"codegen calls a small fraction of its imports; immediate binding pays for all of them",
+		}}
+	lazy, err := measure(cfg.ItersHPUX, func() (*osim.Process, error) {
+		return dynlink.Exec(bw.Kern, bw.CodegenPath, nil, dynlink.Options{})
+	})
+	if err != nil {
+		return nil, err
+	}
+	lazy.Label = "-B deferred (lazy)"
+	t.Rows = append(t.Rows, lazy)
+	now, err := measure(cfg.ItersHPUX, func() (*osim.Process, error) {
+		return dynlink.Exec(bw.Kern, bw.CodegenPath, nil, dynlink.Options{BindNow: true})
+	})
+	if err != nil {
+		return nil, err
+	}
+	now.Label = "-B immediate (bind-now)"
+	t.Rows = append(t.Rows, now)
+	return t, nil
+}

@@ -1,0 +1,284 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1aShape(t *testing.T) {
+	tab, err := Table1a(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: OMOS and HP-UX effectively tie on tiny ls (ratio 1.007).
+	r := tab.Ratio(1)
+	if r < 0.7 || r > 1.4 {
+		t.Errorf("1a ratio = %.3f, want near parity (paper 1.007)\n%s", r, tab.Format())
+	}
+	t.Log("\n" + tab.Format())
+}
+
+func TestTable1bShape(t *testing.T) {
+	tab, err := Table1b(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Table1a(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: the -laF variant shifts the balance toward OMOS.
+	if tab.Ratio(1) >= a.Ratio(1) {
+		t.Errorf("1b ratio %.3f should improve on 1a ratio %.3f\n%s", tab.Ratio(1), a.Ratio(1), tab.Format())
+	}
+	t.Log("\n" + tab.Format())
+}
+
+func TestTable1cShape(t *testing.T) {
+	tab, err := Table1c(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: OMOS wins on the large program (ratio .82).
+	if r := tab.Ratio(1); r >= 1.0 {
+		t.Errorf("1c ratio = %.3f, want < 1 (paper 0.82)\n%s", r, tab.Format())
+	}
+	t.Log("\n" + tab.Format())
+}
+
+func TestTable1dShape(t *testing.T) {
+	tab, err := Table1d(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot, integ := tab.Ratio(1), tab.Ratio(2)
+	if boot >= 1.0 {
+		t.Errorf("1d bootstrap ratio = %.3f, want < 1 (paper 0.60)", boot)
+	}
+	if integ >= boot {
+		t.Errorf("1d integrated ratio %.3f should beat bootstrap %.3f (paper 0.44 vs 0.60)", integ, boot)
+	}
+	t.Log("\n" + tab.Format())
+}
+
+func TestReorderShape(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.CG.Units = 12
+	cfg.CG.FuncsPerUnit = 12
+	tab, err := Reorder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := tab.Ratio(1); r >= 1.0 {
+		t.Errorf("reorder ratio = %.3f, want < 1 (paper: >10%% speedup)\n%s", r, tab.Format())
+	}
+	base := tab.Rows[0].Extra["text-pages-touched"]
+	opt := tab.Rows[1].Extra["text-pages-touched"]
+	if opt >= base {
+		t.Errorf("reordered layout touches %v pages, want fewer than %v", opt, base)
+	}
+	t.Log("\n" + tab.Format())
+}
+
+func TestMemoryShape(t *testing.T) {
+	tab, err := Memory(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := tab.Rows[0].Extra["resident-KB"]
+	static := tab.Rows[1].Extra["resident-KB"]
+	omos := tab.Rows[2].Extra["resident-KB"]
+	if shared >= static {
+		t.Errorf("shared libs resident %.0fKB should beat static %.0fKB", shared, static)
+	}
+	if omos >= static {
+		t.Errorf("OMOS resident %.0fKB should beat static %.0fKB", omos, static)
+	}
+	if tab.Rows[0].Extra["dispatch-bytes-ls"] <= 0 {
+		t.Error("traditional scheme should report dispatch overhead")
+	}
+	t.Log("\n" + tab.Format())
+}
+
+func TestLinkTimeShape(t *testing.T) {
+	tab, err := LinkTime(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	staticE := tab.Rows[0].Clock.Elapsed()
+	nfsE := tab.Rows[1].Clock.Elapsed()
+	sharedE := tab.Rows[2].Clock.Elapsed()
+	warmE := tab.Rows[4].Clock.Elapsed()
+	if sharedE >= staticE {
+		t.Errorf("shared link %d should beat static link %d", sharedE, staticE)
+	}
+	if nfsE <= staticE {
+		t.Errorf("NFS static link %d should cost more than local %d", nfsE, staticE)
+	}
+	if warmE >= tab.Rows[3].Clock.Elapsed() {
+		t.Errorf("warm instantiation %d should beat cold %d", warmE, tab.Rows[3].Clock.Elapsed())
+	}
+	t.Log("\n" + tab.Format())
+}
+
+func TestCacheWarmCold(t *testing.T) {
+	tab, err := CacheWarmCold(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows[1].Clock.Server*10 > tab.Rows[0].Clock.Server {
+		t.Errorf("warm hit (%d) should be far cheaper than cold build (%d)",
+			tab.Rows[1].Clock.Server, tab.Rows[0].Clock.Server)
+	}
+	t.Log("\n" + tab.Format())
+}
+
+func TestConstraints(t *testing.T) {
+	tab, err := Constraints(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows[0].Extra["moved"] != 0 {
+		t.Error("first library should get its preferred region")
+	}
+	if tab.Rows[1].Extra["moved"] != 1 {
+		t.Error("second library should be moved")
+	}
+	if tab.Rows[0].Extra["text-base"] == tab.Rows[1].Extra["text-base"] {
+		t.Error("placements must not overlap")
+	}
+	if tab.Rows[2].Extra["cache-hit"] != 1 {
+		t.Error("re-instantiation should hit the cache")
+	}
+	t.Log("\n" + tab.Format())
+}
+
+func TestTableFormat(t *testing.T) {
+	tab, err := Table1a(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.Format()
+	for _, want := range []string{"HP-UX Shared Lib", "OMOS bootstrap exec", "Elapsed", "Ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSchemesShape(t *testing.T) {
+	tab, err := Schemes(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Static is the floor; the traditional lazy scheme is the ceiling;
+	// OMOS integrated sits near static.
+	static := tab.Rows[0].Clock.Elapsed()
+	lazy := tab.Rows[1].Clock.Elapsed()
+	integ := tab.Rows[4].Clock.Elapsed()
+	if lazy <= static {
+		t.Errorf("lazy (%d) should cost more than static (%d)", lazy, static)
+	}
+	if integ >= lazy {
+		t.Errorf("OMOS integrated (%d) should beat traditional lazy (%d)", integ, lazy)
+	}
+	t.Log("\n" + tab.Format())
+}
+
+func TestBindAblationShape(t *testing.T) {
+	tab, err := BindAblation(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// codegen references far more imports than it calls, so deferred
+	// binding must win.
+	if r := tab.Ratio(1); r <= 1.0 {
+		t.Errorf("bind-now ratio = %.3f, want > 1 (lazy should win)\n%s", r, tab.Format())
+	}
+	t.Log("\n" + tab.Format())
+}
+
+func TestCacheAblationShape(t *testing.T) {
+	tab, err := CacheAblation(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cached (row 1) must be dramatically cheaper than uncached (row 0).
+	if r := tab.Ratio(1); r >= 0.95 {
+		t.Errorf("cache ratio = %.3f, want well under 1\n%s", r, tab.Format())
+	}
+	t.Log("\n" + tab.Format())
+}
+
+func TestMonitorOverheadShape(t *testing.T) {
+	tab, err := MonitorOverhead(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monitoring must cost something, but the program must still run.
+	if tab.Ratio(1) <= 1.0 {
+		t.Errorf("monitored ratio = %.3f, want > 1\n%s", tab.Ratio(1), tab.Format())
+	}
+	t.Log("\n" + tab.Format())
+}
+
+func TestClientsShape(t *testing.T) {
+	tab, err := Clients(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	static8 := tab.Rows[0].Extra["resident-KB@8"]
+	trad8 := tab.Rows[1].Extra["resident-KB@8"]
+	omos8 := tab.Rows[2].Extra["resident-KB@8"]
+	if trad8 >= static8 {
+		t.Errorf("traditional @8 clients %.0fKB should beat static %.0fKB", trad8, static8)
+	}
+	if omos8 >= static8 {
+		t.Errorf("OMOS @8 clients %.0fKB should beat static %.0fKB", omos8, static8)
+	}
+	// The shared-library advantage must grow with client count.
+	gap1 := tab.Rows[0].Extra["resident-KB@1"] - tab.Rows[2].Extra["resident-KB@1"]
+	gap8 := static8 - omos8
+	if gap8 <= gap1 {
+		t.Errorf("sharing advantage should grow with clients: gap@1=%.0f gap@8=%.0f", gap1, gap8)
+	}
+	t.Log("\n" + tab.Format())
+}
+
+// TestPaperRatiosFullScale pins the calibrated Table 1 ratios at the
+// paper's workload sizes (skipped under -short; ~1 minute).
+func TestPaperRatiosFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale calibration check skipped in -short mode")
+	}
+	cfg := DefaultConfig()
+	cfg.ItersHPUX = 10
+	cfg.ItersMach = 10
+	checks := []struct {
+		name   string
+		run    func(Config) (*Table, error)
+		row    int
+		lo, hi float64
+	}{
+		{"1a", Table1a, 1, 0.93, 1.10},       // paper 1.007
+		{"1b", Table1b, 1, 0.87, 0.97},       // paper 0.93
+		{"1c", Table1c, 1, 0.74, 0.88},       // paper 0.82
+		{"1d-boot", Table1d, 1, 0.55, 0.75},  // paper 0.60
+		{"1d-integ", Table1d, 2, 0.45, 0.65}, // paper 0.44
+	}
+	for _, c := range checks {
+		tab, err := c.run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		r := tab.Ratio(c.row)
+		if r < c.lo || r > c.hi {
+			t.Errorf("%s ratio = %.3f, want [%.2f, %.2f]\n%s", c.name, r, c.lo, c.hi, tab.Format())
+		} else {
+			t.Logf("%s ratio = %.3f (paper band [%.2f, %.2f])", c.name, r, c.lo, c.hi)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"omos/internal/osim"
+	"omos/internal/server"
+	"omos/internal/workload"
+)
+
+// CacheAblation isolates the paper's central mechanism: the same OMOS
+// integrated-exec path with the image cache on and off.  With the
+// cache off, every invocation re-evaluates the m-graph, re-links, and
+// re-materializes frames — the "unnecessarily repeated" work of the
+// introduction.
+func CacheAblation(cfg Config) (*Table, error) {
+	t := &Table{ID: "cacheoff", Title: "OMOS with and without the image cache (codegen, integrated exec)",
+		Iters: cfg.ItersHPUX,
+		Notes: []string{
+			"cache off = every invocation re-evaluates the m-graph and re-links",
+			"this is the flexibility-without-speed corner the paper's design escapes",
+		}}
+
+	cached, err := workload.SetupOMOS(cfg.CG)
+	if err != nil {
+		return nil, err
+	}
+	cached.Kern.Cost = HPUXCost()
+	row, err := measure(cfg.ItersHPUX, func() (*osim.Process, error) {
+		return cached.RT.ExecIntegrated("/bin/codegen", nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	row.Label = "Image cache on"
+	t.Rows = append(t.Rows, row)
+
+	uncached, err := workload.SetupOMOS(cfg.CG)
+	if err != nil {
+		return nil, err
+	}
+	uncached.Kern.Cost = HPUXCost()
+	uncached.Srv.DisableCache = true
+	rowOff := Row{Label: "Image cache off", Extra: map[string]float64{}}
+	for i := 0; i <= cfg.ItersHPUX; i++ {
+		p, insts, err := runUncached(uncached)
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 { // first run is warm-up, like measure()
+			rowOff.Clock.Add(p.Clock)
+			rowOff.Extra["text-pages-touched"] += float64(p.AS.TouchedText)
+		}
+		p.Release()
+		for _, inst := range insts {
+			uncached.Srv.ReleaseInstance(inst)
+		}
+	}
+	rowOff.Extra["text-pages-touched"] /= float64(cfg.ItersHPUX)
+	t.Rows = append(t.Rows, rowOff)
+	// Row order: report cache-off as the baseline (row 0) so the ratio
+	// reads "cached is X of uncached".
+	t.Rows[0], t.Rows[1] = t.Rows[1], t.Rows[0]
+	return t, nil
+}
+
+// runUncached performs one integrated exec by hand so the instances
+// can be released afterwards.
+func runUncached(w *workload.OMOSWorld) (*osim.Process, []*server.Instance, error) {
+	p := w.Kern.Spawn()
+	p.ChargeSys(w.Kern.Cost.ExecBase)
+	inst, err := w.Srv.Instantiate("/bin/codegen", p)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := w.Srv.MapInstance(p, inst); err != nil {
+		return nil, nil, err
+	}
+	if err := p.SetupStack([]string{"/bin/codegen"}); err != nil {
+		return nil, nil, err
+	}
+	p.CPU.PC = inst.Entry()
+	if _, err := w.Kern.RunToExit(p); err != nil {
+		return nil, nil, err
+	}
+	insts := append([]*server.Instance{inst}, collectLibs(inst, map[string]bool{})...)
+	return p, insts, nil
+}
+
+func collectLibs(inst *server.Instance, seen map[string]bool) []*server.Instance {
+	var out []*server.Instance
+	for _, li := range inst.Libs {
+		if seen[li.Key] {
+			continue
+		}
+		seen[li.Key] = true
+		out = append(out, li)
+		out = append(out, collectLibs(li, seen)...)
+	}
+	return out
+}
+
+// MonitorOverhead measures the cost of running under monitoring
+// wrappers — the price OMOS pays (once, during a profiling session)
+// to learn a better layout.
+func MonitorOverhead(cfg Config) (*Table, error) {
+	tbl, err := monitoredPair(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}

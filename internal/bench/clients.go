@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+
+	"omos/internal/dynlink"
+	"omos/internal/osim"
+	"omos/internal/workload"
+)
+
+// Clients reproduces §2.1's claim that "the memory savings from shared
+// libraries are probably more significant in a multi-user time-shared
+// system": resident physical memory as the number of concurrent
+// distinct clients of libc grows, under static linking, traditional
+// shared libraries, and OMOS.  Each client count gets one row per
+// scheme; the clients alternate between ls and codegen so library text
+// is genuinely shared across different programs.
+func Clients(cfg Config) (*Table, error) {
+	counts := []int{1, 2, 4, 8}
+	t := &Table{ID: "clients", Title: "resident memory vs concurrent clients (§2.1)",
+		Iters: 1,
+		Notes: []string{
+			"each row's Extra gives resident KB at 1/2/4/8 concurrent processes",
+			"static text is still shared between instances of the SAME program via the buffer cache; " +
+				"the shared-library schemes additionally share libc across DIFFERENT programs",
+		}}
+
+	schemes := []struct {
+		label string
+		setup func() (launchPair func(i int) (*osim.Process, error), err error)
+	}{
+		{"Static link", func() (func(int) (*osim.Process, error), error) {
+			w, err := workload.SetupBaseline(cfg.CG)
+			if err != nil {
+				return nil, err
+			}
+			return func(i int) (*osim.Process, error) {
+				if i%2 == 0 {
+					return dynlink.Exec(w.Kern, w.LsStaticPath, []string{"/data/one"}, dynlink.Options{})
+				}
+				return dynlink.Exec(w.Kern, w.CodegenStaticPath, nil, dynlink.Options{})
+			}, nil
+		}},
+		{"Traditional shared", func() (func(int) (*osim.Process, error), error) {
+			w, err := workload.SetupBaseline(cfg.CG)
+			if err != nil {
+				return nil, err
+			}
+			return func(i int) (*osim.Process, error) {
+				if i%2 == 0 {
+					return dynlink.Exec(w.Kern, w.LsPath, []string{"/data/one"}, dynlink.Options{})
+				}
+				return dynlink.Exec(w.Kern, w.CodegenPath, nil, dynlink.Options{})
+			}, nil
+		}},
+		{"OMOS self-contained", func() (func(int) (*osim.Process, error), error) {
+			w, err := workload.SetupOMOS(cfg.CG)
+			if err != nil {
+				return nil, err
+			}
+			return func(i int) (*osim.Process, error) {
+				if i%2 == 0 {
+					return w.RT.ExecIntegrated("/bin/ls", []string{"/data/one"})
+				}
+				return w.RT.ExecIntegrated("/bin/codegen", nil)
+			}, nil
+		}},
+	}
+
+	for _, sc := range schemes {
+		launch, err := sc.setup()
+		if err != nil {
+			return nil, err
+		}
+		row := Row{Label: sc.label, Extra: map[string]float64{}}
+		var live []*osim.Process
+		var kern *osim.Kernel
+		next := 0
+		for _, n := range counts {
+			for len(live) < n {
+				p, err := launch(next)
+				next++
+				if err != nil {
+					return nil, fmt.Errorf("bench clients: %s: %w", sc.label, err)
+				}
+				kern = p.Kern
+				if _, err := p.Kern.RunToExit(p); err != nil {
+					return nil, err
+				}
+				live = append(live, p)
+			}
+			st := kern.FT.Stats()
+			row.Extra[fmt.Sprintf("resident-KB@%d", n)] = float64(st.Bytes()) / 1024
+		}
+		for _, p := range live {
+			p.Release()
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"omos/internal/mgraph"
+	"omos/internal/monitor"
+	"omos/internal/osim"
+	"omos/internal/workload"
+)
+
+// monitoredPair measures codegen plain and under monitoring wrappers.
+func monitoredPair(cfg Config) (*Table, error) {
+	ow, err := workload.SetupOMOS(cfg.CG)
+	if err != nil {
+		return nil, err
+	}
+	ow.Kern.Cost = HPUXCost()
+	reg := monitor.NewRegistry()
+	ow.Srv.RegisterSpecializer("monitor", func(args []string, v *mgraph.Value) (*mgraph.Value, error) {
+		m, err := monitor.Wrap(v.Module, reg, nil)
+		if err != nil {
+			return nil, err
+		}
+		out := *v
+		out.Module = m
+		return &out, nil
+	})
+	inner := workload.CodegenBlueprint(cfg.CG)
+	if err := ow.Srv.Define("/bin/codegen.mon", `(specialize "monitor" `+inner+`)`); err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "monitor", Title: "monitoring overhead: codegen plain vs instrumented",
+		Iters: cfg.ItersHPUX,
+		Notes: []string{
+			"the instrumented image is generated transparently by module operations; " +
+				"the paper runs it once to collect ordering data, then discards it",
+		}}
+	plain, err := measure(cfg.ItersHPUX, func() (*osim.Process, error) {
+		return ow.RT.ExecIntegrated("/bin/codegen", nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	plain.Label = "Plain image"
+	t.Rows = append(t.Rows, plain)
+	mon, err := measure(cfg.ItersHPUX, func() (*osim.Process, error) {
+		return ow.RT.ExecIntegrated("/bin/codegen.mon", nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	mon.Label = "Monitored image"
+	t.Rows = append(t.Rows, mon)
+	return t, nil
+}

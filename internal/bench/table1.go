@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"fmt"
+
+	"omos/internal/dynlink"
+	"omos/internal/osim"
+	"omos/internal/workload"
+)
+
+// Config sizes the experiments.
+type Config struct {
+	// ItersHPUX matches the paper's 1000-invocation HP-UX runs;
+	// ItersMach its 300-invocation Mach runs.  Tests use smaller
+	// values.
+	ItersHPUX int
+	ItersMach int
+	CG        workload.CodegenParams
+}
+
+// DefaultConfig returns the paper's iteration counts and workload
+// sizes.
+func DefaultConfig() Config {
+	return Config{ItersHPUX: 1000, ItersMach: 300, CG: workload.DefaultCodegen()}
+}
+
+// QuickConfig returns a fast configuration for tests.
+func QuickConfig() Config {
+	return Config{ItersHPUX: 8, ItersMach: 8,
+		CG: workload.CodegenParams{Units: 8, FuncsPerUnit: 8, HotIters: 6}}
+}
+
+// worlds builds an OMOS world and a baseline world under one cost
+// model.
+func worlds(cost osim.CostModel, cg workload.CodegenParams) (*workload.OMOSWorld, *workload.BaselineWorld, error) {
+	ow, err := workload.SetupOMOS(cg)
+	if err != nil {
+		return nil, nil, err
+	}
+	ow.Kern.Cost = cost
+	bw, err := workload.SetupBaseline(cg)
+	if err != nil {
+		return nil, nil, err
+	}
+	bw.Kern.Cost = cost
+	return ow, bw, nil
+}
+
+// lsTable runs one HP-UX-style ls comparison (Tables 1a and 1b).
+func lsTable(cfg Config, id, title string, args []string, paperOMOS float64) (*Table, error) {
+	ow, bw, err := worlds(HPUXCost(), cfg.CG)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: id, Title: title, Iters: cfg.ItersHPUX,
+		PaperRatios: map[string]float64{"OMOS bootstrap exec": paperOMOS}}
+
+	native, err := measure(cfg.ItersHPUX, func() (*osim.Process, error) {
+		return dynlink.Exec(bw.Kern, bw.LsPath, args, dynlink.Options{})
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench %s native: %w", id, err)
+	}
+	native.Label = "HP-UX Shared Lib"
+	t.Rows = append(t.Rows, native)
+
+	boot, err := measure(cfg.ItersHPUX, func() (*osim.Process, error) {
+		return ow.RT.ExecBootstrap("/bin/ls", args)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench %s omos: %w", id, err)
+	}
+	boot.Label = "OMOS bootstrap exec"
+	t.Rows = append(t.Rows, boot)
+	return t, nil
+}
+
+// Table1a reproduces "Test: ls" on HP-UX: a one-entry directory, where
+// the paper found OMOS and the native scheme effectively tied (ratio
+// 1.007) — the IPC the bootstrap pays offsets the relocations HP-UX
+// pays.
+func Table1a(cfg Config) (*Table, error) {
+	return lsTable(cfg, "1a", "ls (HP-UX), one-entry directory", []string{"/data/one"}, 1.007)
+}
+
+// Table1b reproduces "Test: ls -laF": more system calls and more
+// library references per invocation shift the balance to OMOS (paper
+// ratio .93).
+func Table1b(cfg Config) (*Table, error) {
+	return lsTable(cfg, "1b", "ls -laF (HP-UX), populated directory", []string{"-laF", "/data/many"}, 0.93)
+}
+
+// Table1c reproduces "Test: codegen" on HP-UX: a large program whose
+// per-invocation relocation and binding work the native scheme repeats
+// and OMOS has cached (paper ratio .82).
+func Table1c(cfg Config) (*Table, error) {
+	ow, bw, err := worlds(HPUXCost(), cfg.CG)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "1c", Title: "codegen (HP-UX)", Iters: cfg.ItersHPUX,
+		PaperRatios: map[string]float64{"OMOS bootstrap exec": 0.82}}
+
+	native, err := measure(cfg.ItersHPUX, func() (*osim.Process, error) {
+		return dynlink.Exec(bw.Kern, bw.CodegenPath, nil, dynlink.Options{})
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench 1c native: %w", err)
+	}
+	native.Label = "HP-UX Shared Lib"
+	t.Rows = append(t.Rows, native)
+
+	boot, err := measure(cfg.ItersHPUX, func() (*osim.Process, error) {
+		return ow.RT.ExecBootstrap("/bin/codegen", nil)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench 1c omos: %w", err)
+	}
+	boot.Label = "OMOS bootstrap exec"
+	t.Rows = append(t.Rows, boot)
+	return t, nil
+}
+
+// Table1d reproduces "Test: ls" on Mach 3.0 + OSF/1: the expensive
+// native exec path makes both OMOS schemes win — bootstrap at paper
+// ratio .60, integrated exec at .44.
+func Table1d(cfg Config) (*Table, error) {
+	ow, bw, err := worlds(MachCost(), cfg.CG)
+	if err != nil {
+		return nil, err
+	}
+	args := []string{"/data/one"}
+	t := &Table{ID: "1d", Title: "ls (Mach 3.0 with OSF/1 server)", Iters: cfg.ItersMach,
+		PaperRatios: map[string]float64{
+			"OMOS bootstrap exec":  0.60,
+			"OMOS integrated exec": 0.44,
+		},
+		Notes: []string{
+			"paper: system time on Mach is not meaningful (server threads do the work); " +
+				"the Server column here makes that work explicit",
+		}}
+
+	native, err := measure(cfg.ItersMach, func() (*osim.Process, error) {
+		return dynlink.Exec(bw.Kern, bw.LsPath, args, dynlink.Options{})
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench 1d native: %w", err)
+	}
+	native.Label = "OSF/1 Shared Lib"
+	t.Rows = append(t.Rows, native)
+
+	boot, err := measure(cfg.ItersMach, func() (*osim.Process, error) {
+		return ow.RT.ExecBootstrap("/bin/ls", args)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench 1d bootstrap: %w", err)
+	}
+	boot.Label = "OMOS bootstrap exec"
+	t.Rows = append(t.Rows, boot)
+
+	integ, err := measure(cfg.ItersMach, func() (*osim.Process, error) {
+		return ow.RT.ExecIntegrated("/bin/ls", args)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench 1d integrated: %w", err)
+	}
+	integ.Label = "OMOS integrated exec"
+	t.Rows = append(t.Rows, integ)
+	return t, nil
+}

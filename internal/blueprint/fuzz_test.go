@@ -1,0 +1,30 @@
+package blueprint
+
+import "testing"
+
+// FuzzParse: the blueprint parser must never panic, and anything it
+// accepts must round-trip through String.
+func FuzzParse(f *testing.F) {
+	f.Add(`(merge /lib/crt0.o /obj/ls.o /lib/libc)`)
+	f.Add(`(specialize "lib-constrained" (list "T" 0x1000000) /lib/libc)`)
+	f.Add(`(source "c" "int x = 0;\n")`)
+	f.Add(`(hide "_REAL_malloc" (merge (restrict "^_malloc$" /a)))`)
+	f.Add("((((")
+	f.Add(`"unterminated`)
+	f.Add("; just a comment")
+	f.Fuzz(func(t *testing.T, src string) {
+		nodes, err := ParseAll(src)
+		if err != nil {
+			return
+		}
+		for _, n := range nodes {
+			re, err := Parse(n.String())
+			if err != nil {
+				t.Fatalf("printed form does not reparse: %q: %v", n.String(), err)
+			}
+			if re.String() != n.String() {
+				t.Fatalf("print/parse unstable: %q vs %q", re.String(), n.String())
+			}
+		}
+	})
+}

@@ -1,0 +1,248 @@
+// Package constraint implements OMOS's prioritized address-space
+// constraint system (§3.5).
+//
+// The solver manages a global picture of where shared objects live.
+// Its constraints, in priority order:
+//
+//  1. Required: no two placed objects may overlap.
+//  2. Strong: existing implementations are reused (so their read-only
+//     pages stay shared among clients).
+//  3. Weak: user-supplied placement preferences ("T" near 0x1000000)
+//     are honored when possible.
+//
+// When a request conflicts with existing placements, the solver
+// resolves it by choosing an alternate region — the server then
+// generates (and caches) a new implementation there.  Subsequent
+// requests with the same key reuse that placement, matching the
+// paper's "subsequent invocations of the same combination ... will use
+// the existing set of implementations".
+package constraint
+
+import (
+	"fmt"
+	"sort"
+
+	"omos/internal/osim"
+)
+
+// Pref is a weak placement preference for one segment class.
+type Pref struct {
+	// Seg is 'T' (text) or 'D' (data).
+	Seg byte
+	// Addr is the preferred base address.
+	Addr uint64
+}
+
+// Request asks for a placement of an object's segments.
+type Request struct {
+	// Key identifies the object version; requests with the same key
+	// reuse the existing placement if the sizes still fit.
+	Key string
+	// TextSize and DataSize are the needed extents in bytes (data
+	// includes bss).
+	TextSize uint64
+	DataSize uint64
+	// Prefs are weak placement preferences.
+	Prefs []Pref
+	// Reserve marks regions the requester will manage itself (e.g. a
+	// fixed-address client executable); the solver only records them.
+	Reserve []Region
+}
+
+// Region is a placed address range.
+type Region struct {
+	Base, Size uint64
+}
+
+// End returns the first address past the region.
+func (r Region) End() uint64 { return r.Base + r.Size }
+
+// overlaps reports whether two regions intersect.
+func (r Region) overlaps(o Region) bool {
+	return r.Base < o.End() && o.Base < r.End()
+}
+
+// Placement is the solver's answer.
+type Placement struct {
+	TextBase uint64
+	DataBase uint64
+	// Reused is true when an existing placement for Key was returned
+	// (the cached implementation can be shared as-is).
+	Reused bool
+	// Moved is true when a weak preference could not be honored and an
+	// alternate region was chosen.
+	Moved bool
+}
+
+// Solver tracks placements.  It is not safe for concurrent use; the
+// server serializes access.
+type Solver struct {
+	// Defaults used when a request carries no preference.
+	DefaultText uint64
+	DefaultData uint64
+
+	regions    []Region // all reserved/placed regions, unsorted
+	placements map[string]Placement
+	sizes      map[string][2]uint64 // Key -> {text, data} sizes at placement
+	owned      map[string][]Region  // Key -> regions it reserved
+}
+
+// NewSolver returns a solver with the paper's default bases (Figure 1
+// uses T=0x100000 for clients; libraries default above that).
+func NewSolver() *Solver {
+	return &Solver{
+		DefaultText: 0x0100_0000,
+		DefaultData: 0x4100_0000,
+		placements:  map[string]Placement{},
+		sizes:       map[string][2]uint64{},
+		owned:       map[string][]Region{},
+	}
+}
+
+func (s *Solver) conflicts(r Region) bool {
+	for _, o := range s.regions {
+		if r.overlaps(o) {
+			return true
+		}
+	}
+	return false
+}
+
+// findFree locates a free region of size bytes at or near pref,
+// scanning upward in page steps from pref, then upward from the
+// default base.  Sizes are page aligned.
+func (s *Solver) findFree(pref, size uint64) (uint64, bool) {
+	size = osim.PageAlign(size)
+	if size == 0 {
+		size = osim.PageSize
+	}
+	pref = pref &^ uint64(osim.PageSize-1)
+	moved := false
+	// Build a sorted copy for gap scanning.
+	sorted := append([]Region(nil), s.regions...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Base < sorted[j].Base })
+	cand := pref
+	for i := 0; i < len(sorted)+1; i++ {
+		r := Region{Base: cand, Size: size}
+		conflict := false
+		for _, o := range sorted {
+			if r.overlaps(o) {
+				// Jump past the conflicting region.
+				cand = osim.PageAlign(o.End())
+				conflict = true
+				moved = true
+				break
+			}
+		}
+		if !conflict {
+			return cand, moved
+		}
+	}
+	return cand, true
+}
+
+// Place answers a request.  Identical keys reuse their placement
+// (strong constraint); otherwise the weak preferences guide allocation
+// and conflicts push the object to the nearest free region.
+func (s *Solver) Place(req Request) (Placement, error) {
+	if req.Key == "" {
+		return Placement{}, fmt.Errorf("constraint: empty placement key")
+	}
+	if pl, ok := s.placements[req.Key]; ok {
+		sz := s.sizes[req.Key]
+		if req.TextSize <= sz[0] && req.DataSize <= sz[1] {
+			pl.Reused = true
+			return pl, nil
+		}
+		// The object grew; retire the old placement and re-place.
+		s.release(req.Key)
+	}
+	for _, r := range req.Reserve {
+		if s.conflicts(r) {
+			return Placement{}, fmt.Errorf("constraint: reserved region %#x+%#x conflicts with an existing placement", r.Base, r.Size)
+		}
+	}
+	textPref, dataPref := s.DefaultText, s.DefaultData
+	for _, p := range req.Prefs {
+		switch p.Seg {
+		case 'T':
+			textPref = p.Addr
+		case 'D':
+			dataPref = p.Addr
+		default:
+			return Placement{}, fmt.Errorf("constraint: unknown segment class %q", string(p.Seg))
+		}
+	}
+	var pl Placement
+	var movedT, movedD bool
+	// Reserve user regions first so they win over the sized segments.
+	var added []Region
+	for _, r := range req.Reserve {
+		s.regions = append(s.regions, r)
+		added = append(added, r)
+	}
+	if req.TextSize > 0 {
+		base, moved := s.findFree(textPref, req.TextSize)
+		pl.TextBase = base
+		movedT = moved
+		r := Region{Base: base, Size: osim.PageAlign(req.TextSize)}
+		s.regions = append(s.regions, r)
+		added = append(added, r)
+	}
+	if req.DataSize > 0 {
+		base, moved := s.findFree(dataPref, req.DataSize)
+		pl.DataBase = base
+		movedD = moved
+		r := Region{Base: base, Size: osim.PageAlign(req.DataSize)}
+		s.regions = append(s.regions, r)
+		added = append(added, r)
+	}
+	pl.Moved = movedT || movedD
+	s.placements[req.Key] = pl
+	s.sizes[req.Key] = [2]uint64{req.TextSize, req.DataSize}
+	// Remember which regions belong to the key so release works.
+	s.owned[req.Key] = added
+	return pl, nil
+}
+
+// release removes a key's regions.
+func (s *Solver) release(key string) {
+	owned := s.owned[key]
+	keep := s.regions[:0]
+	for _, r := range s.regions {
+		drop := false
+		for _, o := range owned {
+			if r == o {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			keep = append(keep, r)
+		}
+	}
+	s.regions = keep
+	delete(s.owned, key)
+	delete(s.placements, key)
+	delete(s.sizes, key)
+}
+
+// Release publicly retires a placement (e.g. when the server evicts a
+// cached image).
+func (s *Solver) Release(key string) { s.release(key) }
+
+// Lookup returns the current placement for key.
+func (s *Solver) Lookup(key string) (Placement, bool) {
+	pl, ok := s.placements[key]
+	return pl, ok
+}
+
+// Keys returns the placed keys, sorted (for deterministic reporting).
+func (s *Solver) Keys() []string {
+	out := make([]string, 0, len(s.placements))
+	for k := range s.placements {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,176 @@
+package constraint
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"omos/internal/osim"
+)
+
+func TestPreferredPlacementHonored(t *testing.T) {
+	s := NewSolver()
+	pl, err := s.Place(Request{
+		Key: "a", TextSize: 100, DataSize: 200,
+		Prefs: []Pref{{Seg: 'T', Addr: 0x100000}, {Seg: 'D', Addr: 0x200000}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.TextBase != 0x100000 || pl.DataBase != 0x200000 || pl.Moved || pl.Reused {
+		t.Fatalf("placement = %+v", pl)
+	}
+}
+
+func TestConflictMovesSecond(t *testing.T) {
+	s := NewSolver()
+	prefs := []Pref{{Seg: 'T', Addr: 0x100000}}
+	p1, err := s.Place(Request{Key: "a", TextSize: osim.PageSize * 3, Prefs: prefs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := s.Place(Request{Key: "b", TextSize: osim.PageSize, Prefs: prefs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.Moved {
+		t.Fatal("conflict not detected")
+	}
+	if p2.TextBase < p1.TextBase+3*osim.PageSize {
+		t.Fatalf("overlap: %#x vs %#x", p2.TextBase, p1.TextBase)
+	}
+}
+
+func TestReuseSameKey(t *testing.T) {
+	s := NewSolver()
+	p1, err := s.Place(Request{Key: "lib", TextSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := s.Place(Request{Key: "lib", TextSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.Reused || p2.TextBase != p1.TextBase {
+		t.Fatalf("reuse failed: %+v vs %+v", p2, p1)
+	}
+	// Growth beyond the reserved size forces a re-place.
+	p3, err := s.Place(Request{Key: "lib", TextSize: 10 * osim.PageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Reused {
+		t.Fatal("grown object wrongly reused")
+	}
+}
+
+func TestRelease(t *testing.T) {
+	s := NewSolver()
+	prefs := []Pref{{Seg: 'T', Addr: 0x500000}}
+	if _, err := s.Place(Request{Key: "a", TextSize: 100, Prefs: prefs}); err != nil {
+		t.Fatal(err)
+	}
+	s.Release("a")
+	p, err := s.Place(Request{Key: "b", TextSize: 100, Prefs: prefs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Moved {
+		t.Fatal("released region not reusable")
+	}
+	if _, ok := s.Lookup("a"); ok {
+		t.Fatal("released key still present")
+	}
+}
+
+func TestReserveConflict(t *testing.T) {
+	s := NewSolver()
+	if _, err := s.Place(Request{Key: "a", TextSize: osim.PageSize,
+		Prefs: []Pref{{Seg: 'T', Addr: 0x300000}}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Place(Request{Key: "b",
+		Reserve: []Region{{Base: 0x300000, Size: osim.PageSize}}})
+	if err == nil {
+		t.Fatal("reserve over existing placement accepted")
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	s := NewSolver()
+	if _, err := s.Place(Request{}); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if _, err := s.Place(Request{Key: "x", TextSize: 1,
+		Prefs: []Pref{{Seg: 'Q', Addr: 1}}}); err == nil {
+		t.Fatal("bad segment class accepted")
+	}
+}
+
+// TestNoOverlapProperty: whatever sequence of placements happens, no
+// two live regions overlap — the solver's required constraint.
+func TestNoOverlapProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := NewSolver()
+		type placed struct {
+			key  string
+			text Region
+			data Region
+		}
+		var live []placed
+		for i := 0; i < 20; i++ {
+			key := fmt.Sprintf("k%d", i%12) // occasional reuse
+			tsz := uint64(r.Intn(5*osim.PageSize) + 1)
+			dsz := uint64(r.Intn(3 * osim.PageSize))
+			prefs := []Pref{
+				{Seg: 'T', Addr: uint64(r.Intn(8)) * 0x100000},
+				{Seg: 'D', Addr: 0x4000_0000 + uint64(r.Intn(8))*0x100000},
+			}
+			pl, err := s.Place(Request{Key: key, TextSize: tsz, DataSize: dsz, Prefs: prefs})
+			if err != nil {
+				t.Logf("place: %v", err)
+				return false
+			}
+			if pl.Reused {
+				continue
+			}
+			// Drop any previous record under this key (re-place).
+			keep := live[:0]
+			for _, p := range live {
+				if p.key != key {
+					keep = append(keep, p)
+				}
+			}
+			live = keep
+			live = append(live, placed{
+				key:  key,
+				text: Region{Base: pl.TextBase, Size: osim.PageAlign(tsz)},
+				data: Region{Base: pl.DataBase, Size: osim.PageAlign(dsz)},
+			})
+			// Check all pairs.
+			var regions []Region
+			for _, p := range live {
+				if p.text.Size > 0 {
+					regions = append(regions, p.text)
+				}
+				if p.data.Size > 0 {
+					regions = append(regions, p.data)
+				}
+			}
+			for a := 0; a < len(regions); a++ {
+				for b := a + 1; b < len(regions); b++ {
+					if regions[a].overlaps(regions[b]) {
+						t.Logf("overlap: %+v and %+v", regions[a], regions[b])
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

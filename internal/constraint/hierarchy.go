@@ -1,0 +1,308 @@
+package constraint
+
+import (
+	"fmt"
+	"sort"
+
+	"omos/internal/osim"
+)
+
+// This file implements the "more sophisticated constraint system"
+// the paper's future-work section describes (§10): a constraint
+// *hierarchy* in the style of the University of Washington's
+// Delta-Blue solver [17].  Constraints carry strengths; a placement is
+// chosen by comparing candidates lexicographically on how many
+// constraints they satisfy at each strength, strongest first
+// (Delta-Blue's "locally-predicate-better" comparator).  Required
+// constraints must hold outright.
+//
+// The basic Solver (constraint.go) remains the default engine — it
+// matches the paper's shipped behaviour; the Hierarchy is the upgrade
+// path and is exercised by its own tests and the constraints
+// benchmark.
+
+// Strength orders constraints.  Required must be satisfied; the rest
+// are preferences of decreasing importance.
+type Strength int
+
+// Strengths, strongest first.
+const (
+	Required Strength = iota
+	Strong
+	Medium
+	Weak
+)
+
+// String names the strength.
+func (s Strength) String() string {
+	switch s {
+	case Required:
+		return "required"
+	case Strong:
+		return "strong"
+	case Medium:
+		return "medium"
+	case Weak:
+		return "weak"
+	}
+	return fmt.Sprintf("strength(%d)", int(s))
+}
+
+// PlacementConstraint is one requirement on a candidate base address.
+type PlacementConstraint interface {
+	// Strength is the constraint's place in the hierarchy.
+	Strength() Strength
+	// Satisfied reports whether base satisfies the constraint for an
+	// object of the given size, in the context of the hierarchy's
+	// current placements.
+	Satisfied(h *Hierarchy, base, size uint64) bool
+	// Candidates proposes base addresses worth trying (may be nil).
+	Candidates(h *Hierarchy, size uint64) []uint64
+	String() string
+}
+
+// PreferAt is the weak user preference: place at (or as near above as
+// possible to) Addr.
+type PreferAt struct {
+	Addr uint64
+	// Str defaults to Weak when zero... Required is zero, so the
+	// strength is explicit.
+	Str Strength
+}
+
+// Strength implements PlacementConstraint.
+func (c PreferAt) Strength() Strength { return c.Str }
+
+// Satisfied implements PlacementConstraint.
+func (c PreferAt) Satisfied(_ *Hierarchy, base, _ uint64) bool { return base == c.Addr }
+
+// Candidates implements PlacementConstraint.
+func (c PreferAt) Candidates(_ *Hierarchy, _ uint64) []uint64 { return []uint64{c.Addr} }
+
+// String renders the constraint for diagnostics.
+func (c PreferAt) String() string { return fmt.Sprintf("prefer-at(%#x,%s)", c.Addr, c.Str) }
+
+// Within requires (or prefers) the whole object inside [Lo, Hi).
+type Within struct {
+	Lo, Hi uint64
+	Str    Strength
+}
+
+// Strength implements PlacementConstraint.
+func (c Within) Strength() Strength { return c.Str }
+
+// Satisfied implements PlacementConstraint.
+func (c Within) Satisfied(_ *Hierarchy, base, size uint64) bool {
+	return base >= c.Lo && base+size <= c.Hi
+}
+
+// Candidates implements PlacementConstraint.
+func (c Within) Candidates(_ *Hierarchy, _ uint64) []uint64 { return []uint64{c.Lo} }
+
+// String renders the constraint for diagnostics.
+func (c Within) String() string { return fmt.Sprintf("within(%#x..%#x,%s)", c.Lo, c.Hi, c.Str) }
+
+// Near prefers placement within Dist bytes of another placed object
+// (e.g. a library near its client, to keep translation reach short).
+type Near struct {
+	Key  string
+	Dist uint64
+	Str  Strength
+}
+
+// Strength implements PlacementConstraint.
+func (c Near) Strength() Strength { return c.Str }
+
+// Satisfied implements PlacementConstraint.
+func (c Near) Satisfied(h *Hierarchy, base, size uint64) bool {
+	r, ok := h.regionOf(c.Key)
+	if !ok {
+		return false
+	}
+	gap := uint64(0)
+	switch {
+	case base >= r.End():
+		gap = base - r.End()
+	case base+size <= r.Base:
+		gap = r.Base - (base + size)
+	}
+	return gap <= c.Dist
+}
+
+// Candidates implements PlacementConstraint.
+func (c Near) Candidates(h *Hierarchy, size uint64) []uint64 {
+	r, ok := h.regionOf(c.Key)
+	if !ok {
+		return nil
+	}
+	out := []uint64{osim.PageAlign(r.End())}
+	if r.Base >= osim.PageAlign(size) {
+		out = append(out, (r.Base-size) & ^uint64(osim.PageSize-1))
+	}
+	return out
+}
+
+// String renders the constraint for diagnostics.
+func (c Near) String() string { return fmt.Sprintf("near(%s,%#x,%s)", c.Key, c.Dist, c.Str) }
+
+// Hierarchy is a constraint-hierarchy placement engine.  Like Solver,
+// it maintains a global no-overlap world; unlike Solver, arbitrary
+// strength-ranked constraints guide each placement.
+type Hierarchy struct {
+	regions map[string]Region
+	// DefaultBase seeds candidate generation when no constraint
+	// proposes anything.
+	DefaultBase uint64
+}
+
+// NewHierarchy returns an empty world.
+func NewHierarchy() *Hierarchy {
+	return &Hierarchy{regions: map[string]Region{}, DefaultBase: 0x0100_0000}
+}
+
+func (h *Hierarchy) regionOf(key string) (Region, bool) {
+	r, ok := h.regions[key]
+	return r, ok
+}
+
+// Regions returns the current placements keyed by owner.
+func (h *Hierarchy) Regions() map[string]Region {
+	out := make(map[string]Region, len(h.regions))
+	for k, v := range h.regions {
+		out[k] = v
+	}
+	return out
+}
+
+// Release removes a placement.
+func (h *Hierarchy) Release(key string) { delete(h.regions, key) }
+
+func (h *Hierarchy) overlapsAny(r Region) bool {
+	for _, o := range h.regions {
+		if r.overlaps(o) {
+			return true
+		}
+	}
+	return false
+}
+
+// score is a lexicographic satisfaction vector: satisfied counts per
+// non-required strength.
+type score [3]int
+
+func (a score) better(b score) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] > b[i]
+		}
+	}
+	return false
+}
+
+// Place chooses the best base address for key under the constraint
+// hierarchy and records it.  The implicit required constraints — page
+// alignment and no overlap with existing placements — always apply.
+func (h *Hierarchy) Place(key string, size uint64, cons []PlacementConstraint) (uint64, error) {
+	if key == "" {
+		return 0, fmt.Errorf("constraint: empty key")
+	}
+	if _, dup := h.regions[key]; dup {
+		return 0, fmt.Errorf("constraint: %s already placed", key)
+	}
+	size = osim.PageAlign(size)
+	if size == 0 {
+		size = osim.PageSize
+	}
+
+	// Gather candidates: every constraint's proposals, the first free
+	// gap after each existing region, and the default base.
+	cands := map[uint64]bool{h.DefaultBase: true}
+	for _, c := range cons {
+		for _, a := range c.Candidates(h, size) {
+			cands[a & ^uint64(osim.PageSize-1)] = true
+		}
+	}
+	for _, r := range h.regions {
+		cands[osim.PageAlign(r.End())] = true
+	}
+	// Repair each candidate to the nearest free address at or above
+	// it, so required feasibility is always achievable.
+	repaired := map[uint64]bool{}
+	for a := range cands {
+		repaired[h.slideUp(a, size)] = true
+	}
+
+	type ranked struct {
+		base uint64
+		sc   score
+	}
+	var best *ranked
+	for base := range repaired {
+		r := Region{Base: base, Size: size}
+		if h.overlapsAny(r) {
+			continue // required violated even after repair (shouldn't happen)
+		}
+		ok := true
+		var sc score
+		for _, c := range cons {
+			sat := c.Satisfied(h, base, size)
+			switch c.Strength() {
+			case Required:
+				if !sat {
+					ok = false
+				}
+			case Strong:
+				if sat {
+					sc[0]++
+				}
+			case Medium:
+				if sat {
+					sc[1]++
+				}
+			case Weak:
+				if sat {
+					sc[2]++
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if best == nil || sc.better(best.sc) || (sc == best.sc && base < best.base) {
+			best = &ranked{base: base, sc: sc}
+		}
+	}
+	if best == nil {
+		return 0, fmt.Errorf("constraint: no placement satisfies the required constraints for %s", key)
+	}
+	h.regions[key] = Region{Base: best.base, Size: size}
+	return best.base, nil
+}
+
+// slideUp finds the lowest page-aligned address >= a whose [a, a+size)
+// is free.
+func (h *Hierarchy) slideUp(a, size uint64) uint64 {
+	a = a & ^uint64(osim.PageSize-1)
+	regs := make([]Region, 0, len(h.regions))
+	for _, r := range h.regions {
+		regs = append(regs, r)
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Base < regs[j].Base })
+	for {
+		r := Region{Base: a, Size: size}
+		moved := false
+		for _, o := range regs {
+			if r.overlaps(o) {
+				a = osim.PageAlign(o.End())
+				r.Base = a
+				moved = true
+			}
+		}
+		if !moved {
+			return a
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package constraint
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"omos/internal/osim"
+)
+
+func TestHierarchyPreferAt(t *testing.T) {
+	h := NewHierarchy()
+	base, err := h.Place("a", 100, []PlacementConstraint{PreferAt{Addr: 0x200000, Str: Weak}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != 0x200000 {
+		t.Fatalf("base = %#x", base)
+	}
+	// Conflicting weak preference slides up but places.
+	base2, err := h.Place("b", 100, []PlacementConstraint{PreferAt{Addr: 0x200000, Str: Weak}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base2 == 0x200000 || base2 < 0x200000 {
+		t.Fatalf("base2 = %#x", base2)
+	}
+}
+
+func TestHierarchyRequiredWithin(t *testing.T) {
+	h := NewHierarchy()
+	// Fill the window.
+	if _, err := h.Place("blocker", 3*osim.PageSize, []PlacementConstraint{
+		PreferAt{Addr: 0x100000, Str: Weak},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Required within a window that is fully occupied must fail.
+	_, err := h.Place("x", osim.PageSize, []PlacementConstraint{
+		Within{Lo: 0x100000, Hi: 0x100000 + 3*osim.PageSize, Str: Required},
+	})
+	if err == nil {
+		t.Fatal("unsatisfiable required constraint accepted")
+	}
+	// The same window as a Medium preference degrades gracefully.
+	base, err := h.Place("y", osim.PageSize, []PlacementConstraint{
+		Within{Lo: 0x100000, Hi: 0x100000 + 3*osim.PageSize, Str: Medium},
+		PreferAt{Addr: 0x100000, Str: Weak},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base < 0x100000+3*osim.PageSize && base >= 0x100000 {
+		t.Fatalf("placed inside a full window: %#x", base)
+	}
+}
+
+func TestHierarchyStrengthOrdering(t *testing.T) {
+	h := NewHierarchy()
+	if _, err := h.Place("lib", 2*osim.PageSize, []PlacementConstraint{
+		PreferAt{Addr: 0x300000, Str: Weak},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Strong "near lib" must beat weak "at 0x700000".
+	base, err := h.Place("client", osim.PageSize, []PlacementConstraint{
+		Near{Key: "lib", Dist: 0, Str: Strong},
+		PreferAt{Addr: 0x700000, Str: Weak},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := h.Regions()["lib"]
+	if base != osim.PageAlign(lib.End()) && base+osim.PageSize != lib.Base {
+		t.Fatalf("client at %#x not adjacent to lib %+v", base, lib)
+	}
+}
+
+func TestHierarchyNearBelow(t *testing.T) {
+	h := NewHierarchy()
+	if _, err := h.Place("lib", osim.PageSize, []PlacementConstraint{
+		PreferAt{Addr: 0x500000, Str: Weak},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Block the space above so the below-candidate wins.
+	if _, err := h.Place("above", 4*osim.PageSize, []PlacementConstraint{
+		PreferAt{Addr: 0x501000, Str: Weak},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	base, err := h.Place("client", osim.PageSize, []PlacementConstraint{
+		Near{Key: "lib", Dist: 0, Str: Strong},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != 0x500000-osim.PageSize {
+		t.Fatalf("client at %#x, want just below lib", base)
+	}
+}
+
+func TestHierarchyDuplicateKey(t *testing.T) {
+	h := NewHierarchy()
+	if _, err := h.Place("a", 10, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Place("a", 10, nil); err == nil {
+		t.Fatal("duplicate key accepted")
+	}
+	h.Release("a")
+	if _, err := h.Place("a", 10, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHierarchyNoOverlapProperty: whatever constraints are thrown at
+// it, placements never overlap.
+func TestHierarchyNoOverlapProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := NewHierarchy()
+		var placed []Region
+		for i := 0; i < 15; i++ {
+			size := uint64(r.Intn(4*osim.PageSize) + 1)
+			var cons []PlacementConstraint
+			if r.Intn(2) == 0 {
+				cons = append(cons, PreferAt{
+					Addr: uint64(r.Intn(16)) * 0x80000,
+					Str:  Strength(1 + r.Intn(3)),
+				})
+			}
+			if len(placed) > 0 && r.Intn(2) == 0 {
+				cons = append(cons, Near{
+					Key: fmt.Sprintf("k%d", r.Intn(i)), Dist: uint64(r.Intn(0x10000)),
+					Str: Strength(1 + r.Intn(3)),
+				})
+			}
+			base, err := h.Place(fmt.Sprintf("k%d", i), size, cons)
+			if err != nil {
+				t.Logf("place failed: %v", err)
+				return false
+			}
+			nr := Region{Base: base, Size: osim.PageAlign(size)}
+			for _, o := range placed {
+				if nr.overlaps(o) {
+					t.Logf("overlap %+v vs %+v", nr, o)
+					return false
+				}
+			}
+			placed = append(placed, nr)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrengthString(t *testing.T) {
+	if Required.String() != "required" || Weak.String() != "weak" {
+		t.Fatal("strength names")
+	}
+}

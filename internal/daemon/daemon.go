@@ -1,0 +1,159 @@
+// Package daemon adapts an omos.System to the ipc.Backend protocol
+// and installs the evaluation workloads — the testable core of
+// cmd/omosd.
+package daemon
+
+import (
+	"fmt"
+	"strings"
+
+	"omos"
+	"omos/internal/ipc"
+	"omos/internal/obj"
+	"omos/internal/vm"
+	"omos/internal/workload"
+)
+
+// Backend serves the OMOS daemon protocol over an omos.System.
+type Backend struct {
+	Sys *omos.System
+}
+
+var _ ipc.Backend = (*Backend)(nil)
+
+// New wraps a system.
+func New(sys *omos.System) *Backend { return &Backend{Sys: sys} }
+
+// InstallWorkloads preinstalls the evaluation workloads (/bin/ls,
+// /bin/codegen, /lib/libc plus codegen's auxiliary libraries) and the
+// filesystem fixtures.
+func InstallWorkloads(sys *omos.System, cg workload.CodegenParams) error {
+	if err := workload.MakeFixtures(sys.Kern.FS); err != nil {
+		return err
+	}
+	if err := sys.DefineLibrary("/lib/libc", workload.LibcBlueprint()); err != nil {
+		return err
+	}
+	libBase := uint64(0x0200_0000)
+	for i, lib := range workload.ExtraLibs() {
+		bp := fmt.Sprintf("(constraint-list \"T\" %#x \"D\" %#x)\n(merge (source \"c\" %q))",
+			libBase+uint64(i)*0x40_0000, 0x4200_0000+uint64(i)*0x40_0000, lib.Source)
+		if err := sys.DefineLibrary("/lib/"+lib.Name, bp); err != nil {
+			return err
+		}
+	}
+	if err := sys.Define("/bin/ls",
+		fmt.Sprintf("(merge /lib/crt0.o (source \"c\" %q) /lib/libc)", workload.LsSource)); err != nil {
+		return err
+	}
+	return sys.Define("/bin/codegen", workload.CodegenBlueprint(cg))
+}
+
+// Define implements ipc.Backend.
+func (b *Backend) Define(path, bp string) error { return b.Sys.Define(path, bp) }
+
+// DefineLibrary implements ipc.Backend.
+func (b *Backend) DefineLibrary(path, bp string) error { return b.Sys.DefineLibrary(path, bp) }
+
+// PutObjectBytes implements ipc.Backend.
+func (b *Backend) PutObjectBytes(path string, rof []byte) error {
+	o, err := obj.Decode(rof)
+	if err != nil {
+		return err
+	}
+	return b.Sys.PutObject(path, o)
+}
+
+// AssembleTo implements ipc.Backend.
+func (b *Backend) AssembleTo(path, src string) error { return b.Sys.Assemble(path, src) }
+
+// CompileTo implements ipc.Backend.
+func (b *Backend) CompileTo(dir, unit, src string) ([]string, error) {
+	return b.Sys.CompileC(dir, unit, src)
+}
+
+// List implements ipc.Backend.
+func (b *Backend) List(prefix string) []string { return b.Sys.List(prefix) }
+
+// Remove implements ipc.Backend.
+func (b *Backend) Remove(path string) { b.Sys.Srv.Remove(path) }
+
+// Run implements ipc.Backend.
+func (b *Backend) Run(name string, args []string, bootstrap bool) (ipc.RunOutcome, error) {
+	var res *omos.RunResult
+	var err error
+	if bootstrap {
+		res, err = b.Sys.RunBootstrap(name, args)
+	} else {
+		res, err = b.Sys.Run(name, args)
+	}
+	if err != nil {
+		return ipc.RunOutcome{}, err
+	}
+	return ipc.RunOutcome{
+		ExitCode: res.ExitCode,
+		Output:   res.Output,
+		User:     res.Clock.User,
+		Sys:      res.Clock.Sys,
+		Server:   res.Clock.Server,
+		Wait:     res.Clock.Wait,
+	}, nil
+}
+
+// Disasm implements ipc.Backend.
+func (b *Backend) Disasm(path string) (string, error) {
+	o, err := b.Sys.Srv.GetObject(path)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString(o.String())
+	sb.WriteString("\n")
+	sb.WriteString(vm.Disassemble(o.Text, 0))
+	return sb.String(), nil
+}
+
+// ExportMeta implements ipc.Backend (namespace federation).
+func (b *Backend) ExportMeta(path string) (string, bool, error) {
+	return b.Sys.Srv.ExportMeta(path)
+}
+
+// ExportObject implements ipc.Backend (namespace federation).
+func (b *Backend) ExportObject(path string) ([]byte, error) {
+	return b.Sys.Srv.ExportObject(path)
+}
+
+// Fetcher adapts an ipc.Client to server.RemoteFetcher, letting one
+// OMOS server mount another's namespace over the wire.
+type Fetcher struct {
+	C *ipc.Client
+}
+
+// FetchMeta implements server.RemoteFetcher.
+func (f Fetcher) FetchMeta(path string) (string, bool, error) {
+	resp, err := f.C.Call(&ipc.Request{Op: ipc.OpGetMeta, Path: path})
+	if err != nil {
+		return "", false, err
+	}
+	return resp.Text, resp.Flag, nil
+}
+
+// FetchObject implements server.RemoteFetcher.
+func (f Fetcher) FetchObject(path string) ([]byte, error) {
+	resp, err := f.C.Call(&ipc.Request{Op: ipc.OpGetObject, Path: path})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Blob, nil
+}
+
+// Stats implements ipc.Backend.
+func (b *Backend) Stats() string {
+	st := b.Sys.MemStats()
+	srv := b.Sys.Srv.Stats
+	return fmt.Sprintf(
+		"cache: hits=%d misses=%d images=%d relocs=%d buildcycles=%d\n"+
+			"memory: frames=%d resident=%dKB shared-frames=%d saved=%dKB\n",
+		srv.CacheHits, srv.CacheMisses, srv.ImagesBuilt, srv.RelocsApplied, srv.BuildCycles,
+		st.Frames, st.Bytes()/1024, st.SharedFrames, st.SavedBytes()/1024)
+}

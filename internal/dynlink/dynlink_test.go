@@ -1,0 +1,209 @@
+package dynlink
+
+import (
+	"testing"
+
+	"omos/internal/asm"
+	"omos/internal/jigsaw"
+	"omos/internal/minic"
+	"omos/internal/osim"
+)
+
+// picCrt0 is the position-independent startup stub.
+const picCrt0 = `
+.text
+_start:
+    callpc main
+    mov r1, r0
+    sys 1
+`
+
+func picModule(t *testing.T, unit, src string) *jigsaw.Module {
+	t.Helper()
+	objs, err := minic.Compile(src, minic.Options{Unit: unit, PIC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := jigsaw.NewModule(objs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func crt0Module(t *testing.T) *jigsaw.Module {
+	t.Helper()
+	o, err := asm.Assemble("crt0.s", picCrt0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := jigsaw.NewModule(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func setupWorld(t *testing.T) *osim.Kernel {
+	t.Helper()
+	k := osim.NewKernel()
+	Install(k)
+
+	lib := picModule(t, "libtiny.c", `
+int tiny_val = 30;
+int tiny_add(int a, int b) { return a + b; }
+int tiny_dozen() { return 12; }
+`)
+	if _, err := BuildSharedLib(k.FS, lib, "/lib/libtiny.so", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	app := picModule(t, "app.c", `
+extern int tiny_val;
+extern int tiny_add(int, int);
+extern int tiny_dozen();
+int main() { return tiny_add(tiny_val, tiny_dozen()); }
+`)
+	m, err := jigsaw.Merge(crt0Module(t), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildDynExec(k.FS, m, "/bin/app", []string{"/lib/libtiny.so"}); err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestDynExecLazy(t *testing.T) {
+	k := setupWorld(t)
+	p, err := Exec(k, "/bin/app", nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := k.RunToExit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 42 {
+		t.Fatalf("exit = %d, want 42", code)
+	}
+	st := p.Dyn.(*DynState)
+	// Two imported functions bound lazily; the data import was eager.
+	if st.LazyBinds != 2 {
+		t.Fatalf("lazy binds = %d, want 2", st.LazyBinds)
+	}
+	if st.EagerRelocs == 0 {
+		t.Fatal("expected eager relocations (GOT data slot + rebase)")
+	}
+}
+
+func TestDynExecBindNow(t *testing.T) {
+	k := setupWorld(t)
+	p, err := Exec(k, "/bin/app", nil, Options{BindNow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := k.RunToExit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 42 {
+		t.Fatalf("exit = %d, want 42", code)
+	}
+	st := p.Dyn.(*DynState)
+	if st.LazyBinds != 2 {
+		t.Fatalf("bind-now binds = %d, want 2", st.LazyBinds)
+	}
+}
+
+func TestLibTextSharedAcrossProcesses(t *testing.T) {
+	k := setupWorld(t)
+	p1, err := Exec(k, "/bin/app", nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Exec(k, "/bin/app", nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := k.FT.Stats()
+	if st.SharedFrames == 0 {
+		t.Fatal("library text should be shared via the buffer cache")
+	}
+	for _, p := range []*osim.Process{p1, p2} {
+		code, err := k.RunToExit(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code != 42 {
+			t.Fatalf("exit = %d", code)
+		}
+	}
+}
+
+// TestRelinkCostRepeats verifies the baseline's defining behaviour:
+// every invocation repeats the dynamic linking work, unlike OMOS.
+func TestRelinkCostRepeats(t *testing.T) {
+	k := setupWorld(t)
+	var costs []uint64
+	for i := 0; i < 3; i++ {
+		p, err := Exec(k, "/bin/app", nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.RunToExit(p); err != nil {
+			t.Fatal(err)
+		}
+		st := p.Dyn.(*DynState)
+		if st.EagerRelocs == 0 || st.LazyBinds == 0 {
+			t.Fatalf("iteration %d did not repeat linking work", i)
+		}
+		costs = append(costs, p.Clock.User)
+		p.Release()
+	}
+	if costs[1] != costs[2] {
+		t.Fatalf("steady-state per-invocation cost should be stable: %v", costs)
+	}
+}
+
+func TestSharedLibWithDependency(t *testing.T) {
+	k := osim.NewKernel()
+	Install(k)
+	base := picModule(t, "base.c", `int base_two() { return 2; }`)
+	if _, err := BuildSharedLib(k.FS, base, "/lib/libbase.so", nil); err != nil {
+		t.Fatal(err)
+	}
+	upper := picModule(t, "upper.c", `
+extern int base_two();
+int upper_twice(int x) { return x * base_two(); }
+`)
+	if _, err := BuildSharedLib(k.FS, upper, "/lib/libupper.so", []string{"/lib/libbase.so"}); err != nil {
+		t.Fatal(err)
+	}
+	app := picModule(t, "app.c", `
+extern int upper_twice(int);
+int main() { return upper_twice(21); }
+`)
+	m, err := jigsaw.Merge(crt0Module(t), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildDynExec(k.FS, m, "/bin/app2", []string{"/lib/libupper.so"}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Exec(k, "/bin/app2", nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := k.RunToExit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 42 {
+		t.Fatalf("exit = %d, want 42", code)
+	}
+	st := p.Dyn.(*DynState)
+	if len(st.Modules) != 3 {
+		t.Fatalf("modules = %d, want 3 (exe + 2 libs)", len(st.Modules))
+	}
+}

@@ -1,0 +1,195 @@
+package dynlink
+
+import (
+	"strings"
+	"testing"
+
+	"omos/internal/asm"
+	"omos/internal/jigsaw"
+	"omos/internal/osim"
+)
+
+// TestRebasedDataPointer: a PIC library whose data section stores an
+// absolute pointer to its own data must get a DynRelative fixup, so
+// the pointer is correct wherever the library lands.
+func TestRebasedDataPointer(t *testing.T) {
+	libSrc := `
+.text
+get_msg:
+    leapc r10, =msgptr
+    ld r0, [r10]
+    ret
+.data
+msg:
+    .asciz "pointered"
+.align 8
+msgptr:
+    .quad =msg
+`
+	o, err := asm.Assemble("lib.s", libSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := jigsaw.NewModule(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := osim.NewKernel()
+	Install(k)
+	br, err := BuildSharedLib(k.FS, m, "/lib/ptr.so", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pointer store must be a DynRelative record.
+	foundRel := false
+	for _, r := range br.File.DynRelocs {
+		if r.Kind == 1 { // image.DynRelative
+			foundRel = true
+		}
+	}
+	if !foundRel {
+		t.Fatalf("no relative reloc recorded: %+v", br.File.DynRelocs)
+	}
+
+	appSrc := `
+.text
+_start:
+    callpc get_msg
+    ; r0 = pointer to "pointered"; read first byte as exit code
+    ld8 r1, [r0]
+    sys 1
+`
+	ao, err := asm.Assemble("app.s", appSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, err := jigsaw.NewModule(ao)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildDynExec(k.FS, am, "/bin/ptr", []string{"/lib/ptr.so"}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Exec(k, "/bin/ptr", nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := k.RunToExit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 'p' {
+		t.Fatalf("exit = %c, want p (pointer not rebased)", rune(code))
+	}
+	// The library really was rebased (mapped away from its link base).
+	st := p.Dyn.(*DynState)
+	if st.Modules[1].Delta == 0 {
+		t.Fatal("library loaded at its link base; rebase path untested")
+	}
+}
+
+// TestPICTextMustBeClean: a library whose *text* needs an absolute
+// patch cannot be position independent; the builder must reject it
+// rather than emit a silently broken file.
+func TestPICTextMustBeClean(t *testing.T) {
+	src := `
+.text
+f:
+    lea r0, =target    ; absolute materialization in text
+    ret
+target:
+    ret
+`
+	o, err := asm.Assemble("bad.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := jigsaw.NewModule(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := osim.NewKernel()
+	_, err = BuildSharedLib(k.FS, m, "/lib/bad.so", nil)
+	if err == nil {
+		t.Fatal("non-PIC text accepted as a shared library")
+	}
+	if !strings.Contains(err.Error(), "position independence") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestExportsExcludePLT: the dynamic symbol table must not include PLT
+// machinery or imported stubs.
+func TestExportsExcludePLT(t *testing.T) {
+	k := setupWorld(t)
+	data, _, err := k.FS.ReadFile("/bin/app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = data
+	// Rebuild to get the BuildResult with the decoded file.
+	app := picModule(t, "app2.c", `
+extern int tiny_add(int, int);
+int my_entry() { return tiny_add(1, 2); }
+int main() { return my_entry(); }
+`)
+	m, err := jigsaw.Merge(crt0Module(t), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := BuildDynExec(k.FS, m, "/bin/app2", []string{"/lib/libtiny.so"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range br.File.Exports {
+		if strings.HasPrefix(e.Name, "$plt$") {
+			t.Fatalf("PLT machinery exported: %s", e.Name)
+		}
+		if e.Name == "tiny_add" {
+			t.Fatal("imported function re-exported")
+		}
+	}
+	if br.PLTBytes == 0 {
+		t.Fatal("PLT size not accounted")
+	}
+}
+
+// TestMissingSymbolAtLoad: a dynamic executable whose import no
+// library satisfies fails at load with a clear error.
+func TestMissingSymbolAtLoad(t *testing.T) {
+	k := osim.NewKernel()
+	Install(k)
+	lib := picModule(t, "l.c", `int present() { return 1; }`)
+	if _, err := BuildSharedLib(k.FS, lib, "/lib/l.so", nil); err != nil {
+		t.Fatal(err)
+	}
+	app := picModule(t, "a.c", `
+extern int absent();
+int main() { return absent(); }
+`)
+	m, err := jigsaw.Merge(crt0Module(t), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildDynExec(k.FS, m, "/bin/a", []string{"/lib/l.so"}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Exec(k, "/bin/a", nil, Options{BindNow: true})
+	if err == nil {
+		// Lazy mode defers the failure to the first call; bind-now
+		// must fail at load.
+		_ = p
+		t.Fatal("bind-now load with missing symbol succeeded")
+	}
+	if !strings.Contains(err.Error(), "undefined symbol") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// Lazy mode loads, then faults on the first call.
+	p2, err := Exec(k, "/bin/a", nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.RunToExit(p2); err == nil {
+		t.Fatal("calling a missing symbol succeeded")
+	}
+}

@@ -1,0 +1,238 @@
+package dynlink
+
+import (
+	"fmt"
+
+	"omos/internal/image"
+	"omos/internal/osim"
+	"omos/internal/vm"
+)
+
+// LoadedModule is one mapped object (executable or library) in a
+// process.
+type LoadedModule struct {
+	Path   string
+	File   *image.ExecFile
+	Delta  uint64
+	TextLo uint64
+	TextHi uint64
+}
+
+// DynState is the per-process dynamic-linker state, stored in
+// osim.Process.Dyn.  The lazy resolver consults it on every binding
+// trap.
+type DynState struct {
+	Modules []*LoadedModule
+	// Exports is the process-global symbol scope (first definition
+	// wins, in load order — executable first, then libraries).
+	Exports map[string]uint64
+	// LazyBinds counts resolver traps (for the benchmarks).
+	LazyBinds int
+	// EagerRelocs counts load-time relocations applied.
+	EagerRelocs int
+}
+
+func stateOf(p *osim.Process) *DynState {
+	if st, ok := p.Dyn.(*DynState); ok {
+		return st
+	}
+	st := &DynState{Exports: map[string]uint64{}}
+	p.Dyn = st
+	return st
+}
+
+// Install registers the lazy-binding resolver on the kernel.  Call
+// once per kernel before running dynamically linked programs.
+func Install(k *osim.Kernel) {
+	k.Hooks.Resolve = resolve
+}
+
+// Options control the load-time behaviour.
+type Options struct {
+	// BindNow resolves every lazy slot at load time (HP-UX
+	// "-B immediate") instead of deferring to first call.
+	BindNow bool
+}
+
+// Exec loads and dynamically links the executable at path: native
+// exec for the file itself, then the user-space dynamic linker maps
+// each needed library, applies eager relocations, and initializes
+// lazy slots.  The returned process is ready to run.
+func Exec(k *osim.Kernel, path string, args []string, opts Options) (*osim.Process, error) {
+	p := k.Spawn()
+	argv := append([]string{path}, args...)
+	f, err := k.ExecNative(p, path, argv)
+	if err != nil {
+		return nil, err
+	}
+	st := stateOf(p)
+	exe := &LoadedModule{Path: path, File: f}
+	setRange(exe)
+	st.Modules = append(st.Modules, exe)
+	addExports(st, exe)
+
+	// Load needed libraries breadth-first (load order defines symbol
+	// precedence).
+	loaded := map[string]bool{path: true}
+	queue := append([]string(nil), f.Needed...)
+	for len(queue) > 0 {
+		libPath := queue[0]
+		queue = queue[1:]
+		if loaded[libPath] {
+			continue
+		}
+		loaded[libPath] = true
+		lf, delta, err := loadLibrary(k, p, libPath)
+		if err != nil {
+			return nil, err
+		}
+		lm := &LoadedModule{Path: libPath, File: lf, Delta: delta}
+		setRange(lm)
+		st.Modules = append(st.Modules, lm)
+		addExports(st, lm)
+		queue = append(queue, lf.Needed...)
+	}
+
+	// Apply load-time relocations for every module, every invocation —
+	// the repeated work OMOS's image cache eliminates.
+	for _, m := range st.Modules {
+		if err := applyEager(k, p, st, m); err != nil {
+			return nil, err
+		}
+	}
+	if opts.BindNow {
+		for _, m := range st.Modules {
+			for i := range m.File.LazySlots {
+				if err := bindSlot(k, p, st, m, &m.File.LazySlots[i]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	p.CPU.PC = f.Entry
+	return p, nil
+}
+
+func setRange(m *LoadedModule) {
+	lo, hi := ^uint64(0), uint64(0)
+	for i := range m.File.Segments {
+		s := &m.File.Segments[i]
+		if s.Perm&image.PermX == 0 {
+			continue
+		}
+		if s.Addr+m.Delta < lo {
+			lo = s.Addr + m.Delta
+		}
+		if s.End()+m.Delta > hi {
+			hi = s.End() + m.Delta
+		}
+	}
+	m.TextLo, m.TextHi = lo, hi
+}
+
+func addExports(st *DynState, m *LoadedModule) {
+	for i := range m.File.Exports {
+		e := &m.File.Exports[i]
+		if _, dup := st.Exports[e.Name]; !dup {
+			st.Exports[e.Name] = e.Addr + m.Delta
+		}
+	}
+}
+
+func loadLibrary(k *osim.Kernel, p *osim.Process, path string) (*image.ExecFile, uint64, error) {
+	// Probe the file's span first so the mmap region can be sized.
+	f, delta, err := k.LoadLibraryFile(p, path, p.AllocMMap(64*1024*1024))
+	if err != nil {
+		return nil, 0, err
+	}
+	if !f.Shared {
+		return nil, 0, fmt.Errorf("dynlink: %s is not a shared object", path)
+	}
+	return f, delta, nil
+}
+
+// applyEager applies a module's eager relocations and lazy-slot
+// bookkeeping, charging user time per record like a real ld.so.
+func applyEager(k *osim.Kernel, p *osim.Process, st *DynState, m *LoadedModule) error {
+	for i := range m.File.DynRelocs {
+		r := &m.File.DynRelocs[i]
+		var val uint64
+		switch r.Kind {
+		case image.DynRelative:
+			val = uint64(r.Addend) + m.Delta
+		case image.DynAbs:
+			addr, ok := st.Exports[r.Symbol]
+			if !ok {
+				return fmt.Errorf("dynlink: %s: undefined symbol %q", m.Path, r.Symbol)
+			}
+			val = addr + uint64(r.Addend)
+		default:
+			return fmt.Errorf("dynlink: %s: unknown reloc kind %d", m.Path, r.Kind)
+		}
+		if err := pokeU64(p, r.Addr+m.Delta, val); err != nil {
+			return err
+		}
+		p.ChargeUser(k.Cost.DynRelocApply)
+		st.EagerRelocs++
+	}
+	p.ChargeUser(uint64(len(m.File.LazySlots)) * k.Cost.DynSlotInit)
+	return nil
+}
+
+// bindSlot resolves one lazy slot (used by BindNow and the trap path).
+func bindSlot(k *osim.Kernel, p *osim.Process, st *DynState, m *LoadedModule, slot *image.LazySlot) error {
+	addr, ok := st.Exports[slot.Symbol]
+	if !ok {
+		return fmt.Errorf("dynlink: %s: undefined symbol %q", m.Path, slot.Symbol)
+	}
+	if err := pokeU64(p, slot.Addr+m.Delta, addr); err != nil {
+		return err
+	}
+	p.ChargeUser(k.Cost.LazyBindLookup + k.Cost.DynRelocApply)
+	st.LazyBinds++
+	return nil
+}
+
+// resolve is the SysResolve trap handler: identify the faulting module
+// by PC, bind the slot named by RegIdx, and hand the target back in
+// RegLnk so the lazy tail can jump to it.
+func resolve(p *osim.Process) error {
+	st, ok := p.Dyn.(*DynState)
+	if !ok {
+		return fmt.Errorf("dynlink: resolve trap in process without dynamic state")
+	}
+	pc := p.CPU.PC
+	var mod *LoadedModule
+	for _, m := range st.Modules {
+		if pc >= m.TextLo && pc < m.TextHi {
+			mod = m
+			break
+		}
+	}
+	if mod == nil {
+		return fmt.Errorf("dynlink: resolve trap from unknown module at pc=%#x", pc)
+	}
+	idx := p.CPU.R[vm.RegIdx]
+	if idx >= uint64(len(mod.File.LazySlots)) {
+		return fmt.Errorf("dynlink: %s: bad lazy index %d", mod.Path, idx)
+	}
+	slot := &mod.File.LazySlots[idx]
+	if err := bindSlot(p.Kern, p, st, mod, slot); err != nil {
+		return err
+	}
+	p.CPU.R[vm.RegLnk] = st.Exports[slot.Symbol]
+	return nil
+}
+
+func pokeU64(p *osim.Process, addr, v uint64) error {
+	var b [8]byte
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+	return p.AS.Poke(addr, b[:])
+}

@@ -1,0 +1,33 @@
+package image
+
+import "testing"
+
+// FuzzDecodeExec: arbitrary bytes must never panic the executable
+// parser, and accepted files must re-encode.
+func FuzzDecodeExec(f *testing.F) {
+	ef := &ExecFile{Image: Image{
+		Name:  "seed",
+		Entry: 0x1000,
+		Segments: []Segment{
+			{Name: "text", Addr: 0x1000, Data: []byte{1, 2, 3}, MemSize: 4096, Perm: PermR | PermX},
+		},
+	},
+		Needed:    []string{"/lib/x.so"},
+		DynRelocs: []DynReloc{{Addr: 8, Kind: DynAbs, Symbol: "s"}},
+		LazySlots: []LazySlot{{Addr: 16, Symbol: "f", Index: 0}},
+		Exports:   []Export{{Name: "e", Addr: 0x1000}},
+	}
+	enc, _ := EncodeExec(ef)
+	f.Add(enc)
+	f.Add([]byte("EXE1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := DecodeExec(data)
+		if err != nil {
+			return
+		}
+		if _, err := EncodeExec(dec); err != nil {
+			t.Fatalf("decoded exec does not re-encode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,165 @@
+package image
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleExec(r *rand.Rand) *ExecFile {
+	f := &ExecFile{Image: Image{
+		Name:  "prog",
+		Entry: 0x1000,
+	}}
+	addr := uint64(0x1000)
+	for i := 0; i < 1+r.Intn(3); i++ {
+		n := 1 + r.Intn(64)
+		data := make([]byte, n)
+		r.Read(data)
+		seg := Segment{
+			Name:    []string{"text", "data", "extra"}[i%3],
+			Addr:    addr,
+			Data:    data,
+			MemSize: uint64(n + r.Intn(32)),
+			Perm:    Perm(1 + r.Intn(7)),
+		}
+		f.Segments = append(f.Segments, seg)
+		addr += seg.MemSize + uint64(r.Intn(4096))
+	}
+	f.Shared = r.Intn(2) == 0
+	f.PIC = r.Intn(2) == 0
+	if r.Intn(2) == 0 {
+		f.Needed = []string{"/lib/a.so", "/lib/b.so"}
+	}
+	for i := 0; i < r.Intn(4); i++ {
+		f.DynRelocs = append(f.DynRelocs, DynReloc{
+			Addr: uint64(r.Intn(1 << 20)), Kind: DynRelocKind(r.Intn(2)),
+			Symbol: "s", Addend: int64(r.Intn(100)) - 50,
+		})
+	}
+	for i := 0; i < r.Intn(4); i++ {
+		f.LazySlots = append(f.LazySlots, LazySlot{Addr: uint64(i * 8), Symbol: "f", Index: uint32(i)})
+	}
+	for i := 0; i < r.Intn(4); i++ {
+		f.Exports = append(f.Exports, Export{Name: string(rune('a' + i)), Addr: uint64(i * 16)})
+	}
+	if r.Intn(2) == 0 {
+		f.Syms = map[string]uint64{"main": 0x1000, "z": 0x2000}
+	}
+	return f
+}
+
+func TestExecRoundtrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := sampleExec(r)
+		enc, err := EncodeExec(in)
+		if err != nil {
+			return true // generator may produce invalid perms/overlaps; skip
+		}
+		out, err := DecodeExec(enc)
+		if err != nil {
+			t.Logf("decode: %v", err)
+			return false
+		}
+		return reflect.DeepEqual(normalizeExec(in), normalizeExec(out))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func normalizeExec(f *ExecFile) *ExecFile {
+	c := *f
+	if len(c.Needed) == 0 {
+		c.Needed = nil
+	}
+	if len(c.DynRelocs) == 0 {
+		c.DynRelocs = nil
+	}
+	if len(c.LazySlots) == 0 {
+		c.LazySlots = nil
+	}
+	if len(c.Exports) == 0 {
+		c.Exports = nil
+	}
+	if len(c.Syms) == 0 {
+		c.Syms = nil
+	}
+	for i := range c.Segments {
+		if len(c.Segments[i].Data) == 0 {
+			c.Segments[i].Data = nil
+		}
+	}
+	return &c
+}
+
+func TestValidateOverlap(t *testing.T) {
+	im := &Image{Name: "x", Segments: []Segment{
+		{Name: "a", Addr: 0x1000, MemSize: 0x2000},
+		{Name: "b", Addr: 0x2000, MemSize: 0x1000},
+	}}
+	if err := im.Validate(); err == nil {
+		t.Fatal("overlap accepted")
+	}
+	im.Segments[1].Addr = 0x3000
+	if err := im.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Data longer than MemSize.
+	im2 := &Image{Name: "y", Segments: []Segment{
+		{Name: "a", Addr: 0, Data: make([]byte, 10), MemSize: 4},
+	}}
+	if err := im2.Validate(); err == nil {
+		t.Fatal("data > memsize accepted")
+	}
+}
+
+func TestFindSegmentAndExports(t *testing.T) {
+	f := &ExecFile{Image: Image{Name: "z", Segments: []Segment{
+		{Name: "text", Addr: 0x1000, MemSize: 0x1000, Perm: PermR | PermX},
+	}},
+		Exports: []Export{{Name: "f", Addr: 0x1100}},
+	}
+	if s := f.FindSegment(0x1800); s == nil || s.Name != "text" {
+		t.Fatal("FindSegment missed")
+	}
+	if s := f.FindSegment(0x2000); s != nil {
+		t.Fatal("FindSegment phantom")
+	}
+	if a, ok := f.FindExport("f", 0x10); !ok || a != 0x1110 {
+		t.Fatalf("FindExport = %#x %v", a, ok)
+	}
+	if _, ok := f.FindExport("g", 0); ok {
+		t.Fatal("phantom export")
+	}
+}
+
+func TestPermString(t *testing.T) {
+	if (PermR | PermX).String() != "r-x" {
+		t.Fatalf("perm = %s", PermR|PermX)
+	}
+	if Perm(0).String() != "---" {
+		t.Fatal("zero perm")
+	}
+}
+
+func TestDecodeExecCorruption(t *testing.T) {
+	f := &ExecFile{Image: Image{Name: "c", Entry: 0,
+		Segments: []Segment{{Name: "t", Addr: 0x1000, Data: []byte{1, 2}, MemSize: 2, Perm: PermR}}}}
+	enc, err := EncodeExec(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(enc); i++ {
+		if _, err := DecodeExec(enc[:i]); err == nil {
+			t.Fatalf("prefix %d accepted", i)
+		}
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] = '?'
+	if _, err := DecodeExec(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}

@@ -1,0 +1,162 @@
+// Package ipc implements the wire protocol through which external
+// clients talk to a running OMOS daemon (cmd/omosd), mirroring the
+// paper's client/server split: the server is a persistent process that
+// outlives program invocations, and clients reach it over a message
+// channel.
+//
+// The protocol is length-prefixed gob over any net.Conn.  Operations
+// cover namespace management (define, put-object, list, remove) and
+// program execution inside the daemon's simulated machine.
+package ipc
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+)
+
+// Op identifies a request operation.
+type Op string
+
+// Protocol operations.
+const (
+	OpPing      Op = "ping"
+	OpDefine    Op = "define"     // Path, Text (blueprint)
+	OpDefineLib Op = "define-lib" // Path, Text (blueprint)
+	OpPutObject Op = "put-object" // Path, Blob (encoded ROF)
+	OpAssemble  Op = "assemble"   // Path, Text (assembly source)
+	OpCompile   Op = "compile"    // Path (dir), Unit, Text (mini-C)
+	OpList      Op = "list"       // Path (prefix)
+	OpRemove    Op = "remove"     // Path
+	OpRun       Op = "run"        // Path, Args; integrated exec
+	OpRunBoot   Op = "run-boot"   // Path, Args; bootstrap exec
+	OpDisasm    Op = "disasm"     // Path (object); returns listing
+	OpStats     Op = "stats"      // server + memory statistics
+	OpGetMeta   Op = "get-meta"   // Path; returns blueprint source + library flag
+	OpGetObject Op = "get-object" // Path; returns encoded ROF bytes
+)
+
+// Request is a client message.
+type Request struct {
+	Op   Op
+	Path string
+	Unit string
+	Text string
+	Args []string
+	Blob []byte
+}
+
+// Response is the server's reply.
+type Response struct {
+	Err      string
+	Text     string
+	Paths    []string
+	Blob     []byte
+	Flag     bool
+	ExitCode uint64
+	Output   string
+	// Clock components (user, sys, server, wait cycles).
+	User, Sys, Server, Wait uint64
+}
+
+// maxFrame bounds a single message (largest realistic payload is a
+// workload blueprint of a few hundred KB).
+const maxFrame = 16 << 20
+
+// WriteFrame sends one gob-encoded value with a length prefix.
+func WriteFrame(w io.Writer, v interface{}) error {
+	var payload frameBuffer
+	enc := gob.NewEncoder(&payload)
+	if err := enc.Encode(v); err != nil {
+		return fmt.Errorf("ipc: encode: %w", err)
+	}
+	var hdr [4]byte
+	if len(payload.b) > maxFrame {
+		return fmt.Errorf("ipc: frame too large (%d bytes)", len(payload.b))
+	}
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload.b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload.b)
+	return err
+}
+
+// ReadFrame receives one gob-encoded value.
+func ReadFrame(r io.Reader, v interface{}) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("ipc: frame too large (%d bytes)", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	dec := gob.NewDecoder(&byteReader{b: buf})
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("ipc: decode: %w", err)
+	}
+	return nil
+}
+
+type frameBuffer struct{ b []byte }
+
+func (f *frameBuffer) Write(p []byte) (int, error) {
+	f.b = append(f.b, p...)
+	return len(p), nil
+}
+
+type byteReader struct {
+	b []byte
+	i int
+}
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if r.i >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.i:])
+	r.i += n
+	return n, nil
+}
+
+// Client is a connection to an OMOS daemon.
+type Client struct {
+	conn net.Conn
+}
+
+// Dial connects to a daemon.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// NewClient wraps an existing connection.
+func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Call performs one request/response exchange.
+func (c *Client) Call(req *Request) (*Response, error) {
+	if err := WriteFrame(c.conn, req); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := ReadFrame(c.conn, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return &resp, fmt.Errorf("omosd: %s", resp.Err)
+	}
+	return &resp, nil
+}

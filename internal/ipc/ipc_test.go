@@ -1,0 +1,230 @@
+package ipc
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundtrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		req := Request{
+			Op:   Op(fmt.Sprintf("op%d", r.Intn(5))),
+			Path: fmt.Sprintf("/p/%d", r.Intn(100)),
+			Text: strings.Repeat("x", r.Intn(200)),
+			Args: []string{"a", "b"}[:r.Intn(3)],
+			Blob: make([]byte, r.Intn(64)),
+		}
+		r.Read(req.Blob)
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, &req); err != nil {
+			return false
+		}
+		var out Request
+		if err := ReadFrame(&buf, &out); err != nil {
+			return false
+		}
+		if len(out.Args) == 0 {
+			out.Args = nil
+		}
+		if len(req.Args) == 0 {
+			req.Args = nil
+		}
+		if len(out.Blob) == 0 {
+			out.Blob = nil
+		}
+		if len(req.Blob) == 0 {
+			req.Blob = nil
+		}
+		return reflect.DeepEqual(req, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &Request{Op: OpPing}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for i := 0; i < len(full); i++ {
+		var out Request
+		if err := ReadFrame(bytes.NewReader(full[:i]), &out); err == nil {
+			t.Fatalf("prefix %d accepted", i)
+		}
+	}
+	// Oversized frame header rejected.
+	huge := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	var out Request
+	if err := ReadFrame(bytes.NewReader(huge), &out); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+// fakeBackend records calls and returns canned data.
+type fakeBackend struct {
+	defined map[string]string
+	objects map[string][]byte
+}
+
+func newFakeBackend() *fakeBackend {
+	return &fakeBackend{defined: map[string]string{}, objects: map[string][]byte{}}
+}
+
+func (f *fakeBackend) Define(p, bp string) error        { f.defined[p] = bp; return nil }
+func (f *fakeBackend) DefineLibrary(p, bp string) error { f.defined[p] = "lib:" + bp; return nil }
+func (f *fakeBackend) PutObjectBytes(p string, b []byte) error {
+	if len(b) == 0 {
+		return fmt.Errorf("empty object")
+	}
+	f.objects[p] = b
+	return nil
+}
+func (f *fakeBackend) AssembleTo(p, src string) error { f.objects[p] = []byte(src); return nil }
+func (f *fakeBackend) CompileTo(dir, unit, src string) ([]string, error) {
+	return []string{dir + "/" + unit + ".0.o"}, nil
+}
+func (f *fakeBackend) List(prefix string) []string {
+	var out []string
+	for p := range f.defined {
+		out = append(out, p)
+	}
+	for p := range f.objects {
+		out = append(out, p)
+	}
+	return out
+}
+func (f *fakeBackend) Remove(p string) { delete(f.defined, p); delete(f.objects, p) }
+func (f *fakeBackend) Run(name string, args []string, boot bool) (RunOutcome, error) {
+	if name == "/bin/missing" {
+		return RunOutcome{}, fmt.Errorf("no such meta-object")
+	}
+	out := RunOutcome{ExitCode: 7, Output: "ran " + name, User: 100, Sys: 200}
+	if boot {
+		out.Sys += 50
+	}
+	return out, nil
+}
+func (f *fakeBackend) Disasm(p string) (string, error) { return "disasm of " + p, nil }
+func (f *fakeBackend) Stats() string                   { return "stats" }
+func (f *fakeBackend) ExportMeta(p string) (string, bool, error) {
+	if bp, ok := f.defined[p]; ok {
+		return bp, false, nil
+	}
+	return "", false, fmt.Errorf("no meta at %s", p)
+}
+func (f *fakeBackend) ExportObject(p string) ([]byte, error) {
+	if b, ok := f.objects[p]; ok {
+		return b, nil
+	}
+	return nil, fmt.Errorf("no object at %s", p)
+}
+
+func startServer(t *testing.T) (*Client, *fakeBackend) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newFakeBackend()
+	go Serve(l, b)
+	t.Cleanup(func() { l.Close() })
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, b
+}
+
+func TestClientServerRoundtrip(t *testing.T) {
+	c, b := startServer(t)
+
+	if resp, err := c.Call(&Request{Op: OpPing}); err != nil || resp.Text == "" {
+		t.Fatalf("ping: %v %+v", err, resp)
+	}
+	if _, err := c.Call(&Request{Op: OpDefine, Path: "/bin/x", Text: "(merge /a)"}); err != nil {
+		t.Fatal(err)
+	}
+	if b.defined["/bin/x"] != "(merge /a)" {
+		t.Fatalf("define not delivered: %v", b.defined)
+	}
+	if _, err := c.Call(&Request{Op: OpPutObject, Path: "/o", Blob: []byte{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Call(&Request{Op: OpList, Path: "/"})
+	if err != nil || len(resp.Paths) != 2 {
+		t.Fatalf("list: %v %v", err, resp.Paths)
+	}
+	resp, err = c.Call(&Request{Op: OpRun, Path: "/bin/x", Args: []string{"-l"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ExitCode != 7 || resp.Output != "ran /bin/x" || resp.Sys != 200 {
+		t.Fatalf("run resp = %+v", resp)
+	}
+	resp, err = c.Call(&Request{Op: OpRunBoot, Path: "/bin/x"})
+	if err != nil || resp.Sys != 250 {
+		t.Fatalf("run-boot resp = %+v err=%v", resp, err)
+	}
+	// Errors propagate as responses.
+	if _, err := c.Call(&Request{Op: OpRun, Path: "/bin/missing"}); err == nil {
+		t.Fatal("missing program did not error")
+	}
+	if _, err := c.Call(&Request{Op: OpPutObject, Path: "/o2"}); err == nil {
+		t.Fatal("empty object accepted")
+	}
+	if _, err := c.Call(&Request{Op: Op("bogus")}); err == nil {
+		t.Fatal("bogus op accepted")
+	}
+	// Connection survives errors: ping again.
+	if _, err := c.Call(&Request{Op: OpPing}); err != nil {
+		t.Fatalf("connection broken after error: %v", err)
+	}
+}
+
+func TestFederationOps(t *testing.T) {
+	c, b := startServer(t)
+	if _, err := c.Call(&Request{Op: OpDefine, Path: "/lib/m", Text: "(merge /x)"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call(&Request{Op: OpPutObject, Path: "/o", Blob: []byte{9, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Call(&Request{Op: OpGetMeta, Path: "/lib/m"})
+	if err != nil || resp.Text != "(merge /x)" {
+		t.Fatalf("get-meta: %v %+v", err, resp)
+	}
+	resp, err = c.Call(&Request{Op: OpGetObject, Path: "/o"})
+	if err != nil || len(resp.Blob) != 2 {
+		t.Fatalf("get-object: %v %+v", err, resp)
+	}
+	if _, err := c.Call(&Request{Op: OpGetMeta, Path: "/nope"}); err == nil {
+		t.Fatal("phantom meta fetched")
+	}
+	if _, err := c.Call(&Request{Op: OpGetObject, Path: "/nope"}); err == nil {
+		t.Fatal("phantom object fetched")
+	}
+	// Remaining ops for coverage.
+	if resp, err := c.Call(&Request{Op: OpAssemble, Path: "/a", Text: ".text"}); err != nil || resp.Err != "" {
+		t.Fatalf("assemble: %v", err)
+	}
+	if resp, err := c.Call(&Request{Op: OpCompile, Path: "/d", Unit: "u", Text: "int x;"}); err != nil || len(resp.Paths) != 1 {
+		t.Fatalf("compile: %v %v", err, resp)
+	}
+	if resp, err := c.Call(&Request{Op: OpDisasm, Path: "/o"}); err != nil || resp.Text == "" {
+		t.Fatalf("disasm: %v", err)
+	}
+	if resp, err := c.Call(&Request{Op: OpStats}); err != nil || resp.Text != "stats" {
+		t.Fatalf("stats: %v", err)
+	}
+	_ = b
+}

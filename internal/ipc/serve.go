@@ -1,0 +1,128 @@
+package ipc
+
+import (
+	"fmt"
+	"net"
+)
+
+// RunOutcome reports a program execution performed by the daemon.
+type RunOutcome struct {
+	ExitCode                uint64
+	Output                  string
+	User, Sys, Server, Wait uint64
+}
+
+// Backend is the set of daemon operations the protocol exposes; the
+// omosd command implements it over an omos.System.
+type Backend interface {
+	Define(path, blueprint string) error
+	DefineLibrary(path, blueprint string) error
+	PutObjectBytes(path string, rof []byte) error
+	AssembleTo(path, src string) error
+	CompileTo(dir, unit, src string) ([]string, error)
+	List(prefix string) []string
+	Remove(path string)
+	Run(name string, args []string, bootstrap bool) (RunOutcome, error)
+	Disasm(path string) (string, error)
+	Stats() string
+	// ExportMeta and ExportObject serve namespace federation (another
+	// OMOS server mounting this one, §10).
+	ExportMeta(path string) (src string, isLibrary bool, err error)
+	ExportObject(path string) ([]byte, error)
+}
+
+// Serve accepts connections until the listener closes.  Each
+// connection may issue any number of requests.
+func Serve(l net.Listener, b Backend) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go serveConn(conn, b)
+	}
+}
+
+func serveConn(conn net.Conn, b Backend) {
+	defer conn.Close()
+	for {
+		var req Request
+		if err := ReadFrame(conn, &req); err != nil {
+			return // EOF or broken peer; nothing to report to
+		}
+		resp := handle(&req, b)
+		if err := WriteFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func handle(req *Request, b Backend) *Response {
+	resp := &Response{}
+	fail := func(err error) *Response {
+		resp.Err = err.Error()
+		return resp
+	}
+	switch req.Op {
+	case OpPing:
+		resp.Text = "omos server: alive"
+	case OpDefine:
+		if err := b.Define(req.Path, req.Text); err != nil {
+			return fail(err)
+		}
+	case OpDefineLib:
+		if err := b.DefineLibrary(req.Path, req.Text); err != nil {
+			return fail(err)
+		}
+	case OpPutObject:
+		if err := b.PutObjectBytes(req.Path, req.Blob); err != nil {
+			return fail(err)
+		}
+	case OpAssemble:
+		if err := b.AssembleTo(req.Path, req.Text); err != nil {
+			return fail(err)
+		}
+	case OpCompile:
+		paths, err := b.CompileTo(req.Path, req.Unit, req.Text)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Paths = paths
+	case OpList:
+		resp.Paths = b.List(req.Path)
+	case OpRemove:
+		b.Remove(req.Path)
+	case OpRun, OpRunBoot:
+		out, err := b.Run(req.Path, req.Args, req.Op == OpRunBoot)
+		if err != nil {
+			return fail(err)
+		}
+		resp.ExitCode = out.ExitCode
+		resp.Output = out.Output
+		resp.User, resp.Sys, resp.Server, resp.Wait = out.User, out.Sys, out.Server, out.Wait
+	case OpDisasm:
+		text, err := b.Disasm(req.Path)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Text = text
+	case OpStats:
+		resp.Text = b.Stats()
+	case OpGetMeta:
+		src, isLib, err := b.ExportMeta(req.Path)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Text = src
+		resp.Flag = isLib
+	case OpGetObject:
+		blob, err := b.ExportObject(req.Path)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Blob = blob
+	default:
+		return fail(fmt.Errorf("unknown operation %q", req.Op))
+	}
+	return resp
+}

@@ -1,0 +1,89 @@
+package jigsaw
+
+import (
+	"sort"
+
+	"omos/internal/obj"
+)
+
+// LinkSym is one definition as seen by the linker.
+type LinkSym struct {
+	Raw     string // name in the underlying object
+	Ext     string // current module-boundary name
+	Local   bool   // resolvable within the module but not exported
+	Deleted bool   // no longer resolves anything
+}
+
+// LinkAlias is a copy-as/freeze alias: an extra name for a raw
+// definition within the same fragment.
+type LinkAlias struct {
+	Ext       string
+	TargetRaw string
+	Local     bool
+}
+
+// LinkView is the linker's read-only view of one fragment: the
+// underlying object plus the effective naming maps.
+type LinkView struct {
+	Obj *obj.Object
+	// Defs lists the view of every defined symbol in Obj.
+	Defs []LinkSym
+	// Aliases lists extra names bound to raw definitions.
+	Aliases []LinkAlias
+	// RefExt maps every symbol name a relocation may cite (defined or
+	// undefined) to its current module-boundary name.
+	RefExt map[string]string
+}
+
+// LinkViews materializes the per-fragment naming state for the linker,
+// in fragment (layout) order.
+func (m *Module) LinkViews() []LinkView {
+	out := make([]LinkView, 0, len(m.frags))
+	for _, f := range m.frags {
+		lv := LinkView{Obj: f.o, RefExt: make(map[string]string, len(f.refs)+len(f.defs))}
+		for raw, d := range f.defs {
+			lv.Defs = append(lv.Defs, LinkSym{Raw: raw, Ext: d.ext, Local: d.local, Deleted: d.deleted})
+			// A fragment's internal reference to its own definition
+			// follows the definition's current name — unless the
+			// definition was deleted (restrict/override), in which
+			// case the reference rebinds by name at module scope.
+			lv.RefExt[raw] = d.ext
+		}
+		for raw, ext := range f.refs {
+			lv.RefExt[raw] = ext
+		}
+		for _, a := range f.aliases {
+			if a.deleted {
+				continue
+			}
+			lv.Aliases = append(lv.Aliases, LinkAlias{Ext: a.ext, TargetRaw: a.targetRaw, Local: a.local})
+		}
+		sort.Slice(lv.Defs, func(i, j int) bool { return lv.Defs[i].Raw < lv.Defs[j].Raw })
+		sort.Slice(lv.Aliases, func(i, j int) bool { return lv.Aliases[i].Ext < lv.Aliases[j].Ext })
+		out = append(out, lv)
+	}
+	return out
+}
+
+// ReorderFragments returns a module with fragments stably sorted by
+// ascending rank.  The monitor package uses this to apply
+// locality-of-reference orderings derived from execution traces
+// (§4.1's reordering optimization); fragments with equal rank keep
+// their relative order.
+func (m *Module) ReorderFragments(rank func(o *obj.Object) int) *Module {
+	out := m.clone()
+	sort.SliceStable(out.frags, func(i, j int) bool {
+		return rank(out.frags[i].o) < rank(out.frags[j].o)
+	})
+	return out
+}
+
+// Objects returns the underlying objects in fragment order (for
+// diagnostics and size accounting).
+func (m *Module) Objects() []*obj.Object {
+	out := make([]*obj.Object, len(m.frags))
+	for i, f := range m.frags {
+		out[i] = f.o
+	}
+	return out
+}

@@ -1,0 +1,398 @@
+// Package link lays out jigsaw modules and applies relocations,
+// producing mappable images.
+//
+// Linking here is the final, cacheable step of OMOS instantiation:
+// once a module has been placed at constraint-solved addresses and
+// relocated, the resulting image can be mapped into any number of
+// client address spaces with no further binding work — the core speed
+// claim of the paper.  The Result also reports everything the
+// baseline dynamic-linking path needs to *defer* binding instead:
+// unresolved references, GOT slots, and the set of absolute patches
+// that must be rebased if the image moves.
+package link
+
+import (
+	"fmt"
+	"sort"
+
+	"omos/internal/image"
+	"omos/internal/jigsaw"
+	"omos/internal/obj"
+	"omos/internal/osim"
+	"omos/internal/vm"
+)
+
+// Options control a link.
+type Options struct {
+	// Name labels the output image.
+	Name string
+	// TextBase and DataBase are the segment load addresses; both must
+	// be page aligned.
+	TextBase uint64
+	DataBase uint64
+	// Entry, if non-empty, names the symbol whose address becomes the
+	// image entry point.
+	Entry string
+	// AllowUndefined permits unresolved references, recording them in
+	// Result.Unresolved for a dynamic linker to satisfy at load time.
+	AllowUndefined bool
+	// Externs supplies pre-bound external symbols (the exported
+	// addresses of separately placed library images).  References that
+	// the module itself cannot resolve bind here before being
+	// considered undefined.  This is how an OMOS client links against
+	// a self-contained shared library: all resolution happens now, at
+	// image construction, and never again (§4.1).
+	Externs map[string]uint64
+}
+
+// Unresolved records a reference the link could not bind.
+type Unresolved struct {
+	// Site is the VA of the 8-byte patch site (for abs/pc relocs).
+	Site uint64
+	// InstrAddr is the VA of the instruction containing the site
+	// (meaningful for text relocs).
+	InstrAddr uint64
+	Kind      obj.RelocKind
+	Symbol    string
+	Addend    int64
+	// GotSlot is the VA of the allocated GOT slot when Kind is
+	// RelGotSlot (the instruction itself is already patched to address
+	// the slot; only the slot's contents await the symbol).
+	GotSlot uint64
+}
+
+// AbsPatch records an absolute address stored into the image at link
+// time.  If the image is later loaded at a different base (PIC), each
+// such site in a writable segment must be rebased by the load delta.
+type AbsPatch struct {
+	Site  uint64
+	Value uint64
+}
+
+// Placement records where one fragment landed.
+type Placement struct {
+	Obj      *obj.Object
+	TextAddr uint64
+	DataAddr uint64
+	BSSAddr  uint64
+}
+
+// Result is the output of Link.
+type Result struct {
+	Image *image.Image
+	// Syms maps exported symbol names to addresses (also stored in
+	// Image.Syms).  AllSyms additionally includes module-local names.
+	Syms    map[string]uint64
+	AllSyms map[string]uint64
+	// SymSizes maps exported function/data names to their sizes.
+	SymSizes map[string]uint64
+	// SymKinds maps exported names to func/data kinds.
+	SymKinds map[string]obj.SymKind
+	// Unresolved lists deferred references (empty unless
+	// Options.AllowUndefined).
+	Unresolved []Unresolved
+	// GotBase/GotSize describe the synthesized GOT (zero if no
+	// GOT-relative relocations were present); GotSlots maps symbol
+	// names to slot VAs.
+	GotBase  uint64
+	GotSize  uint64
+	GotSlots map[string]uint64
+	// AbsPatches lists every absolute patch applied, for PIC rebasing.
+	AbsPatches []AbsPatch
+	// NumRelocs counts relocations processed — the work OMOS caches
+	// and traditional schemes repeat.
+	NumRelocs int
+	// ExternBinds counts references satisfied from Options.Externs.
+	ExternBinds int
+	Placements  []Placement
+	TextSize    uint64
+	DataSize    uint64
+	BSSSize     uint64
+}
+
+const fragAlign = 16
+
+func alignUp(v, a uint64) uint64 { return (v + a - 1) &^ (a - 1) }
+
+// Link lays out the module and applies relocations.
+func Link(m *jigsaw.Module, opts Options) (*Result, error) {
+	if opts.TextBase%osim.PageSize != 0 || opts.DataBase%osim.PageSize != 0 {
+		return nil, fmt.Errorf("link %s: unaligned segment base (text=%#x data=%#x)",
+			opts.Name, opts.TextBase, opts.DataBase)
+	}
+	views := m.LinkViews()
+
+	// Pass 1: gather GOT-needing symbols (in deterministic order) so
+	// the GOT can sit at the front of the data segment.
+	gotOrder := []string{}
+	gotSeen := map[string]bool{}
+	for _, lv := range views {
+		for _, r := range lv.Obj.Relocs {
+			if r.Kind != obj.RelGotSlot {
+				continue
+			}
+			ext := lv.RefExt[r.Symbol]
+			if !gotSeen[ext] {
+				gotSeen[ext] = true
+				gotOrder = append(gotOrder, ext)
+			}
+		}
+	}
+
+	// Pass 2: place fragments.
+	res := &Result{
+		Syms:     map[string]uint64{},
+		AllSyms:  map[string]uint64{},
+		SymSizes: map[string]uint64{},
+		SymKinds: map[string]obj.SymKind{},
+		GotSlots: map[string]uint64{},
+	}
+	gotSize := uint64(len(gotOrder)) * 8
+	if gotSize > 0 {
+		res.GotBase = opts.DataBase
+		res.GotSize = gotSize
+		for i, name := range gotOrder {
+			res.GotSlots[name] = opts.DataBase + uint64(i)*8
+		}
+	}
+	textCur := opts.TextBase
+	dataCur := opts.DataBase + gotSize
+	var textBuf, dataBuf []byte
+	emitText := func(b []byte) {
+		textBuf = append(textBuf, b...)
+	}
+	for _, lv := range views {
+		textCur = alignUp(textCur, fragAlign)
+		dataCur = alignUp(dataCur, 8)
+		for uint64(len(textBuf)) < textCur-opts.TextBase {
+			textBuf = append(textBuf, 0)
+		}
+		for uint64(len(dataBuf)) < dataCur-opts.DataBase-gotSize {
+			dataBuf = append(dataBuf, 0)
+		}
+		pl := Placement{Obj: lv.Obj, TextAddr: textCur, DataAddr: dataCur}
+		emitText(lv.Obj.Text)
+		dataBuf = append(dataBuf, lv.Obj.Data...)
+		textCur += uint64(len(lv.Obj.Text))
+		dataCur += uint64(len(lv.Obj.Data))
+		res.Placements = append(res.Placements, pl)
+	}
+	// BSS: after all initialized data, 8-aligned runs per fragment.
+	bssCur := alignUp(dataCur, 8)
+	bssStart := bssCur
+	for i := range res.Placements {
+		pl := &res.Placements[i]
+		bssCur = alignUp(bssCur, 8)
+		pl.BSSAddr = bssCur
+		bssCur += pl.Obj.BSSSize
+	}
+
+	// Pass 3: bind symbol addresses.
+	symAddr := func(pl *Placement, s *obj.Symbol) uint64 {
+		switch s.Section {
+		case obj.SecText:
+			return pl.TextAddr + s.Offset
+		case obj.SecData:
+			return pl.DataAddr + s.Offset
+		default:
+			return pl.BSSAddr + s.Offset
+		}
+	}
+	for vi, lv := range views {
+		pl := &res.Placements[vi]
+		rawAddr := map[string]uint64{}
+		rawSize := map[string]uint64{}
+		rawKind := map[string]obj.SymKind{}
+		for i := range lv.Obj.Syms {
+			s := &lv.Obj.Syms[i]
+			if s.Defined {
+				rawAddr[s.Name] = symAddr(pl, s)
+				rawSize[s.Name] = s.Size
+				rawKind[s.Name] = s.Kind
+			}
+		}
+		for _, d := range lv.Defs {
+			if d.Deleted {
+				continue
+			}
+			addr := rawAddr[d.Raw]
+			if prev, dup := res.AllSyms[d.Ext]; dup && prev != addr {
+				return nil, fmt.Errorf("link %s: multiple definitions of %s", opts.Name, d.Ext)
+			}
+			res.AllSyms[d.Ext] = addr
+			if !d.Local {
+				res.Syms[d.Ext] = addr
+				res.SymSizes[d.Ext] = rawSize[d.Raw]
+				res.SymKinds[d.Ext] = rawKind[d.Raw]
+			}
+		}
+		for _, a := range lv.Aliases {
+			addr, ok := rawAddr[a.TargetRaw]
+			if !ok {
+				return nil, fmt.Errorf("link %s: alias %s targets undefined %s", opts.Name, a.Ext, a.TargetRaw)
+			}
+			if prev, dup := res.AllSyms[a.Ext]; dup && prev != addr {
+				return nil, fmt.Errorf("link %s: multiple definitions of %s", opts.Name, a.Ext)
+			}
+			res.AllSyms[a.Ext] = addr
+			if !a.Local {
+				res.Syms[a.Ext] = addr
+				res.SymSizes[a.Ext] = rawSize[a.TargetRaw]
+				res.SymKinds[a.Ext] = rawKind[a.TargetRaw]
+			}
+		}
+	}
+
+	// Pass 4: apply relocations.
+	patch64 := func(site uint64, val uint64) error {
+		var seg []byte
+		var base uint64
+		if site >= opts.TextBase && site < opts.TextBase+uint64(len(textBuf)) {
+			seg, base = textBuf, opts.TextBase
+		} else {
+			seg, base = dataBuf, opts.DataBase+gotSize
+		}
+		off := site - base
+		if off+8 > uint64(len(seg)) {
+			return fmt.Errorf("link %s: patch site %#x out of range", opts.Name, site)
+		}
+		putU64(seg[off:], val)
+		res.AbsPatches = append(res.AbsPatches, AbsPatch{Site: site, Value: val})
+		return nil
+	}
+	for vi, lv := range views {
+		pl := &res.Placements[vi]
+		for _, r := range lv.Obj.Relocs {
+			res.NumRelocs++
+			ext := lv.RefExt[r.Symbol]
+			target, bound := res.AllSyms[ext]
+			if !bound && opts.Externs != nil {
+				if v, ok := opts.Externs[ext]; ok {
+					target, bound = v, true
+					res.ExternBinds++
+				}
+			}
+			var site uint64
+			switch r.Section {
+			case obj.SecText:
+				site = pl.TextAddr + r.Offset
+			case obj.SecData:
+				site = pl.DataAddr + r.Offset
+			default:
+				return nil, fmt.Errorf("link %s: relocation in bss", opts.Name)
+			}
+			instr := site - vm.ImmOffset
+			switch r.Kind {
+			case obj.RelAbs64:
+				if !bound {
+					if !opts.AllowUndefined {
+						return nil, fmt.Errorf("link %s: undefined symbol %s (from %s)", opts.Name, ext, lv.Obj.Name)
+					}
+					res.Unresolved = append(res.Unresolved, Unresolved{
+						Site: site, InstrAddr: instr, Kind: r.Kind, Symbol: ext, Addend: r.Addend,
+					})
+					continue
+				}
+				if err := patch64(site, target+uint64(r.Addend)); err != nil {
+					return nil, err
+				}
+			case obj.RelPC64:
+				if !bound {
+					if !opts.AllowUndefined {
+						return nil, fmt.Errorf("link %s: undefined symbol %s (from %s)", opts.Name, ext, lv.Obj.Name)
+					}
+					res.Unresolved = append(res.Unresolved, Unresolved{
+						Site: site, InstrAddr: instr, Kind: r.Kind, Symbol: ext, Addend: r.Addend,
+					})
+					continue
+				}
+				// PC-relative: no AbsPatch (position independent).
+				off := site - (opts.TextBase)
+				if r.Section == obj.SecData {
+					return nil, fmt.Errorf("link %s: pc-relative relocation in data", opts.Name)
+				}
+				putU64(textBuf[off:], target+uint64(r.Addend)-instr)
+			case obj.RelGotSlot:
+				slot := res.GotSlots[ext]
+				// The instruction addresses its slot pc-relatively,
+				// which is always resolvable.
+				off := site - opts.TextBase
+				if r.Section != obj.SecText {
+					return nil, fmt.Errorf("link %s: got relocation outside text", opts.Name)
+				}
+				putU64(textBuf[off:], slot-instr)
+				if bound {
+					// Slot contents resolved statically; the final
+					// GOT bytes are rebuilt from AbsPatches below.
+					res.AbsPatches = append(res.AbsPatches, AbsPatch{Site: slot, Value: target})
+				} else {
+					if !opts.AllowUndefined {
+						return nil, fmt.Errorf("link %s: undefined symbol %s (from %s)", opts.Name, ext, lv.Obj.Name)
+					}
+					res.Unresolved = append(res.Unresolved, Unresolved{
+						Site: site, InstrAddr: instr, Kind: r.Kind, Symbol: ext,
+						Addend: r.Addend, GotSlot: slot,
+					})
+				}
+			}
+		}
+	}
+
+	// Assemble the image.  The GOT occupies the front of the data
+	// segment; splice it in now that slots are filled.
+	res.TextSize = uint64(len(textBuf))
+	res.DataSize = gotSize + uint64(len(dataBuf))
+	res.BSSSize = bssCur - bssStart
+	gotBytes := make([]byte, gotSize)
+	for _, p := range res.AbsPatches {
+		if p.Site >= opts.DataBase && p.Site < opts.DataBase+gotSize {
+			putU64(gotBytes[p.Site-opts.DataBase:], p.Value)
+		}
+	}
+	dataAll := append(gotBytes, dataBuf...)
+	dataMem := alignUp(bssCur-opts.DataBase, 8)
+
+	img := &image.Image{
+		Name: opts.Name,
+		Syms: res.Syms,
+	}
+	if len(textBuf) > 0 {
+		img.Segments = append(img.Segments, image.Segment{
+			Name: "text", Addr: opts.TextBase, Data: textBuf,
+			MemSize: osim.PageAlign(uint64(len(textBuf))),
+			Perm:    image.PermR | image.PermX,
+		})
+	}
+	if len(dataAll) > 0 || dataMem > 0 {
+		img.Segments = append(img.Segments, image.Segment{
+			Name: "data", Addr: opts.DataBase, Data: dataAll,
+			MemSize: osim.PageAlign(dataMem),
+			Perm:    image.PermR | image.PermW,
+		})
+	}
+	if opts.Entry != "" {
+		e, ok := res.AllSyms[opts.Entry]
+		if !ok {
+			return nil, fmt.Errorf("link %s: entry symbol %q undefined", opts.Name, opts.Entry)
+		}
+		img.Entry = e
+	}
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	res.Image = img
+	sort.Slice(res.Unresolved, func(i, j int) bool { return res.Unresolved[i].Site < res.Unresolved[j].Site })
+	return res, nil
+}
+
+func putU64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

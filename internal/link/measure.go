@@ -1,0 +1,41 @@
+package link
+
+import (
+	"omos/internal/jigsaw"
+	"omos/internal/obj"
+)
+
+// Measure computes the exact text and data+bss extents the module will
+// occupy when linked, mirroring Link's layout math.  The constraint
+// solver uses it to place an image before the link runs.
+func Measure(m *jigsaw.Module) (textSize, dataSize uint64) {
+	views := m.LinkViews()
+	gotSeen := map[string]bool{}
+	gotCount := uint64(0)
+	for _, lv := range views {
+		for _, r := range lv.Obj.Relocs {
+			if r.Kind != obj.RelGotSlot {
+				continue
+			}
+			ext := lv.RefExt[r.Symbol]
+			if !gotSeen[ext] {
+				gotSeen[ext] = true
+				gotCount++
+			}
+		}
+	}
+	var text, data uint64
+	data = gotCount * 8
+	for _, lv := range views {
+		text = alignUp(text, fragAlign)
+		data = alignUp(data, 8)
+		text += uint64(len(lv.Obj.Text))
+		data += uint64(len(lv.Obj.Data))
+	}
+	bss := alignUp(data, 8)
+	for _, lv := range views {
+		bss = alignUp(bss, 8)
+		bss += lv.Obj.BSSSize
+	}
+	return text, alignUp(bss, 8)
+}

@@ -1,0 +1,151 @@
+package loader
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExportToUnix: the paper's "#! /bin/omos" mechanism for exporting
+// OMOS namespace entries as Unix files.
+func TestExportToUnix(t *testing.T) {
+	rt := newRuntime(t)
+	if err := rt.ExportToUnix("/bin/prog", "/usr/bin/prog"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := rt.ExecPath("/usr/bin/prog", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := rt.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 42 {
+		t.Fatalf("exit = %d, want 42", code)
+	}
+	// A plain executable file still works through the same entry.
+	p2, err := rt.ExecPath(BootPath, []string{"/bin/prog"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BootPath run directly needs argv[0]=meta; ExecPath prepends the
+	// file path as argv[0], so this boots "/bin/omos-boot" as a meta
+	// name and must fail inside the IPC — clean error, not a crash.
+	if _, err := rt.Run(p2); err == nil {
+		t.Fatal("expected failure when boot argv[0] is not a meta-object")
+	}
+}
+
+// TestPartialImageVersioning: §4.2's versioning safety — a partial
+// image built against one library version refuses to bind after the
+// library changes.
+func TestPartialImageVersioning(t *testing.T) {
+	rt := newRuntime(t)
+	if err := rt.BuildPartialExec("/bin/prog", "/bin/prog.exe"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := rt.ExecPartial("/bin/prog.exe", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, err := rt.Run(p); err != nil || code != 42 {
+		t.Fatalf("fresh partial image: code=%d err=%v", code, err)
+	}
+
+	// Change the library.
+	if err := rt.Srv.DefineLibrary("/lib/tiny", `
+(constraint-list "T" 0x1000000 "D" 0x41000000)
+(source "c" "
+int tiny_mul(int a, int b) { return a * b + 1; }
+int tiny_seven() { return 7; }
+")
+`); err != nil {
+		t.Fatal(err)
+	}
+	stale, err := rt.ExecPartial("/bin/prog.exe", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rt.Run(stale)
+	if err == nil {
+		t.Fatal("stale partial image bound against a changed library")
+	}
+	if !strings.Contains(err.Error(), "has changed") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+
+	// Rebuilding picks up the new version.
+	if err := rt.BuildPartialExec("/bin/prog", "/bin/prog.exe"); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := rt.ExecPartial("/bin/prog.exe", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := rt.Run(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 43 { // 7*6+1
+		t.Fatalf("rebuilt exit = %d, want 43", code)
+	}
+}
+
+// TestEvict: the dld-style unlinking the paper lists as addable (§9):
+// evicting forces a rebuild, and placements can be reused afterwards.
+func TestEvict(t *testing.T) {
+	rt := newRuntime(t)
+	p, err := rt.ExecIntegrated("/bin/prog", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, err := rt.Run(p); err != nil || code != 42 {
+		t.Fatalf("run: %d %v", code, err)
+	}
+	p.Release()
+	built := rt.Srv.Stats.ImagesBuilt
+	frames := rt.Kern.FT.Stats().Frames
+
+	if n := rt.Srv.Evict("/bin/prog"); n == 0 {
+		t.Fatal("nothing evicted")
+	}
+	if n := rt.Srv.Evict("/lib/tiny"); n == 0 {
+		t.Fatal("library not evicted")
+	}
+	after := rt.Kern.FT.Stats().Frames
+	if after >= frames {
+		t.Fatalf("eviction released no frames: %d -> %d", frames, after)
+	}
+
+	// Re-instantiation rebuilds and still works.
+	p2, err := rt.ExecIntegrated("/bin/prog", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, err := rt.Run(p2); err != nil || code != 42 {
+		t.Fatalf("post-evict run: %d %v", code, err)
+	}
+	if rt.Srv.Stats.ImagesBuilt <= built {
+		t.Fatal("eviction did not force a rebuild")
+	}
+}
+
+// TestEvictWithLiveProcess: frames stay alive for already-running
+// processes through refcounts.
+func TestEvictWithLiveProcess(t *testing.T) {
+	rt := newRuntime(t)
+	p, err := rt.ExecIntegrated("/bin/prog", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evict while the process is mapped but not yet run.
+	rt.Srv.Evict("/bin/prog")
+	rt.Srv.Evict("/lib/tiny")
+	code, err := rt.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 42 {
+		t.Fatalf("exit = %d", code)
+	}
+}

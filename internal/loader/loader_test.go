@@ -1,0 +1,159 @@
+package loader
+
+import (
+	"strings"
+	"testing"
+
+	"omos/internal/asm"
+	"omos/internal/osim"
+	"omos/internal/server"
+)
+
+const crt0Src = `
+.text
+_start:
+    call main
+    mov r1, r0
+    sys 1
+`
+
+func newRuntime(t *testing.T) *Runtime {
+	t.Helper()
+	k := osim.NewKernel()
+	srv := server.New(k)
+	rt, err := Setup(k, srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.InstallBoot(); err != nil {
+		t.Fatal(err)
+	}
+	crt0, err := asm.Assemble("crt0.s", crt0Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.PutObject("/lib/crt0.o", crt0); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.DefineLibrary("/lib/tiny", `
+(constraint-list "T" 0x1000000 "D" 0x41000000)
+(source "c" "
+int tiny_mul(int a, int b) { return a * b; }
+int tiny_seven() { return 7; }
+")
+`); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Define("/bin/prog", `
+(merge /lib/crt0.o
+  (source "c" "
+extern int tiny_mul(int a, int b);
+extern int tiny_seven(int);
+int main() { return tiny_mul(tiny_seven(0), 6); }
+")
+  /lib/tiny)
+`); err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestExecIntegrated(t *testing.T) {
+	rt := newRuntime(t)
+	p, err := rt.ExecIntegrated("/bin/prog", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := rt.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 42 {
+		t.Fatalf("exit = %d, want 42", code)
+	}
+}
+
+func TestExecBootstrap(t *testing.T) {
+	rt := newRuntime(t)
+	p, err := rt.ExecBootstrap("/bin/prog", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := rt.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 42 {
+		t.Fatalf("exit = %d, want 42", code)
+	}
+	// The bootstrap path must have paid an IPC round trip that the
+	// integrated path does not.
+	if p.Clock.Sys < rt.Kern.Cost.IPCRoundTrip {
+		t.Fatalf("bootstrap system time %d < one IPC round trip %d", p.Clock.Sys, rt.Kern.Cost.IPCRoundTrip)
+	}
+}
+
+func TestExecPartial(t *testing.T) {
+	rt := newRuntime(t)
+	if err := rt.BuildPartialExec("/bin/prog", "/bin/prog.exe"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := rt.ExecPartial("/bin/prog.exe", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := rt.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 42 {
+		t.Fatalf("exit = %d, want 42", code)
+	}
+
+	// Second invocation: library instance and table are cached; stubs
+	// bind again (per process) but the server does no construction.
+	built := rt.Srv.Stats.ImagesBuilt
+	p2, err := rt.ExecPartial("/bin/prog.exe", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, err := rt.Run(p2); err != nil || code != 42 {
+		t.Fatalf("second run: code=%d err=%v", code, err)
+	}
+	if rt.Srv.Stats.ImagesBuilt != built {
+		t.Fatalf("partial re-exec rebuilt images: %d -> %d", built, rt.Srv.Stats.ImagesBuilt)
+	}
+}
+
+func TestPartialRejectsSharedVariables(t *testing.T) {
+	rt := newRuntime(t)
+	if err := rt.Srv.DefineLibrary("/lib/vars", `
+(source "c" "int shared_state = 3; int get_state() { return shared_state; }")
+`); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Srv.Define("/bin/varprog", `
+(merge /lib/crt0.o
+  (source "c" "extern int shared_state; int main() { return shared_state; }")
+  /lib/vars)
+`); err != nil {
+		t.Fatal(err)
+	}
+	err := rt.BuildPartialExec("/bin/varprog", "/bin/varprog.exe")
+	if err == nil {
+		t.Fatal("want shared-variable error")
+	}
+	if !strings.Contains(err.Error(), "shared variable") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestStubOverheadBytes(t *testing.T) {
+	n, err := StubOverheadBytes("/lib/tiny", []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatalf("overhead = %d", n)
+	}
+}

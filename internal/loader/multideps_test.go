@@ -1,0 +1,83 @@
+package loader
+
+import (
+	"testing"
+)
+
+// TestPartialImageMultipleLibraries: one partial image whose stubs
+// span two dynamic libraries; each library DYNLOADs independently on
+// first use.
+func TestPartialImageMultipleLibraries(t *testing.T) {
+	rt := newRuntime(t)
+	if err := rt.Srv.DefineLibrary("/lib/first", `
+(constraint-list "T" 0x3000000 "D" 0x43000000)
+(source "c" "int first_val() { return 30; }")
+`); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Srv.DefineLibrary("/lib/second", `
+(constraint-list "T" 0x3400000 "D" 0x43400000)
+(source "c" "int second_val() { return 12; }")
+`); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Srv.Define("/bin/multi", `
+(merge /lib/crt0.o
+  (source "c" "
+extern int first_val();
+extern int second_val();
+int main() { return first_val() + second_val(); }
+")
+  /lib/first /lib/second)
+`); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.BuildPartialExec("/bin/multi", "/bin/multi.exe"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := rt.ExecPartial("/bin/multi.exe", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := rt.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 42 {
+		t.Fatalf("exit = %d, want 42", code)
+	}
+	// Both libraries were mapped into the process (per-process loader
+	// state has two tables).
+	st := p.Loader.(*procState)
+	if len(st.tables) != 2 {
+		t.Fatalf("tables = %d, want 2 (%v)", len(st.tables), st.tables)
+	}
+}
+
+// TestBootArgsReachClient: the bootstrap loader must hand the client
+// its full argv untouched.
+func TestBootArgsReachClient(t *testing.T) {
+	rt := newRuntime(t)
+	if err := rt.Srv.Define("/bin/argc", `
+(merge /lib/crt0.o (source "c" "
+int main(int argc, char **argv) {
+    /* argv[0] is the meta path; return argc plus argv[2][0] */
+    if (argc != 3) { return 1; }
+    return argc + argv[2][0];
+}
+"))
+`); err != nil {
+		t.Fatal(err)
+	}
+	p, err := rt.ExecBootstrap("/bin/argc", []string{"-x", "Q"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := rt.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 3+'Q' {
+		t.Fatalf("exit = %d, want %d", code, 3+'Q')
+	}
+}

@@ -1,0 +1,315 @@
+package mgraph
+
+import (
+	"fmt"
+
+	"omos/internal/blueprint"
+	"omos/internal/constraint"
+	"omos/internal/jigsaw"
+)
+
+// BuildError reports a blueprint-to-graph translation failure.
+type BuildError struct {
+	Line int
+	Msg  string
+}
+
+// Error formats the position-tagged message.
+func (e *BuildError) Error() string { return fmt.Sprintf("mgraph:%d: %s", e.Line, e.Msg) }
+
+func berrf(n *blueprint.Node, format string, args ...interface{}) error {
+	return &BuildError{Line: n.Line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Build translates a parsed blueprint expression into an executable
+// m-graph.
+func Build(n *blueprint.Node) (Node, error) {
+	switch n.Kind {
+	case blueprint.KindSymbol:
+		return &RefNode{Path: n.Text}, nil
+	case blueprint.KindString:
+		// A bare string operand is treated as a path too (quoting is
+		// optional in the namespace).
+		return &RefNode{Path: n.Text}, nil
+	case blueprint.KindList:
+		return buildList(n)
+	default:
+		return nil, berrf(n, "unexpected literal %s", n)
+	}
+}
+
+func buildList(n *blueprint.Node) (Node, error) {
+	op := n.Op()
+	args := n.Args()
+	switch op {
+	case "merge":
+		if len(args) == 0 {
+			return nil, berrf(n, "merge needs at least one operand")
+		}
+		children, err := buildAll(args)
+		if err != nil {
+			return nil, err
+		}
+		return &MergeNode{Children: children}, nil
+
+	case "override":
+		if len(args) != 2 {
+			return nil, berrf(n, "override needs exactly 2 operands")
+		}
+		base, err := Build(args[0])
+		if err != nil {
+			return nil, err
+		}
+		over, err := Build(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return &OverrideNode{Base: base, Over: over}, nil
+
+	case "restrict", "project", "hide", "show", "freeze":
+		if len(args) != 2 {
+			return nil, berrf(n, "%s needs a pattern and an operand", op)
+		}
+		pat, err := stringArg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		child, err := Build(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return NewRegexNode(NamespaceOp(op), pat, child)
+
+	case "copy_as", "copy-as":
+		if len(args) != 3 {
+			return nil, berrf(n, "copy_as needs pattern, new name, and operand")
+		}
+		pat, err := stringArg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		name, err := stringArg(args[1])
+		if err != nil {
+			return nil, err
+		}
+		child, err := Build(args[2])
+		if err != nil {
+			return nil, err
+		}
+		return NewCopyAsNode(pat, name, child)
+
+	case "rename":
+		// (rename "pat" "new" child) or (rename "pat" "new" "refs"|"defs"|"both" child)
+		if len(args) != 3 && len(args) != 4 {
+			return nil, berrf(n, "rename needs pattern, replacement, [mode], operand")
+		}
+		pat, err := stringArg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		tmpl, err := stringArg(args[1])
+		if err != nil {
+			return nil, err
+		}
+		mode := jigsaw.RenameBoth
+		childIdx := 2
+		if len(args) == 4 {
+			ms, err := stringArg(args[2])
+			if err != nil {
+				return nil, err
+			}
+			switch ms {
+			case "refs":
+				mode = jigsaw.RenameRefs
+			case "defs":
+				mode = jigsaw.RenameDefs
+			case "both":
+				mode = jigsaw.RenameBoth
+			default:
+				return nil, berrf(args[2], "bad rename mode %q", ms)
+			}
+			childIdx = 3
+		}
+		child, err := Build(args[childIdx])
+		if err != nil {
+			return nil, err
+		}
+		return NewRenameNode(pat, tmpl, mode, child)
+
+	case "source":
+		if len(args) != 2 {
+			return nil, berrf(n, "source needs a language and text")
+		}
+		lang, err := stringArg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		text, err := stringArg(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return &SourceNode{Lang: lang, Text: text}, nil
+
+	case "specialize":
+		// (specialize "kind" [(list ...)] child)
+		if len(args) < 2 {
+			return nil, berrf(n, "specialize needs a kind and an operand")
+		}
+		kind, err := stringArg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		var strArgs []string
+		var prefs []constraint.Pref
+		rest := args[1 : len(args)-1]
+		for _, a := range rest {
+			if a.Kind == blueprint.KindList && a.Op() == "list" {
+				p, s, err := parseListArgs(a)
+				if err != nil {
+					return nil, err
+				}
+				prefs = append(prefs, p...)
+				strArgs = append(strArgs, s...)
+				continue
+			}
+			s, err := stringArg(a)
+			if err != nil {
+				return nil, err
+			}
+			strArgs = append(strArgs, s)
+		}
+		child, err := Build(args[len(args)-1])
+		if err != nil {
+			return nil, err
+		}
+		return &SpecializeNode{Kind: kind, Args: strArgs, Prefs: prefs, Child: child}, nil
+
+	case "constrain":
+		// (constrain "T" 0x100000 ["D" 0x...] child)
+		if len(args) < 3 || len(args)%2 == 0 {
+			return nil, berrf(n, "constrain needs seg/addr pairs and an operand")
+		}
+		var prefs []constraint.Pref
+		for i := 0; i+1 < len(args)-1; i += 2 {
+			p, err := prefPair(args[i], args[i+1])
+			if err != nil {
+				return nil, err
+			}
+			prefs = append(prefs, p)
+		}
+		child, err := Build(args[len(args)-1])
+		if err != nil {
+			return nil, err
+		}
+		return &ConstrainNode{Prefs: prefs, Child: child}, nil
+
+	case "initializers":
+		if len(args) != 1 {
+			return nil, berrf(n, "initializers needs one operand")
+		}
+		child, err := Build(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return &InitializersNode{Child: child}, nil
+
+	case "list":
+		// A bare list groups operands into a merge-like set; used when
+		// a meta-object wants to hand back several objects.
+		children, err := buildAll(args)
+		if err != nil {
+			return nil, err
+		}
+		return &MergeNode{Children: children}, nil
+
+	case "":
+		return nil, berrf(n, "list must start with an operator symbol")
+	default:
+		return nil, berrf(n, "unknown operator %q", op)
+	}
+}
+
+func buildAll(nodes []*blueprint.Node) ([]Node, error) {
+	out := make([]Node, 0, len(nodes))
+	for _, c := range nodes {
+		b, err := Build(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+func stringArg(n *blueprint.Node) (string, error) {
+	switch n.Kind {
+	case blueprint.KindString, blueprint.KindSymbol:
+		return n.Text, nil
+	default:
+		return "", berrf(n, "expected a string, got %s", n)
+	}
+}
+
+// parseListArgs handles (list "T" 0x1000000 ...) inside specialize:
+// seg/addr pairs become prefs; anything else becomes string args.
+func parseListArgs(n *blueprint.Node) ([]constraint.Pref, []string, error) {
+	args := n.Args()
+	var prefs []constraint.Pref
+	var strs []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if (a.Kind == blueprint.KindString || a.Kind == blueprint.KindSymbol) &&
+			(a.Text == "T" || a.Text == "D") && i+1 < len(args) &&
+			args[i+1].Kind == blueprint.KindNumber {
+			prefs = append(prefs, constraint.Pref{Seg: a.Text[0], Addr: uint64(args[i+1].Num)})
+			i++
+			continue
+		}
+		switch a.Kind {
+		case blueprint.KindString, blueprint.KindSymbol:
+			strs = append(strs, a.Text)
+		case blueprint.KindNumber:
+			strs = append(strs, fmt.Sprintf("%d", a.Num))
+		default:
+			return nil, nil, berrf(a, "unsupported list element")
+		}
+	}
+	return prefs, strs, nil
+}
+
+// prefPair parses a "T"/"D" + number pair.
+func prefPair(segNode, addrNode *blueprint.Node) (constraint.Pref, error) {
+	seg, err := stringArg(segNode)
+	if err != nil {
+		return constraint.Pref{}, err
+	}
+	if seg != "T" && seg != "D" {
+		return constraint.Pref{}, berrf(segNode, "segment class must be T or D, got %q", seg)
+	}
+	if addrNode.Kind != blueprint.KindNumber {
+		return constraint.Pref{}, berrf(addrNode, "expected an address")
+	}
+	return constraint.Pref{Seg: seg[0], Addr: uint64(addrNode.Num)}, nil
+}
+
+// ParseConstraintList extracts prefs from a (constraint-list "T" addr
+// "D" addr ...) expression (the first line of a library meta-object,
+// paper Figure 1).
+func ParseConstraintList(n *blueprint.Node) ([]constraint.Pref, error) {
+	if n.Op() != "constraint-list" {
+		return nil, berrf(n, "not a constraint-list")
+	}
+	args := n.Args()
+	if len(args)%2 != 0 {
+		return nil, berrf(n, "constraint-list needs seg/addr pairs")
+	}
+	var prefs []constraint.Pref
+	for i := 0; i < len(args); i += 2 {
+		p, err := prefPair(args[i], args[i+1])
+		if err != nil {
+			return nil, err
+		}
+		prefs = append(prefs, p)
+	}
+	return prefs, nil
+}

@@ -1,0 +1,633 @@
+// Package mgraph implements OMOS's executable operation graphs
+// (§3.2–3.4): the compiled form of a blueprint.  Executing an m-graph
+// produces a module (set of fragments under a namespace view) plus the
+// library dependencies and address constraints the server needs to
+// finish instantiation.
+//
+// Specialization (§3.4) transforms graphs before execution: the same
+// base meta-object yields a self-contained fixed-address library, a
+// dynamically loaded library, a monitored implementation, or a
+// reordered one, depending on the specialization applied.
+package mgraph
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+
+	"omos/internal/constraint"
+	"omos/internal/jigsaw"
+	"omos/internal/obj"
+)
+
+// Spec is a library specialization request.
+type Spec struct {
+	// Kind selects the implementation style: "lib-static"
+	// (self-contained, §4.1), "lib-dynamic" (partial image, §4.2).
+	Kind string
+	// Prefs are address placement preferences (lib-constrained).
+	Prefs []constraint.Pref
+}
+
+// Hash returns a stable digest of the spec.
+func (s Spec) Hash() string {
+	var sb strings.Builder
+	sb.WriteString(s.Kind)
+	for _, p := range s.Prefs {
+		fmt.Fprintf(&sb, "|%c=%#x", p.Seg, p.Addr)
+	}
+	return sb.String()
+}
+
+// LibDep is a library reference discovered during evaluation: the
+// client does not inline the library's fragments; the server
+// instantiates the library separately (cached, shared) and resolves
+// the client against its exported symbols.
+type LibDep struct {
+	// Path is the library meta-object's namespace path.
+	Path string
+	// Spec is the specialization under which the library was
+	// referenced.
+	Spec Spec
+}
+
+// Value is the result of executing an m-graph.
+type Value struct {
+	// Module holds the inline fragments (nil for pure library lists).
+	Module *jigsaw.Module
+	// Libs are library dependencies in reference order.
+	Libs []LibDep
+	// Prefs are address preferences attached by constrain operators.
+	Prefs []constraint.Pref
+}
+
+// Meta is a named meta-object: a stored blueprint with its class
+// attributes.  The server's namespace maps paths to these.
+type Meta struct {
+	Path string
+	// Root is the construction graph.
+	Root Node
+	// IsLibrary marks a library-class meta-object: references to it
+	// become LibDeps rather than inline expansions.
+	IsLibrary bool
+	// DefaultSpec is the specialization applied when a client merges
+	// the library without an explicit specialize operator.
+	DefaultSpec Spec
+	// SrcHash digests the defining blueprint for cache keys.
+	SrcHash string
+	// Src retains the defining blueprint text so the meta-object can
+	// be exported to another OMOS server (network consolidation, §10).
+	Src string
+}
+
+// Context supplies namespace and compiler services during evaluation.
+// The server package implements it.
+type Context interface {
+	// LookupObject returns the relocatable object stored at path.
+	LookupObject(path string) (*obj.Object, error)
+	// LookupMeta returns the meta-object at path, or nil if path names
+	// a raw object (or nothing).
+	LookupMeta(path string) (*Meta, error)
+	// ContentHash returns a digest of whatever path refers to,
+	// covering its transitive content (for cache keys).
+	ContentHash(path string) (string, error)
+	// Compile translates source text into relocatable objects
+	// (the `source` operator).
+	Compile(lang, text string) ([]*obj.Object, error)
+	// Specialize applies a server-registered specialization kind
+	// (e.g. "monitor") to an evaluated value.
+	Specialize(kind string, args []string, v *Value) (*Value, error)
+}
+
+// Node is one m-graph operation.
+type Node interface {
+	// Eval executes the subgraph.
+	Eval(ctx Context) (*Value, error)
+	// Hash returns a stable digest of the subgraph including the
+	// content of everything it references.
+	Hash(ctx Context) (string, error)
+	// String renders the node for diagnostics.
+	String() string
+}
+
+func digest(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))[:24]
+}
+
+// mergeValues combines child values (shared by merge/override paths).
+func mergeValues(vals []*Value, combine func(mods []*jigsaw.Module) (*jigsaw.Module, error)) (*Value, error) {
+	out := &Value{}
+	var mods []*jigsaw.Module
+	for _, v := range vals {
+		if v.Module != nil {
+			mods = append(mods, v.Module)
+		}
+		out.Libs = append(out.Libs, v.Libs...)
+		out.Prefs = append(out.Prefs, v.Prefs...)
+	}
+	if len(mods) > 0 {
+		m, err := combine(mods)
+		if err != nil {
+			return nil, err
+		}
+		out.Module = m
+	}
+	return out, nil
+}
+
+// ---- merge ----
+
+// MergeNode binds definitions in each operand to references in the
+// others; duplicate definitions are an error.
+type MergeNode struct{ Children []Node }
+
+// Eval implements Node.
+func (n *MergeNode) Eval(ctx Context) (*Value, error) {
+	vals, err := evalAll(ctx, n.Children)
+	if err != nil {
+		return nil, err
+	}
+	return mergeValues(vals, func(mods []*jigsaw.Module) (*jigsaw.Module, error) {
+		return jigsaw.Merge(mods...)
+	})
+}
+
+// Hash implements Node.
+func (n *MergeNode) Hash(ctx Context) (string, error) { return hashOp(ctx, "merge", nil, n.Children) }
+
+// String renders the node in blueprint syntax.
+func (n *MergeNode) String() string { return opString("merge", nil, n.Children) }
+
+// ---- override ----
+
+// OverrideNode merges two operands resolving conflicts in favor of the
+// second.
+type OverrideNode struct{ Base, Over Node }
+
+// Eval implements Node.
+func (n *OverrideNode) Eval(ctx Context) (*Value, error) {
+	bv, err := n.Base.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ov, err := n.Over.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if bv.Module == nil || ov.Module == nil {
+		return nil, fmt.Errorf("mgraph: override requires module operands")
+	}
+	m, err := jigsaw.Override(bv.Module, ov.Module)
+	if err != nil {
+		return nil, err
+	}
+	return &Value{
+		Module: m,
+		Libs:   append(append([]LibDep(nil), bv.Libs...), ov.Libs...),
+		Prefs:  append(append([]constraint.Pref(nil), bv.Prefs...), ov.Prefs...),
+	}, nil
+}
+
+// Hash implements Node.
+func (n *OverrideNode) Hash(ctx Context) (string, error) {
+	return hashOp(ctx, "override", nil, []Node{n.Base, n.Over})
+}
+
+// String renders the node in blueprint syntax.
+func (n *OverrideNode) String() string { return opString("override", nil, []Node{n.Base, n.Over}) }
+
+// ---- regex namespace operators ----
+
+// NamespaceOp enumerates single-operand regex operators.
+type NamespaceOp string
+
+// Namespace operator names.
+const (
+	OpRestrict NamespaceOp = "restrict"
+	OpProject  NamespaceOp = "project"
+	OpHide     NamespaceOp = "hide"
+	OpShow     NamespaceOp = "show"
+	OpFreeze   NamespaceOp = "freeze"
+)
+
+// RegexNode applies a single-regex namespace operator to its child.
+type RegexNode struct {
+	Op    NamespaceOp
+	Regex string
+	Child Node
+
+	re *regexp.Regexp
+}
+
+// NewRegexNode validates the pattern eagerly.
+func NewRegexNode(op NamespaceOp, pattern string, child Node) (*RegexNode, error) {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("mgraph: %s: bad pattern %q: %v", op, pattern, err)
+	}
+	return &RegexNode{Op: op, Regex: pattern, Child: child, re: re}, nil
+}
+
+// Eval implements Node.
+func (n *RegexNode) Eval(ctx Context) (*Value, error) {
+	v, err := n.Child.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if v.Module == nil {
+		return nil, fmt.Errorf("mgraph: %s: operand has no module", n.Op)
+	}
+	out := *v
+	switch n.Op {
+	case OpRestrict:
+		out.Module = v.Module.Restrict(n.re)
+	case OpProject:
+		out.Module = v.Module.Project(n.re)
+	case OpHide:
+		out.Module = v.Module.Hide(n.re)
+	case OpShow:
+		out.Module = v.Module.Show(n.re)
+	case OpFreeze:
+		out.Module = v.Module.Freeze(n.re)
+	default:
+		return nil, fmt.Errorf("mgraph: unknown namespace op %q", n.Op)
+	}
+	return &out, nil
+}
+
+// Hash implements Node.
+func (n *RegexNode) Hash(ctx Context) (string, error) {
+	return hashOp(ctx, string(n.Op), []string{n.Regex}, []Node{n.Child})
+}
+
+// String renders the node in blueprint syntax.
+func (n *RegexNode) String() string {
+	return opString(string(n.Op), []string{n.Regex}, []Node{n.Child})
+}
+
+// ---- copy-as / rename ----
+
+// CopyAsNode duplicates matching definitions under a new name.
+type CopyAsNode struct {
+	Regex, NewName string
+	Child          Node
+	re             *regexp.Regexp
+}
+
+// NewCopyAsNode validates the pattern eagerly.
+func NewCopyAsNode(pattern, newName string, child Node) (*CopyAsNode, error) {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("mgraph: copy-as: bad pattern %q: %v", pattern, err)
+	}
+	return &CopyAsNode{Regex: pattern, NewName: newName, Child: child, re: re}, nil
+}
+
+// Eval implements Node.
+func (n *CopyAsNode) Eval(ctx Context) (*Value, error) {
+	v, err := n.Child.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if v.Module == nil {
+		return nil, fmt.Errorf("mgraph: copy-as: operand has no module")
+	}
+	m, err := v.Module.CopyAs(n.re, n.NewName)
+	if err != nil {
+		return nil, err
+	}
+	out := *v
+	out.Module = m
+	return &out, nil
+}
+
+// Hash implements Node.
+func (n *CopyAsNode) Hash(ctx Context) (string, error) {
+	return hashOp(ctx, "copy-as", []string{n.Regex, n.NewName}, []Node{n.Child})
+}
+
+// String renders the node in blueprint syntax.
+func (n *CopyAsNode) String() string {
+	return opString("copy_as", []string{n.Regex, n.NewName}, []Node{n.Child})
+}
+
+// RenameNode systematically changes names.
+type RenameNode struct {
+	Regex, Template string
+	Mode            jigsaw.RenameMode
+	Child           Node
+	re              *regexp.Regexp
+}
+
+// NewRenameNode validates the pattern eagerly.
+func NewRenameNode(pattern, template string, mode jigsaw.RenameMode, child Node) (*RenameNode, error) {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("mgraph: rename: bad pattern %q: %v", pattern, err)
+	}
+	return &RenameNode{Regex: pattern, Template: template, Mode: mode, Child: child, re: re}, nil
+}
+
+// Eval implements Node.
+func (n *RenameNode) Eval(ctx Context) (*Value, error) {
+	v, err := n.Child.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if v.Module == nil {
+		return nil, fmt.Errorf("mgraph: rename: operand has no module")
+	}
+	out := *v
+	out.Module = v.Module.Rename(n.re, n.Template, n.Mode)
+	return &out, nil
+}
+
+// Hash implements Node.
+func (n *RenameNode) Hash(ctx Context) (string, error) {
+	return hashOp(ctx, fmt.Sprintf("rename%d", n.Mode), []string{n.Regex, n.Template}, []Node{n.Child})
+}
+
+// String renders the node in blueprint syntax.
+func (n *RenameNode) String() string {
+	return opString("rename", []string{n.Regex, n.Template}, []Node{n.Child})
+}
+
+// ---- leaves ----
+
+// RefNode references a namespace path: a raw object (inlined as a
+// fragment) or a meta-object (library deps or expanded graphs).
+type RefNode struct{ Path string }
+
+// Eval implements Node.
+func (n *RefNode) Eval(ctx Context) (*Value, error) {
+	meta, err := ctx.LookupMeta(n.Path)
+	if err != nil {
+		return nil, err
+	}
+	if meta != nil {
+		if meta.IsLibrary {
+			return &Value{Libs: []LibDep{{Path: n.Path, Spec: meta.DefaultSpec}}}, nil
+		}
+		return meta.Root.Eval(ctx)
+	}
+	o, err := ctx.LookupObject(n.Path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := jigsaw.NewModule(o)
+	if err != nil {
+		return nil, err
+	}
+	return &Value{Module: m}, nil
+}
+
+// Hash implements Node.
+func (n *RefNode) Hash(ctx Context) (string, error) {
+	ch, err := ctx.ContentHash(n.Path)
+	if err != nil {
+		return "", err
+	}
+	return digest("ref", n.Path, ch), nil
+}
+
+// String renders the node in blueprint syntax.
+func (n *RefNode) String() string { return n.Path }
+
+// SourceNode compiles source text into fragments (the `source`
+// operator).
+type SourceNode struct{ Lang, Text string }
+
+// Eval implements Node.
+func (n *SourceNode) Eval(ctx Context) (*Value, error) {
+	objs, err := ctx.Compile(n.Lang, n.Text)
+	if err != nil {
+		return nil, err
+	}
+	m, err := jigsaw.NewModule(objs...)
+	if err != nil {
+		return nil, err
+	}
+	return &Value{Module: m}, nil
+}
+
+// Hash implements Node.
+func (n *SourceNode) Hash(ctx Context) (string, error) {
+	return digest("source", n.Lang, n.Text), nil
+}
+
+// String renders the node in blueprint syntax.
+func (n *SourceNode) String() string { return fmt.Sprintf("(source %q %q)", n.Lang, n.Text) }
+
+// ---- constrain / specialize ----
+
+// ConstrainNode attaches address preferences to its child (the
+// `constrain` operator): library children get placement preferences;
+// plain modules carry the preference up to the server's final link.
+type ConstrainNode struct {
+	Prefs []constraint.Pref
+	Child Node
+}
+
+// Eval implements Node.
+func (n *ConstrainNode) Eval(ctx Context) (*Value, error) {
+	v, err := n.Child.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := *v
+	if len(v.Libs) > 0 && v.Module == nil {
+		// Pure library reference: constrain the library placement.
+		libs := append([]LibDep(nil), v.Libs...)
+		for i := range libs {
+			libs[i].Spec.Prefs = append(append([]constraint.Pref(nil), libs[i].Spec.Prefs...), n.Prefs...)
+		}
+		out.Libs = libs
+		return &out, nil
+	}
+	out.Prefs = append(append([]constraint.Pref(nil), v.Prefs...), n.Prefs...)
+	return &out, nil
+}
+
+// Hash implements Node.
+func (n *ConstrainNode) Hash(ctx Context) (string, error) {
+	args := make([]string, 0, len(n.Prefs))
+	for _, p := range n.Prefs {
+		args = append(args, fmt.Sprintf("%c=%#x", p.Seg, p.Addr))
+	}
+	return hashOp(ctx, "constrain", args, []Node{n.Child})
+}
+
+// String renders the node in blueprint syntax.
+func (n *ConstrainNode) String() string {
+	args := make([]string, 0, len(n.Prefs))
+	for _, p := range n.Prefs {
+		args = append(args, fmt.Sprintf("%c=%#x", p.Seg, p.Addr))
+	}
+	return opString("constrain", args, []Node{n.Child})
+}
+
+// SpecializeNode transforms its child per a specialization kind.
+// Library-style kinds ("lib-static", "lib-dynamic", "lib-constrained")
+// adjust library deps; other kinds are delegated to server-registered
+// specializers (e.g. "monitor", "reorder").
+type SpecializeNode struct {
+	Kind  string
+	Args  []string
+	Prefs []constraint.Pref
+	Child Node
+}
+
+// Eval implements Node.
+func (n *SpecializeNode) Eval(ctx Context) (*Value, error) {
+	v, err := n.Child.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	switch n.Kind {
+	case "lib-static", "lib-dynamic", "lib-branch-table":
+		if len(v.Libs) == 0 {
+			return nil, fmt.Errorf("mgraph: specialize %q: operand is not a library reference", n.Kind)
+		}
+		out := *v
+		libs := append([]LibDep(nil), v.Libs...)
+		for i := range libs {
+			libs[i].Spec.Kind = n.Kind
+		}
+		out.Libs = libs
+		return &out, nil
+	case "lib-constrained":
+		if len(v.Libs) == 0 {
+			return nil, fmt.Errorf("mgraph: specialize %q: operand is not a library reference", n.Kind)
+		}
+		out := *v
+		libs := append([]LibDep(nil), v.Libs...)
+		for i := range libs {
+			libs[i].Spec.Kind = "lib-static"
+			libs[i].Spec.Prefs = append(append([]constraint.Pref(nil), libs[i].Spec.Prefs...), n.Prefs...)
+		}
+		out.Libs = libs
+		return &out, nil
+	default:
+		return ctx.Specialize(n.Kind, n.Args, v)
+	}
+}
+
+// Hash implements Node.
+func (n *SpecializeNode) Hash(ctx Context) (string, error) {
+	args := append([]string{n.Kind}, n.Args...)
+	for _, p := range n.Prefs {
+		args = append(args, fmt.Sprintf("%c=%#x", p.Seg, p.Addr))
+	}
+	return hashOp(ctx, "specialize", args, []Node{n.Child})
+}
+
+// String renders the node in blueprint syntax.
+func (n *SpecializeNode) String() string {
+	return opString("specialize", append([]string{n.Kind}, n.Args...), []Node{n.Child})
+}
+
+// InitializersNode synthesizes a constructor-calling routine: it scans
+// the child's exported definitions for names matching the __ctor_
+// prefix and generates __do_global_ctors invoking each in sorted
+// order — the role the paper's `initializers` operator plays for C++
+// static initializers.
+type InitializersNode struct{ Child Node }
+
+// CtorPrefix marks constructor functions gathered by InitializersNode.
+const CtorPrefix = "__ctor_"
+
+// Eval implements Node.
+func (n *InitializersNode) Eval(ctx Context) (*Value, error) {
+	v, err := n.Child.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if v.Module == nil {
+		return nil, fmt.Errorf("mgraph: initializers: operand has no module")
+	}
+	var ctors []string
+	for _, name := range v.Module.Defined() {
+		if strings.HasPrefix(name, CtorPrefix) {
+			ctors = append(ctors, name)
+		}
+	}
+	sort.Strings(ctors)
+	var src strings.Builder
+	src.WriteString("int __do_global_ctors() {\n")
+	for _, c := range ctors {
+		fmt.Fprintf(&src, "    %s();\n", c)
+	}
+	src.WriteString("    return 0;\n}\n")
+	objs, err := ctx.Compile("c", src.String())
+	if err != nil {
+		return nil, err
+	}
+	initMod, err := jigsaw.NewModule(objs...)
+	if err != nil {
+		return nil, err
+	}
+	merged, err := jigsaw.Merge(v.Module, initMod)
+	if err != nil {
+		return nil, err
+	}
+	out := *v
+	out.Module = merged
+	return &out, nil
+}
+
+// Hash implements Node.
+func (n *InitializersNode) Hash(ctx Context) (string, error) {
+	return hashOp(ctx, "initializers", nil, []Node{n.Child})
+}
+
+// String renders the node in blueprint syntax.
+func (n *InitializersNode) String() string { return opString("initializers", nil, []Node{n.Child}) }
+
+// ---- helpers ----
+
+func evalAll(ctx Context, children []Node) ([]*Value, error) {
+	out := make([]*Value, 0, len(children))
+	for _, c := range children {
+		v, err := c.Eval(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func hashOp(ctx Context, op string, args []string, children []Node) (string, error) {
+	parts := append([]string{op}, args...)
+	for _, c := range children {
+		h, err := c.Hash(ctx)
+		if err != nil {
+			return "", err
+		}
+		parts = append(parts, h)
+	}
+	return digest(parts...), nil
+}
+
+func opString(op string, args []string, children []Node) string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	sb.WriteString(op)
+	for _, a := range args {
+		fmt.Fprintf(&sb, " %q", a)
+	}
+	for _, c := range children {
+		sb.WriteByte(' ')
+		sb.WriteString(c.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}

@@ -1,0 +1,329 @@
+package mgraph
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"omos/internal/blueprint"
+	"omos/internal/constraint"
+	"omos/internal/minic"
+	"omos/internal/obj"
+)
+
+// fakeCtx is an in-memory Context for graph tests.
+type fakeCtx struct {
+	objs  map[string]*obj.Object
+	metas map[string]*Meta
+	specs map[string]func(args []string, v *Value) (*Value, error)
+}
+
+func newFakeCtx() *fakeCtx {
+	return &fakeCtx{
+		objs:  map[string]*obj.Object{},
+		metas: map[string]*Meta{},
+		specs: map[string]func(args []string, v *Value) (*Value, error){},
+	}
+}
+
+func (c *fakeCtx) LookupObject(p string) (*obj.Object, error) {
+	o, ok := c.objs[p]
+	if !ok {
+		return nil, fmt.Errorf("no object %s", p)
+	}
+	return o, nil
+}
+
+func (c *fakeCtx) LookupMeta(p string) (*Meta, error) {
+	if m, ok := c.metas[p]; ok {
+		return m, nil
+	}
+	if _, ok := c.objs[p]; ok {
+		return nil, nil
+	}
+	return nil, fmt.Errorf("nothing at %s", p)
+}
+
+func (c *fakeCtx) ContentHash(p string) (string, error) {
+	if o, ok := c.objs[p]; ok {
+		return "obj:" + o.Name, nil
+	}
+	if m, ok := c.metas[p]; ok {
+		return "meta:" + m.SrcHash, nil
+	}
+	return "", fmt.Errorf("nothing at %s", p)
+}
+
+func (c *fakeCtx) Compile(lang, text string) ([]*obj.Object, error) {
+	if lang != "c" {
+		return nil, fmt.Errorf("lang %s", lang)
+	}
+	return minic.Compile(text, minic.Options{Unit: "t.c"})
+}
+
+func (c *fakeCtx) Specialize(kind string, args []string, v *Value) (*Value, error) {
+	fn, ok := c.specs[kind]
+	if !ok {
+		return nil, fmt.Errorf("no specializer %s", kind)
+	}
+	return fn(args, v)
+}
+
+func defObj(name string, defs ...string) *obj.Object {
+	o := &obj.Object{Name: name, Text: make([]byte, 16*(len(defs)+1))}
+	for i, d := range defs {
+		o.Syms = append(o.Syms, obj.Symbol{
+			Name: d, Kind: obj.SymFunc, Defined: true,
+			Section: obj.SecText, Offset: uint64(16 * i), Size: 16,
+		})
+	}
+	return o
+}
+
+func build(t *testing.T, src string) Node {
+	t.Helper()
+	expr, err := blueprint.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Build(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestBuildAndEvalMerge(t *testing.T) {
+	ctx := newFakeCtx()
+	ctx.objs["/a.o"] = defObj("a", "fa")
+	ctx.objs["/b.o"] = defObj("b", "fb")
+	n := build(t, "(merge /a.o /b.o)")
+	v, err := n.Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Module.Defined(); len(got) != 2 {
+		t.Fatalf("defined = %v", got)
+	}
+}
+
+func TestEvalSourceOperator(t *testing.T) {
+	ctx := newFakeCtx()
+	n := build(t, `(source "c" "int undef_var = 0;")`)
+	v, err := n.Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range v.Module.Defined() {
+		if d == "undef_var" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("defined = %v", v.Module.Defined())
+	}
+}
+
+func TestFigure3RenameAndSource(t *testing.T) {
+	// (merge (source ...) (rename "^undefined_routine$" "abort" lib))
+	ctx := newFakeCtx()
+	lib := defObj("lib", "lib_fn")
+	lib.Syms = append(lib.Syms, obj.Symbol{Name: "undefined_routine"}, obj.Symbol{Name: "undef_var"})
+	lib.Relocs = append(lib.Relocs,
+		obj.Reloc{Section: obj.SecText, Offset: 4, Symbol: "undefined_routine", Kind: obj.RelAbs64},
+		obj.Reloc{Section: obj.SecText, Offset: 20, Symbol: "undef_var", Kind: obj.RelAbs64})
+	ctx.objs["/lib/lib-with-problems"] = lib
+	ctx.objs["/abort.o"] = defObj("abort", "abort")
+	n := build(t, `
+(merge
+  (source "c" "int undef_var = 0;")
+  (rename "^undefined_routine$" "abort" "refs" /lib/lib-with-problems)
+  /abort.o)
+`)
+	v, err := n.Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Module.Undefined(); len(got) != 0 {
+		t.Fatalf("undefined = %v (rename+source should have resolved everything)", got)
+	}
+}
+
+func TestLibraryRefBecomesDep(t *testing.T) {
+	ctx := newFakeCtx()
+	ctx.objs["/a.o"] = defObj("a", "main")
+	ctx.metas["/lib/libc"] = &Meta{
+		Path: "/lib/libc", IsLibrary: true, SrcHash: "h",
+		DefaultSpec: Spec{Kind: "lib-static", Prefs: []constraint.Pref{{Seg: 'T', Addr: 0x1000000}}},
+	}
+	n := build(t, "(merge /a.o /lib/libc)")
+	v, err := n.Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Libs) != 1 || v.Libs[0].Path != "/lib/libc" {
+		t.Fatalf("libs = %+v", v.Libs)
+	}
+	if v.Libs[0].Spec.Kind != "lib-static" {
+		t.Fatalf("spec = %+v", v.Libs[0].Spec)
+	}
+}
+
+func TestSpecializeLibDynamic(t *testing.T) {
+	ctx := newFakeCtx()
+	ctx.metas["/lib/libc"] = &Meta{Path: "/lib/libc", IsLibrary: true, SrcHash: "h",
+		DefaultSpec: Spec{Kind: "lib-static"}}
+	n := build(t, `(specialize "lib-dynamic" /lib/libc)`)
+	v, err := n.Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Libs[0].Spec.Kind != "lib-dynamic" {
+		t.Fatalf("spec = %+v", v.Libs[0].Spec)
+	}
+}
+
+func TestSpecializeLibConstrained(t *testing.T) {
+	ctx := newFakeCtx()
+	ctx.metas["/lib/libc"] = &Meta{Path: "/lib/libc", IsLibrary: true, SrcHash: "h",
+		DefaultSpec: Spec{Kind: "lib-static"}}
+	n := build(t, `(specialize "lib-constrained" (list "T" 0x1000000) /lib/libc)`)
+	v, err := n.Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := v.Libs[0].Spec
+	if len(spec.Prefs) != 1 || spec.Prefs[0].Addr != 0x1000000 || spec.Prefs[0].Seg != 'T' {
+		t.Fatalf("prefs = %+v", spec.Prefs)
+	}
+}
+
+func TestCustomSpecializer(t *testing.T) {
+	ctx := newFakeCtx()
+	ctx.objs["/a.o"] = defObj("a", "main")
+	called := false
+	ctx.specs["tweak"] = func(args []string, v *Value) (*Value, error) {
+		called = true
+		if len(args) != 1 || args[0] != "x" {
+			t.Errorf("args = %v", args)
+		}
+		return v, nil
+	}
+	n := build(t, `(specialize "tweak" "x" /a.o)`)
+	if _, err := n.Eval(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Fatal("specializer not invoked")
+	}
+}
+
+func TestConstrainAttachesPrefs(t *testing.T) {
+	ctx := newFakeCtx()
+	ctx.objs["/a.o"] = defObj("a", "main")
+	n := build(t, `(constrain "T" 0x300000 "D" 0x500000 (merge /a.o))`)
+	v, err := n.Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Prefs) != 2 || v.Prefs[0].Addr != 0x300000 {
+		t.Fatalf("prefs = %+v", v.Prefs)
+	}
+}
+
+func TestInitializersNode(t *testing.T) {
+	ctx := newFakeCtx()
+	ctx.objs["/c.o"] = defObj("c", "__ctor_b", "__ctor_a", "plain")
+	n := build(t, `(initializers /c.o)`)
+	v, err := n.Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range v.Module.Defined() {
+		if d == "__do_global_ctors" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("defined = %v", v.Module.Defined())
+	}
+	if got := v.Module.Undefined(); len(got) != 0 {
+		t.Fatalf("undefined = %v (ctor calls must resolve)", got)
+	}
+}
+
+func TestHashStability(t *testing.T) {
+	ctx := newFakeCtx()
+	ctx.objs["/a.o"] = defObj("a", "fa")
+	ctx.objs["/b.o"] = defObj("b", "fb")
+	n1 := build(t, `(hide "x" (merge /a.o /b.o))`)
+	n2 := build(t, `(hide "x" (merge /a.o /b.o))`)
+	h1, err := n1.Hash(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := n2.Hash(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatal("identical graphs hash differently")
+	}
+	n3 := build(t, `(hide "y" (merge /a.o /b.o))`)
+	h3, err := n3.Hash(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3 == h1 {
+		t.Fatal("different graphs hash equal")
+	}
+	// Content change flows into the hash.
+	ctx.objs["/a.o"] = defObj("a2", "fa")
+	h4, err := n1.Hash(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h4 == h1 {
+		t.Fatal("content change not reflected in hash")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := []string{
+		`(merge)`,
+		`(override /a.o)`,
+		`(restrict /a.o)`,
+		`(restrict "[" /a.o)`,
+		`(copy_as "x" /a.o)`,
+		`(rename "a" "b" "sideways" /a.o)`,
+		`(source "c")`,
+		`(specialize /a.o)`,
+		`(constrain "T" /a.o)`,
+		`(constrain "X" 1 /a.o)`,
+		`(bogus /a.o)`,
+		`(42 /a.o)`,
+	}
+	for _, src := range cases {
+		expr, err := blueprint.Parse(src)
+		if err != nil {
+			continue // parse error is fine too
+		}
+		if _, err := Build(expr); err == nil {
+			t.Errorf("Build(%s) succeeded", src)
+		}
+	}
+}
+
+func TestNodeStrings(t *testing.T) {
+	ctx := newFakeCtx()
+	ctx.objs["/a.o"] = defObj("a", "fa")
+	n := build(t, `(specialize "monitor" (hide "^x$" (merge /a.o (source "c" "int v = 1;"))))`)
+	s := n.String()
+	for _, want := range []string{"specialize", "hide", "merge", "/a.o", "source"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}

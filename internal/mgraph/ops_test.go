@@ -1,0 +1,170 @@
+package mgraph
+
+import (
+	"strings"
+	"testing"
+
+	"omos/internal/blueprint"
+	"omos/internal/obj"
+)
+
+// refObj builds an object with one def and one undefined reference.
+func refObj(name, def, ref string) *obj.Object {
+	o := &obj.Object{Name: name, Text: make([]byte, 32)}
+	o.Syms = append(o.Syms, obj.Symbol{
+		Name: def, Kind: obj.SymFunc, Defined: true, Section: obj.SecText, Size: 16,
+	})
+	if ref != "" {
+		o.Syms = append(o.Syms, obj.Symbol{Name: ref})
+		o.Relocs = append(o.Relocs, obj.Reloc{Section: obj.SecText, Offset: 4, Symbol: ref, Kind: obj.RelAbs64})
+	}
+	return o
+}
+
+func TestEveryNamespaceOpEvaluates(t *testing.T) {
+	ctx := newFakeCtx()
+	ctx.objs["/a.o"] = refObj("a", "alpha", "beta")
+	ctx.objs["/b.o"] = refObj("b", "beta", "")
+	cases := map[string][]string{
+		`(restrict "^alpha$" (merge /a.o /b.o))`:        {"beta"},
+		`(project "^beta$" (merge /a.o /b.o))`:          {"beta"},
+		`(hide "^alpha$" (merge /a.o /b.o))`:            {"beta"},
+		`(show "^beta$" (merge /a.o /b.o))`:             {"beta"},
+		`(freeze "^beta$" (merge /a.o /b.o))`:           {"alpha", "beta"},
+		`(rename "^alpha$" "gamma" (merge /a.o /b.o))`:  {"beta", "gamma"},
+		`(copy_as "^alpha$" "alias" (merge /a.o /b.o))`: {"alias", "alpha", "beta"},
+		`(initializers (merge /a.o /b.o))`:              {"__do_global_ctors", "alpha", "beta"},
+	}
+	for src, want := range cases {
+		n := build(t, src)
+		v, err := n.Eval(ctx)
+		if err != nil {
+			t.Errorf("%s: %v", src, err)
+			continue
+		}
+		got := v.Module.Defined()
+		if len(got) != len(want) {
+			t.Errorf("%s: defined = %v, want %v", src, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: defined = %v, want %v", src, got, want)
+				break
+			}
+		}
+		// Hash must be computable and stable for every operator.
+		h1, err := n.Hash(ctx)
+		if err != nil {
+			t.Errorf("%s: hash: %v", src, err)
+			continue
+		}
+		h2, _ := build(t, src).Hash(ctx)
+		if h1 != h2 {
+			t.Errorf("%s: unstable hash", src)
+		}
+		if !strings.Contains(n.String(), "(") {
+			t.Errorf("%s: String() = %q", src, n.String())
+		}
+	}
+}
+
+func TestOpsRequireModuleOperand(t *testing.T) {
+	ctx := newFakeCtx()
+	ctx.metas["/lib/l"] = &Meta{Path: "/lib/l", IsLibrary: true, SrcHash: "h",
+		DefaultSpec: Spec{Kind: "lib-static"}}
+	// A pure library reference has no module; namespace ops must
+	// reject it rather than crash.
+	for _, src := range []string{
+		`(restrict "x" /lib/l)`,
+		`(hide "x" /lib/l)`,
+		`(rename "x" "y" /lib/l)`,
+		`(copy_as "x" "y" /lib/l)`,
+		`(initializers /lib/l)`,
+		`(override /lib/l /lib/l)`,
+	} {
+		n := build(t, src)
+		if _, err := n.Eval(ctx); err == nil {
+			t.Errorf("%s: evaluated without a module operand", src)
+		}
+	}
+}
+
+func TestSpecializeErrors(t *testing.T) {
+	ctx := newFakeCtx()
+	ctx.objs["/a.o"] = refObj("a", "alpha", "")
+	// lib-dynamic on a non-library operand.
+	n := build(t, `(specialize "lib-dynamic" /a.o)`)
+	if _, err := n.Eval(ctx); err == nil {
+		t.Error("lib-dynamic on plain module accepted")
+	}
+	// Unknown custom specializer.
+	n2 := build(t, `(specialize "wat" /a.o)`)
+	if _, err := n2.Eval(ctx); err == nil {
+		t.Error("unknown specializer accepted")
+	}
+}
+
+func TestParseConstraintListErrors(t *testing.T) {
+	for _, src := range []string{
+		`(constraint-list "T")`,
+		`(constraint-list "Q" 1)`,
+		`(constraint-list "T" "x")`,
+		`(merge /a)`,
+	} {
+		expr, err := blueprint.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ParseConstraintList(expr); err == nil {
+			t.Errorf("%s: accepted", src)
+		}
+	}
+	expr, err := blueprint.Parse(`(constraint-list "T" 0x100 "D" 0x200)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefs, err := ParseConstraintList(expr)
+	if err != nil || len(prefs) != 2 || prefs[1].Seg != 'D' {
+		t.Fatalf("prefs = %v, %v", prefs, err)
+	}
+}
+
+func TestRenameModes(t *testing.T) {
+	ctx := newFakeCtx()
+	ctx.objs["/a.o"] = refObj("a", "alpha", "beta")
+	// defs-only: the reference keeps its name.
+	n := build(t, `(rename "^beta$" "delta" "defs" /a.o)`)
+	v, err := n.Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	und := v.Module.Undefined()
+	if len(und) != 1 || und[0] != "beta" {
+		t.Fatalf("undefined = %v", und)
+	}
+	// refs-only: the reference moves.
+	n2 := build(t, `(rename "^beta$" "delta" "refs" /a.o)`)
+	v2, err := n2.Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	und2 := v2.Module.Undefined()
+	if len(und2) != 1 || und2[0] != "delta" {
+		t.Fatalf("undefined = %v", und2)
+	}
+}
+
+func TestListOperatorGroups(t *testing.T) {
+	ctx := newFakeCtx()
+	ctx.objs["/a.o"] = refObj("a", "alpha", "")
+	ctx.objs["/b.o"] = refObj("b", "beta", "")
+	n := build(t, `(list /a.o /b.o)`)
+	v, err := n.Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Module.Defined()) != 2 {
+		t.Fatalf("defined = %v", v.Module.Defined())
+	}
+}

@@ -1,0 +1,218 @@
+package minic
+
+// Type describes a minic type.
+type Type struct {
+	// Kind is one of TInt, TChar, TPtr, TArray, TVoid.
+	Kind TypeKind
+	// Elem is the element type for TPtr and TArray.
+	Elem *Type
+	// ArrayLen is the element count for TArray.
+	ArrayLen int64
+}
+
+// TypeKind enumerates minic types.
+type TypeKind int
+
+// Type kinds.
+const (
+	TInt TypeKind = iota
+	TChar
+	TPtr
+	TArray
+	TVoid
+)
+
+var (
+	typeInt  = &Type{Kind: TInt}
+	typeChar = &Type{Kind: TChar}
+	typeVoid = &Type{Kind: TVoid}
+)
+
+func ptrTo(e *Type) *Type { return &Type{Kind: TPtr, Elem: e} }
+
+// Size returns the storage size in bytes.
+func (t *Type) Size() int64 {
+	switch t.Kind {
+	case TChar:
+		return 1
+	case TArray:
+		return t.Elem.Size() * t.ArrayLen
+	case TVoid:
+		return 0
+	default:
+		return 8
+	}
+}
+
+// IsPointerish reports whether the value decays to an address.
+func (t *Type) IsPointerish() bool { return t.Kind == TPtr || t.Kind == TArray }
+
+// ElemSize returns the pointed-to element size for pointer arithmetic.
+func (t *Type) ElemSize() int64 {
+	if t.Elem == nil {
+		return 1
+	}
+	return t.Elem.Size()
+}
+
+// String renders the type in C-ish syntax.
+func (t *Type) String() string {
+	switch t.Kind {
+	case TInt:
+		return "int"
+	case TChar:
+		return "char"
+	case TVoid:
+		return "void"
+	case TPtr:
+		return t.Elem.String() + "*"
+	case TArray:
+		return t.Elem.String() + "[]"
+	}
+	return "?"
+}
+
+// Expression nodes.
+type (
+	numExpr struct {
+		val  int64
+		line int
+	}
+	strExpr struct {
+		val  string
+		line int
+	}
+	identExpr struct {
+		name string
+		line int
+	}
+	unaryExpr struct {
+		op   string // "-", "!", "*", "&"
+		x    expr
+		line int
+	}
+	binExpr struct {
+		op   string
+		l, r expr
+		line int
+	}
+	assignExpr struct {
+		target expr
+		val    expr
+		line   int
+	}
+	indexExpr struct {
+		base, idx expr
+		line      int
+	}
+	callExpr struct {
+		name string
+		args []expr
+		line int
+	}
+	syscallExpr struct {
+		num  int64
+		args []expr
+		line int
+	}
+)
+
+type expr interface{ exprLine() int }
+
+func (e *numExpr) exprLine() int     { return e.line }
+func (e *strExpr) exprLine() int     { return e.line }
+func (e *identExpr) exprLine() int   { return e.line }
+func (e *unaryExpr) exprLine() int   { return e.line }
+func (e *binExpr) exprLine() int     { return e.line }
+func (e *assignExpr) exprLine() int  { return e.line }
+func (e *indexExpr) exprLine() int   { return e.line }
+func (e *callExpr) exprLine() int    { return e.line }
+func (e *syscallExpr) exprLine() int { return e.line }
+
+// Statement nodes.
+type (
+	declStmt struct {
+		name string
+		typ  *Type
+		init expr // may be nil
+		line int
+	}
+	exprStmt struct {
+		x    expr
+		line int
+	}
+	ifStmt struct {
+		cond      expr
+		then, els stmt // els may be nil
+		line      int
+	}
+	whileStmt struct {
+		cond expr
+		body stmt
+		line int
+	}
+	forStmt struct {
+		init stmt // may be nil
+		cond expr // may be nil (infinite)
+		post expr // may be nil
+		body stmt
+		line int
+	}
+	returnStmt struct {
+		val  expr // may be nil
+		line int
+	}
+	breakStmt struct {
+		line int
+	}
+	continueStmt struct {
+		line int
+	}
+	blockStmt struct {
+		stmts []stmt
+		line  int
+	}
+)
+
+type stmt interface{ stmtLine() int }
+
+func (s *declStmt) stmtLine() int     { return s.line }
+func (s *exprStmt) stmtLine() int     { return s.line }
+func (s *ifStmt) stmtLine() int       { return s.line }
+func (s *whileStmt) stmtLine() int    { return s.line }
+func (s *forStmt) stmtLine() int      { return s.line }
+func (s *returnStmt) stmtLine() int   { return s.line }
+func (s *breakStmt) stmtLine() int    { return s.line }
+func (s *continueStmt) stmtLine() int { return s.line }
+func (s *blockStmt) stmtLine() int    { return s.line }
+
+// Top-level declarations.
+type param struct {
+	name string
+	typ  *Type
+}
+
+type funcDecl struct {
+	name   string
+	ret    *Type
+	params []param
+	body   *blockStmt
+	line   int
+}
+
+type globalDecl struct {
+	name    string
+	typ     *Type
+	initInt *int64  // integer initializer
+	initStr *string // string initializer (char arrays)
+	extern  bool
+	line    int
+}
+
+type unit struct {
+	name    string
+	globals []*globalDecl
+	funcs   []*funcDecl
+	// externFuncs records extern function declarations (name only).
+	externFuncs map[string]bool
+}

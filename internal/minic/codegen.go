@@ -1,0 +1,392 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+
+	"omos/internal/asm"
+	"omos/internal/obj"
+)
+
+// Options control compilation.
+type Options struct {
+	// Unit names the translation unit (used in object names and
+	// diagnostics).
+	Unit string
+	// PIC selects position-independent output: pc-relative calls,
+	// pc-relative addressing for unit-defined data, and GOT-indirect
+	// addressing for extern data.  Non-PIC output uses absolute
+	// addressing everywhere — the form whose relocations OMOS resolves
+	// once and caches (§4.1).
+	PIC bool
+}
+
+// Compile compiles a translation unit.  Each function becomes its own
+// relocatable object (so the link layer can reorder routines); unit
+// globals become one additional object.
+func Compile(src string, opts Options) ([]*obj.Object, error) {
+	if opts.Unit == "" {
+		opts.Unit = "unit"
+	}
+	toks, err := lex(opts.Unit, src)
+	if err != nil {
+		return nil, err
+	}
+	u, err := parseUnit(opts.Unit, toks)
+	if err != nil {
+		return nil, err
+	}
+	cg := &codegen{unit: u, opts: opts, globals: map[string]*globalDecl{}}
+	for _, g := range u.globals {
+		if prev, dup := cg.globals[g.name]; dup && !prev.extern && !g.extern {
+			return nil, &CompileError{Unit: opts.Unit, Line: g.line,
+				Msg: fmt.Sprintf("global %s redefined", g.name)}
+		}
+		if prev, dup := cg.globals[g.name]; !dup || prev.extern {
+			cg.globals[g.name] = g
+		}
+	}
+	var objs []*obj.Object
+	seen := map[string]bool{}
+	for _, fn := range u.funcs {
+		if seen[fn.name] {
+			return nil, &CompileError{Unit: opts.Unit, Line: fn.line,
+				Msg: fmt.Sprintf("function %s redefined", fn.name)}
+		}
+		seen[fn.name] = true
+		text, err := cg.genFunc(fn)
+		if err != nil {
+			return nil, err
+		}
+		o, err := asm.Assemble(fmt.Sprintf("%s:%s", opts.Unit, fn.name), text)
+		if err != nil {
+			return nil, fmt.Errorf("minic: internal assembly error in %s: %w", fn.name, err)
+		}
+		objs = append(objs, o)
+	}
+	if gtext := cg.genGlobals(); gtext != "" {
+		o, err := asm.Assemble(opts.Unit+":globals", gtext)
+		if err != nil {
+			return nil, fmt.Errorf("minic: internal assembly error in globals: %w", err)
+		}
+		objs = append(objs, o)
+	}
+	return objs, nil
+}
+
+// codegen holds per-unit compilation state.
+type codegen struct {
+	unit    *unit
+	opts    Options
+	globals map[string]*globalDecl
+
+	// per-function state
+	out      strings.Builder
+	locals   []map[string]localVar
+	nslots   int
+	maxSlots int
+	labelSeq int
+	strs     []string // string literal pool for the current function
+	loops    []loopLabels
+	fnLine   int
+}
+
+type localVar struct {
+	// slot is the first frame slot index; a variable occupying k
+	// slots lives at [fp-8*(slot+k), fp-8*slot).  Scalars address
+	// fp-8*(slot+1); arrays decay to their lowest address.
+	slot  int
+	slots int
+	typ   *Type
+}
+
+// frameOffset returns the variable's address offset below fp.
+func (v localVar) frameOffset() int { return 8 * (v.slot + v.slots) }
+
+type loopLabels struct{ cont, brk string }
+
+func (cg *codegen) errf(line int, format string, args ...interface{}) error {
+	return &CompileError{Unit: cg.opts.Unit, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (cg *codegen) emit(format string, args ...interface{}) {
+	fmt.Fprintf(&cg.out, "    "+format+"\n", args...)
+}
+
+func (cg *codegen) label(l string) { fmt.Fprintf(&cg.out, "%s:\n", l) }
+
+func (cg *codegen) newLabel() string {
+	cg.labelSeq++
+	return fmt.Sprintf(".L%d", cg.labelSeq)
+}
+
+func (cg *codegen) pushScope() { cg.locals = append(cg.locals, map[string]localVar{}) }
+func (cg *codegen) popScope() {
+	n := len(cg.locals) - 1
+	for _, v := range cg.locals[n] {
+		cg.nslots -= v.slots
+	}
+	cg.locals = cg.locals[:n]
+}
+
+func (cg *codegen) declare(name string, typ *Type, line int) (localVar, error) {
+	scope := cg.locals[len(cg.locals)-1]
+	if _, dup := scope[name]; dup {
+		return localVar{}, cg.errf(line, "variable %s redeclared", name)
+	}
+	slots := 1
+	if typ.Kind == TArray {
+		slots = int((typ.Size() + 7) / 8)
+	}
+	v := localVar{slot: cg.nslots, slots: slots, typ: typ}
+	cg.nslots += slots
+	if cg.nslots > cg.maxSlots {
+		cg.maxSlots = cg.nslots
+	}
+	scope[name] = v
+	return v, nil
+}
+
+func (cg *codegen) lookupLocal(name string) (localVar, bool) {
+	for i := len(cg.locals) - 1; i >= 0; i-- {
+		if v, ok := cg.locals[i][name]; ok {
+			return v, true
+		}
+	}
+	return localVar{}, false
+}
+
+// genFunc generates the assembly for one function and returns it.
+func (cg *codegen) genFunc(fn *funcDecl) (string, error) {
+	cg.out.Reset()
+	cg.locals = nil
+	cg.nslots = 0
+	cg.maxSlots = 0
+	cg.labelSeq = 0
+	cg.strs = nil
+	cg.loops = nil
+	cg.fnLine = fn.line
+
+	cg.pushScope()
+	var paramVars []localVar
+	for _, pm := range fn.params {
+		v, err := cg.declare(pm.name, pm.typ, fn.line)
+		if err != nil {
+			return "", err
+		}
+		paramVars = append(paramVars, v)
+	}
+	// Body into a scratch buffer first so the prologue can size the
+	// frame afterwards.
+	var body strings.Builder
+	saved := cg.out
+	cg.out = strings.Builder{}
+	if err := cg.genBlock(fn.body); err != nil {
+		return "", err
+	}
+	// Fall-through return.
+	cg.emit("movi r0, 0")
+	cg.emit("jmp .Lret")
+	body = cg.out
+	cg.out = saved
+	cg.popScope()
+
+	var sb strings.Builder
+	sb.WriteString(".text\n")
+	fmt.Fprintf(&sb, "%s:\n", fn.name)
+	fmt.Fprintf(&sb, "    push fp\n    mov fp, sp\n")
+	frame := cg.maxSlots * 8
+	if frame > 0 {
+		fmt.Fprintf(&sb, "    addi sp, sp, -%d\n", frame)
+	}
+	for i, v := range paramVars {
+		fmt.Fprintf(&sb, "    st [fp-%d], r%d\n", v.frameOffset(), i+1)
+	}
+	sb.WriteString(body.String())
+	sb.WriteString(".Lret:\n    mov sp, fp\n    pop fp\n    ret\n")
+	if len(cg.strs) > 0 {
+		sb.WriteString(".data\n")
+		for i, s := range cg.strs {
+			fmt.Fprintf(&sb, ".Lstr%d:\n    .asciz %q\n", i, s)
+		}
+	}
+	return sb.String(), nil
+}
+
+// genGlobals emits the unit's global-variable object source (empty
+// string if the unit defines no globals).
+func (cg *codegen) genGlobals() string {
+	var data, bss strings.Builder
+	for _, g := range cg.unit.globals {
+		if g.extern {
+			continue
+		}
+		switch {
+		case g.initStr != nil:
+			fmt.Fprintf(&data, "%s:\n    .asciz %q\n", g.name, *g.initStr)
+			// Pad to the declared array length.
+			if pad := g.typ.Size() - int64(len(*g.initStr)) - 1; pad > 0 {
+				fmt.Fprintf(&data, "    .space %d\n", pad)
+			}
+		case g.initInt != nil:
+			fmt.Fprintf(&data, ".align 8\n%s:\n", g.name)
+			if g.typ.Kind == TChar {
+				fmt.Fprintf(&data, "    .byte %d\n", *g.initInt)
+			} else {
+				fmt.Fprintf(&data, "    .quad %d\n", *g.initInt)
+			}
+		default:
+			fmt.Fprintf(&bss, ".align 8\n%s:\n    .space %d\n", g.name, g.typ.Size())
+		}
+	}
+	var sb strings.Builder
+	if data.Len() > 0 {
+		sb.WriteString(".data\n")
+		sb.WriteString(data.String())
+	}
+	if bss.Len() > 0 {
+		sb.WriteString(".bss\n")
+		sb.WriteString(bss.String())
+	}
+	return sb.String()
+}
+
+// definedInUnit reports whether name is a global defined (not extern)
+// in this unit.
+func (cg *codegen) definedInUnit(name string) bool {
+	g, ok := cg.globals[name]
+	return ok && !g.extern
+}
+
+// emitGlobalAddr pushes the address of global sym.
+func (cg *codegen) emitGlobalAddr(name string) {
+	switch {
+	case !cg.opts.PIC:
+		cg.emit("lea r8, =%s", name)
+	case cg.definedInUnit(name):
+		cg.emit("leapc r8, =%s", name)
+	default:
+		cg.emit("ldg r8, @%s", name)
+	}
+	cg.emit("push r8")
+}
+
+// typeOf infers an expression's type.
+func (cg *codegen) typeOf(e expr) (*Type, error) {
+	switch x := e.(type) {
+	case *numExpr:
+		return typeInt, nil
+	case *strExpr:
+		return ptrTo(typeChar), nil
+	case *identExpr:
+		if v, ok := cg.lookupLocal(x.name); ok {
+			return v.typ, nil
+		}
+		if g, ok := cg.globals[x.name]; ok {
+			return g.typ, nil
+		}
+		return nil, cg.errf(x.line, "undeclared variable %s", x.name)
+	case *unaryExpr:
+		switch x.op {
+		case "*":
+			t, err := cg.typeOf(x.x)
+			if err != nil {
+				return nil, err
+			}
+			if !t.IsPointerish() {
+				return nil, cg.errf(x.line, "cannot dereference %s", t)
+			}
+			return t.Elem, nil
+		case "&":
+			t, err := cg.typeOf(x.x)
+			if err != nil {
+				return nil, err
+			}
+			return ptrTo(t), nil
+		default:
+			return typeInt, nil
+		}
+	case *binExpr:
+		lt, err := cg.typeOf(x.l)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := cg.typeOf(x.r)
+		if err != nil {
+			return nil, err
+		}
+		if (x.op == "+" || x.op == "-") && lt.IsPointerish() && !rt.IsPointerish() {
+			if lt.Kind == TArray {
+				return ptrTo(lt.Elem), nil
+			}
+			return lt, nil
+		}
+		if x.op == "+" && rt.IsPointerish() && !lt.IsPointerish() {
+			if rt.Kind == TArray {
+				return ptrTo(rt.Elem), nil
+			}
+			return rt, nil
+		}
+		return typeInt, nil
+	case *assignExpr:
+		return cg.typeOf(x.target)
+	case *indexExpr:
+		bt, err := cg.typeOf(x.base)
+		if err != nil {
+			return nil, err
+		}
+		if !bt.IsPointerish() {
+			return nil, cg.errf(x.line, "cannot index %s", bt)
+		}
+		return bt.Elem, nil
+	case *callExpr, *syscallExpr:
+		return typeInt, nil
+	}
+	return typeInt, nil
+}
+
+// genAddr pushes the address of an lvalue.
+func (cg *codegen) genAddr(e expr) error {
+	switch x := e.(type) {
+	case *identExpr:
+		if v, ok := cg.lookupLocal(x.name); ok {
+			cg.emit("mov r8, fp")
+			cg.emit("addi r8, r8, -%d", v.frameOffset())
+			cg.emit("push r8")
+			return nil
+		}
+		if _, ok := cg.globals[x.name]; ok {
+			cg.emitGlobalAddr(x.name)
+			return nil
+		}
+		return cg.errf(x.line, "undeclared variable %s", x.name)
+	case *indexExpr:
+		bt, err := cg.typeOf(x.base)
+		if err != nil {
+			return err
+		}
+		if !bt.IsPointerish() {
+			return cg.errf(x.line, "cannot index %s", bt)
+		}
+		if err := cg.genExpr(x.base); err != nil { // base decays to address
+			return err
+		}
+		if err := cg.genExpr(x.idx); err != nil {
+			return err
+		}
+		cg.emit("pop r9")
+		cg.emit("pop r8")
+		if sz := bt.ElemSize(); sz != 1 {
+			cg.emit("muli r9, r9, %d", sz)
+		}
+		cg.emit("add r8, r8, r9")
+		cg.emit("push r8")
+		return nil
+	case *unaryExpr:
+		if x.op == "*" {
+			return cg.genExpr(x.x) // the pointer value is the address
+		}
+		return cg.errf(x.line, "invalid lvalue")
+	}
+	return cg.errf(e.exprLine(), "invalid lvalue")
+}

@@ -1,0 +1,25 @@
+package minic
+
+import "testing"
+
+// FuzzCompile: arbitrary source must never panic the compiler;
+// successful compiles must produce valid objects.
+func FuzzCompile(f *testing.F) {
+	f.Add("int main() { return 0; }")
+	f.Add("int f(int a, char *b) { while (a) { a = a - 1; } return b[0]; }")
+	f.Add("char s[] = \"hi\"; int g = 3;")
+	f.Add("int main() { for (;;) { break; } return 0; }")
+	f.Add("int x = ;")
+	f.Add("}{")
+	f.Fuzz(func(t *testing.T, src string) {
+		objs, err := Compile(src, Options{Unit: "fuzz.c"})
+		if err != nil {
+			return
+		}
+		for _, o := range objs {
+			if err := o.Validate(); err != nil {
+				t.Fatalf("compiler produced invalid object: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,427 @@
+package minic
+
+// genExpr generates code leaving the expression's value on the stack.
+func (cg *codegen) genExpr(e expr) error {
+	switch x := e.(type) {
+	case *numExpr:
+		cg.emit("movi r8, %d", x.val)
+		cg.emit("push r8")
+		return nil
+
+	case *strExpr:
+		idx := len(cg.strs)
+		cg.strs = append(cg.strs, x.val)
+		if cg.opts.PIC {
+			cg.emit("leapc r8, =.Lstr%d", idx)
+		} else {
+			cg.emit("lea r8, =.Lstr%d", idx)
+		}
+		cg.emit("push r8")
+		return nil
+
+	case *identExpr:
+		t, err := cg.typeOf(x)
+		if err != nil {
+			return err
+		}
+		if t.Kind == TArray {
+			return cg.genAddr(x) // arrays decay to their address
+		}
+		if err := cg.genAddr(x); err != nil {
+			return err
+		}
+		cg.emit("pop r8")
+		if t.Size() == 1 {
+			cg.emit("ld8 r8, [r8]")
+		} else {
+			cg.emit("ld r8, [r8]")
+		}
+		cg.emit("push r8")
+		return nil
+
+	case *indexExpr:
+		t, err := cg.typeOf(x)
+		if err != nil {
+			return err
+		}
+		if err := cg.genAddr(x); err != nil {
+			return err
+		}
+		if t.Kind == TArray {
+			return nil // address of sub-array
+		}
+		cg.emit("pop r8")
+		if t.Size() == 1 {
+			cg.emit("ld8 r8, [r8]")
+		} else {
+			cg.emit("ld r8, [r8]")
+		}
+		cg.emit("push r8")
+		return nil
+
+	case *assignExpr:
+		t, err := cg.typeOf(x.target)
+		if err != nil {
+			return err
+		}
+		if err := cg.genAddr(x.target); err != nil {
+			return err
+		}
+		if err := cg.genExpr(x.val); err != nil {
+			return err
+		}
+		cg.emit("pop r9")
+		cg.emit("pop r8")
+		if t.Size() == 1 {
+			cg.emit("st8 [r8], r9")
+		} else {
+			cg.emit("st [r8], r9")
+		}
+		cg.emit("push r9")
+		return nil
+
+	case *unaryExpr:
+		switch x.op {
+		case "-":
+			if err := cg.genExpr(x.x); err != nil {
+				return err
+			}
+			cg.emit("pop r8")
+			cg.emit("neg r8, r8")
+			cg.emit("push r8")
+			return nil
+		case "!":
+			if err := cg.genExpr(x.x); err != nil {
+				return err
+			}
+			cg.emit("pop r8")
+			cg.emit("movi r9, 0")
+			cg.emit("seq r8, r8, r9")
+			cg.emit("push r8")
+			return nil
+		case "*":
+			t, err := cg.typeOf(x)
+			if err != nil {
+				return err
+			}
+			if err := cg.genExpr(x.x); err != nil {
+				return err
+			}
+			cg.emit("pop r8")
+			if t.Size() == 1 {
+				cg.emit("ld8 r8, [r8]")
+			} else {
+				cg.emit("ld r8, [r8]")
+			}
+			cg.emit("push r8")
+			return nil
+		case "&":
+			return cg.genAddr(x.x)
+		}
+		return cg.errf(x.line, "bad unary operator %q", x.op)
+
+	case *binExpr:
+		return cg.genBin(x)
+
+	case *callExpr:
+		for _, a := range x.args {
+			if err := cg.genExpr(a); err != nil {
+				return err
+			}
+		}
+		for i := len(x.args); i >= 1; i-- {
+			cg.emit("pop r%d", i)
+		}
+		if cg.opts.PIC {
+			cg.emit("callpc %s", x.name)
+		} else {
+			cg.emit("call %s", x.name)
+		}
+		cg.emit("push r0")
+		return nil
+
+	case *syscallExpr:
+		for _, a := range x.args {
+			if err := cg.genExpr(a); err != nil {
+				return err
+			}
+		}
+		for i := len(x.args); i >= 1; i-- {
+			cg.emit("pop r%d", i)
+		}
+		cg.emit("sys %d", x.num)
+		cg.emit("push r0")
+		return nil
+	}
+	return cg.errf(e.exprLine(), "unsupported expression")
+}
+
+// genBin generates a binary operation.
+func (cg *codegen) genBin(x *binExpr) error {
+	switch x.op {
+	case "&&", "||":
+		return cg.genShortCircuit(x)
+	}
+	lt, err := cg.typeOf(x.l)
+	if err != nil {
+		return err
+	}
+	rt, err := cg.typeOf(x.r)
+	if err != nil {
+		return err
+	}
+	if err := cg.genExpr(x.l); err != nil {
+		return err
+	}
+	if err := cg.genExpr(x.r); err != nil {
+		return err
+	}
+	cg.emit("pop r9")
+	cg.emit("pop r8")
+
+	// Pointer arithmetic scaling.
+	if x.op == "+" || x.op == "-" {
+		switch {
+		case lt.IsPointerish() && !rt.IsPointerish():
+			if sz := lt.ElemSize(); sz != 1 {
+				cg.emit("muli r9, r9, %d", sz)
+			}
+		case x.op == "+" && rt.IsPointerish() && !lt.IsPointerish():
+			if sz := rt.ElemSize(); sz != 1 {
+				cg.emit("muli r8, r8, %d", sz)
+			}
+		case x.op == "-" && lt.IsPointerish() && rt.IsPointerish():
+			cg.emit("sub r8, r8, r9")
+			if sz := lt.ElemSize(); sz != 1 {
+				cg.emit("movi r9, %d", sz)
+				cg.emit("div r8, r8, r9")
+			}
+			cg.emit("push r8")
+			return nil
+		}
+	}
+
+	switch x.op {
+	case "+":
+		cg.emit("add r8, r8, r9")
+	case "-":
+		cg.emit("sub r8, r8, r9")
+	case "*":
+		cg.emit("mul r8, r8, r9")
+	case "/":
+		cg.emit("div r8, r8, r9")
+	case "%":
+		cg.emit("mod r8, r8, r9")
+	case "&":
+		cg.emit("and r8, r8, r9")
+	case "|":
+		cg.emit("or r8, r8, r9")
+	case "^":
+		cg.emit("xor r8, r8, r9")
+	case "<<":
+		cg.emit("shl r8, r8, r9")
+	case ">>":
+		cg.emit("shr r8, r8, r9")
+	case "==":
+		cg.emit("seq r8, r8, r9")
+	case "!=":
+		cg.emit("seq r8, r8, r9")
+		cg.emit("movi r9, 0")
+		cg.emit("seq r8, r8, r9")
+	case "<":
+		cg.emit("slt r8, r8, r9")
+	case ">":
+		cg.emit("slt r8, r9, r8")
+	case "<=":
+		cg.emit("slt r8, r9, r8")
+		cg.emit("movi r9, 0")
+		cg.emit("seq r8, r8, r9")
+	case ">=":
+		cg.emit("slt r8, r8, r9")
+		cg.emit("movi r9, 0")
+		cg.emit("seq r8, r8, r9")
+	default:
+		return cg.errf(x.line, "bad binary operator %q", x.op)
+	}
+	cg.emit("push r8")
+	return nil
+}
+
+// genShortCircuit generates && and || with proper short-circuit
+// evaluation, normalizing the result to 0/1.
+func (cg *codegen) genShortCircuit(x *binExpr) error {
+	out := cg.newLabel()
+	end := cg.newLabel()
+	branch := "bne" // || jumps to "true" arm on non-zero
+	if x.op == "&&" {
+		branch = "beq" // && jumps to "false" arm on zero
+	}
+	if err := cg.genExpr(x.l); err != nil {
+		return err
+	}
+	cg.emit("pop r8")
+	cg.emit("movi r9, 0")
+	cg.emit("%s r8, r9, %s", branch, out)
+	if err := cg.genExpr(x.r); err != nil {
+		return err
+	}
+	cg.emit("pop r8")
+	cg.emit("movi r9, 0")
+	cg.emit("%s r8, r9, %s", branch, out)
+	if x.op == "&&" {
+		cg.emit("movi r8, 1")
+	} else {
+		cg.emit("movi r8, 0")
+	}
+	cg.emit("push r8")
+	cg.emit("jmp %s", end)
+	cg.label(out)
+	if x.op == "&&" {
+		cg.emit("movi r8, 0")
+	} else {
+		cg.emit("movi r8, 1")
+	}
+	cg.emit("push r8")
+	cg.label(end)
+	return nil
+}
+
+// genStmt generates one statement.
+func (cg *codegen) genStmt(s stmt) error {
+	switch x := s.(type) {
+	case *declStmt:
+		v, err := cg.declare(x.name, x.typ, x.line)
+		if err != nil {
+			return err
+		}
+		if x.init != nil {
+			if err := cg.genExpr(x.init); err != nil {
+				return err
+			}
+			cg.emit("pop r9")
+			cg.emit("mov r8, fp")
+			cg.emit("addi r8, r8, -%d", v.frameOffset())
+			if x.typ.Size() == 1 {
+				cg.emit("st8 [r8], r9")
+			} else {
+				cg.emit("st [r8], r9")
+			}
+		}
+		return nil
+	case *exprStmt:
+		if err := cg.genExpr(x.x); err != nil {
+			return err
+		}
+		cg.emit("pop r8") // discard value
+		return nil
+	case *ifStmt:
+		els := cg.newLabel()
+		end := cg.newLabel()
+		if err := cg.genExpr(x.cond); err != nil {
+			return err
+		}
+		cg.emit("pop r8")
+		cg.emit("movi r9, 0")
+		cg.emit("beq r8, r9, %s", els)
+		if err := cg.genStmt(x.then); err != nil {
+			return err
+		}
+		cg.emit("jmp %s", end)
+		cg.label(els)
+		if x.els != nil {
+			if err := cg.genStmt(x.els); err != nil {
+				return err
+			}
+		}
+		cg.label(end)
+		return nil
+	case *whileStmt:
+		cond := cg.newLabel()
+		end := cg.newLabel()
+		cg.label(cond)
+		if err := cg.genExpr(x.cond); err != nil {
+			return err
+		}
+		cg.emit("pop r8")
+		cg.emit("movi r9, 0")
+		cg.emit("beq r8, r9, %s", end)
+		cg.loops = append(cg.loops, loopLabels{cont: cond, brk: end})
+		if err := cg.genStmt(x.body); err != nil {
+			return err
+		}
+		cg.loops = cg.loops[:len(cg.loops)-1]
+		cg.emit("jmp %s", cond)
+		cg.label(end)
+		return nil
+	case *forStmt:
+		if x.init != nil {
+			if err := cg.genStmt(x.init); err != nil {
+				return err
+			}
+		}
+		cond := cg.newLabel()
+		post := cg.newLabel() // continue target: run the post expression
+		end := cg.newLabel()
+		cg.label(cond)
+		if x.cond != nil {
+			if err := cg.genExpr(x.cond); err != nil {
+				return err
+			}
+			cg.emit("pop r8")
+			cg.emit("movi r9, 0")
+			cg.emit("beq r8, r9, %s", end)
+		}
+		cg.loops = append(cg.loops, loopLabels{cont: post, brk: end})
+		if err := cg.genStmt(x.body); err != nil {
+			return err
+		}
+		cg.loops = cg.loops[:len(cg.loops)-1]
+		cg.label(post)
+		if x.post != nil {
+			if err := cg.genExpr(x.post); err != nil {
+				return err
+			}
+			cg.emit("pop r8")
+		}
+		cg.emit("jmp %s", cond)
+		cg.label(end)
+		return nil
+	case *returnStmt:
+		if x.val != nil {
+			if err := cg.genExpr(x.val); err != nil {
+				return err
+			}
+			cg.emit("pop r0")
+		} else {
+			cg.emit("movi r0, 0")
+		}
+		cg.emit("jmp .Lret")
+		return nil
+	case *breakStmt:
+		if len(cg.loops) == 0 {
+			return cg.errf(x.line, "break outside loop")
+		}
+		cg.emit("jmp %s", cg.loops[len(cg.loops)-1].brk)
+		return nil
+	case *continueStmt:
+		if len(cg.loops) == 0 {
+			return cg.errf(x.line, "continue outside loop")
+		}
+		cg.emit("jmp %s", cg.loops[len(cg.loops)-1].cont)
+		return nil
+	case *blockStmt:
+		return cg.genBlock(x)
+	}
+	return cg.errf(s.stmtLine(), "unsupported statement")
+}
+
+func (cg *codegen) genBlock(b *blockStmt) error {
+	cg.pushScope()
+	defer cg.popScope()
+	for _, s := range b.stmts {
+		if err := cg.genStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

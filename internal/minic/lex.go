@@ -1,0 +1,234 @@
+// Package minic implements a compiler for a small C-like language,
+// emitting ROF relocatable objects via the assembler.
+//
+// It serves two roles from the paper: it is the compiler behind the
+// `source` blueprint operator ((source "c" "int undef_var = 0;\n")),
+// and it is the toolchain used to synthesize the evaluation workloads
+// (libc, ls, codegen).  Each top-level function compiles to its own
+// object file — the "primitive fragments consisting of a single
+// routine" the paper's future-work section contemplates — which is
+// what makes the monitor package's locality reordering a pure
+// link-level transformation.
+//
+// Language summary:
+//
+//	types:      int (64-bit), char, int*, char*, arrays (global)
+//	globals:    int g = 3;  int g;  int a[10];  char s[] = "hi";
+//	            extern int x;  extern int f();
+//	functions:  int f(int a, char *p) { ... }   (max 6 parameters)
+//	statements: declarations, expression;, if/else, while, return,
+//	            break, continue, { blocks }
+//	expressions: integer/char/string literals, variables, assignment,
+//	            + - * / % & | ^ << >> comparisons && || !, unary - * &,
+//	            indexing a[i], calls f(x), syscall(N, args...)
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tString
+	tChar
+	tPunct   // operators and punctuation
+	tKeyword // int, char, if, else, while, return, extern, break, continue, void
+)
+
+var keywords = map[string]bool{
+	"int": true, "char": true, "if": true, "else": true, "while": true,
+	"for": true, "return": true, "extern": true, "break": true,
+	"continue": true, "void": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+	line int
+}
+
+// CompileError reports a compilation failure with position.
+type CompileError struct {
+	Unit string
+	Line int
+	Msg  string
+}
+
+// Error formats the position-tagged message.
+func (e *CompileError) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.Unit, e.Line, e.Msg)
+}
+
+type lexer struct {
+	unit string
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+func lex(unit, src string) ([]token, error) {
+	l := &lexer{unit: unit, src: src, line: 1}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.kind == tEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) errf(format string, args ...interface{}) error {
+	return &CompileError{Unit: l.unit, Line: l.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// twoCharOps are recognized greedily before single-char operators.
+var twoCharOps = []string{"<<", ">>", "<=", ">=", "==", "!=", "&&", "||"}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			if l.pos+1 >= len(l.src) {
+				return token{}, l.errf("unterminated comment")
+			}
+			l.pos += 2
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tEOF, line: l.line}, nil
+
+scan:
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentByte(c) && !(c >= '0' && c <= '9'):
+		for l.pos < len(l.src) && (isIdentByte(l.src[l.pos])) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		kind := tIdent
+		if keywords[text] {
+			kind = tKeyword
+		}
+		return token{kind: kind, text: text, line: l.line}, nil
+	case unicode.IsDigit(rune(c)):
+		for l.pos < len(l.src) && (isIdentByte(l.src[l.pos])) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		v, err := strconv.ParseInt(text, 0, 64)
+		if err != nil {
+			return token{}, l.errf("bad number %q", text)
+		}
+		return token{kind: tNumber, text: text, num: v, line: l.line}, nil
+	case c == '"':
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			if l.src[l.pos] == '\\' && l.pos+1 < len(l.src) {
+				l.pos++
+				switch l.src[l.pos] {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '0':
+					sb.WriteByte(0)
+				case '\\', '"', '\'':
+					sb.WriteByte(l.src[l.pos])
+				default:
+					return token{}, l.errf("bad escape \\%c", l.src[l.pos])
+				}
+			} else {
+				if l.src[l.pos] == '\n' {
+					return token{}, l.errf("newline in string literal")
+				}
+				sb.WriteByte(l.src[l.pos])
+			}
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, l.errf("unterminated string")
+		}
+		l.pos++
+		return token{kind: tString, text: sb.String(), line: l.line}, nil
+	case c == '\'':
+		l.pos++
+		if l.pos >= len(l.src) {
+			return token{}, l.errf("unterminated char literal")
+		}
+		var v byte
+		if l.src[l.pos] == '\\' {
+			l.pos++
+			if l.pos >= len(l.src) {
+				return token{}, l.errf("unterminated char literal")
+			}
+			switch l.src[l.pos] {
+			case 'n':
+				v = '\n'
+			case 't':
+				v = '\t'
+			case '0':
+				v = 0
+			case '\\', '\'', '"':
+				v = l.src[l.pos]
+			default:
+				return token{}, l.errf("bad escape in char literal")
+			}
+		} else {
+			v = l.src[l.pos]
+		}
+		l.pos++
+		if l.pos >= len(l.src) || l.src[l.pos] != '\'' {
+			return token{}, l.errf("unterminated char literal")
+		}
+		l.pos++
+		return token{kind: tChar, num: int64(v), line: l.line}, nil
+	default:
+		for _, op := range twoCharOps {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				l.pos += 2
+				return token{kind: tPunct, text: op, line: l.line}, nil
+			}
+		}
+		if strings.ContainsRune("+-*/%&|^!<>=(){}[],;", rune(c)) {
+			l.pos++
+			return token{kind: tPunct, text: string(c), line: l.line}, nil
+		}
+		return token{}, l.errf("unexpected character %q", c)
+	}
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}

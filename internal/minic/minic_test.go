@@ -1,0 +1,489 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+
+	"omos/internal/asm"
+	"omos/internal/jigsaw"
+	"omos/internal/link"
+	"omos/internal/osim"
+)
+
+// crt0 provides _start for test programs.
+const crt0 = `
+.text
+_start:
+    call main
+    mov r1, r0
+    sys 1
+`
+
+// compileRun compiles src (plus optional extra units), links with
+// crt0, runs, and returns the exit code and console output.
+func compileRun(t *testing.T, pic bool, srcs ...string) (uint64, string) {
+	t.Helper()
+	mods := []*jigsaw.Module{}
+	crt, err := asmModule(crt0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mods = append(mods, crt)
+	for i, src := range srcs {
+		objs, err := Compile(src, Options{Unit: unitName(i), PIC: pic})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := jigsaw.NewModule(objs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mods = append(mods, m)
+	}
+	m, err := jigsaw.Merge(mods...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := link.Link(m, link.Options{
+		Name: "test", TextBase: 0x100000, DataBase: 0x40000000, Entry: "_start",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := osim.NewKernel()
+	p := k.Spawn()
+	for i := range res.Image.Segments {
+		s := &res.Image.Segments[i]
+		if err := p.MapPrivateBytes(s.Addr, s.Data, s.MemSize, s.Perm, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.SetupStack(nil); err != nil {
+		t.Fatal(err)
+	}
+	p.CPU.PC = res.Image.Entry
+	code, err := k.RunToExit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, p.Output.String()
+}
+
+func unitName(i int) string { return string(rune('a'+i)) + ".c" }
+
+func asmModule(src string) (*jigsaw.Module, error) {
+	o, err := asm.Assemble("crt0.s", src)
+	if err != nil {
+		return nil, err
+	}
+	return jigsaw.NewModule(o)
+}
+
+func TestArithmetic(t *testing.T) {
+	code, _ := compileRun(t, false, `
+int main() {
+    int x = 10;
+    int y = 4;
+    return x * y + (x - y) / 2 - (x % y);
+}
+`)
+	if code != 41 {
+		t.Fatalf("exit = %d, want 41", code)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	code, _ := compileRun(t, false, `
+int main() {
+    int i = 0;
+    int sum = 0;
+    while (i < 100) {
+        if (i % 2 == 0) { sum = sum + i; }
+        i = i + 1;
+        if (i >= 50) { break; }
+    }
+    return sum;
+}
+`)
+	// sum of even numbers < 50 = 0+2+...+48 = 600
+	if code != 600 {
+		t.Fatalf("exit = %d, want 600", code)
+	}
+}
+
+func TestGlobalsArraysPointers(t *testing.T) {
+	code, _ := compileRun(t, false, `
+int table[10];
+int total = 0;
+char msg[] = "hi";
+
+int fill(int n) {
+    int i = 0;
+    while (i < n) { table[i] = i * i; i = i + 1; }
+    return n;
+}
+
+int main() {
+    int i = 0;
+    int *p;
+    fill(10);
+    p = &table[3];
+    total = *p + p[1];     /* 9 + 16 */
+    return total + msg[0]; /* + 'h' (104) */
+}
+`)
+	if code != 9+16+104 {
+		t.Fatalf("exit = %d, want %d", code, 9+16+104)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	code, _ := compileRun(t, false, `
+int calls = 0;
+int bump() { calls = calls + 1; return 1; }
+int main() {
+    int a = 0 && bump();   /* bump not called */
+    int b = 1 || bump();   /* bump not called */
+    int c = 1 && bump();   /* called */
+    int d = 0 || bump();   /* called */
+    return calls * 10 + a + b + c + d;
+}
+`)
+	// calls=2 (only c and d evaluate bump), a=0 b=1 c=1 d=1.
+	if code != 23 {
+		t.Fatalf("exit = %d, want 23", code)
+	}
+}
+
+func TestCrossUnitCalls(t *testing.T) {
+	libSrc := `
+int mul2(int x) { return x * 2; }
+int shared_val = 5;
+`
+	mainSrc := `
+extern int shared_val;
+extern int mul2(int x);
+int main() { return mul2(shared_val) + shared_val; }
+`
+	code, _ := compileRun(t, false, mainSrc, libSrc)
+	if code != 15 {
+		t.Fatalf("exit = %d, want 15", code)
+	}
+	// The same program must work compiled PIC.
+	code, _ = compileRun(t, true, mainSrc, libSrc)
+	if code != 15 {
+		t.Fatalf("PIC exit = %d, want 15", code)
+	}
+}
+
+func TestSyscallWrite(t *testing.T) {
+	code, out := compileRun(t, false, `
+char msg[] = "hello, world\n";
+int main() {
+    syscall(2, 1, msg, 13);   /* write(1, msg, 13) */
+    return 0;
+}
+`)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if out != "hello, world\n" {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	code, _ := compileRun(t, false, `
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(12); }
+`)
+	if code != 144 {
+		t.Fatalf("exit = %d, want 144", code)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []string{
+		`int main() { return x; }`,               // undeclared
+		`int main() { int x; int x; return 0; }`, // redeclared
+		`int main() { break; }`,                  // break outside loop
+		`int main( { return 0; }`,                // syntax
+		`int f(int a, int b, int c, int d, int e, int f, int g) { return 0; }`,
+		`int main() { return 1 + ; }`,
+	}
+	for _, src := range cases {
+		if _, err := Compile(src, Options{Unit: "bad.c"}); err == nil {
+			t.Errorf("Compile(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestSourceOperatorFragment(t *testing.T) {
+	// The paper's Figure 3 fragment must compile: it fills in a
+	// missing variable definition.
+	objs, err := Compile("int undef_var = 0;\n", Options{Unit: "fig3.c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 1 {
+		t.Fatalf("objects = %d, want 1 (globals only)", len(objs))
+	}
+	found := false
+	for _, s := range objs[0].Syms {
+		if s.Name == "undef_var" && s.Defined {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("undef_var not defined")
+	}
+}
+
+func TestPerFunctionObjects(t *testing.T) {
+	objs, err := Compile(`
+int a() { return 1; }
+int b() { return 2; }
+int g = 3;
+`, Options{Unit: "multi.c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 3 { // a, b, globals
+		t.Fatalf("objects = %d, want 3", len(objs))
+	}
+	names := []string{}
+	for _, o := range objs {
+		names = append(names, o.Name)
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"multi.c:a", "multi.c:b", "multi.c:globals"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing object %s in %s", want, joined)
+		}
+	}
+}
+
+func TestForLoop(t *testing.T) {
+	code, _ := compileRun(t, false, `
+int main() {
+    int sum;
+    int i;
+    sum = 0;
+    for (i = 0; i < 10; i = i + 1) {
+        if (i == 5) { continue; }
+        if (i == 8) { break; }
+        sum = sum + i;
+    }
+    return sum;  /* 0+1+2+3+4+6+7 = 23 */
+}
+`)
+	if code != 23 {
+		t.Fatalf("exit = %d, want 23", code)
+	}
+}
+
+func TestForLoopEmptyClauses(t *testing.T) {
+	code, _ := compileRun(t, false, `
+int main() {
+    int i;
+    i = 0;
+    for (;;) {
+        i = i + 1;
+        if (i >= 7) { break; }
+    }
+    return i;
+}
+`)
+	if code != 7 {
+		t.Fatalf("exit = %d, want 7", code)
+	}
+}
+
+func TestLocalArrays(t *testing.T) {
+	code, _ := compileRun(t, false, `
+int sum(int *a, int n) {
+    int s;
+    int i;
+    s = 0;
+    for (i = 0; i < n; i = i + 1) { s = s + a[i]; }
+    return s;
+}
+int main() {
+    int vals[5];
+    char name[8];
+    int i;
+    for (i = 0; i < 5; i = i + 1) { vals[i] = i * i; }
+    name[0] = 'h';
+    name[1] = 'i';
+    name[2] = 0;
+    /* 0+1+4+9+16 = 30, plus 'h'=104 */
+    return sum(vals, 5) + name[0];
+}
+`)
+	if code != 134 {
+		t.Fatalf("exit = %d, want 134", code)
+	}
+}
+
+func TestLocalArrayScoping(t *testing.T) {
+	// Arrays in sibling scopes reuse frame space; nested scopes must
+	// not clobber outer variables.
+	code, _ := compileRun(t, false, `
+int main() {
+    int outer;
+    outer = 7;
+    {
+        int a[4];
+        a[3] = 100;
+        outer = outer + a[3];
+    }
+    {
+        int b[4];
+        b[0] = 1;
+        outer = outer + b[0];
+    }
+    return outer;  /* 7 + 100 + 1 */
+}
+`)
+	if code != 108 {
+		t.Fatalf("exit = %d, want 108", code)
+	}
+}
+
+func TestLocalArrayErrors(t *testing.T) {
+	cases := []string{
+		`int main() { int a[0]; return 0; }`,
+		`int main() { int a[-1]; return 0; }`,
+		`int main() { int a[2] = 3; return 0; }`,
+		`int main() { int n; int a[n]; return 0; }`,
+	}
+	for _, src := range cases {
+		if _, err := Compile(src, Options{Unit: "bad.c"}); err == nil {
+			t.Errorf("Compile(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestLexerNonASCIIBytes(t *testing.T) {
+	// Regression: a stray high byte must be a clean error, not an
+	// infinite loop (found by FuzzCompile).
+	if _, err := Compile("int main() { return 0\xf0 }", Options{Unit: "x.c"}); err == nil {
+		t.Fatal("high byte accepted")
+	}
+	if _, err := Compile("\xf0int main() { return 0; }", Options{Unit: "x.c"}); err == nil {
+		t.Fatal("leading high byte accepted")
+	}
+}
+
+func TestPointerDifferenceAndScaling(t *testing.T) {
+	code, _ := compileRun(t, false, `
+int arr[10];
+int main() {
+    int *p;
+    int *q;
+    p = &arr[2];
+    q = &arr[7];
+    /* pointer difference scales by element size */
+    return (q - p) * 10 + *(p + 3);  /* 50 + arr[5] */
+}
+`)
+	if code != 50 {
+		t.Fatalf("exit = %d, want 50", code)
+	}
+}
+
+func TestCharArithmeticAndShifts(t *testing.T) {
+	code, _ := compileRun(t, false, `
+int main() {
+    char c = 'a';
+    int x;
+    x = c - 'a' + 'A';            /* to upper: 'A' = 65 */
+    return (x << 1) >> 1 ^ 0;     /* still 65 */
+}
+`)
+	if code != 'A' {
+		t.Fatalf("exit = %d, want %d", code, 'A')
+	}
+}
+
+func TestScopedShadowing(t *testing.T) {
+	code, _ := compileRun(t, false, `
+int main() {
+    int x;
+    x = 1;
+    {
+        int x;
+        x = 50;
+        {
+            int x;
+            x = 900;
+        }
+        x = x + 1;  /* 51 */
+        if (x != 51) { return 1; }
+    }
+    return x;  /* outer x untouched */
+}
+`)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+}
+
+func TestUnaryAddressOfDeref(t *testing.T) {
+	code, _ := compileRun(t, false, `
+int g = 9;
+int main() {
+    int *p;
+    int **pp;
+    p = &g;
+    pp = &p;
+    **pp = **pp + 1;
+    return *&g;  /* 10 */
+}
+`)
+	if code != 10 {
+		t.Fatalf("exit = %d, want 10", code)
+	}
+}
+
+func TestMoreCompileErrors(t *testing.T) {
+	cases := []string{
+		`int main() { return *5 + missingtype x; }`,
+		`int main() { 5 = 3; return 0; }`,             // bad lvalue
+		`int main() { return -; }`,                    // bad unary
+		`int main() { int x; return x[3]; }`,          // index non-pointer
+		`int main() { return *3; }`,                   // deref int
+		`void main(; ) { }`,                           // syntax
+		`int f() { return 0; } int f() { return 1; }`, // duplicate fn
+		`int g = 1; int g = 2;`,                       // duplicate global
+		`int main() { continue; }`,                    // continue outside loop
+		`extern int q() { return 1; }`,                // extern with body
+	}
+	for _, src := range cases {
+		if _, err := Compile(src, Options{Unit: "bad.c"}); err == nil {
+			t.Errorf("Compile(%q) succeeded", src)
+		}
+	}
+}
+
+func TestVoidFunctionAndEmptyReturn(t *testing.T) {
+	code, _ := compileRun(t, false, `
+int counter = 0;
+void bump() {
+    counter = counter + 1;
+    if (counter > 100) { return; }
+    return;
+}
+int main() {
+    bump();
+    bump();
+    return counter;
+}
+`)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

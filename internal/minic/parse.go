@@ -1,0 +1,546 @@
+package minic
+
+import "fmt"
+
+type parser struct {
+	unitName string
+	toks     []token
+	pos      int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) peek() token { return p.toks[p.pos+1] }
+
+func (p *parser) errf(line int, format string, args ...interface{}) error {
+	return &CompileError{Unit: p.unitName, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(text string) bool {
+	t := p.cur()
+	if (t.kind == tPunct || t.kind == tKeyword) && t.text == text {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf(p.cur().line, "expected %q, got %q", text, p.cur().text)
+	}
+	return nil
+}
+
+// parseUnit parses a whole translation unit.
+func parseUnit(unitName string, toks []token) (*unit, error) {
+	p := &parser{unitName: unitName, toks: toks}
+	u := &unit{name: unitName, externFuncs: map[string]bool{}}
+	for p.cur().kind != tEOF {
+		if err := p.topLevel(u); err != nil {
+			return nil, err
+		}
+	}
+	return u, nil
+}
+
+// baseType parses "int", "char", or "void" plus pointer stars.
+func (p *parser) baseType() (*Type, error) {
+	t := p.cur()
+	if t.kind != tKeyword || (t.text != "int" && t.text != "char" && t.text != "void") {
+		return nil, p.errf(t.line, "expected type, got %q", t.text)
+	}
+	p.advance()
+	var typ *Type
+	switch t.text {
+	case "int":
+		typ = typeInt
+	case "char":
+		typ = typeChar
+	default:
+		typ = typeVoid
+	}
+	for p.accept("*") {
+		typ = ptrTo(typ)
+	}
+	return typ, nil
+}
+
+func (p *parser) topLevel(u *unit) error {
+	extern := p.accept("extern")
+	typ, err := p.baseType()
+	if err != nil {
+		return err
+	}
+	nameTok := p.cur()
+	if nameTok.kind != tIdent {
+		return p.errf(nameTok.line, "expected identifier, got %q", nameTok.text)
+	}
+	p.advance()
+
+	// Function?
+	if p.cur().kind == tPunct && p.cur().text == "(" {
+		p.advance()
+		var params []param
+		if !p.accept(")") {
+			for {
+				pt, err := p.baseType()
+				if err != nil {
+					return err
+				}
+				pname := fmt.Sprintf("$arg%d", len(params))
+				if pn := p.cur(); pn.kind == tIdent {
+					// Prototypes may omit parameter names.
+					pname = pn.text
+					p.advance()
+				}
+				params = append(params, param{name: pname, typ: pt})
+				if p.accept(")") {
+					break
+				}
+				if err := p.expect(","); err != nil {
+					return err
+				}
+			}
+		}
+		if p.accept(";") {
+			// Prototype / extern function declaration.
+			u.externFuncs[nameTok.text] = true
+			return nil
+		}
+		if len(params) > 6 {
+			return p.errf(nameTok.line, "too many parameters (max 6)")
+		}
+		body, err := p.block()
+		if err != nil {
+			return err
+		}
+		if extern {
+			return p.errf(nameTok.line, "extern function with body")
+		}
+		u.funcs = append(u.funcs, &funcDecl{
+			name: nameTok.text, ret: typ, params: params, body: body, line: nameTok.line,
+		})
+		return nil
+	}
+
+	// Global variable.
+	g := &globalDecl{name: nameTok.text, typ: typ, extern: extern, line: nameTok.line}
+	if p.accept("[") {
+		n := p.cur()
+		if n.kind == tNumber {
+			p.advance()
+			g.typ = &Type{Kind: TArray, Elem: typ, ArrayLen: n.num}
+		} else {
+			// char s[] = "..." form: length from initializer.
+			g.typ = &Type{Kind: TArray, Elem: typ, ArrayLen: -1}
+		}
+		if err := p.expect("]"); err != nil {
+			return err
+		}
+	}
+	if p.accept("=") {
+		t := p.cur()
+		switch {
+		case t.kind == tNumber || t.kind == tChar:
+			p.advance()
+			v := t.num
+			g.initInt = &v
+		case t.kind == tPunct && t.text == "-" && p.peek().kind == tNumber:
+			p.advance()
+			t = p.advance()
+			v := -t.num
+			g.initInt = &v
+		case t.kind == tString:
+			p.advance()
+			s := t.text
+			g.initStr = &s
+		default:
+			return p.errf(t.line, "unsupported global initializer")
+		}
+	}
+	if g.typ.Kind == TArray && g.typ.ArrayLen < 0 {
+		if g.initStr == nil {
+			return p.errf(g.line, "array %s needs a length or string initializer", g.name)
+		}
+		g.typ.ArrayLen = int64(len(*g.initStr)) + 1
+	}
+	if err := p.expect(";"); err != nil {
+		return err
+	}
+	u.globals = append(u.globals, g)
+	return nil
+}
+
+func (p *parser) block() (*blockStmt, error) {
+	line := p.cur().line
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &blockStmt{line: line}
+	for !p.accept("}") {
+		if p.cur().kind == tEOF {
+			return nil, p.errf(line, "unterminated block")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		b.stmts = append(b.stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) statement() (stmt, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tKeyword && (t.text == "int" || t.text == "char"):
+		typ, err := p.baseType()
+		if err != nil {
+			return nil, err
+		}
+		n := p.cur()
+		if n.kind != tIdent {
+			return nil, p.errf(n.line, "expected variable name")
+		}
+		p.advance()
+		d := &declStmt{name: n.text, typ: typ, line: n.line}
+		if p.accept("[") {
+			sz := p.cur()
+			if sz.kind != tNumber || sz.num <= 0 {
+				return nil, p.errf(sz.line, "local array needs a positive constant length")
+			}
+			p.advance()
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			d.typ = &Type{Kind: TArray, Elem: typ, ArrayLen: sz.num}
+		}
+		if p.accept("=") {
+			if d.typ.Kind == TArray {
+				return nil, p.errf(n.line, "local arrays cannot have initializers")
+			}
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			d.init = e
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return d, nil
+	case t.kind == tKeyword && t.text == "for":
+		// for (init; cond; post) body — desugared here to init +
+		// while, with the post expression wired to `continue`.
+		p.advance()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var init stmt
+		if !p.accept(";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			init = &exprStmt{x: e, line: t.line}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		var cond expr
+		if !p.accept(";") {
+			c, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			cond = c
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		var post expr
+		if !p.accept(")") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			post = e
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		}
+		body, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		return &forStmt{init: init, cond: cond, post: post, body: body, line: t.line}, nil
+	case t.kind == tKeyword && t.text == "if":
+		p.advance()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		s := &ifStmt{cond: cond, then: then, line: t.line}
+		if p.accept("else") {
+			els, err := p.statement()
+			if err != nil {
+				return nil, err
+			}
+			s.els = els
+		}
+		return s, nil
+	case t.kind == tKeyword && t.text == "while":
+		p.advance()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		return &whileStmt{cond: cond, body: body, line: t.line}, nil
+	case t.kind == tKeyword && t.text == "return":
+		p.advance()
+		s := &returnStmt{line: t.line}
+		if !p.accept(";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.val = e
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	case t.kind == tKeyword && t.text == "break":
+		p.advance()
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &breakStmt{line: t.line}, nil
+	case t.kind == tKeyword && t.text == "continue":
+		p.advance()
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &continueStmt{line: t.line}, nil
+	case t.kind == tPunct && t.text == "{":
+		return p.block()
+	case t.kind == tPunct && t.text == ";":
+		p.advance()
+		return &blockStmt{line: t.line}, nil
+	default:
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &exprStmt{x: e, line: t.line}, nil
+	}
+}
+
+// Expression grammar (precedence climbing):
+//
+//	assign:  or ( "=" assign )?
+//	or:      and ( "||" and )*
+//	and:     bitor ( "&&" bitor )*
+//	bitor:   bitxor ( "|" bitxor )*
+//	bitxor:  bitand ( "^" bitand )*
+//	bitand:  cmp ( "&" cmp )*
+//	cmp:     shift ( (==|!=|<|<=|>|>=) shift )*
+//	shift:   add ( (<<|>>) add )*
+//	add:     mul ( (+|-) mul )*
+//	mul:     unary ( (*|/|%) unary )*
+//	unary:   (-|!|*|&) unary | postfix
+//	postfix: primary ( [expr] )*
+//	primary: number | char | string | ident | ident(...) | (expr)
+func (p *parser) expr() (expr, error) { return p.assign() }
+
+func (p *parser) assign() (expr, error) {
+	l, err := p.binary(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tPunct && p.cur().text == "=" {
+		line := p.cur().line
+		p.advance()
+		r, err := p.assign()
+		if err != nil {
+			return nil, err
+		}
+		switch l.(type) {
+		case *identExpr, *indexExpr, *unaryExpr:
+			return &assignExpr{target: l, val: r, line: line}, nil
+		default:
+			return nil, p.errf(line, "invalid assignment target")
+		}
+	}
+	return l, nil
+}
+
+// binLevels orders binary operators from loosest to tightest.
+var binLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!=", "<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) binary(level int) (expr, error) {
+	if level >= len(binLevels) {
+		return p.unary()
+	}
+	l, err := p.binary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		matched := false
+		if t.kind == tPunct {
+			for _, op := range binLevels[level] {
+				if t.text == op {
+					matched = true
+					break
+				}
+			}
+		}
+		if !matched {
+			return l, nil
+		}
+		p.advance()
+		r, err := p.binary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		l = &binExpr{op: t.text, l: l, r: r, line: t.line}
+	}
+}
+
+func (p *parser) unary() (expr, error) {
+	t := p.cur()
+	if t.kind == tPunct && (t.text == "-" || t.text == "!" || t.text == "*" || t.text == "&") {
+		p.advance()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{op: t.text, x: x, line: t.line}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tPunct && p.cur().text == "[" {
+		line := p.cur().line
+		p.advance()
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		e = &indexExpr{base: e, idx: idx, line: line}
+	}
+	return e, nil
+}
+
+func (p *parser) primary() (expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tNumber, t.kind == tChar:
+		p.advance()
+		return &numExpr{val: t.num, line: t.line}, nil
+	case t.kind == tString:
+		p.advance()
+		return &strExpr{val: t.text, line: t.line}, nil
+	case t.kind == tPunct && t.text == "(":
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tIdent:
+		p.advance()
+		if p.cur().kind == tPunct && p.cur().text == "(" {
+			p.advance()
+			var args []expr
+			if !p.accept(")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.accept(")") {
+						break
+					}
+					if err := p.expect(","); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if t.text == "syscall" {
+				if len(args) == 0 {
+					return nil, p.errf(t.line, "syscall needs a number")
+				}
+				n, ok := args[0].(*numExpr)
+				if !ok {
+					return nil, p.errf(t.line, "syscall number must be a literal")
+				}
+				if len(args) > 6 {
+					return nil, p.errf(t.line, "too many syscall arguments")
+				}
+				return &syscallExpr{num: n.val, args: args[1:], line: t.line}, nil
+			}
+			if len(args) > 6 {
+				return nil, p.errf(t.line, "too many call arguments (max 6)")
+			}
+			return &callExpr{name: t.text, args: args, line: t.line}, nil
+		}
+		return &identExpr{name: t.text, line: t.line}, nil
+	}
+	return nil, p.errf(t.line, "unexpected token %q", t.text)
+}

@@ -1,0 +1,211 @@
+// Package monitor implements OMOS's dynamic program monitoring and
+// transformation (§4.1, §6, and the companion paper [14]): the server
+// transparently interposes logging wrappers around every routine using
+// module operations, collects the call trace, derives a preferred
+// routine order, and re-links the program with hot routines packed
+// together to improve locality of reference.
+package monitor
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+
+	"omos/internal/asm"
+	"omos/internal/jigsaw"
+	"omos/internal/obj"
+	"omos/internal/osim"
+)
+
+// Registry maps monitoring event ids to function names.  One registry
+// serves one wrapped program image.
+type Registry struct {
+	names  []string
+	byName map[string]uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]uint64{}}
+}
+
+// idFor assigns (or returns) the event id for a function name.
+func (r *Registry) idFor(name string) uint64 {
+	if id, ok := r.byName[name]; ok {
+		return id
+	}
+	id := uint64(len(r.names))
+	r.names = append(r.names, name)
+	r.byName[name] = id
+	return id
+}
+
+// Name returns the function name for an event id.
+func (r *Registry) Name(id uint64) (string, bool) {
+	if id < uint64(len(r.names)) {
+		return r.names[id], true
+	}
+	return "", false
+}
+
+// Len returns the number of registered functions.
+func (r *Registry) Len() int { return len(r.names) }
+
+// FuncsOf lists the exported function definitions of a module, in
+// fragment order (the default layout order).
+func FuncsOf(m *jigsaw.Module) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, lv := range m.LinkViews() {
+		for _, d := range lv.Defs {
+			if d.Deleted || d.Local {
+				continue
+			}
+			s := lv.Obj.FindSym(d.Raw)
+			if s == nil || s.Kind != obj.SymFunc {
+				continue
+			}
+			if !seen[d.Ext] {
+				seen[d.Ext] = true
+				out = append(out, d.Ext)
+			}
+		}
+	}
+	return out
+}
+
+// monSuffix is appended to the original definition when a wrapper
+// takes over its name.  It contains no '$' so it survives Go's regexp
+// replacement-template expansion literally.
+const monSuffix = "__mon"
+
+// Wrap interposes a monitoring wrapper around every exported function
+// of the module except those matching skip (e.g. the entry stub):
+// each original definition F is renamed F$mon and a generated wrapper
+// named F logs an event and calls the original.  Internal calls are
+// monitored too, exactly as OMOS's transparent interposition does.
+func Wrap(m *jigsaw.Module, reg *Registry, skip *regexp.Regexp) (*jigsaw.Module, error) {
+	funcs := []string{}
+	for _, f := range FuncsOf(m) {
+		if skip != nil && skip.MatchString(f) {
+			continue
+		}
+		if strings.HasSuffix(f, monSuffix) {
+			return nil, fmt.Errorf("monitor: %s is already wrapped", f)
+		}
+		funcs = append(funcs, f)
+	}
+	if len(funcs) == 0 {
+		return m, nil
+	}
+	alt := "^(" + strings.Join(quoteAll(funcs), "|") + ")$"
+	re, err := regexp.Compile(alt)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: %v", err)
+	}
+	// Rename definitions only: references keep the original names and
+	// will bind to the wrappers.
+	renamed := m.Rename(re, "${1}"+monSuffix, jigsaw.RenameDefs)
+
+	var sb strings.Builder
+	sb.WriteString(".text\n")
+	for _, f := range funcs {
+		fmt.Fprintf(&sb, `%[1]s:
+    push r1
+    movi r1, %[2]d
+    sys %[3]d
+    pop r1
+    call %[1]s%[4]s
+    ret
+`, f, reg.idFor(f), osim.SysLog, monSuffix)
+	}
+	o, err := asm.Assemble("monitor-wrappers.s", sb.String())
+	if err != nil {
+		return nil, fmt.Errorf("monitor: assembling wrappers: %w", err)
+	}
+	wm, err := jigsaw.NewModule(o)
+	if err != nil {
+		return nil, err
+	}
+	return jigsaw.Merge(renamed, wm)
+}
+
+func quoteAll(names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = regexp.QuoteMeta(n)
+	}
+	return out
+}
+
+// OrderFromTrace derives the preferred routine order from a collected
+// event trace: routines in first-call order (the hot set, in temporal
+// order), which packs the startup path and working set into the fewest
+// pages.
+func OrderFromTrace(trace []uint64, reg *Registry) []string {
+	seen := map[uint64]bool{}
+	var out []string
+	for _, id := range trace {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		if name, ok := reg.Name(id); ok {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// CallCounts aggregates the trace into per-function call counts.
+func CallCounts(trace []uint64, reg *Registry) map[string]int {
+	out := map[string]int{}
+	for _, id := range trace {
+		if name, ok := reg.Name(id); ok {
+			out[name]++
+		}
+	}
+	return out
+}
+
+// Reorder re-ranks the module's fragments so that fragments defining
+// hot functions come first, in the given order; everything else keeps
+// its relative order afterwards.  This is a pure link-level
+// transformation: no source or object files change.
+func Reorder(m *jigsaw.Module, hot []string) *jigsaw.Module {
+	rank := map[string]int{}
+	for i, name := range hot {
+		rank[name] = i
+	}
+	cold := len(hot) + 1
+	return m.ReorderFragments(func(o *obj.Object) int {
+		best := cold
+		for i := range o.Syms {
+			s := &o.Syms[i]
+			if !s.Defined || s.Kind != obj.SymFunc {
+				continue
+			}
+			if r, ok := rank[s.Name]; ok && r < best {
+				best = r
+			}
+		}
+		return best
+	})
+}
+
+// HotNames returns the functions sorted by descending call count, for
+// reports.
+func HotNames(counts map[string]int) []string {
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if counts[names[i]] != counts[names[j]] {
+			return counts[names[i]] > counts[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	return names
+}

@@ -1,0 +1,231 @@
+package monitor
+
+import (
+	"reflect"
+	"regexp"
+	"testing"
+
+	"omos/internal/asm"
+	"omos/internal/jigsaw"
+	"omos/internal/link"
+	"omos/internal/minic"
+	"omos/internal/obj"
+	"omos/internal/osim"
+)
+
+// buildModule compiles mini-C into a module.
+func buildModule(t *testing.T, src string) *jigsaw.Module {
+	t.Helper()
+	objs, err := minic.Compile(src, minic.Options{Unit: "t.c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := jigsaw.NewModule(objs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func runModule(t *testing.T, m *jigsaw.Module) *osim.Process {
+	t.Helper()
+	crt0, err := asm.Assemble("crt0.s", "\n.text\n_start:\n    call main\n    mov r1, r0\n    sys 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := jigsaw.NewModule(crt0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := jigsaw.Merge(cm, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := link.Link(full, link.Options{
+		Name: "mon", TextBase: 0x100000, DataBase: 0x40000000, Entry: "_start",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := osim.NewKernel()
+	p := k.Spawn()
+	for i := range res.Image.Segments {
+		s := &res.Image.Segments[i]
+		if err := p.MapPrivateBytes(s.Addr, s.Data, s.MemSize, s.Perm, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.SetupStack(nil); err != nil {
+		t.Fatal(err)
+	}
+	p.CPU.PC = res.Image.Entry
+	if _, err := k.RunToExit(p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const traceSrc = `
+int leaf(int x) { return x + 1; }
+int mid(int x) { return leaf(x) * 2; }
+int main() {
+    int i;
+    int acc;
+    acc = 0;
+    i = 0;
+    while (i < 3) { acc = acc + mid(i); i = i + 1; }
+    return acc + leaf(acc);
+}
+`
+
+func TestWrapCollectsTrace(t *testing.T) {
+	m := buildModule(t, traceSrc)
+	reg := NewRegistry()
+	wrapped, err := Wrap(m, reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := runModule(t, wrapped)
+	// Semantics preserved: mid(0..2) = 2+4+6 = 12, + leaf(12) = 25.
+	if p.ExitCode != 25 {
+		t.Fatalf("exit = %d, want 25", p.ExitCode)
+	}
+	counts := CallCounts(p.Trace, reg)
+	if counts["main"] != 1 || counts["mid"] != 3 || counts["leaf"] != 4 {
+		t.Fatalf("counts = %v", counts)
+	}
+	order := OrderFromTrace(p.Trace, reg)
+	if !reflect.DeepEqual(order, []string{"main", "mid", "leaf"}) {
+		t.Fatalf("order = %v", order)
+	}
+	if got := HotNames(counts)[0]; got != "leaf" {
+		t.Fatalf("hottest = %s", got)
+	}
+}
+
+func TestWrapSkipPattern(t *testing.T) {
+	m := buildModule(t, traceSrc)
+	reg := NewRegistry()
+	wrapped, err := Wrap(m, reg, regexp.MustCompile(`^main$`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := runModule(t, wrapped)
+	counts := CallCounts(p.Trace, reg)
+	if counts["main"] != 0 {
+		t.Fatalf("main should be skipped: %v", counts)
+	}
+	if counts["mid"] != 3 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestWrapTwiceRejected(t *testing.T) {
+	m := buildModule(t, traceSrc)
+	reg := NewRegistry()
+	w1, err := Wrap(m, reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Wrap(w1, reg, nil); err == nil {
+		t.Fatal("double wrap accepted")
+	}
+}
+
+func TestReorderPacksHotFragments(t *testing.T) {
+	m := buildModule(t, traceSrc)
+	hot := []string{"leaf", "main"}
+	sorted := Reorder(m, hot)
+	var order []string
+	for _, o := range sorted.Objects() {
+		for i := range o.Syms {
+			s := &o.Syms[i]
+			if s.Defined && s.Kind == obj.SymFunc && s.Bind == obj.BindGlobal {
+				order = append(order, s.Name)
+			}
+		}
+	}
+	// leaf first, then main, then the cold remainder in stable order.
+	if order[0] != "leaf" || order[1] != "main" {
+		t.Fatalf("order = %v", order)
+	}
+	// Reordered module still links and runs identically.
+	p := runModule(t, sorted)
+	if p.ExitCode != 25 {
+		t.Fatalf("reordered exit = %d", p.ExitCode)
+	}
+}
+
+func TestReorderReducesTouchedPages(t *testing.T) {
+	// Many cold functions between two hot ones: after reordering the
+	// hot pair shares pages.
+	src := "int hot_a(int x) { return x + 1; }\n"
+	for i := 0; i < 120; i++ {
+		src += coldFn(i)
+	}
+	src += "int hot_b(int x) { return hot_a(x) * 2; }\n"
+	src += "int main() { return hot_b(20) & 255; }\n"
+	m := buildModule(t, src)
+	p1 := runModule(t, m)
+	sorted := Reorder(m, []string{"main", "hot_b", "hot_a"})
+	p2 := runModule(t, sorted)
+	if p2.ExitCode != p1.ExitCode {
+		t.Fatalf("exit codes differ: %d vs %d", p1.ExitCode, p2.ExitCode)
+	}
+	if p2.AS.TouchedText >= p1.AS.TouchedText {
+		t.Fatalf("reorder did not reduce pages: %d -> %d", p1.AS.TouchedText, p2.AS.TouchedText)
+	}
+}
+
+func coldFn(i int) string {
+	return "int cold" + string(rune('a'+i%26)) + string(rune('0'+i/26)) +
+		"(int x) { int s; s = x; while (x > 0) { s = s + x; x = x - 1; } return s; }\n"
+}
+
+func TestFuncsOf(t *testing.T) {
+	m := buildModule(t, traceSrc)
+	funcs := FuncsOf(m)
+	if !reflect.DeepEqual(funcs, []string{"leaf", "mid", "main"}) {
+		t.Fatalf("funcs = %v", funcs)
+	}
+}
+
+func TestTransitionsAndGreedyOrder(t *testing.T) {
+	m := buildModule(t, traceSrc)
+	reg := NewRegistry()
+	wrapped, err := Wrap(m, reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := runModule(t, wrapped)
+	trans := Transitions(p.Trace, reg)
+	// The dominant adjacency is mid -> leaf (every mid call leads to
+	// leaf).
+	if trans[[2]string{"mid", "leaf"}] < 3 {
+		t.Fatalf("transitions = %v", trans)
+	}
+	order := GreedyOrder(p.Trace, reg)
+	if len(order) != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	// leaf is the hottest start; its strongest observed successor
+	// chain must include mid next.
+	if order[0] != "leaf" || order[1] != "mid" {
+		t.Fatalf("greedy order = %v", order)
+	}
+	// Every routine appears exactly once.
+	seen := map[string]bool{}
+	for _, n := range order {
+		if seen[n] {
+			t.Fatalf("duplicate %s in %v", n, order)
+		}
+		seen[n] = true
+	}
+}
+
+func TestGreedyOrderEmptyTrace(t *testing.T) {
+	reg := NewRegistry()
+	if got := GreedyOrder(nil, reg); got != nil {
+		t.Fatalf("order = %v", got)
+	}
+}

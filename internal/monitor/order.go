@@ -1,0 +1,99 @@
+package monitor
+
+import "sort"
+
+// Transitions aggregates trace adjacencies: how often a call to A was
+// immediately followed by a call to B.  This approximates the dynamic
+// call-graph edge weights [14] uses to derive routine orderings.
+func Transitions(trace []uint64, reg *Registry) map[[2]string]int {
+	out := map[[2]string]int{}
+	for i := 1; i < len(trace); i++ {
+		a, okA := reg.Name(trace[i-1])
+		b, okB := reg.Name(trace[i])
+		if !okA || !okB || a == b {
+			continue
+		}
+		out[[2]string{a, b}]++
+	}
+	return out
+}
+
+// GreedyOrder derives a layout by chaining the strongest observed
+// transitions: start from the most-called routine, then repeatedly
+// append the strongest not-yet-placed successor of the tail (falling
+// back to the globally strongest remaining edge, then to call counts).
+// This is the classic greedy call-chain layout, a closer cousin of
+// [14]'s call-graph ordering than plain first-call order.
+func GreedyOrder(trace []uint64, reg *Registry) []string {
+	counts := CallCounts(trace, reg)
+	if len(counts) == 0 {
+		return nil
+	}
+	trans := Transitions(trace, reg)
+	succ := map[string]map[string]int{}
+	for edge, n := range trans {
+		if succ[edge[0]] == nil {
+			succ[edge[0]] = map[string]int{}
+		}
+		succ[edge[0]][edge[1]] += n
+	}
+
+	placed := map[string]bool{}
+	var out []string
+	take := func(name string) {
+		placed[name] = true
+		out = append(out, name)
+	}
+	// Deterministic tie-breaking: by count desc, then name.
+	byCount := HotNames(counts)
+	take(byCount[0])
+	for len(out) < len(counts) {
+		tail := out[len(out)-1]
+		next := ""
+		best := 0
+		var cands []string
+		for s := range succ[tail] {
+			cands = append(cands, s)
+		}
+		sort.Strings(cands)
+		for _, s := range cands {
+			if !placed[s] && succ[tail][s] > best {
+				best = succ[tail][s]
+				next = s
+			}
+		}
+		if next == "" {
+			// Strongest remaining edge anywhere.
+			type edge struct {
+				to string
+				n  int
+			}
+			var all []edge
+			for e, n := range trans {
+				if !placed[e[1]] {
+					all = append(all, edge{e[1], n})
+				}
+			}
+			sort.Slice(all, func(i, j int) bool {
+				if all[i].n != all[j].n {
+					return all[i].n > all[j].n
+				}
+				return all[i].to < all[j].to
+			})
+			if len(all) > 0 {
+				next = all[0].to
+			}
+		}
+		if next == "" {
+			// Fall back to call counts.
+			for _, name := range byCount {
+				if !placed[name] {
+					next = name
+					break
+				}
+			}
+		}
+		take(next)
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package obj
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary ROF encoding.
+//
+// All integers are little-endian.  Layout:
+//
+//	magic   [4]byte  "ROF1"
+//	name    string   (u32 length + bytes)
+//	text    u32 length + bytes
+//	data    u32 length + bytes
+//	bss     u64
+//	nsyms   u32, then per symbol:
+//	        name string, kind u8, bind u8, defined u8,
+//	        section u8, offset u64, size u64
+//	nrels   u32, then per reloc:
+//	        section u8, offset u64, symbol string, kind u8, addend i64
+//
+// The format is intentionally simple: the paper notes that parsing
+// complex object file headers is one of the costs OMOS avoids by
+// caching, and the osim cost model charges native exec proportionally
+// to the record count here.
+
+// Magic identifies a ROF file.
+var Magic = [4]byte{'R', 'O', 'F', '1'}
+
+const maxStr = 1 << 20 // sanity bound on decoded string/section lengths
+
+// Encode serializes the object to its binary form.
+func Encode(o *Object) ([]byte, error) {
+	if err := o.Validate(); err != nil {
+		return nil, fmt.Errorf("obj: encode: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.Write(Magic[:])
+	writeStr(&buf, o.Name)
+	writeBytes(&buf, o.Text)
+	writeBytes(&buf, o.Data)
+	writeU64(&buf, o.BSSSize)
+	writeU32(&buf, uint32(len(o.Syms)))
+	for i := range o.Syms {
+		s := &o.Syms[i]
+		writeStr(&buf, s.Name)
+		buf.WriteByte(byte(s.Kind))
+		buf.WriteByte(byte(s.Bind))
+		if s.Defined {
+			buf.WriteByte(1)
+		} else {
+			buf.WriteByte(0)
+		}
+		buf.WriteByte(byte(s.Section))
+		writeU64(&buf, s.Offset)
+		writeU64(&buf, s.Size)
+	}
+	writeU32(&buf, uint32(len(o.Relocs)))
+	for i := range o.Relocs {
+		r := &o.Relocs[i]
+		buf.WriteByte(byte(r.Section))
+		writeU64(&buf, r.Offset)
+		writeStr(&buf, r.Symbol)
+		buf.WriteByte(byte(r.Kind))
+		writeU64(&buf, uint64(r.Addend))
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses a binary ROF image.
+func Decode(b []byte) (*Object, error) {
+	r := &reader{b: b}
+	var magic [4]byte
+	r.bytes(magic[:])
+	if magic != Magic {
+		return nil, fmt.Errorf("obj: bad magic %q", magic[:])
+	}
+	o := &Object{}
+	o.Name = r.str()
+	o.Text = r.blob()
+	o.Data = r.blob()
+	o.BSSSize = r.u64()
+	nsyms := r.u32()
+	if uint64(nsyms) > uint64(len(b)/8+1) {
+		return nil, fmt.Errorf("obj: implausible symbol count %d", nsyms)
+	}
+	o.Syms = make([]Symbol, 0, nsyms)
+	for i := uint32(0); i < nsyms && r.err == nil; i++ {
+		var s Symbol
+		s.Name = r.str()
+		s.Kind = SymKind(r.u8())
+		s.Bind = Binding(r.u8())
+		s.Defined = r.u8() != 0
+		s.Section = SectionKind(r.u8())
+		s.Offset = r.u64()
+		s.Size = r.u64()
+		o.Syms = append(o.Syms, s)
+	}
+	nrels := r.u32()
+	if uint64(nrels) > uint64(len(b)/8+1) {
+		return nil, fmt.Errorf("obj: implausible reloc count %d", nrels)
+	}
+	o.Relocs = make([]Reloc, 0, nrels)
+	for i := uint32(0); i < nrels && r.err == nil; i++ {
+		var rel Reloc
+		rel.Section = SectionKind(r.u8())
+		rel.Offset = r.u64()
+		rel.Symbol = r.str()
+		rel.Kind = RelocKind(r.u8())
+		rel.Addend = int64(r.u64())
+		o.Relocs = append(o.Relocs, rel)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("obj: decode: %w", r.err)
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("obj: %d trailing bytes", len(b)-r.off)
+	}
+	if err := o.Validate(); err != nil {
+		return nil, fmt.Errorf("obj: decode: %w", err)
+	}
+	return o, nil
+}
+
+// RecordCount returns the number of structural records in the object;
+// the osim cost model uses it to price header parsing in the native
+// exec path.
+func (o *Object) RecordCount() int { return 3 + len(o.Syms) + len(o.Relocs) }
+
+func writeU32(w *bytes.Buffer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.Write(b[:])
+}
+
+func writeU64(w *bytes.Buffer, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.Write(b[:])
+}
+
+func writeStr(w *bytes.Buffer, s string) {
+	writeU32(w, uint32(len(s)))
+	w.WriteString(s)
+}
+
+func writeBytes(w *bytes.Buffer, p []byte) {
+	writeU32(w, uint32(len(p)))
+	w.Write(p)
+}
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) bytes(p []byte) {
+	if r.err != nil {
+		return
+	}
+	if r.off+len(p) > len(r.b) {
+		r.err = io.ErrUnexpectedEOF
+		return
+	}
+	copy(p, r.b[r.off:])
+	r.off += len(p)
+}
+
+func (r *reader) u8() uint8 {
+	var b [1]byte
+	r.bytes(b[:])
+	return b[0]
+}
+
+func (r *reader) u32() uint32 {
+	var b [4]byte
+	r.bytes(b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (r *reader) u64() uint64 {
+	var b [8]byte
+	r.bytes(b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (r *reader) blob() []byte {
+	n := r.u32()
+	if r.err != nil {
+		return nil
+	}
+	if n > maxStr && int(n) > len(r.b)-r.off {
+		r.err = fmt.Errorf("implausible length %d", n)
+		return nil
+	}
+	p := make([]byte, n)
+	r.bytes(p)
+	return p
+}
+
+func (r *reader) str() string { return string(r.blob()) }

@@ -1,0 +1,375 @@
+package obj
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Format is one object-file backend.  This is the repository's answer
+// to §7's BFD "object file switch": OMOS manipulates objects through
+// an idealized interface, and per-format backends translate to and
+// from concrete encodings.  ROF (the binary format in encode.go) is
+// the native backend; TOF below is a textual backend, useful for
+// diffing and hand-editing objects with ordinary tools.
+type Format interface {
+	// Name identifies the backend ("rof", "tof").
+	Name() string
+	// Detect reports whether the bytes look like this format.
+	Detect(b []byte) bool
+	// Decode parses an object.
+	Decode(b []byte) (*Object, error)
+	// Encode serializes an object.
+	Encode(o *Object) ([]byte, error)
+}
+
+// formats is the registered backend switch, in detection order.
+var formats []Format
+
+// RegisterFormat adds a backend to the switch.  Later registrations
+// are consulted first, so custom formats can shadow the built-ins.
+func RegisterFormat(f Format) {
+	formats = append([]Format{f}, formats...)
+}
+
+// Formats lists the registered backend names, detection order.
+func Formats() []string {
+	out := make([]string, len(formats))
+	for i, f := range formats {
+		out[i] = f.Name()
+	}
+	return out
+}
+
+// LookupFormat returns a backend by name.
+func LookupFormat(name string) (Format, bool) {
+	for _, f := range formats {
+		if f.Name() == name {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// DecodeAny detects the format of b and decodes it.
+func DecodeAny(b []byte) (*Object, error) {
+	for _, f := range formats {
+		if f.Detect(b) {
+			o, err := f.Decode(b)
+			if err != nil {
+				return nil, fmt.Errorf("obj: %s: %w", f.Name(), err)
+			}
+			return o, nil
+		}
+	}
+	return nil, fmt.Errorf("obj: unrecognized object format")
+}
+
+func init() {
+	RegisterFormat(rofFormat{})
+	RegisterFormat(tofFormat{})
+}
+
+// rofFormat adapts the native binary codec to the switch.
+type rofFormat struct{}
+
+// Name implements Format.
+func (rofFormat) Name() string { return "rof" }
+
+// Detect implements Format.
+func (rofFormat) Detect(b []byte) bool {
+	return len(b) >= 4 && [4]byte{b[0], b[1], b[2], b[3]} == Magic
+}
+
+// Decode implements Format.
+func (rofFormat) Decode(b []byte) (*Object, error) { return Decode(b) }
+
+// Encode implements Format.
+func (rofFormat) Encode(o *Object) ([]byte, error) { return Encode(o) }
+
+// tofFormat is the Text Object Format: a line-oriented, diffable
+// serialization.
+//
+//	TOF1 <name>
+//	text <hex bytes...>      (possibly repeated, concatenated)
+//	data <hex bytes...>
+//	bss <size>
+//	sym <name> <func|data> <global|local> <text|data|bss> <offset> <size>
+//	und <name>
+//	rel <text|data> <offset> <symbol> <abs64|pc64|gotslot> <addend>
+type tofFormat struct{}
+
+// TOFMagic is the first-line marker of a text object file.
+const TOFMagic = "TOF1"
+
+// Name implements Format.
+func (tofFormat) Name() string { return "tof" }
+
+// Detect implements Format.
+func (tofFormat) Detect(b []byte) bool { return bytes.HasPrefix(b, []byte(TOFMagic+" ")) }
+
+// Encode implements Format.
+func (tofFormat) Encode(o *Object) ([]byte, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s %s\n", TOFMagic, escapeField(o.Name))
+	writeHexLines(&sb, "text", o.Text)
+	writeHexLines(&sb, "data", o.Data)
+	if o.BSSSize > 0 {
+		fmt.Fprintf(&sb, "bss %d\n", o.BSSSize)
+	}
+	syms := append([]Symbol(nil), o.Syms...)
+	sort.Slice(syms, func(i, j int) bool { return syms[i].Name < syms[j].Name })
+	for _, s := range syms {
+		if !s.Defined {
+			fmt.Fprintf(&sb, "und %s\n", escapeField(s.Name))
+			continue
+		}
+		fmt.Fprintf(&sb, "sym %s %s %s %s %d %d\n",
+			escapeField(s.Name), s.Kind, s.Bind, s.Section, s.Offset, s.Size)
+	}
+	for _, r := range o.Relocs {
+		fmt.Fprintf(&sb, "rel %s %d %s %s %d\n",
+			r.Section, r.Offset, escapeField(r.Symbol), r.Kind, r.Addend)
+	}
+	return []byte(sb.String()), nil
+}
+
+const tofHexWidth = 32 // bytes per text line
+
+func writeHexLines(sb *strings.Builder, key string, data []byte) {
+	for off := 0; off < len(data); off += tofHexWidth {
+		end := off + tofHexWidth
+		if end > len(data) {
+			end = len(data)
+		}
+		fmt.Fprintf(sb, "%s %s\n", key, hex.EncodeToString(data[off:end]))
+	}
+}
+
+// escapeField protects spaces/newlines in names (rare but legal).
+func escapeField(s string) string {
+	if strings.ContainsAny(s, " \t\n\"") {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+func parseField(s string) (string, error) {
+	if strings.HasPrefix(s, "\"") {
+		return strconv.Unquote(s)
+	}
+	return s, nil
+}
+
+// splitQuoted splits a record line on whitespace, keeping quoted
+// fields (which may contain spaces) intact.
+func splitQuoted(line string) ([]string, error) {
+	var out []string
+	i := 0
+	for i < len(line) {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		if line[i] == '"' {
+			j := i + 1
+			for j < len(line) {
+				if line[j] == '\\' {
+					j += 2
+					continue
+				}
+				if line[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= len(line) {
+				return nil, fmt.Errorf("unterminated quote")
+			}
+			out = append(out, line[i:j+1])
+			i = j + 1
+			continue
+		}
+		j := i
+		for j < len(line) && line[j] != ' ' && line[j] != '\t' {
+			j++
+		}
+		out = append(out, line[i:j])
+		i = j
+	}
+	return out, nil
+}
+
+// Decode implements Format.
+func (tofFormat) Decode(b []byte) (*Object, error) {
+	sc := bufio.NewScanner(bytes.NewReader(b))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("empty file")
+	}
+	head, err := splitQuoted(sc.Text())
+	if err != nil || len(head) != 2 || head[0] != TOFMagic {
+		return nil, fmt.Errorf("bad header %q", sc.Text())
+	}
+	name, err := parseField(head[1])
+	if err != nil {
+		return nil, err
+	}
+
+	o := &Object{Name: name}
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields, ferr := splitQuoted(line)
+		bad := func(msg string) error { return fmt.Errorf("line %d: %s: %q", lineNo, msg, line) }
+		if ferr != nil || len(fields) == 0 {
+			return nil, bad("malformed record")
+		}
+		switch fields[0] {
+		case "text", "data":
+			if len(fields) != 2 {
+				return nil, bad("want hex payload")
+			}
+			raw, err := hex.DecodeString(fields[1])
+			if err != nil {
+				return nil, bad("bad hex")
+			}
+			if fields[0] == "text" {
+				o.Text = append(o.Text, raw...)
+			} else {
+				o.Data = append(o.Data, raw...)
+			}
+		case "bss":
+			if len(fields) != 2 {
+				return nil, bad("want size")
+			}
+			v, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				return nil, bad("bad size")
+			}
+			o.BSSSize = v
+		case "und":
+			if len(fields) != 2 {
+				return nil, bad("want name")
+			}
+			n, err := parseField(fields[1])
+			if err != nil {
+				return nil, bad("bad name")
+			}
+			o.Syms = append(o.Syms, Symbol{Name: n})
+		case "sym":
+			if len(fields) != 7 {
+				return nil, bad("want 6 operands")
+			}
+			n, err := parseField(fields[1])
+			if err != nil {
+				return nil, bad("bad name")
+			}
+			s := Symbol{Name: n, Defined: true}
+			if s.Kind, err = parseSymKind(fields[2]); err != nil {
+				return nil, bad(err.Error())
+			}
+			if s.Bind, err = parseBinding(fields[3]); err != nil {
+				return nil, bad(err.Error())
+			}
+			if s.Section, err = parseSection(fields[4]); err != nil {
+				return nil, bad(err.Error())
+			}
+			if s.Offset, err = strconv.ParseUint(fields[5], 10, 64); err != nil {
+				return nil, bad("bad offset")
+			}
+			if s.Size, err = strconv.ParseUint(fields[6], 10, 64); err != nil {
+				return nil, bad("bad size")
+			}
+			o.Syms = append(o.Syms, s)
+		case "rel":
+			if len(fields) != 6 {
+				return nil, bad("want 5 operands")
+			}
+			var r Reloc
+			var err error
+			if r.Section, err = parseSection(fields[1]); err != nil {
+				return nil, bad(err.Error())
+			}
+			if r.Offset, err = strconv.ParseUint(fields[2], 10, 64); err != nil {
+				return nil, bad("bad offset")
+			}
+			if r.Symbol, err = parseField(fields[3]); err != nil {
+				return nil, bad("bad symbol")
+			}
+			if r.Kind, err = parseRelocKind(fields[4]); err != nil {
+				return nil, bad(err.Error())
+			}
+			if r.Addend, err = strconv.ParseInt(fields[5], 10, 64); err != nil {
+				return nil, bad("bad addend")
+			}
+			o.Relocs = append(o.Relocs, r)
+		default:
+			return nil, bad("unknown record")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+func parseSymKind(s string) (SymKind, error) {
+	switch s {
+	case "func":
+		return SymFunc, nil
+	case "data":
+		return SymData, nil
+	}
+	return 0, fmt.Errorf("bad symbol kind %q", s)
+}
+
+func parseBinding(s string) (Binding, error) {
+	switch s {
+	case "global":
+		return BindGlobal, nil
+	case "local":
+		return BindLocal, nil
+	}
+	return 0, fmt.Errorf("bad binding %q", s)
+}
+
+func parseSection(s string) (SectionKind, error) {
+	switch s {
+	case "text":
+		return SecText, nil
+	case "data":
+		return SecData, nil
+	case "bss":
+		return SecBSS, nil
+	}
+	return 0, fmt.Errorf("bad section %q", s)
+}
+
+func parseRelocKind(s string) (RelocKind, error) {
+	switch s {
+	case "abs64":
+		return RelAbs64, nil
+	case "pc64":
+		return RelPC64, nil
+	case "gotslot":
+		return RelGotSlot, nil
+	}
+	return 0, fmt.Errorf("bad reloc kind %q", s)
+}

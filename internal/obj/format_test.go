@@ -1,0 +1,150 @@
+package obj
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatSwitchDetection(t *testing.T) {
+	o := &Object{Name: "x", Text: make([]byte, 12)}
+	rof, err := Encode(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, _ := LookupFormat("tof")
+	tof, err := tf.Encode(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, enc := range [][]byte{rof, tof} {
+		got, err := DecodeAny(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Name != "x" || len(got.Text) != 12 {
+			t.Fatalf("decoded = %+v", got)
+		}
+	}
+	if _, err := DecodeAny([]byte("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	names := Formats()
+	if len(names) < 2 {
+		t.Fatalf("formats = %v", names)
+	}
+	if _, ok := LookupFormat("nope"); ok {
+		t.Fatal("phantom format")
+	}
+}
+
+// TestTOFRoundtrip: the text backend preserves objects exactly (up to
+// symbol order, which it canonicalizes).
+func TestTOFRoundtrip(t *testing.T) {
+	tf, _ := LookupFormat("tof")
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		o := genObject(r)
+		if err := o.Validate(); err != nil {
+			return true
+		}
+		enc, err := tf.Encode(o)
+		if err != nil {
+			t.Logf("encode: %v", err)
+			return false
+		}
+		dec, err := tf.Decode(enc)
+		if err != nil {
+			t.Logf("decode: %v", err)
+			return false
+		}
+		// TOF sorts symbols; compare canonicalized forms.
+		return reflect.DeepEqual(canonical(o), canonical(dec))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func canonical(o *Object) *Object {
+	c := normalize(o)
+	syms := append([]Symbol(nil), c.Syms...)
+	for i := 1; i < len(syms); i++ {
+		for j := i; j > 0 && syms[j].Name < syms[j-1].Name; j-- {
+			syms[j], syms[j-1] = syms[j-1], syms[j]
+		}
+	}
+	c.Syms = syms
+	if len(c.Syms) == 0 {
+		c.Syms = nil
+	}
+	return c
+}
+
+func TestTOFHumanReadable(t *testing.T) {
+	o := &Object{
+		Name: "demo.o",
+		Text: []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12},
+		Syms: []Symbol{
+			{Name: "main", Kind: SymFunc, Defined: true, Section: SecText, Size: 12},
+			{Name: "printf"},
+		},
+		Relocs: []Reloc{{Section: SecText, Offset: 4, Symbol: "printf", Kind: RelAbs64}},
+	}
+	tf, _ := LookupFormat("tof")
+	enc, err := tf.Encode(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(enc)
+	for _, want := range []string{
+		"TOF1 demo.o",
+		"sym main func global text 0 12",
+		"und printf",
+		"rel text 4 printf abs64 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("TOF missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestTOFQuotedNames(t *testing.T) {
+	o := &Object{
+		Name: "weird name.o",
+		Text: make([]byte, 16),
+		Syms: []Symbol{{Name: "fn with space", Kind: SymFunc, Defined: true, Section: SecText, Size: 16}},
+	}
+	tf, _ := LookupFormat("tof")
+	enc, err := tf.Encode(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := tf.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Name != "weird name.o" || dec.Syms[0].Name != "fn with space" {
+		t.Fatalf("decoded = %+v", dec)
+	}
+}
+
+func TestTOFDecodeErrors(t *testing.T) {
+	tf, _ := LookupFormat("tof")
+	cases := []string{
+		"",
+		"NOPE x",
+		"TOF1 x\nbogus record",
+		"TOF1 x\ntext zz",
+		"TOF1 x\nsym broken",
+		"TOF1 x\nrel text 0 s wat 0",
+		"TOF1 x\nbss many",
+	}
+	for _, src := range cases {
+		if _, err := tf.Decode([]byte(src)); err == nil {
+			t.Errorf("Decode(%q) succeeded", src)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package obj
+
+import "testing"
+
+// FuzzDecodeAny: no input may panic the format switch; valid inputs
+// must re-encode losslessly.
+func FuzzDecodeAny(f *testing.F) {
+	o := &Object{
+		Name: "seed",
+		Text: make([]byte, 24),
+		Syms: []Symbol{
+			{Name: "f", Kind: SymFunc, Defined: true, Section: SecText, Size: 24},
+			{Name: "u"},
+		},
+		Relocs: []Reloc{{Section: SecText, Offset: 4, Symbol: "u", Kind: RelAbs64}},
+	}
+	rof, _ := Encode(o)
+	f.Add(rof)
+	tf, _ := LookupFormat("tof")
+	tof, _ := tf.Encode(o)
+	f.Add(tof)
+	f.Add([]byte("TOF1 x\ntext zz"))
+	f.Add([]byte("ROF1garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := DecodeAny(data)
+		if err != nil {
+			return
+		}
+		if _, err := Encode(dec); err != nil {
+			t.Fatalf("decoded object does not re-encode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,289 @@
+// Package obj defines ROF, the Relocatable Object Format used
+// throughout the OMOS reproduction.
+//
+// ROF plays the role that SOM and a.out play in the paper: the static
+// intermediate form from which the OMOS server constructs executable
+// images.  An Object carries sections (text, data, bss), a symbol
+// table, and relocations.  The jigsaw package manipulates Objects
+// through symbol "views" without rewriting them; the link package
+// combines and relocates them into mappable images.
+package obj
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SectionKind identifies one of the three section classes.
+type SectionKind uint8
+
+// Section kinds.
+const (
+	SecText SectionKind = iota // executable instructions, read-only when mapped
+	SecData                    // initialized writable data
+	SecBSS                     // zero-initialized writable data (no bytes stored)
+	secKinds
+)
+
+// String returns the conventional section name.
+func (k SectionKind) String() string {
+	switch k {
+	case SecText:
+		return "text"
+	case SecData:
+		return "data"
+	case SecBSS:
+		return "bss"
+	}
+	return fmt.Sprintf("sec(%d)", uint8(k))
+}
+
+// Valid reports whether k is a defined section kind.
+func (k SectionKind) Valid() bool { return k < secKinds }
+
+// SymKind classifies a symbol definition.
+type SymKind uint8
+
+// Symbol kinds.
+const (
+	SymFunc SymKind = iota // a procedure entry point in text
+	SymData                // a data object in data or bss
+	symKinds
+)
+
+// String returns "func" or "data".
+func (k SymKind) String() string {
+	switch k {
+	case SymFunc:
+		return "func"
+	case SymData:
+		return "data"
+	}
+	return fmt.Sprintf("sym(%d)", uint8(k))
+}
+
+// Binding is the linkage visibility of a symbol.
+type Binding uint8
+
+// Bindings.
+const (
+	BindGlobal Binding = iota // participates in inter-module resolution
+	BindLocal                 // visible only within its defining object
+	bindKinds
+)
+
+// String returns "global" or "local".
+func (b Binding) String() string {
+	switch b {
+	case BindGlobal:
+		return "global"
+	case BindLocal:
+		return "local"
+	}
+	return fmt.Sprintf("bind(%d)", uint8(b))
+}
+
+// Symbol is a named location.  A symbol with Defined=false is an
+// undefined reference; its Section/Offset/Size are meaningless.
+type Symbol struct {
+	Name    string
+	Kind    SymKind
+	Bind    Binding
+	Defined bool
+	Section SectionKind
+	Offset  uint64 // offset within Section
+	Size    uint64 // extent in bytes (functions: code length; data: object size)
+}
+
+// RelocKind is the patch strategy for a relocation site.
+type RelocKind uint8
+
+// Relocation kinds.
+const (
+	// RelAbs64 patches 8 bytes at the site with the absolute address
+	// of the target symbol plus the addend.
+	RelAbs64 RelocKind = iota
+	// RelPC64 patches 8 bytes with (target + addend - siteInstrAddr),
+	// where siteInstrAddr is the address of the *instruction start*
+	// (site - vm.ImmOffset).  Used by position-independent code.
+	RelPC64
+	// RelGotSlot patches 8 bytes with the offset of the target
+	// symbol's GOT slot relative to the site's instruction start.  The
+	// dynamic linker allocates the slot.  Only meaningful in PIC
+	// output; the static OMOS path resolves it like RelPC64 against a
+	// synthesized GOT.
+	RelGotSlot
+	relocKinds
+)
+
+// String names the relocation kind.
+func (k RelocKind) String() string {
+	switch k {
+	case RelAbs64:
+		return "abs64"
+	case RelPC64:
+		return "pc64"
+	case RelGotSlot:
+		return "gotslot"
+	}
+	return fmt.Sprintf("rel(%d)", uint8(k))
+}
+
+// Valid reports whether k is a defined relocation kind.
+func (k RelocKind) Valid() bool { return k < relocKinds }
+
+// Reloc is a relocation record: patch Section at Offset according to
+// Kind, using the value of Symbol plus Addend.
+type Reloc struct {
+	Section SectionKind
+	Offset  uint64 // byte offset of the patch site within Section
+	Symbol  string // target symbol name
+	Kind    RelocKind
+	Addend  int64
+}
+
+// Object is a relocatable object: the ROF in-memory form.
+type Object struct {
+	// Name is a diagnostic label (typically the source path).
+	Name string
+	// Text and Data hold the section contents.  BSSSize is the length
+	// of the zero-initialized section.
+	Text    []byte
+	Data    []byte
+	BSSSize uint64
+	// Syms is the symbol table.  Order is not significant, but names
+	// of global symbols must be unique within one Object.
+	Syms []Symbol
+	// Relocs are the relocation records.
+	Relocs []Reloc
+}
+
+// SectionLen returns the length in bytes of the given section.
+func (o *Object) SectionLen(k SectionKind) uint64 {
+	switch k {
+	case SecText:
+		return uint64(len(o.Text))
+	case SecData:
+		return uint64(len(o.Data))
+	case SecBSS:
+		return o.BSSSize
+	}
+	return 0
+}
+
+// FindSym returns the first symbol with the given name, or nil.
+func (o *Object) FindSym(name string) *Symbol {
+	for i := range o.Syms {
+		if o.Syms[i].Name == name {
+			return &o.Syms[i]
+		}
+	}
+	return nil
+}
+
+// DefinedGlobals returns the names of all defined global symbols, sorted.
+func (o *Object) DefinedGlobals() []string {
+	var out []string
+	for i := range o.Syms {
+		if o.Syms[i].Defined && o.Syms[i].Bind == BindGlobal {
+			out = append(out, o.Syms[i].Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Undefined returns the names of all undefined symbols, sorted.
+func (o *Object) Undefined() []string {
+	var out []string
+	for i := range o.Syms {
+		if !o.Syms[i].Defined {
+			out = append(out, o.Syms[i].Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks internal consistency: section kinds in range,
+// symbol offsets within their sections, relocation sites within their
+// sections, relocation targets present in the symbol table, and no
+// duplicate global definitions.
+func (o *Object) Validate() error {
+	seen := make(map[string]bool, len(o.Syms))
+	byName := make(map[string]bool, len(o.Syms))
+	for i := range o.Syms {
+		s := &o.Syms[i]
+		if s.Name == "" {
+			return fmt.Errorf("obj %s: symbol %d has empty name", o.Name, i)
+		}
+		byName[s.Name] = true
+		if !s.Defined {
+			continue
+		}
+		if !s.Section.Valid() {
+			return fmt.Errorf("obj %s: symbol %s: bad section %d", o.Name, s.Name, s.Section)
+		}
+		if s.Offset > o.SectionLen(s.Section) {
+			return fmt.Errorf("obj %s: symbol %s: offset %d beyond %s (%d bytes)",
+				o.Name, s.Name, s.Offset, s.Section, o.SectionLen(s.Section))
+		}
+		if s.Bind == BindGlobal {
+			if seen[s.Name] {
+				return fmt.Errorf("obj %s: duplicate global definition of %s", o.Name, s.Name)
+			}
+			seen[s.Name] = true
+		}
+	}
+	for i := range o.Relocs {
+		r := &o.Relocs[i]
+		if !r.Section.Valid() || r.Section == SecBSS {
+			return fmt.Errorf("obj %s: reloc %d: bad section %s", o.Name, i, r.Section)
+		}
+		if !r.Kind.Valid() {
+			return fmt.Errorf("obj %s: reloc %d: bad kind %d", o.Name, i, r.Kind)
+		}
+		if r.Offset+8 > o.SectionLen(r.Section) {
+			return fmt.Errorf("obj %s: reloc %d: site %d+8 beyond %s", o.Name, i, r.Offset, r.Section)
+		}
+		if !byName[r.Symbol] {
+			return fmt.Errorf("obj %s: reloc %d: target %q not in symbol table", o.Name, i, r.Symbol)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the object.
+func (o *Object) Clone() *Object {
+	c := &Object{
+		Name:    o.Name,
+		Text:    append([]byte(nil), o.Text...),
+		Data:    append([]byte(nil), o.Data...),
+		BSSSize: o.BSSSize,
+		Syms:    append([]Symbol(nil), o.Syms...),
+		Relocs:  append([]Reloc(nil), o.Relocs...),
+	}
+	return c
+}
+
+// String renders a human-readable summary (not the binary encoding).
+func (o *Object) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "object %s: text=%d data=%d bss=%d\n",
+		o.Name, len(o.Text), len(o.Data), o.BSSSize)
+	for i := range o.Syms {
+		s := &o.Syms[i]
+		if s.Defined {
+			fmt.Fprintf(&sb, "  sym %-24s %s %s %s+%#x size=%d\n",
+				s.Name, s.Kind, s.Bind, s.Section, s.Offset, s.Size)
+		} else {
+			fmt.Fprintf(&sb, "  sym %-24s undefined\n", s.Name)
+		}
+	}
+	for i := range o.Relocs {
+		r := &o.Relocs[i]
+		fmt.Fprintf(&sb, "  rel %s+%#x -> %s (%s%+d)\n", r.Section, r.Offset, r.Symbol, r.Kind, r.Addend)
+	}
+	return sb.String()
+}

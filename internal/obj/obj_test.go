@@ -1,0 +1,234 @@
+package obj
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genObject builds a random-but-valid object for property tests.
+func genObject(r *rand.Rand) *Object {
+	o := &Object{Name: randName(r, "obj")}
+	o.Text = randBytes(r, 8+r.Intn(256))
+	o.Data = randBytes(r, r.Intn(128))
+	o.BSSSize = uint64(r.Intn(64))
+	nsyms := r.Intn(8)
+	for i := 0; i < nsyms; i++ {
+		s := Symbol{Name: randName(r, "sym")}
+		switch r.Intn(3) {
+		case 0: // undefined
+		case 1:
+			s.Defined = true
+			s.Kind = SymFunc
+			s.Section = SecText
+			s.Offset = uint64(r.Intn(len(o.Text) + 1))
+			s.Size = uint64(r.Intn(16))
+		case 2:
+			s.Defined = true
+			s.Kind = SymData
+			s.Bind = Binding(r.Intn(2))
+			if r.Intn(2) == 0 && len(o.Data) > 0 {
+				s.Section = SecData
+				s.Offset = uint64(r.Intn(len(o.Data)))
+			} else {
+				s.Section = SecBSS
+				s.Offset = uint64(r.Intn(int(o.BSSSize) + 1))
+			}
+		}
+		o.Syms = append(o.Syms, s)
+	}
+	// Relocations target existing symbols at valid sites.
+	for i := 0; i < r.Intn(6) && len(o.Syms) > 0; i++ {
+		sec := SecText
+		limit := len(o.Text)
+		if r.Intn(3) == 0 && len(o.Data) >= 8 {
+			sec = SecData
+			limit = len(o.Data)
+		}
+		if limit < 8 {
+			continue
+		}
+		o.Relocs = append(o.Relocs, Reloc{
+			Section: sec,
+			Offset:  uint64(r.Intn(limit - 7)),
+			Symbol:  o.Syms[r.Intn(len(o.Syms))].Name,
+			Kind:    RelocKind(r.Intn(3)),
+			Addend:  int64(r.Intn(32)) - 16,
+		})
+	}
+	return o
+}
+
+var nameSeq int
+
+func randName(r *rand.Rand, prefix string) string {
+	nameSeq++
+	b := []byte(prefix + "_")
+	for i := 0; i < 3; i++ {
+		b = append(b, byte('a'+r.Intn(26)))
+	}
+	return string(b) + string(rune('0'+nameSeq%10)) + string(rune('0'+(nameSeq/10)%10)) + string(rune('0'+(nameSeq/100)%10))
+}
+
+func randBytes(r *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	r.Read(b)
+	return b
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		o := genObject(r)
+		if err := o.Validate(); err != nil {
+			// Random generation may collide global names; skip those.
+			return true
+		}
+		enc, err := Encode(o)
+		if err != nil {
+			t.Logf("encode: %v", err)
+			return false
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Logf("decode: %v", err)
+			return false
+		}
+		return reflect.DeepEqual(normalize(o), normalize(dec))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// normalize maps nil and empty slices together for comparison.
+func normalize(o *Object) *Object {
+	c := o.Clone()
+	if len(c.Text) == 0 {
+		c.Text = nil
+	}
+	if len(c.Data) == 0 {
+		c.Data = nil
+	}
+	if len(c.Syms) == 0 {
+		c.Syms = nil
+	}
+	if len(c.Relocs) == 0 {
+		c.Relocs = nil
+	}
+	return c
+}
+
+func TestDecodeCorruption(t *testing.T) {
+	o := &Object{
+		Name: "x",
+		Text: make([]byte, 24),
+		Syms: []Symbol{
+			{Name: "f", Kind: SymFunc, Defined: true, Section: SecText, Offset: 0, Size: 24},
+			{Name: "g"},
+		},
+		Relocs: []Reloc{{Section: SecText, Offset: 4, Symbol: "g", Kind: RelAbs64}},
+	}
+	enc, err := Encode(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(enc); err != nil {
+		t.Fatal(err)
+	}
+	// Truncations at every point must error, never panic.
+	for i := 0; i < len(enc); i++ {
+		if _, err := Decode(enc[:i]); err == nil {
+			t.Fatalf("Decode of %d-byte prefix succeeded", i)
+		}
+	}
+	// Bad magic.
+	bad := append([]byte(nil), enc...)
+	bad[0] = 'X'
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Trailing garbage.
+	if _, err := Decode(append(append([]byte(nil), enc...), 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		o    Object
+	}{
+		{"empty symbol name", Object{Syms: []Symbol{{}}}},
+		{"symbol beyond section", Object{
+			Text: make([]byte, 8),
+			Syms: []Symbol{{Name: "f", Defined: true, Section: SecText, Offset: 100}},
+		}},
+		{"duplicate global", Object{
+			Text: make([]byte, 8),
+			Syms: []Symbol{
+				{Name: "f", Defined: true, Section: SecText},
+				{Name: "f", Defined: true, Section: SecText},
+			},
+		}},
+		{"reloc in bss", Object{
+			BSSSize: 16,
+			Syms:    []Symbol{{Name: "g"}},
+			Relocs:  []Reloc{{Section: SecBSS, Offset: 0, Symbol: "g"}},
+		}},
+		{"reloc site out of range", Object{
+			Text:   make([]byte, 8),
+			Syms:   []Symbol{{Name: "g"}},
+			Relocs: []Reloc{{Section: SecText, Offset: 4, Symbol: "g"}},
+		}},
+		{"reloc target missing", Object{
+			Text:   make([]byte, 16),
+			Relocs: []Reloc{{Section: SecText, Offset: 0, Symbol: "nope"}},
+		}},
+	}
+	for _, c := range cases {
+		c.o.Name = c.name
+		if err := c.o.Validate(); err == nil {
+			t.Errorf("%s: Validate succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestQueries(t *testing.T) {
+	o := &Object{
+		Name: "q",
+		Text: make([]byte, 16),
+		Syms: []Symbol{
+			{Name: "b", Defined: true, Bind: BindGlobal, Section: SecText},
+			{Name: "a", Defined: true, Bind: BindGlobal, Section: SecText, Offset: 8},
+			{Name: "loc", Defined: true, Bind: BindLocal, Section: SecText},
+			{Name: "u2"},
+			{Name: "u1"},
+		},
+	}
+	if got := o.DefinedGlobals(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("DefinedGlobals = %v", got)
+	}
+	if got := o.Undefined(); len(got) != 2 || got[0] != "u1" || got[1] != "u2" {
+		t.Fatalf("Undefined = %v", got)
+	}
+	if o.FindSym("loc") == nil || o.FindSym("nope") != nil {
+		t.Fatal("FindSym misbehaved")
+	}
+	if o.SectionLen(SecText) != 16 || o.SectionLen(SecBSS) != 0 {
+		t.Fatal("SectionLen misbehaved")
+	}
+	if o.RecordCount() != 3+5 {
+		t.Fatalf("RecordCount = %d", o.RecordCount())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	o := &Object{Name: "c", Text: []byte{1, 2, 3, 4, 5, 6, 7, 8}}
+	c := o.Clone()
+	c.Text[0] = 99
+	if o.Text[0] == 99 {
+		t.Fatal("Clone shares text")
+	}
+}

@@ -1,0 +1,123 @@
+package osim
+
+import "fmt"
+
+// Frame is one physical page.  Frames are refcounted by the
+// FrameTable so the benchmarks can report how much physical memory is
+// shared between processes — the original motivation for shared
+// libraries (§2.1).
+type Frame struct {
+	ID   uint64
+	Data [PageSize]byte
+	refs int
+}
+
+// FrameTable is the machine's physical memory allocator.
+type FrameTable struct {
+	nextID uint64
+	frames map[uint64]*Frame
+}
+
+// NewFrameTable returns an empty physical memory.
+func NewFrameTable() *FrameTable {
+	return &FrameTable{frames: make(map[uint64]*Frame)}
+}
+
+// Alloc returns a new zeroed frame with one reference.
+func (ft *FrameTable) Alloc() *Frame {
+	ft.nextID++
+	f := &Frame{ID: ft.nextID, refs: 1}
+	ft.frames[f.ID] = f
+	return f
+}
+
+// Ref adds a reference to f (a new mapping of a shared frame).
+func (ft *FrameTable) Ref(f *Frame) { f.refs++ }
+
+// Unref drops a reference; the frame is freed at zero.
+func (ft *FrameTable) Unref(f *Frame) {
+	f.refs--
+	if f.refs < 0 {
+		panic(fmt.Sprintf("osim: frame %d refcount underflow", f.ID))
+	}
+	if f.refs == 0 {
+		delete(ft.frames, f.ID)
+	}
+}
+
+// MemStats summarizes physical memory use.
+type MemStats struct {
+	// Frames is the number of live physical frames.
+	Frames int
+	// Mappings is the total number of references (PTEs + cache holds).
+	Mappings int
+	// SharedFrames counts frames with more than one reference.
+	SharedFrames int
+	// SharedSavings is the number of frame-sized allocations avoided
+	// by sharing: sum over frames of (refs-1).
+	SharedSavings int
+}
+
+// Bytes returns the resident physical memory in bytes.
+func (s MemStats) Bytes() int { return s.Frames * PageSize }
+
+// SavedBytes returns bytes that sharing avoided allocating.
+func (s MemStats) SavedBytes() int { return s.SharedSavings * PageSize }
+
+// Stats computes current memory statistics.
+func (ft *FrameTable) Stats() MemStats {
+	var st MemStats
+	for _, f := range ft.frames {
+		st.Frames++
+		st.Mappings += f.refs
+		if f.refs > 1 {
+			st.SharedFrames++
+			st.SharedSavings += f.refs - 1
+		}
+	}
+	return st
+}
+
+// FrameSeg is a placed run of shared frames: the materialized form of
+// a read-only image segment.  The OMOS server caches these; mapping
+// one into a process costs only PTE inserts, no copying — this is the
+// cache of "bound and relocated executable images" from the abstract.
+type FrameSeg struct {
+	Name   string
+	Addr   uint64
+	Frames []*Frame
+	Perm   uint8 // image.Perm bits
+}
+
+// MakeFrameSeg materializes data (plus zero fill to memSize) into
+// fresh frames at addr.  addr must be page aligned.
+func (ft *FrameTable) MakeFrameSeg(name string, addr uint64, data []byte, memSize uint64, perm uint8) (*FrameSeg, error) {
+	if addr%PageSize != 0 {
+		return nil, fmt.Errorf("osim: segment %s: unaligned address %#x", name, addr)
+	}
+	if memSize < uint64(len(data)) {
+		memSize = uint64(len(data))
+	}
+	npages := int(PageAlign(memSize) / PageSize)
+	seg := &FrameSeg{Name: name, Addr: addr, Perm: perm, Frames: make([]*Frame, npages)}
+	for i := 0; i < npages; i++ {
+		f := ft.Alloc()
+		lo := i * PageSize
+		if lo < len(data) {
+			copy(f.Data[:], data[lo:])
+		}
+		seg.Frames[i] = f
+	}
+	return seg, nil
+}
+
+// Release drops the table's references to the segment's frames.
+func (ft *FrameTable) Release(seg *FrameSeg) {
+	for _, f := range seg.Frames {
+		ft.Unref(f)
+	}
+	seg.Frames = nil
+}
+
+// End returns the first address past the segment.
+func (s *FrameSeg) End() uint64 { return s.Addr + uint64(len(s.Frames))*PageSize }

@@ -1,0 +1,189 @@
+package osim
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+)
+
+// FileKind distinguishes inode types.
+type FileKind uint8
+
+// Inode kinds.
+const (
+	KindFile FileKind = iota
+	KindDir
+)
+
+// inode is one filesystem object.
+type inode struct {
+	kind     FileKind
+	data     []byte
+	children map[string]*inode
+	// cached marks the contents as resident in the buffer cache;
+	// the first read of a file pays disk cost, later reads do not.
+	cached bool
+	mode   uint32
+}
+
+// FS is the simulated in-memory filesystem.  It backs the `ls`
+// workload's directories, the executable files parsed by native exec,
+// and the link-time I/O cost experiment.
+type FS struct {
+	root *inode
+}
+
+// NewFS returns a filesystem containing only "/".
+func NewFS() *FS {
+	return &FS{root: &inode{kind: KindDir, children: map[string]*inode{}, mode: 0o755}}
+}
+
+func splitPath(p string) []string {
+	p = path.Clean("/" + p)
+	if p == "/" {
+		return nil
+	}
+	return strings.Split(strings.TrimPrefix(p, "/"), "/")
+}
+
+func (fs *FS) walk(p string) (*inode, error) {
+	n := fs.root
+	for _, part := range splitPath(p) {
+		if n.kind != KindDir {
+			return nil, fmt.Errorf("fs: %s: not a directory", p)
+		}
+		c, ok := n.children[part]
+		if !ok {
+			return nil, fmt.Errorf("fs: %s: no such file or directory", p)
+		}
+		n = c
+	}
+	return n, nil
+}
+
+// MkdirAll creates the directory p and any missing parents.
+func (fs *FS) MkdirAll(p string) error {
+	n := fs.root
+	for _, part := range splitPath(p) {
+		c, ok := n.children[part]
+		if !ok {
+			c = &inode{kind: KindDir, children: map[string]*inode{}, mode: 0o755}
+			n.children[part] = c
+		} else if c.kind != KindDir {
+			return fmt.Errorf("fs: %s: file exists", p)
+		}
+		n = c
+	}
+	return nil
+}
+
+// WriteFile creates or replaces the file at p with data.
+func (fs *FS) WriteFile(p string, data []byte) error {
+	dir, base := path.Split(path.Clean("/" + p))
+	if base == "" {
+		return fmt.Errorf("fs: invalid path %q", p)
+	}
+	if err := fs.MkdirAll(dir); err != nil {
+		return err
+	}
+	parent, err := fs.walk(dir)
+	if err != nil {
+		return err
+	}
+	if c, ok := parent.children[base]; ok {
+		if c.kind == KindDir {
+			return fmt.Errorf("fs: %s: is a directory", p)
+		}
+		c.data = append(c.data[:0], data...)
+		c.cached = true // freshly written data is in the buffer cache
+		return nil
+	}
+	parent.children[base] = &inode{kind: KindFile, data: append([]byte(nil), data...), cached: true, mode: 0o644}
+	return nil
+}
+
+// ReadFile returns the file's contents and whether this read hit the
+// buffer cache (false means the caller should charge disk cost).
+func (fs *FS) ReadFile(p string) (data []byte, cacheHit bool, err error) {
+	n, err := fs.walk(p)
+	if err != nil {
+		return nil, false, err
+	}
+	if n.kind != KindFile {
+		return nil, false, fmt.Errorf("fs: %s: is a directory", p)
+	}
+	hit := n.cached
+	n.cached = true
+	return n.data, hit, nil
+}
+
+// Stat describes a file.
+type Stat struct {
+	Size uint64
+	Kind FileKind
+	Mode uint32
+}
+
+// Stat returns file metadata.
+func (fs *FS) Stat(p string) (Stat, error) {
+	n, err := fs.walk(p)
+	if err != nil {
+		return Stat{}, err
+	}
+	return Stat{Size: uint64(len(n.data)), Kind: n.kind, Mode: n.mode}, nil
+}
+
+// ReadDir lists the entry names of directory p, sorted.
+func (fs *FS) ReadDir(p string) ([]string, error) {
+	n, err := fs.walk(p)
+	if err != nil {
+		return nil, err
+	}
+	if n.kind != KindDir {
+		return nil, fmt.Errorf("fs: %s: not a directory", p)
+	}
+	out := make([]string, 0, len(n.children))
+	for name := range n.children {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Exists reports whether p names a file or directory.
+func (fs *FS) Exists(p string) bool {
+	_, err := fs.walk(p)
+	return err == nil
+}
+
+// Remove deletes a file or empty directory.
+func (fs *FS) Remove(p string) error {
+	dir, base := path.Split(path.Clean("/" + p))
+	parent, err := fs.walk(dir)
+	if err != nil {
+		return err
+	}
+	c, ok := parent.children[base]
+	if !ok {
+		return fmt.Errorf("fs: %s: no such file or directory", p)
+	}
+	if c.kind == KindDir && len(c.children) > 0 {
+		return fmt.Errorf("fs: %s: directory not empty", p)
+	}
+	delete(parent.children, base)
+	return nil
+}
+
+// DropCaches marks every file uncached, so subsequent reads pay disk
+// cost again (used to measure cold-start behaviour).
+func (fs *FS) DropCaches() {
+	var walk func(n *inode)
+	walk = func(n *inode) {
+		n.cached = false
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(fs.root)
+}

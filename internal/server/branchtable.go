@@ -1,0 +1,203 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"omos/internal/asm"
+	"omos/internal/constraint"
+	"omos/internal/jigsaw"
+	"omos/internal/link"
+	"omos/internal/mgraph"
+	"omos/internal/obj"
+	"omos/internal/osim"
+	"omos/internal/vm"
+)
+
+// btSlotPrefix names the branch-table slot symbols inside a
+// lib-branch-table image.
+const btSlotPrefix = "$bt$slot$"
+
+// buildBranchTableLib builds a library under the "lib-branch-table"
+// specialization of §4.1: upward references (library calls to
+// procedures the client must supply) are routed through per-process
+// data slots, so one cached text image serves every application
+// instead of "a new library image for each different application".
+func (s *Server) buildBranchTableLib(dep mgraph.LibDep, v *mgraph.Value, libs []*Instance,
+	prefs []constraint.Pref, ch string, p *osim.Process) (*Instance, error) {
+
+	externs := externsOf(libs)
+	var upward []string
+	for _, u := range v.Module.Undefined() {
+		if _, ok := externs[u]; !ok {
+			upward = append(upward, u)
+		}
+	}
+	sort.Strings(upward)
+	if err := checkCallOnly(v.Module, upward); err != nil {
+		return nil, fmt.Errorf("server: %s: %w", dep.Path, err)
+	}
+	module := v.Module
+	if len(upward) > 0 {
+		stubObj, err := genBTStubs(upward)
+		if err != nil {
+			return nil, err
+		}
+		sm, err := jigsaw.NewModule(stubObj)
+		if err != nil {
+			return nil, err
+		}
+		module, err = jigsaw.Merge(v.Module, sm)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	textSize, dataSize := link.Measure(module)
+	s.mu.Lock()
+	pl, err := s.solver.Place(constraint.Request{
+		Key:      "lib:" + dep.Path + "|" + dep.Spec.Hash(),
+		TextSize: textSize,
+		DataSize: dataSize,
+		Prefs:    prefs,
+	})
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	key := digestStr("lib-bt", ch, dep.Spec.Hash(),
+		fmt.Sprintf("%#x/%#x", pl.TextBase, pl.DataBase), libKeys(libs))
+	if inst := s.cacheGet(key); inst != nil {
+		s.bumpHit()
+		return inst, nil
+	}
+	res, err := link.Link(module, link.Options{
+		Name:     "lib:" + dep.Path,
+		TextBase: pl.TextBase,
+		DataBase: pl.DataBase,
+		Externs:  externs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: linking branch-table library %s: %w", dep.Path, err)
+	}
+	inst, err := s.materialize(key, "lib:"+dep.Path, res, libs, p)
+	if err != nil {
+		return nil, err
+	}
+	inst.BTSlots = map[string]uint64{}
+	for _, f := range upward {
+		slot, ok := res.Syms[btSlotPrefix+f]
+		if !ok {
+			return nil, fmt.Errorf("server: %s: branch-table slot for %s missing", dep.Path, f)
+		}
+		inst.BTSlots[f] = slot
+	}
+	return inst, nil
+}
+
+// checkCallOnly enforces the paper's constraint: upward references may
+// only be procedure calls.  Upward *data* references would break
+// sharing (§4.1's "definitions of variables must be made in the
+// library furthest downstream").
+func checkCallOnly(m *jigsaw.Module, upward []string) error {
+	if len(upward) == 0 {
+		return nil
+	}
+	up := map[string]bool{}
+	for _, u := range upward {
+		up[u] = true
+	}
+	for _, lv := range m.LinkViews() {
+		for _, r := range lv.Obj.Relocs {
+			if !up[lv.RefExt[r.Symbol]] {
+				continue
+			}
+			if r.Section != obj.SecText || r.Offset < vm.ImmOffset {
+				return fmt.Errorf("upward data reference to %q: shared variables must live in the "+
+					"furthest-downstream library (§4.1)", lv.RefExt[r.Symbol])
+			}
+			op := vm.Op(lv.Obj.Text[r.Offset-vm.ImmOffset])
+			if op != vm.CALL && op != vm.CALLPC {
+				return fmt.Errorf("upward reference to %q is not a procedure call (site opcode %s); "+
+					"only calls can dispatch via the branch table (§4.1)", lv.RefExt[r.Symbol], op)
+			}
+		}
+	}
+	return nil
+}
+
+// genBTStubs generates the indirection stubs: each upward symbol F is
+// defined as a jump through a per-process data slot that MapInstance
+// patches with the client's binding.
+func genBTStubs(upward []string) (*obj.Object, error) {
+	var sb strings.Builder
+	sb.WriteString(".text\n")
+	for _, f := range upward {
+		fmt.Fprintf(&sb, `%[1]s:
+    leapc r10, =%[2]s%[1]s
+    ld r12, [r10]
+    jmpr r12
+`, f, btSlotPrefix)
+	}
+	sb.WriteString(".data\n")
+	for _, f := range upward {
+		fmt.Fprintf(&sb, ".align 8\n%s%s:\n    .quad 0\n", btSlotPrefix, f)
+	}
+	o, err := asm.Assemble("bt-stubs", sb.String())
+	if err != nil {
+		return nil, fmt.Errorf("server: assembling branch-table stubs: %w", err)
+	}
+	return o, nil
+}
+
+// patchBranchTables resolves and pokes every mapped library's upward
+// slots against the client image (and its other libraries), after all
+// mappings are in place.  Per process, per map — which is exactly the
+// point: the text pages stay shared.
+func (s *Server) patchBranchTables(p *osim.Process, root *Instance) error {
+	var all []*Instance
+	seen := map[string]bool{}
+	var walk func(in *Instance)
+	walk = func(in *Instance) {
+		if seen[in.Key] {
+			return
+		}
+		seen[in.Key] = true
+		all = append(all, in)
+		for _, li := range in.Libs {
+			walk(li)
+		}
+	}
+	walk(root)
+
+	resolve := func(name string, owner *Instance) (uint64, bool) {
+		for _, in := range all {
+			if in == owner {
+				continue // the stub's own definition must not satisfy itself
+			}
+			if a, ok := in.Res.Image.Syms[name]; ok {
+				return a, true
+			}
+		}
+		return 0, false
+	}
+	for _, in := range all {
+		if len(in.BTSlots) == 0 {
+			continue
+		}
+		for name, slot := range in.BTSlots {
+			addr, ok := resolve(name, in)
+			if !ok {
+				return fmt.Errorf("server: %s: upward reference %q not supplied by the client", in.Name, name)
+			}
+			var b [8]byte
+			putU64(b[:], addr)
+			if err := p.AS.Poke(slot, b[:]); err != nil {
+				return err
+			}
+			p.ChargeServer(s.kern.Cost.DynRelocApply)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+
+	"omos/internal/constraint"
+	"omos/internal/image"
+	"omos/internal/mgraph"
+	"omos/internal/obj"
+	"omos/internal/osim"
+)
+
+// FNV-1a 64 parameters; the table layout and this hash are part of the
+// partial-image ABI shared with the loader-generated stub code.
+const (
+	FNVOffset = uint64(0xcbf29ce484222325)
+	FNVPrime  = uint64(0x100000001b3)
+)
+
+// HashName computes the export-table hash of a symbol name.
+func HashName(name string) uint64 {
+	h := FNVOffset
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= FNVPrime
+	}
+	return h
+}
+
+// ContentHashOf returns the content digest of a namespace entry,
+// covering its transitive references (the version identity used by
+// partial-image stub validation).
+func (s *Server) ContentHashOf(path string) (string, error) {
+	return ctx{s}.ContentHash(path)
+}
+
+// EvalProgram evaluates a program meta-object without linking it,
+// returning its value (module + library deps).  The loader package
+// uses this to build partial-image executables (§4.2).
+func (s *Server) EvalProgram(name string) (*mgraph.Value, *mgraph.Meta, error) {
+	c := ctx{s}
+	meta, err := c.LookupMeta(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	if meta == nil || meta.IsLibrary {
+		return nil, nil, fmt.Errorf("server: %s is not a program meta-object", name)
+	}
+	v, err := meta.Root.Eval(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	return v, meta, nil
+}
+
+// InstantiateLib resolves one library dependency to an instance (the
+// "lib-dynamic-impl" specialization: the implementation that will be
+// loaded and shared at run time).
+func (s *Server) InstantiateLib(dep mgraph.LibDep, p *osim.Process) (*Instance, error) {
+	// The implementation of a dynamic library is a normal
+	// self-contained image; only the client's access mechanism
+	// differs.
+	impl := dep
+	impl.Spec.Kind = "lib-static"
+	return s.instantiateLibrary(impl, p)
+}
+
+// ExportTable returns (building and caching on first use) the
+// instance's function hash table: the structure a partial-image stub
+// receives from DYNLOAD and probes to bind entry points.
+//
+// Layout (all u64, little endian):
+//
+//	[0]          nslots (power of two)
+//	[8+16i+0]    hash of symbol name (0 = empty slot)
+//	[8+16i+8]    absolute bound address
+//
+// Only function exports are included: the paper notes shared variables
+// are the scheme's fundamental limitation, so data never appears here.
+func (s *Server) ExportTable(inst *Instance) (*osim.FrameSeg, error) {
+	s.mu.Lock()
+	if inst.Table != nil {
+		s.mu.Unlock()
+		return inst.Table, nil
+	}
+	s.mu.Unlock()
+
+	var funcs []string
+	for name, kind := range inst.Res.SymKinds {
+		if kind == obj.SymFunc {
+			funcs = append(funcs, name)
+		}
+	}
+	sort.Strings(funcs)
+	nslots := uint64(2)
+	for nslots < uint64(len(funcs))*2 {
+		nslots *= 2
+	}
+	buf := make([]byte, 8+16*nslots)
+	putU64(buf, nslots)
+	for _, name := range funcs {
+		h := HashName(name)
+		if h == 0 {
+			h = 1 // reserve 0 for empty slots
+		}
+		idx := h & (nslots - 1)
+		for {
+			off := 8 + 16*idx
+			if getU64(buf[off:]) == 0 {
+				putU64(buf[off:], h)
+				putU64(buf[off+8:], inst.Res.Image.Syms[name])
+				break
+			}
+			idx = (idx + 1) & (nslots - 1)
+		}
+	}
+	s.mu.Lock()
+	pl, err := s.solver.Place(constraint.Request{
+		Key:      "table:" + inst.Key,
+		TextSize: uint64(len(buf)),
+	})
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	seg, err := s.kern.FT.MakeFrameSeg(inst.Name+"/table", pl.TextBase, buf,
+		uint64(len(buf)), uint8(image.PermR))
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	inst.Table = seg
+	inst.TableAddr = pl.TextBase
+	s.mu.Unlock()
+	return seg, nil
+}
+
+func putU64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+func getU64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 |
+		uint64(b[3])<<24 | uint64(b[4])<<32 | uint64(b[5])<<40 |
+		uint64(b[6])<<48 | uint64(b[7])<<56
+}

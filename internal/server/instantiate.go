@@ -1,0 +1,421 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+
+	"omos/internal/asm"
+	"omos/internal/blueprint"
+	"omos/internal/constraint"
+	"omos/internal/image"
+	"omos/internal/link"
+	"omos/internal/mgraph"
+	"omos/internal/obj"
+	"omos/internal/osim"
+)
+
+// Default client placement (matches the paper's Figure 1 defaults:
+// clients at low text addresses, data high).
+const (
+	DefaultClientText = uint64(0x0010_0000)
+	DefaultClientData = uint64(0x4000_0000)
+)
+
+func asmCompile(text string) (*obj.Object, error) {
+	return asm.Assemble("source.s", text)
+}
+
+// Instantiate returns the (possibly cached) instance of the named
+// program meta-object.  If p is non-nil, server-side lookup costs are
+// charged to it; image construction costs are charged to the first
+// requester only — later requests hit the cache, which is the paper's
+// central performance mechanism.
+func (s *Server) Instantiate(name string, p *osim.Process) (*Instance, error) {
+	c := ctx{s}
+	meta, err := c.LookupMeta(name)
+	if err != nil {
+		return nil, err
+	}
+	if meta == nil {
+		return nil, fmt.Errorf("server: %s is not a meta-object", name)
+	}
+	if meta.IsLibrary {
+		return s.instantiateLibrary(mgraph.LibDep{Path: name, Spec: meta.DefaultSpec}, p)
+	}
+	return s.instantiateProgram(name, meta, p)
+}
+
+// InstantiateBlueprint evaluates an anonymous blueprint (§5: "the
+// meta-object specification may ... be an arbitrary blueprint").  The
+// result is cached under the blueprint's content hash like any named
+// instantiation.
+func (s *Server) InstantiateBlueprint(src string, p *osim.Process) (*Instance, error) {
+	expr, err := blueprint.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	root, err := mgraph.Build(expr)
+	if err != nil {
+		return nil, err
+	}
+	meta := &mgraph.Meta{Path: "(anonymous)", Root: root, SrcHash: digestStr(src)}
+	return s.instantiateProgram("(anonymous:"+meta.SrcHash+")", meta, p)
+}
+
+func (s *Server) chargeLookup(p *osim.Process) {
+	if p != nil {
+		p.ChargeServer(s.kern.Cost.ServerCacheLookup)
+	}
+}
+
+// buildCost estimates the server cycles spent constructing an image.
+func (s *Server) buildCost(res *link.Result) uint64 {
+	cost := uint64(res.NumRelocs) * s.kern.Cost.ServerBuildReloc
+	for _, pl := range res.Placements {
+		cost += uint64(pl.Obj.RecordCount()) * s.kern.Cost.ServerBuildRecord
+	}
+	return cost
+}
+
+// evalValue evaluates a meta-object root and resolves its library
+// dependencies into instances (deduplicated by path+spec).
+func (s *Server) evalValue(meta *mgraph.Meta, p *osim.Process) (*mgraph.Value, []*Instance, error) {
+	v, err := meta.Root.Eval(ctx{s})
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: evaluating %s: %w", meta.Path, err)
+	}
+	seen := map[string]bool{}
+	var insts []*Instance
+	for _, dep := range v.Libs {
+		id := dep.Path + "|" + dep.Spec.Hash()
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		inst, err := s.instantiateLibrary(dep, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		insts = append(insts, inst)
+	}
+	return v, insts, nil
+}
+
+// externsOf unions the exported symbols of library instances (first
+// definition wins, matching link search order).
+func externsOf(libs []*Instance) map[string]uint64 {
+	ext := map[string]uint64{}
+	for _, li := range libs {
+		for name, addr := range li.Res.Image.Syms {
+			if _, dup := ext[name]; !dup {
+				ext[name] = addr
+			}
+		}
+	}
+	return ext
+}
+
+func (s *Server) instantiateLibrary(dep mgraph.LibDep, p *osim.Process) (*Instance, error) {
+	c := ctx{s}
+	meta, err := c.LookupMeta(dep.Path)
+	if err != nil {
+		return nil, err
+	}
+	if meta == nil || !meta.IsLibrary {
+		return nil, fmt.Errorf("server: %s is not a library meta-object", dep.Path)
+	}
+	ch, err := c.ContentHash(dep.Path)
+	if err != nil {
+		return nil, err
+	}
+	s.chargeLookup(p)
+
+	v, libs, err := s.evalValue(meta, p)
+	if err != nil {
+		return nil, err
+	}
+	if v.Module == nil {
+		return nil, fmt.Errorf("server: library %s produced no fragments", dep.Path)
+	}
+	prefs := dep.Spec.Prefs
+	if len(prefs) == 0 {
+		prefs = meta.DefaultSpec.Prefs
+	}
+	if dep.Spec.Kind == "lib-branch-table" {
+		return s.buildBranchTableLib(dep, v, libs, prefs, ch, p)
+	}
+	textSize, dataSize := link.Measure(v.Module)
+	s.mu.Lock()
+	pl, err := s.solver.Place(constraint.Request{
+		Key:      "lib:" + dep.Path + "|" + dep.Spec.Hash(),
+		TextSize: textSize,
+		DataSize: dataSize,
+		Prefs:    prefs,
+	})
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	key := digestStr("lib", ch, dep.Spec.Hash(),
+		fmt.Sprintf("%#x/%#x", pl.TextBase, pl.DataBase), libKeys(libs))
+	if inst := s.cacheGet(key); inst != nil {
+		s.bumpHit()
+		return inst, nil
+	}
+	res, err := link.Link(v.Module, link.Options{
+		Name:     "lib:" + dep.Path,
+		TextBase: pl.TextBase,
+		DataBase: pl.DataBase,
+		Externs:  externsOf(libs),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: linking library %s: %w", dep.Path, err)
+	}
+	return s.materialize(key, dep.Path, res, libs, p)
+}
+
+func (s *Server) instantiateProgram(name string, meta *mgraph.Meta, p *osim.Process) (*Instance, error) {
+	s.chargeLookup(p)
+	subHash, err := meta.Root.Hash(ctx{s})
+	if err != nil {
+		return nil, err
+	}
+	v, libs, err := s.evalValue(meta, p)
+	if err != nil {
+		return nil, err
+	}
+	if v.Module == nil {
+		return nil, fmt.Errorf("server: program %s produced no fragments", name)
+	}
+	prefs := v.Prefs
+	if len(prefs) == 0 {
+		prefs = []constraint.Pref{
+			{Seg: 'T', Addr: DefaultClientText},
+			{Seg: 'D', Addr: DefaultClientData},
+		}
+	}
+	textSize, dataSize := link.Measure(v.Module)
+	s.mu.Lock()
+	pl, err := s.solver.Place(constraint.Request{
+		Key:      "prog:" + name,
+		TextSize: textSize,
+		DataSize: dataSize,
+		Prefs:    prefs,
+	})
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	key := digestStr("prog", meta.SrcHash, subHash,
+		fmt.Sprintf("%#x/%#x", pl.TextBase, pl.DataBase), libKeys(libs))
+	if inst := s.cacheGet(key); inst != nil {
+		s.bumpHit()
+		return inst, nil
+	}
+	res, err := link.Link(v.Module, link.Options{
+		Name:     name,
+		TextBase: pl.TextBase,
+		DataBase: pl.DataBase,
+		Entry:    "_start",
+		Externs:  externsOf(libs),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: linking %s: %w", name, err)
+	}
+	return s.materialize(key, name, res, libs, p)
+}
+
+func libKeys(libs []*Instance) string {
+	out := ""
+	for _, li := range libs {
+		out += li.Key + ";"
+	}
+	return out
+}
+
+func (s *Server) cacheGet(key string) *Instance {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.DisableCache {
+		return nil
+	}
+	return s.cache[key]
+}
+
+// ReleaseInstance drops the frames materialized for an instance (and
+// its table).  Only needed when the server runs with DisableCache;
+// cached instances are owned by the cache and released via Evict.
+func (s *Server) ReleaseInstance(inst *Instance) {
+	for _, seg := range inst.ROSegs {
+		s.kern.FT.Release(seg)
+	}
+	if inst.Table != nil {
+		s.kern.FT.Release(inst.Table)
+	}
+}
+
+func (s *Server) bumpHit() {
+	s.mu.Lock()
+	s.Stats.CacheHits++
+	s.mu.Unlock()
+}
+
+// materialize turns a link result into a cached Instance: read-only
+// segments become shared frames, writable segments stay as pristine
+// bytes for per-client copying.  Build cost is charged to the
+// requesting process (the only one that ever pays it).
+func (s *Server) materialize(key, name string, res *link.Result, libs []*Instance, p *osim.Process) (*Instance, error) {
+	inst := &Instance{Key: key, Name: name, Res: res, Libs: libs}
+	for i := range res.Image.Segments {
+		seg := &res.Image.Segments[i]
+		if seg.Perm&image.PermW != 0 {
+			inst.RWSegs = append(inst.RWSegs, *seg)
+			continue
+		}
+		fs, err := s.kern.FT.MakeFrameSeg(name+"/"+seg.Name, seg.Addr, seg.Data, seg.MemSize, uint8(seg.Perm))
+		if err != nil {
+			return nil, err
+		}
+		inst.ROSegs = append(inst.ROSegs, fs)
+	}
+	cost := s.buildCost(res)
+	if p != nil {
+		p.ChargeServer(cost)
+	}
+	s.mu.Lock()
+	s.Stats.CacheMisses++
+	s.Stats.ImagesBuilt++
+	s.Stats.RelocsApplied += uint64(res.NumRelocs)
+	s.Stats.ExternBinds += uint64(res.ExternBinds)
+	s.Stats.BuildCycles += cost
+	if !s.DisableCache {
+		if prior, raced := s.cache[key]; raced {
+			// A concurrent instantiation built the same image first;
+			// keep the cached one and release this build's frames.
+			s.mu.Unlock()
+			s.ReleaseInstance(inst)
+			return prior, nil
+		}
+		s.cache[key] = inst
+	}
+	s.mu.Unlock()
+	return inst, nil
+}
+
+// Evict removes every cached instance derived from the named
+// meta-object and releases its address-space placements, forcing the
+// next instantiation to rebuild.  This is the module-unlinking ability
+// the paper notes dld has and OMOS could add (§9): the server retains
+// all the information needed to reconstruct, so eviction is safe at
+// any time — processes already running keep their mapped frames alive
+// through the frame refcounts.
+func (s *Server) Evict(name string) int {
+	name = cleanPath(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	evicted := 0
+	for key, inst := range s.cache {
+		if inst.Name != name && inst.Name != "lib:"+name {
+			continue
+		}
+		for _, seg := range inst.ROSegs {
+			s.kern.FT.Release(seg)
+		}
+		if inst.Table != nil {
+			s.kern.FT.Release(inst.Table)
+			s.solver.Release("table:" + inst.Key)
+		}
+		delete(s.cache, key)
+		evicted++
+	}
+	s.solver.Release("prog:" + name)
+	for _, k := range s.solver.Keys() {
+		if strings.HasPrefix(k, "lib:"+name+"|") {
+			s.solver.Release(k)
+		}
+	}
+	return evicted
+}
+
+// MapInstance maps the instance and all its libraries into a process,
+// charging server-side mapping costs (this is the vm_map work of §5).
+// Library images that are already mapped (shared text pages) are
+// detected via the page table and skipped.
+func (s *Server) MapInstance(p *osim.Process, inst *Instance) error {
+	mapped := map[string]bool{}
+	var mapOne func(in *Instance) error
+	mapOne = func(in *Instance) error {
+		if mapped[in.Key] {
+			return nil
+		}
+		mapped[in.Key] = true
+		for _, li := range in.Libs {
+			if err := mapOne(li); err != nil {
+				return err
+			}
+		}
+		if err := p.MapSharedSegs(in.ROSegs, true); err != nil {
+			return err
+		}
+		if in.Table != nil {
+			if err := p.MapSharedSegs([]*osim.FrameSeg{in.Table}, true); err != nil {
+				return err
+			}
+		}
+		for i := range in.RWSegs {
+			seg := &in.RWSegs[i]
+			if err := p.MapPrivateBytes(seg.Addr, seg.Data, seg.MemSize, seg.Perm, true); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := mapOne(inst); err != nil {
+		return err
+	}
+	// Branch-table libraries (§4.1) get their upward slots bound to
+	// this client's procedures, in this process only.
+	return s.patchBranchTables(p, inst)
+}
+
+// Entry returns the instance's entry point.
+func (inst *Instance) Entry() uint64 { return inst.Res.Image.Entry }
+
+// SymbolAt resolves an address back to the nearest containing
+// exported symbol in the instance or its libraries — the seed of the
+// gdb integration §4.1 plans ("enhance gdb to interface directly with
+// OMOS").  Returns the symbol name, the offset into it, and the image
+// that owns it.
+func (inst *Instance) SymbolAt(addr uint64) (name string, off uint64, owner string, ok bool) {
+	best := uint64(0)
+	for sym, a := range inst.Res.Image.Syms {
+		size := inst.Res.SymSizes[sym]
+		if size == 0 {
+			size = 1
+		}
+		if addr >= a && addr < a+size && (name == "" || a > best) {
+			name, off, owner, ok = sym, addr-a, inst.Name, true
+			best = a
+		}
+	}
+	for _, li := range inst.Libs {
+		if n, o, own, found := li.SymbolAt(addr); found {
+			return n, o, own, true
+		}
+	}
+	return name, off, owner, ok
+}
+
+// Lookup returns the bound address of an exported symbol in the
+// instance or any of its libraries.
+func (inst *Instance) Lookup(name string) (uint64, bool) {
+	if a, ok := inst.Res.Image.Syms[name]; ok {
+		return a, true
+	}
+	for _, li := range inst.Libs {
+		if a, ok := li.Lookup(name); ok {
+			return a, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"omos/internal/obj"
+)
+
+// RemoteFetcher retrieves namespace entries from another OMOS server —
+// the "consolidating OMOS servers in a network" engineering item of
+// §10.  The ipc package's client satisfies this through the daemon
+// protocol (see daemon.Fetcher).
+type RemoteFetcher interface {
+	// FetchMeta returns the blueprint source and library flag of a
+	// meta-object on the remote server.
+	FetchMeta(path string) (src string, isLibrary bool, err error)
+	// FetchObject returns the encoded ROF bytes of a remote object.
+	FetchObject(path string) ([]byte, error)
+}
+
+// mount is one remote namespace attachment.
+type mount struct {
+	prefix  string
+	fetcher RemoteFetcher
+}
+
+// Mount attaches a remote server's namespace under prefix: lookups
+// below the prefix that miss locally are fetched from the remote and
+// cached in the local namespace (fetch-once).  Blueprint sources are
+// re-parsed locally, so remote meta-objects may themselves reference
+// further remote entries under the same prefix.
+func (s *Server) Mount(prefix string, f RemoteFetcher) {
+	prefix = cleanPath(prefix)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mounts = append(s.mounts, mount{prefix: prefix, fetcher: f})
+	// Longest prefix first.
+	sort.Slice(s.mounts, func(i, j int) bool {
+		return len(s.mounts[i].prefix) > len(s.mounts[j].prefix)
+	})
+}
+
+// Unmount removes every mount at prefix.
+func (s *Server) Unmount(prefix string) {
+	prefix = cleanPath(prefix)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keep := s.mounts[:0]
+	for _, m := range s.mounts {
+		if m.prefix != prefix {
+			keep = append(keep, m)
+		}
+	}
+	s.mounts = keep
+}
+
+func (s *Server) mountFor(p string) *mount {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.mounts {
+		m := &s.mounts[i]
+		if p == m.prefix || strings.HasPrefix(p, m.prefix+"/") {
+			return m
+		}
+	}
+	return nil
+}
+
+// fetchRemote pulls a missing namespace entry through its mount and
+// installs it locally.  Returns false when no mount covers the path.
+func (s *Server) fetchRemote(p string) (bool, error) {
+	p = cleanPath(p)
+	m := s.mountFor(p)
+	if m == nil {
+		return false, nil
+	}
+	// Try a meta-object first; fall back to a raw object.
+	src, isLib, metaErr := m.fetcher.FetchMeta(p)
+	if metaErr == nil {
+		if err := s.define(p, src, isLib); err != nil {
+			return false, fmt.Errorf("server: importing remote meta %s: %w", p, err)
+		}
+		return true, nil
+	}
+	blob, objErr := m.fetcher.FetchObject(p)
+	if objErr != nil {
+		return false, fmt.Errorf("server: remote %s: %v / %v", p, metaErr, objErr)
+	}
+	o, err := obj.Decode(blob)
+	if err != nil {
+		return false, fmt.Errorf("server: decoding remote object %s: %w", p, err)
+	}
+	if err := s.PutObject(p, o); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// lookupEntry finds a namespace entry, consulting mounts on a miss.
+func (s *Server) lookupEntry(p string) (nsEntry, bool, error) {
+	p = cleanPath(p)
+	s.mu.Lock()
+	e, ok := s.ns[p]
+	s.mu.Unlock()
+	if ok {
+		return e, true, nil
+	}
+	fetched, err := s.fetchRemote(p)
+	if err != nil {
+		return nsEntry{}, false, err
+	}
+	if !fetched {
+		return nsEntry{}, false, nil
+	}
+	s.mu.Lock()
+	e, ok = s.ns[p]
+	s.mu.Unlock()
+	return e, ok, nil
+}
+
+// ExportMeta returns the blueprint source of a local meta-object (the
+// server side of FetchMeta).
+func (s *Server) ExportMeta(p string) (src string, isLibrary bool, err error) {
+	s.mu.Lock()
+	e, ok := s.ns[cleanPath(p)]
+	s.mu.Unlock()
+	if !ok || e.meta == nil {
+		return "", false, fmt.Errorf("server: no meta-object at %s", p)
+	}
+	return e.meta.Src, e.meta.IsLibrary, nil
+}
+
+// ExportObject returns the encoded bytes of a local object (the
+// server side of FetchObject).
+func (s *Server) ExportObject(p string) ([]byte, error) {
+	s.mu.Lock()
+	e, ok := s.ns[cleanPath(p)]
+	s.mu.Unlock()
+	if !ok || e.object == nil {
+		return nil, fmt.Errorf("server: no object at %s", p)
+	}
+	return obj.Encode(e.object)
+}

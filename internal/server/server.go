@@ -1,0 +1,310 @@
+// Package server implements OMOS itself: the persistent
+// object/meta-object server (§3).
+//
+// The server manages a hierarchical namespace of meta-objects
+// (blueprints) and code fragments, evaluates m-graphs to construct
+// executable images, places them with the constraint solver, and —
+// crucially — caches the bound, relocated results so that repeated
+// instantiations cost a lookup and a mapping rather than a relink.
+// Because cached read-only segments are materialized as shared
+// physical frames, the cache *is* the shared-library mechanism: every
+// client of /lib/libc maps the same frames.
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+
+	"omos/internal/blueprint"
+	"omos/internal/constraint"
+	"omos/internal/image"
+	"omos/internal/link"
+	"omos/internal/mgraph"
+	"omos/internal/minic"
+	"omos/internal/obj"
+	"omos/internal/osim"
+)
+
+// SpecFunc is a server-registered specialization transformation
+// (e.g. "monitor", "reorder").
+type SpecFunc func(args []string, v *mgraph.Value) (*mgraph.Value, error)
+
+// Stats counts server activity for the benchmarks.
+type Stats struct {
+	CacheHits     uint64
+	CacheMisses   uint64
+	ImagesBuilt   uint64
+	RelocsApplied uint64
+	ExternBinds   uint64
+	// BuildCycles is the simulated server time spent constructing
+	// images (charged to the first requester).
+	BuildCycles uint64
+}
+
+// nsEntry is one namespace binding.
+type nsEntry struct {
+	meta    *mgraph.Meta
+	object  *obj.Object
+	objHash string
+}
+
+// Instance is a cached, materialized executable image: the unit the
+// server hands to loaders.  Read-only segments are shared frames;
+// writable segments are pristine bytes copied per client.
+type Instance struct {
+	Key    string
+	Name   string
+	Res    *link.Result
+	ROSegs []*osim.FrameSeg
+	RWSegs []image.Segment
+	// Libs are the library instances this image was linked against;
+	// they must be mapped alongside it.
+	Libs []*Instance
+	// Table is the partial-image function hash table segment (nil
+	// unless built via BuildExportTable).
+	Table *osim.FrameSeg
+	// TableAddr is the table's base address when present.
+	TableAddr uint64
+	// BTSlots maps upward-reference symbol names to branch-table slot
+	// addresses, for libraries built with the "lib-branch-table"
+	// specialization (§4.1): the slots live in the library's private
+	// data and are patched per process at map time, so the library's
+	// text stays shared even though it references client procedures.
+	BTSlots map[string]uint64
+}
+
+// Server is an OMOS instance.  It is safe for concurrent use.
+type Server struct {
+	mu     sync.Mutex
+	kern   *osim.Kernel
+	ns     map[string]nsEntry
+	solver *constraint.Solver
+	cache  map[string]*Instance
+	specs  map[string]SpecFunc
+	// PICSource selects PIC code generation for the source operator
+	// (the OMOS path does not need PIC; see §4.1).
+	PICSource bool
+	// DisableCache turns off image caching: every instantiation
+	// rebuilds from the m-graph.  This exists for the cache-ablation
+	// benchmark — it isolates exactly what the paper's central
+	// mechanism buys.  Callers are responsible for releasing uncached
+	// instances with ReleaseInstance.
+	DisableCache bool
+	Stats        Stats
+
+	mounts []mount
+}
+
+// New creates a server attached to a simulated kernel (whose frame
+// table backs the image cache).
+func New(kern *osim.Kernel) *Server {
+	s := &Server{
+		kern:   kern,
+		ns:     map[string]nsEntry{},
+		solver: constraint.NewSolver(),
+		cache:  map[string]*Instance{},
+		specs:  map[string]SpecFunc{},
+	}
+	return s
+}
+
+// Kernel returns the kernel this server is attached to.
+func (s *Server) Kernel() *osim.Kernel { return s.kern }
+
+// Solver exposes the constraint solver (for inspection in tests and
+// benchmarks).
+func (s *Server) Solver() *constraint.Solver { return s.solver }
+
+// RegisterSpecializer installs a custom specialization kind.
+func (s *Server) RegisterSpecializer(kind string, fn SpecFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.specs[kind] = fn
+}
+
+func cleanPath(p string) string { return path.Clean("/" + p) }
+
+// PutObject stores a relocatable object at a namespace path.
+func (s *Server) PutObject(p string, o *obj.Object) error {
+	if err := o.Validate(); err != nil {
+		return fmt.Errorf("server: put %s: %w", p, err)
+	}
+	enc, err := obj.Encode(o)
+	if err != nil {
+		return err
+	}
+	h := sha256.Sum256(enc)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ns[cleanPath(p)] = nsEntry{object: o, objHash: hex.EncodeToString(h[:8])}
+	return nil
+}
+
+// Define stores a program meta-object from blueprint source.
+func (s *Server) Define(p, src string) error { return s.define(p, src, false) }
+
+// DefineLibrary stores a library-class meta-object.  Its source may
+// begin with a (constraint-list ...) expression giving default address
+// preferences (paper Figure 1); the remaining expression is the
+// construction blueprint.
+func (s *Server) DefineLibrary(p, src string) error { return s.define(p, src, true) }
+
+func (s *Server) define(p, src string, isLib bool) error {
+	exprs, err := blueprint.ParseAll(src)
+	if err != nil {
+		return fmt.Errorf("server: define %s: %w", p, err)
+	}
+	if len(exprs) == 0 {
+		return fmt.Errorf("server: define %s: empty blueprint", p)
+	}
+	meta := &mgraph.Meta{
+		Path:      cleanPath(p),
+		IsLibrary: isLib,
+		SrcHash:   digestStr(src, fmt.Sprintf("lib=%v", isLib)),
+		Src:       src,
+	}
+	meta.DefaultSpec = mgraph.Spec{Kind: "lib-static"}
+	idx := 0
+	if exprs[0].Op() == "constraint-list" {
+		prefs, err := mgraph.ParseConstraintList(exprs[0])
+		if err != nil {
+			return fmt.Errorf("server: define %s: %w", p, err)
+		}
+		meta.DefaultSpec.Prefs = prefs
+		idx = 1
+	}
+	if len(exprs) != idx+1 {
+		return fmt.Errorf("server: define %s: want one construction expression, got %d", p, len(exprs)-idx)
+	}
+	root, err := mgraph.Build(exprs[idx])
+	if err != nil {
+		return fmt.Errorf("server: define %s: %w", p, err)
+	}
+	meta.Root = root
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ns[meta.Path] = nsEntry{meta: meta}
+	return nil
+}
+
+// GetObject returns the relocatable object stored at a namespace path.
+func (s *Server) GetObject(p string) (*obj.Object, error) {
+	return ctx{s}.LookupObject(p)
+}
+
+// Remove deletes a namespace entry.
+func (s *Server) Remove(p string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.ns, cleanPath(p))
+}
+
+// List returns namespace paths under a prefix, sorted.
+func (s *Server) List(prefix string) []string {
+	prefix = cleanPath(prefix)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for p := range s.ns {
+		if prefix == "/" || p == prefix || strings.HasPrefix(p, prefix+"/") {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func digestStr(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))[:24]
+}
+
+// ---- mgraph.Context implementation ----
+
+// ctx wraps the server for an evaluation; it exists so evaluation can
+// run without holding the server lock the whole time if that ever
+// becomes necessary.
+type ctx struct{ s *Server }
+
+var _ mgraph.Context = ctx{}
+
+// LookupObject implements mgraph.Context.
+func (c ctx) LookupObject(p string) (*obj.Object, error) {
+	e, ok, err := c.s.lookupEntry(p)
+	if err != nil {
+		return nil, err
+	}
+	if !ok || e.object == nil {
+		return nil, fmt.Errorf("server: no object at %s", p)
+	}
+	return e.object, nil
+}
+
+// LookupMeta implements mgraph.Context.
+func (c ctx) LookupMeta(p string) (*mgraph.Meta, error) {
+	e, ok, err := c.s.lookupEntry(p)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("server: nothing at %s", p)
+	}
+	return e.meta, nil // nil for raw objects
+}
+
+// ContentHash implements mgraph.Context.
+func (c ctx) ContentHash(p string) (string, error) {
+	e, ok, err := c.s.lookupEntry(p)
+	if err != nil {
+		return "", err
+	}
+	if !ok {
+		return "", fmt.Errorf("server: nothing at %s", p)
+	}
+	if e.object != nil {
+		return e.objHash, nil
+	}
+	// Meta: include the blueprint hash; the transitive content of its
+	// references is folded in by hashing the root graph.
+	sub, err := e.meta.Root.Hash(c)
+	if err != nil {
+		return "", err
+	}
+	return digestStr(e.meta.SrcHash, sub), nil
+}
+
+// Compile implements mgraph.Context (the `source` operator).
+func (c ctx) Compile(lang, text string) ([]*obj.Object, error) {
+	switch lang {
+	case "c":
+		return minic.Compile(text, minic.Options{Unit: "source", PIC: c.s.PICSource})
+	case "asm", "s":
+		o, err := asmCompile(text)
+		if err != nil {
+			return nil, err
+		}
+		return []*obj.Object{o}, nil
+	default:
+		return nil, fmt.Errorf("server: unsupported source language %q", lang)
+	}
+}
+
+// Specialize implements mgraph.Context.
+func (c ctx) Specialize(kind string, args []string, v *mgraph.Value) (*mgraph.Value, error) {
+	c.s.mu.Lock()
+	fn, ok := c.s.specs[kind]
+	c.s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("server: unknown specialization %q", kind)
+	}
+	return fn(args, v)
+}

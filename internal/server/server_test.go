@@ -1,0 +1,234 @@
+package server
+
+import (
+	"testing"
+
+	"omos/internal/asm"
+	"omos/internal/osim"
+)
+
+const crt0Src = `
+.text
+_start:
+    call main
+    mov r1, r0
+    sys 1
+`
+
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	k := osim.NewKernel()
+	s := New(k)
+	crt0, err := asm.Assemble("crt0.s", crt0Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutObject("/lib/crt0.o", crt0); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// runInstance maps an instance into a fresh process and runs it.
+func runInstance(t *testing.T, s *Server, inst *Instance, args []string) (*osim.Process, uint64) {
+	t.Helper()
+	p := s.Kernel().Spawn()
+	if err := s.MapInstance(p, inst); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetupStack(args); err != nil {
+		t.Fatal(err)
+	}
+	p.CPU.PC = inst.Entry()
+	code, err := s.Kernel().RunToExit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, code
+}
+
+func TestInstantiateWithLibrary(t *testing.T) {
+	s := newTestServer(t)
+	err := s.DefineLibrary("/lib/tiny", `
+(constraint-list "T" 0x1000000 "D" 0x41000000)
+(source "c" "
+int lib_val = 30;
+int lib_add(int a, int b) { return a + b; }
+")
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Define("/bin/prog", `
+(merge /lib/crt0.o
+  (source "c" "
+extern int lib_val;
+extern int lib_add(int a, int b);
+int main() { return lib_add(lib_val, 12); }
+")
+  /lib/tiny)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.Instantiate("/bin/prog", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Libs) != 1 {
+		t.Fatalf("libs = %d, want 1", len(inst.Libs))
+	}
+	// Library must be placed near its constraint.
+	libText := inst.Libs[0].ROSegs[0].Addr
+	if libText != 0x1000000 {
+		t.Fatalf("library text at %#x, want 0x1000000", libText)
+	}
+	_, code := runInstance(t, s, inst, nil)
+	if code != 42 {
+		t.Fatalf("exit = %d, want 42", code)
+	}
+
+	// Second instantiation must hit the cache entirely.
+	misses := s.Stats.CacheMisses
+	inst2, err := s.Instantiate("/bin/prog", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst2 != inst {
+		t.Fatal("expected the cached instance")
+	}
+	if s.Stats.CacheMisses != misses {
+		t.Fatalf("cache misses grew: %d -> %d", misses, s.Stats.CacheMisses)
+	}
+	if s.Stats.CacheHits == 0 {
+		t.Fatal("expected cache hits")
+	}
+}
+
+func TestTextSharingAcrossProcesses(t *testing.T) {
+	s := newTestServer(t)
+	if err := s.DefineLibrary("/lib/tiny", `
+(source "c" "int lib_id() { return 7; }")
+`); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Define("/bin/a", `
+(merge /lib/crt0.o (source "c" "extern int lib_id(); int main() { return lib_id(); }") /lib/tiny)
+`); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Define("/bin/b", `
+(merge /lib/crt0.o (source "c" "extern int lib_id(); int main() { return lib_id() * 2; }") /lib/tiny)
+`); err != nil {
+		t.Fatal(err)
+	}
+	ia, err := s.Instantiate("/bin/a", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := s.Instantiate("/bin/b", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ia.Libs[0] != ib.Libs[0] {
+		t.Fatal("programs should share the library instance")
+	}
+	pa := s.Kernel().Spawn()
+	pb := s.Kernel().Spawn()
+	if err := s.MapInstance(pa, ia); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MapInstance(pb, ib); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Kernel().FT.Stats()
+	if st.SharedFrames == 0 {
+		t.Fatal("expected shared frames between the two processes")
+	}
+	// Run both to completion for good measure.
+	for _, pc := range []struct {
+		p    *osim.Process
+		inst *Instance
+		want uint64
+	}{{pa, ia, 7}, {pb, ib, 14}} {
+		if err := pc.p.SetupStack(nil); err != nil {
+			t.Fatal(err)
+		}
+		pc.p.CPU.PC = pc.inst.Entry()
+		code, err := s.Kernel().RunToExit(pc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code != pc.want {
+			t.Fatalf("exit = %d, want %d", code, pc.want)
+		}
+	}
+}
+
+func TestConstraintConflictResolution(t *testing.T) {
+	s := newTestServer(t)
+	// Two libraries demanding the same text address: the second must
+	// be moved to a free region (paper §3.5).
+	for _, lib := range []string{"/lib/one", "/lib/two"} {
+		src := `
+(constraint-list "T" 0x2000000 "D" 0x42000000)
+(source "c" "int ` + lib[5:] + `_fn() { return 1; }")
+`
+		if err := s.DefineLibrary(lib, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i1, err := s.Instantiate("/lib/one", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := s.Instantiate("/lib/two", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1 := i1.ROSegs[0].Addr
+	a2 := i2.ROSegs[0].Addr
+	if a1 != 0x2000000 {
+		t.Fatalf("first library at %#x, want preferred 0x2000000", a1)
+	}
+	if a2 == a1 {
+		t.Fatal("conflicting placement not resolved")
+	}
+	// Re-instantiation reuses the resolved placements.
+	i2b, err := s.Instantiate("/lib/two", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i2b != i2 {
+		t.Fatal("expected cached instance after conflict resolution")
+	}
+}
+
+func TestAnonymousBlueprint(t *testing.T) {
+	s := newTestServer(t)
+	inst, err := s.InstantiateBlueprint(`
+(merge /lib/crt0.o (source "c" "int main() { return 5; }"))
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, code := runInstance(t, s, inst, nil)
+	if code != 5 {
+		t.Fatalf("exit = %d, want 5", code)
+	}
+}
+
+func TestNamespaceList(t *testing.T) {
+	s := newTestServer(t)
+	if err := s.Define("/bin/x", `(merge /lib/crt0.o)`); err != nil {
+		t.Fatal(err)
+	}
+	got := s.List("/lib")
+	if len(got) != 1 || got[0] != "/lib/crt0.o" {
+		t.Fatalf("List(/lib) = %v", got)
+	}
+	all := s.List("/")
+	if len(all) != 2 {
+		t.Fatalf("List(/) = %v", all)
+	}
+}

@@ -1,0 +1,73 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders a text section as assembler source, one
+// instruction per line, prefixed with its offset from base.  Trailing
+// bytes that do not form a whole instruction are rendered as a raw
+// dump.  It is tolerant of invalid opcodes (renders them as .word) so
+// it can be used on corrupt images while debugging.
+func Disassemble(code []byte, base uint64) string {
+	var sb strings.Builder
+	for off := 0; off < len(code); {
+		if len(code)-off < InstSize {
+			fmt.Fprintf(&sb, "%#08x:\t.bytes % x\n", base+uint64(off), code[off:])
+			break
+		}
+		in, err := Decode(code[off : off+InstSize])
+		if err != nil {
+			fmt.Fprintf(&sb, "%#08x:\t.word % x\n", base+uint64(off), code[off:off+InstSize])
+		} else {
+			fmt.Fprintf(&sb, "%#08x:\t%s\n", base+uint64(off), in)
+		}
+		off += InstSize
+	}
+	return sb.String()
+}
+
+// FlatMemory is a simple non-paged Memory covering [Base,
+// Base+len(Data)).  It is used by unit tests and by host-side code
+// that needs to execute a fragment outside a simulated process.
+type FlatMemory struct {
+	Base uint64
+	Data []byte
+}
+
+// NewFlatMemory allocates size bytes of zeroed memory at base.
+func NewFlatMemory(base uint64, size int) *FlatMemory {
+	return &FlatMemory{Base: base, Data: make([]byte, size)}
+}
+
+func (m *FlatMemory) slice(addr uint64, n int) ([]byte, error) {
+	if addr < m.Base || addr+uint64(n) > m.Base+uint64(len(m.Data)) || addr+uint64(n) < addr {
+		return nil, fmt.Errorf("vm: flat memory access out of range: addr=%#x len=%d", addr, n)
+	}
+	off := addr - m.Base
+	return m.Data[off : off+uint64(n)], nil
+}
+
+// Read implements Memory.
+func (m *FlatMemory) Read(addr uint64, p []byte) error {
+	s, err := m.slice(addr, len(p))
+	if err != nil {
+		return err
+	}
+	copy(p, s)
+	return nil
+}
+
+// Write implements Memory.
+func (m *FlatMemory) Write(addr uint64, p []byte) error {
+	s, err := m.slice(addr, len(p))
+	if err != nil {
+		return err
+	}
+	copy(s, p)
+	return nil
+}
+
+// Fetch implements Memory.
+func (m *FlatMemory) Fetch(addr uint64, p []byte) error { return m.Read(addr, p) }

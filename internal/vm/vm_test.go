@@ -1,0 +1,378 @@
+package vm
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// run executes instructions on a fresh CPU with a 64KB flat memory and
+// returns the CPU for inspection.
+func run(t *testing.T, code []Inst, setup func(*CPU)) *CPU {
+	t.Helper()
+	mem := NewFlatMemory(0, 64*1024)
+	var buf []byte
+	for _, in := range code {
+		buf = in.Encode(buf)
+	}
+	copy(mem.Data, buf)
+	cpu := New(mem, nil)
+	cpu.R[RegSP] = 64 * 1024
+	if setup != nil {
+		setup(cpu)
+	}
+	if err := cpu.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	return cpu
+}
+
+func negU(v int64) uint64 { return uint64(-v) }
+
+func TestALUSemantics(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b uint64
+		want uint64
+	}{
+		{ADD, 3, 4, 7},
+		{SUB, 3, 4, ^uint64(0)}, // -1
+		{MUL, 6, 7, 42},
+		{DIV, negU(42), 7, negU(6)},
+		{MOD, negU(43), 7, negU(1)},
+		{AND, 0b1100, 0b1010, 0b1000},
+		{OR, 0b1100, 0b1010, 0b1110},
+		{XOR, 0b1100, 0b1010, 0b0110},
+		{SHL, 1, 70, 64}, // shift masked to 6
+		{SHR, 0x8000000000000000, 63, 1},
+		{SAR, 0x8000000000000000, 63, ^uint64(0)},
+		{SLT, negU(1), 1, 1},
+		{SLTU, negU(1), 1, 0},
+		{SEQ, 5, 5, 1},
+	}
+	for _, c := range cases {
+		cpu := run(t, []Inst{
+			{Op: c.op, Ra: 0, Rb: 1, Rc: 2},
+			{Op: HALT},
+		}, func(cpu *CPU) {
+			cpu.R[1] = c.a
+			cpu.R[2] = c.b
+		})
+		if cpu.R[0] != c.want {
+			t.Errorf("%s(%d,%d) = %d, want %d", c.op, int64(c.a), int64(c.b), int64(cpu.R[0]), int64(c.want))
+		}
+	}
+}
+
+func TestBranchesArePCRelative(t *testing.T) {
+	// movi r0,1; jmp +24 (skip next); movi r0,99; halt
+	cpu := run(t, []Inst{
+		{Op: MOVI, Ra: 0, Imm: 1},
+		{Op: JMP, Imm: 24},
+		{Op: MOVI, Ra: 0, Imm: 99},
+		{Op: HALT},
+	}, nil)
+	if cpu.R[0] != 1 {
+		t.Fatalf("r0 = %d, want 1 (jmp must skip)", cpu.R[0])
+	}
+}
+
+func TestCallRetStack(t *testing.T) {
+	// call abs 36 -> at 36: movi r0, 7; ret; then halt at 24.
+	cpu := run(t, []Inst{
+		{Op: CALL, Imm: 36},              // 0
+		{Op: ADDI, Ra: 0, Rb: 0, Imm: 1}, // 12 (after return)
+		{Op: HALT},                       // 24
+		{Op: MOVI, Ra: 0, Imm: 7},        // 36
+		{Op: RET},                        // 48
+	}, nil)
+	if cpu.R[0] != 8 {
+		t.Fatalf("r0 = %d, want 8", cpu.R[0])
+	}
+	if cpu.R[RegSP] != 64*1024 {
+		t.Fatalf("stack imbalance: sp=%#x", cpu.R[RegSP])
+	}
+}
+
+func TestCallPCAndLEAPC(t *testing.T) {
+	// callpc +36 from pc=12.
+	cpu := run(t, []Inst{
+		{Op: LEAPC, Ra: 5, Imm: 0}, // r5 = 0
+		{Op: CALLPC, Imm: 36},      // target = 12+36 = 48
+		{Op: HALT},                 // 24
+		{Op: NOP},                  // 36
+		{Op: MOVI, Ra: 0, Imm: 3},  // 48
+		{Op: RET},
+	}, nil)
+	if cpu.R[0] != 3 {
+		t.Fatalf("r0 = %d, want 3", cpu.R[0])
+	}
+	if cpu.R[5] != 0 {
+		t.Fatalf("leapc r5 = %d, want 0", cpu.R[5])
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	cpu := run(t, []Inst{
+		{Op: MOVI, Ra: 1, Imm: 0x1122334455667788},
+		{Op: MOVI, Ra: 2, Imm: 4096},
+		{Op: ST, Ra: 1, Rb: 2, Imm: 8},
+		{Op: LD, Ra: 3, Rb: 2, Imm: 8},
+		{Op: LD8, Ra: 4, Rb: 2, Imm: 8}, // low byte
+		{Op: MOVI, Ra: 5, Imm: 0xFF},
+		{Op: ST8, Ra: 5, Rb: 2, Imm: 15},
+		{Op: LD, Ra: 6, Rb: 2, Imm: 8},
+		{Op: HALT},
+	}, nil)
+	if cpu.R[3] != 0x1122334455667788 {
+		t.Fatalf("ld = %#x", cpu.R[3])
+	}
+	if cpu.R[4] != 0x88 {
+		t.Fatalf("ld8 = %#x", cpu.R[4])
+	}
+	if cpu.R[6] != 0xFF22334455667788 {
+		t.Fatalf("st8 patch = %#x", cpu.R[6])
+	}
+}
+
+func TestFaults(t *testing.T) {
+	mem := NewFlatMemory(0, 4096)
+	// Divide by zero.
+	var buf []byte
+	buf = Inst{Op: DIV, Ra: 0, Rb: 1, Rc: 2}.Encode(buf)
+	copy(mem.Data, buf)
+	cpu := New(mem, nil)
+	cpu.R[RegSP] = 4096
+	err := cpu.Step()
+	var f *Fault
+	if !errors.As(err, &f) || f.PC != 0 {
+		t.Fatalf("div0: %v", err)
+	}
+	// Invalid opcode.
+	mem2 := NewFlatMemory(0, 4096)
+	mem2.Data[0] = 0xEE
+	cpu2 := New(mem2, nil)
+	if err := cpu2.Step(); err == nil {
+		t.Fatal("invalid opcode accepted")
+	}
+	// Out-of-range fetch.
+	cpu3 := New(NewFlatMemory(4096, 4096), nil)
+	cpu3.PC = 0
+	if err := cpu3.Step(); err == nil {
+		t.Fatal("OOB fetch accepted")
+	}
+	// SYS without a handler.
+	mem4 := NewFlatMemory(0, 4096)
+	var b4 []byte
+	b4 = Inst{Op: SYS, Imm: 1}.Encode(b4)
+	copy(mem4.Data, b4)
+	cpu4 := New(mem4, nil)
+	if err := cpu4.Step(); err == nil {
+		t.Fatal("sys without handler accepted")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	mem := NewFlatMemory(0, 4096)
+	var buf []byte
+	buf = Inst{Op: JMP, Imm: 0}.Encode(buf) // infinite loop
+	copy(mem.Data, buf)
+	cpu := New(mem, nil)
+	if err := cpu.Run(100); err == nil {
+		t.Fatal("step limit not enforced")
+	}
+}
+
+func TestInstEncodeDecodeRoundtrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := Inst{
+			Op:  Op(r.Intn(int(opCount))),
+			Ra:  uint8(r.Intn(NumRegs)),
+			Rb:  uint8(r.Intn(NumRegs)),
+			Rc:  uint8(r.Intn(NumRegs)),
+			Imm: r.Uint64(),
+		}
+		enc := in.Encode(nil)
+		if len(enc) != InstSize {
+			return false
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		return dec == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCyclesOf(t *testing.T) {
+	if CyclesOf(ADD) != 1 {
+		t.Fatal("ADD should cost 1")
+	}
+	if CyclesOf(LD) <= CyclesOf(ADD) {
+		t.Fatal("memory ops should cost more than ALU")
+	}
+	if CyclesOf(JMPR) <= CyclesOf(LD) {
+		t.Fatal("indirect branch should cost more than a load")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	var buf []byte
+	buf = Inst{Op: MOVI, Ra: 1, Imm: 42}.Encode(buf)
+	buf = Inst{Op: CALL, Imm: 0x100}.Encode(buf)
+	buf = Inst{Op: LD, Ra: 2, Rb: 3, Imm: 8}.Encode(buf)
+	buf = Inst{Op: HALT}.Encode(buf)
+	out := Disassemble(buf, 0x1000)
+	for _, want := range []string{"movi r1, 42", "call 256", "ld r2, [r3+8]", "halt", "0x00001000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+	// Invalid bytes render as .word, not a panic.
+	junk := make([]byte, InstSize+3)
+	junk[0] = 0xEE
+	out = Disassemble(junk, 0)
+	if !strings.Contains(out, ".word") || !strings.Contains(out, ".bytes") {
+		t.Errorf("junk disassembly = %q", out)
+	}
+}
+
+func TestReadCString(t *testing.T) {
+	mem := NewFlatMemory(0, 4096)
+	copy(mem.Data[100:], "hello\x00")
+	cpu := New(mem, nil)
+	s, err := cpu.ReadCString(100, 32)
+	if err != nil || s != "hello" {
+		t.Fatalf("ReadCString = %q, %v", s, err)
+	}
+	if _, err := cpu.ReadCString(100, 3); err == nil {
+		t.Fatal("unterminated string accepted")
+	}
+}
+
+func TestRemainingOps(t *testing.T) {
+	// NOT/NEG/ADDI/MULI.
+	cpu := run(t, []Inst{
+		{Op: MOVI, Ra: 1, Imm: 5},
+		{Op: NOT, Ra: 2, Rb: 1},
+		{Op: NEG, Ra: 3, Rb: 1},
+		{Op: ADDI, Ra: 4, Rb: 1, Imm: negU(2)},
+		{Op: MULI, Ra: 5, Rb: 1, Imm: 3},
+		{Op: MOV, Ra: 6, Rb: 5},
+		{Op: HALT},
+	}, nil)
+	if cpu.R[2] != ^uint64(5) || cpu.R[3] != negU(5) || cpu.R[4] != 3 || cpu.R[6] != 15 {
+		t.Fatalf("regs: %x %x %d %d", cpu.R[2], cpu.R[3], cpu.R[4], cpu.R[6])
+	}
+}
+
+func TestBranchVariants(t *testing.T) {
+	// bne taken, bge taken, bltu taken with wraparound values.
+	cpu := run(t, []Inst{
+		{Op: MOVI, Ra: 1, Imm: 1},
+		{Op: MOVI, Ra: 2, Imm: 2},
+		{Op: BNE, Ra: 1, Rb: 2, Imm: 24},  // taken: skip the halt
+		{Op: HALT},                        // skipped
+		{Op: BGE, Ra: 2, Rb: 1, Imm: 24},  // taken
+		{Op: HALT},                        // skipped
+		{Op: MOVI, Ra: 3, Imm: negU(1)},   // max uint
+		{Op: BLTU, Ra: 1, Rb: 3, Imm: 24}, // 1 < max: taken
+		{Op: HALT},                        // skipped
+		{Op: MOVI, Ra: 0, Imm: 99},
+		{Op: HALT},
+	}, nil)
+	if cpu.R[0] != 99 {
+		t.Fatalf("r0 = %d", cpu.R[0])
+	}
+}
+
+func TestCallRJmpR(t *testing.T) {
+	cpu := run(t, []Inst{
+		{Op: MOVI, Ra: 5, Imm: 48}, // address of target
+		{Op: CALLR, Ra: 5},         // indirect call
+		{Op: HALT},                 // 24: after return
+		{Op: NOP},                  // 36
+		{Op: MOVI, Ra: 0, Imm: 11}, // 48
+		{Op: RET},
+	}, nil)
+	if cpu.R[0] != 11 {
+		t.Fatalf("r0 = %d", cpu.R[0])
+	}
+	// jmpr lands on the movi at offset 24 and falls through to halt.
+	cpu2 := run(t, []Inst{
+		{Op: MOVI, Ra: 5, Imm: 24},
+		{Op: JMPR, Ra: 5},
+		{Op: MOVI, Ra: 0, Imm: 1}, // offset 24: executed
+		{Op: HALT},
+	}, nil)
+	if cpu2.R[0] != 1 {
+		t.Fatalf("jmpr target: r0 = %d, want 1", cpu2.R[0])
+	}
+}
+
+func TestPushPopUnderflowFault(t *testing.T) {
+	mem := NewFlatMemory(4096, 4096)
+	var buf []byte
+	buf = Inst{Op: POP, Ra: 1}.Encode(buf)
+	copy(mem.Data, buf)
+	cpu := New(mem, nil)
+	cpu.PC = 4096
+	cpu.R[RegSP] = 0 // below the mapped region
+	if err := cpu.Step(); err == nil {
+		t.Fatal("pop from unmapped stack succeeded")
+	}
+}
+
+func TestInstStringAllOpcodes(t *testing.T) {
+	for op := Op(0); op < opCount; op++ {
+		in := Inst{Op: op, Ra: 1, Rb: 2, Rc: 3, Imm: 42}
+		s := in.String()
+		if s == "" {
+			t.Errorf("op %d renders empty", op)
+		}
+	}
+	// Unknown opcode renders without panicking.
+	if Op(200).String() == "" {
+		t.Error("unknown opcode renders empty")
+	}
+	if Op(200).Valid() {
+		t.Error("op 200 claims validity")
+	}
+}
+
+func TestSysRedirectSemantics(t *testing.T) {
+	// The handler sees PC already advanced and may redirect it.
+	mem := NewFlatMemory(0, 4096)
+	var buf []byte
+	buf = Inst{Op: SYS, Imm: 9}.Encode(buf)         // 0
+	buf = Inst{Op: HALT}.Encode(buf)                // 12 (skipped by redirect)
+	buf = Inst{Op: MOVI, Ra: 0, Imm: 5}.Encode(buf) // 24
+	buf = Inst{Op: HALT}.Encode(buf)
+	copy(mem.Data, buf)
+	redirected := false
+	cpu := New(mem, handlerFunc(func(c *CPU, num uint64) error {
+		if c.PC != 12 {
+			t.Errorf("handler sees pc=%d, want 12", c.PC)
+		}
+		c.PC = 24
+		redirected = true
+		return nil
+	}))
+	cpu.R[RegSP] = 4096
+	if err := cpu.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if !redirected || cpu.R[0] != 5 {
+		t.Fatalf("redirect failed: r0=%d", cpu.R[0])
+	}
+}
+
+type handlerFunc func(*CPU, uint64) error
+
+func (f handlerFunc) Syscall(c *CPU, num uint64) error { return f(c, num) }

@@ -1,0 +1,223 @@
+// Package omos is the public facade of the OMOS reproduction: a
+// persistent object/meta-object server that provides program linking
+// and loading as a special case of generic object instantiation
+// (Orr, Bonn, Lepreau, Mecklenburg: "Fast and Flexible Shared
+// Libraries", Winter USENIX 1993).
+//
+// A System bundles a simulated machine (CPU, paged memory, kernel,
+// filesystem), an OMOS server, and the loader runtime.  Programs and
+// libraries are defined as blueprint meta-objects; instantiation
+// produces cached, relocated images whose read-only pages are shared
+// between every client process that maps them.
+//
+//	sys, _ := omos.NewSystem()
+//	sys.DefineLibrary("/lib/mylib", `(source "c" "int f(int x){return x*2;}")`)
+//	sys.Define("/bin/app", `(merge /lib/crt0.o (source "c" "
+//	    extern int f(int);
+//	    int main() { return f(21); }") /lib/mylib)`)
+//	res, _ := sys.Run("/bin/app", nil)
+//	// res.ExitCode == 42
+package omos
+
+import (
+	"errors"
+	"fmt"
+
+	"omos/internal/asm"
+	"omos/internal/loader"
+	"omos/internal/minic"
+	"omos/internal/obj"
+	"omos/internal/osim"
+	"omos/internal/server"
+	"omos/internal/vm"
+)
+
+// System is a booted simulated machine with an OMOS server attached.
+type System struct {
+	// Kern is the simulated operating system instance.
+	Kern *osim.Kernel
+	// Srv is the OMOS object/meta-object server.
+	Srv *server.Server
+	// RT is the loader runtime (bootstrap, integrated, and
+	// partial-image exec paths).
+	RT *loader.Runtime
+}
+
+// NewSystem boots a fresh machine, attaches an OMOS server, installs
+// the bootstrap loader binary, and provides the default startup object
+// at /lib/crt0.o.
+func NewSystem() (*System, error) {
+	k := osim.NewKernel()
+	srv := server.New(k)
+	rt, err := loader.Setup(k, srv)
+	if err != nil {
+		return nil, err
+	}
+	if err := rt.InstallBoot(); err != nil {
+		return nil, err
+	}
+	crt0, err := asm.Assemble("crt0.s", crt0Src)
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.PutObject("/lib/crt0.o", crt0); err != nil {
+		return nil, err
+	}
+	return &System{Kern: k, Srv: srv, RT: rt}, nil
+}
+
+// crt0Src is the default startup stub: argc/argv pass through to main
+// in R1/R2; main's return value becomes the exit status.
+const crt0Src = `
+.text
+_start:
+    call main
+    mov r1, r0
+    sys 1
+`
+
+// Define stores a program meta-object from blueprint source.
+func (s *System) Define(path, blueprint string) error {
+	return s.Srv.Define(path, blueprint)
+}
+
+// DefineLibrary stores a library-class meta-object.
+func (s *System) DefineLibrary(path, blueprint string) error {
+	return s.Srv.DefineLibrary(path, blueprint)
+}
+
+// PutObject stores a relocatable object in the namespace.
+func (s *System) PutObject(path string, o *obj.Object) error {
+	return s.Srv.PutObject(path, o)
+}
+
+// CompileC compiles mini-C source and stores the resulting objects
+// under dir (one object per function plus a globals object), returning
+// the stored paths.
+func (s *System) CompileC(dir, unit, src string) ([]string, error) {
+	objs, err := minic.Compile(src, minic.Options{Unit: unit})
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for i, o := range objs {
+		p := fmt.Sprintf("%s/%s.%d.o", dir, unit, i)
+		if err := s.Srv.PutObject(p, o); err != nil {
+			return nil, err
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
+}
+
+// Assemble assembles source text and stores the object at path.
+func (s *System) Assemble(path, src string) error {
+	o, err := asm.Assemble(path, src)
+	if err != nil {
+		return err
+	}
+	return s.Srv.PutObject(path, o)
+}
+
+// List returns namespace paths under a prefix.
+func (s *System) List(prefix string) []string { return s.Srv.List(prefix) }
+
+// RunResult reports a completed program execution.
+type RunResult struct {
+	ExitCode uint64
+	Output   string
+	// Clock is the process's simulated time accounting.
+	Clock osim.Clock
+	// TextPages is the number of distinct executable pages touched.
+	TextPages int
+	// Trace holds monitoring events if the image was instrumented.
+	Trace []uint64
+}
+
+// Run instantiates and executes the named program meta-object through
+// the integrated exec path and returns its result.  Faults are
+// symbolized against the image's bound symbol table (the seed of the
+// paper's planned gdb/OMOS integration, §4.1).
+func (s *System) Run(name string, args []string) (*RunResult, error) {
+	res, err := s.runWith(func() (*osim.Process, error) {
+		return s.RT.ExecIntegrated(name, args)
+	})
+	if err != nil {
+		var f *vm.Fault
+		if errors.As(err, &f) {
+			if inst, ierr := s.Srv.Instantiate(name, nil); ierr == nil {
+				if sym, off, owner, ok := inst.SymbolAt(f.PC); ok {
+					return nil, fmt.Errorf("%w (pc in %s+%#x, image %s)", err, sym, off, owner)
+				}
+			}
+		}
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunBootstrap executes the program through the bootstrap loader (an
+// IPC round trip to the server), as on systems where OMOS is not
+// integrated with exec.
+func (s *System) RunBootstrap(name string, args []string) (*RunResult, error) {
+	return s.runWith(func() (*osim.Process, error) {
+		return s.RT.ExecBootstrap(name, args)
+	})
+}
+
+func (s *System) runWith(launch func() (*osim.Process, error)) (*RunResult, error) {
+	p, err := launch()
+	if err != nil {
+		return nil, err
+	}
+	code, err := s.Kern.RunToExit(p)
+	if err != nil {
+		return nil, err
+	}
+	res := &RunResult{
+		ExitCode:  code,
+		Output:    p.Output.String(),
+		Clock:     p.Clock,
+		TextPages: p.AS.TouchedText,
+		Trace:     p.Trace,
+	}
+	p.Release()
+	return res, nil
+}
+
+// BuildPartialExec builds a partial-image executable (§4.2) for a
+// program meta-object and installs it in the simulated filesystem.
+func (s *System) BuildPartialExec(metaName, execPath string) error {
+	return s.RT.BuildPartialExec(metaName, execPath)
+}
+
+// RunPartial executes a previously built partial-image executable.
+func (s *System) RunPartial(execPath string, args []string) (*RunResult, error) {
+	return s.runWith(func() (*osim.Process, error) {
+		return s.RT.ExecPartial(execPath, args)
+	})
+}
+
+// Symbols dynamically instantiates a meta-object and returns the bound
+// values of the requested symbols — the §5 dynamic loading interface
+// ("a list of symbols whose bound values are to be returned from
+// OMOS").
+func (s *System) Symbols(name string, symbols ...string) (map[string]uint64, error) {
+	inst, err := s.Srv.Instantiate(name, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]uint64, len(symbols))
+	for _, sym := range symbols {
+		addr, ok := inst.Lookup(sym)
+		if !ok {
+			return nil, fmt.Errorf("omos: symbol %q not bound by %s", sym, name)
+		}
+		out[sym] = addr
+	}
+	return out, nil
+}
+
+// MemStats reports machine-wide physical memory statistics (sharing
+// accounting).
+func (s *System) MemStats() osim.MemStats { return s.Kern.FT.Stats() }
