@@ -5,9 +5,11 @@
 //
 // Usage:
 //
-//	omosbench [-quick] [-table id[,id...]] [-iters n]
+//	omosbench [-quick] [-table id[,id...]] [-iters n] [-list]
 //
-// Table ids: 1a 1b 1c 1d reorder memory linktime cache constraints schemes binding cacheoff monitor clients all
+// Table ids: 1a 1b 1c 1d reorder memory linktime cache constraints
+// schemes binding cacheoff monitor clients warmrestart all.  -list
+// prints every table id with a one-line description and exits.
 package main
 
 import (
@@ -23,6 +25,7 @@ func main() {
 	quick := flag.Bool("quick", false, "small workloads and few iterations")
 	tables := flag.String("table", "all", "comma-separated table ids")
 	iters := flag.Int("iters", 0, "override iteration count")
+	list := flag.Bool("list", false, "print the table ids and exit")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -35,24 +38,32 @@ func main() {
 	}
 
 	type exp struct {
-		id  string
-		run func(bench.Config) (*bench.Table, error)
+		id   string
+		desc string
+		run  func(bench.Config) (*bench.Table, error)
 	}
 	all := []exp{
-		{"1a", bench.Table1a},
-		{"1b", bench.Table1b},
-		{"1c", bench.Table1c},
-		{"1d", bench.Table1d},
-		{"reorder", bench.Reorder},
-		{"memory", bench.Memory},
-		{"linktime", bench.LinkTime},
-		{"cache", bench.CacheWarmCold},
-		{"schemes", bench.Schemes},
-		{"cacheoff", bench.CacheAblation},
-		{"monitor", bench.MonitorOverhead},
-		{"clients", bench.Clients},
-		{"binding", bench.BindAblation},
-		{"constraints", bench.Constraints},
+		{"1a", "Table 1a: ls in a one-entry directory (HP-UX)", bench.Table1a},
+		{"1b", "Table 1b: ls -laF in a populated directory (HP-UX)", bench.Table1b},
+		{"1c", "Table 1c: codegen compute workload (HP-UX)", bench.Table1c},
+		{"1d", "Table 1d: Mach 3.0 cost model, bootstrap vs integrated exec", bench.Table1d},
+		{"reorder", "procedure reordering: fault counts and touched pages (§4.1)", bench.Reorder},
+		{"memory", "physical memory sharing across concurrent clients", bench.Memory},
+		{"linktime", "link-time comparison: static vs dynamic vs OMOS (§2.1)", bench.LinkTime},
+		{"cache", "image cache: cold build vs warm hit", bench.CacheWarmCold},
+		{"schemes", "linkage schemes: direct vs branch-table vs PIC", bench.Schemes},
+		{"cacheoff", "cache ablation: every instantiation relinks", bench.CacheAblation},
+		{"monitor", "monitoring instrumentation overhead (§4.1)", bench.MonitorOverhead},
+		{"clients", "server throughput under concurrent clients", bench.Clients},
+		{"binding", "eager vs lazy binding ablation", bench.BindAblation},
+		{"constraints", "constraint system: conflicting placement requests (§3.5)", bench.Constraints},
+		{"warmrestart", "persistent store: cold boot vs warm restart", bench.WarmRestart},
+	}
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-12s %s\n", e.id, e.desc)
+		}
+		return
 	}
 	want := map[string]bool{}
 	for _, id := range strings.Split(*tables, ",") {
@@ -72,7 +83,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "omosbench: no matching tables (use -table 1a,1b,1c,1d,reorder,memory,linktime,cache,constraints,schemes,binding,cacheoff,monitor,clients or all)")
+		fmt.Fprintln(os.Stderr, "omosbench: no matching tables (use -list to see the ids, or -table all)")
 		os.Exit(2)
 	}
 }

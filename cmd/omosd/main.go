@@ -6,16 +6,28 @@
 //
 // Usage:
 //
-//	omosd [-listen :7070] [-workloads]
+//	omosd [-listen :7070] [-workloads] [-store DIR] [-store-max-bytes N]
 //
 // With -workloads the daemon boots with the evaluation workloads
 // preinstalled (/bin/ls, /bin/codegen, /lib/libc, ...).
+//
+// With -store the image cache is persistent: every image built is
+// written to DIR, and a daemon restarted on the same directory
+// warm-loads them — client instantiations hit the cache without a
+// single relink.  -store-max-bytes bounds the store (LRU eviction);
+// 0 means unlimited.
+//
+// On SIGINT/SIGTERM the daemon shuts down gracefully: it stops
+// accepting, lets in-flight requests finish, and flushes the store.
 package main
 
 import (
 	"flag"
 	"log"
 	"net"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"omos"
 	"omos/internal/daemon"
@@ -26,11 +38,19 @@ import (
 func main() {
 	listen := flag.String("listen", ":7070", "TCP address to listen on")
 	workloads := flag.Bool("workloads", false, "preinstall the evaluation workloads")
+	storeDir := flag.String("store", "", "directory for the persistent image store (empty: in-memory only)")
+	storeMax := flag.Int64("store-max-bytes", 0, "image store capacity in bytes (0: unlimited)")
 	flag.Parse()
 
-	sys, err := omos.NewSystem()
+	sys, err := omos.NewSystemWith(omos.Options{
+		StoreDir:      *storeDir,
+		StoreMaxBytes: *storeMax,
+	})
 	if err != nil {
 		log.Fatalf("omosd: %v", err)
+	}
+	if *storeDir != "" {
+		log.Printf("omosd: image store at %s (%d images warm-loaded)", *storeDir, sys.WarmLoaded)
 	}
 	if *workloads {
 		if err := daemon.InstallWorkloads(sys, workload.DefaultCodegen()); err != nil {
@@ -42,7 +62,24 @@ func main() {
 		log.Fatalf("omosd: %v", err)
 	}
 	log.Printf("omosd: serving on %s (workloads=%v)", l.Addr(), *workloads)
-	if err := ipc.Serve(l, daemon.New(sys)); err != nil {
+
+	srv := ipc.NewServer(daemon.New(sys))
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		sig := <-sigc
+		log.Printf("omosd: %v: draining and flushing", sig)
+		srv.Shutdown()
+		close(done)
+	}()
+
+	if err := srv.Serve(l); err != nil {
 		log.Fatalf("omosd: %v", err)
 	}
+	<-done
+	if err := sys.Close(); err != nil {
+		log.Printf("omosd: closing store: %v", err)
+	}
+	log.Printf("omosd: shut down cleanly")
 }

@@ -205,6 +205,45 @@ func (s *Solver) Place(req Request) (Placement, error) {
 	return pl, nil
 }
 
+// Restore re-installs a placement recorded by a previous run (the
+// warm-boot path of the persistent image store).  The regions are
+// reserved exactly as Place would have left them, so a subsequent
+// Place with the same key and sizes reuses the placement — and the
+// server therefore recomputes the same placement-dependent cache key
+// it persisted.  Restoring a key that is already placed at the same
+// bases is a no-op; a conflicting placement or an overlap with an
+// existing region is an error (the stored entry is stale).
+func (s *Solver) Restore(key string, pl Placement, textSize, dataSize uint64) error {
+	if key == "" {
+		return fmt.Errorf("constraint: empty placement key")
+	}
+	if prior, ok := s.placements[key]; ok {
+		if prior.TextBase == pl.TextBase && prior.DataBase == pl.DataBase {
+			return nil
+		}
+		return fmt.Errorf("constraint: restore %s: already placed at %#x/%#x, stored %#x/%#x",
+			key, prior.TextBase, prior.DataBase, pl.TextBase, pl.DataBase)
+	}
+	var added []Region
+	if textSize > 0 {
+		added = append(added, Region{Base: pl.TextBase, Size: osim.PageAlign(textSize)})
+	}
+	if dataSize > 0 {
+		added = append(added, Region{Base: pl.DataBase, Size: osim.PageAlign(dataSize)})
+	}
+	for _, r := range added {
+		if s.conflicts(r) {
+			return fmt.Errorf("constraint: restore %s: region %#x+%#x conflicts with an existing placement",
+				key, r.Base, r.Size)
+		}
+	}
+	s.regions = append(s.regions, added...)
+	s.placements[key] = Placement{TextBase: pl.TextBase, DataBase: pl.DataBase}
+	s.sizes[key] = [2]uint64{textSize, dataSize}
+	s.owned[key] = added
+	return nil
+}
+
 // release removes a key's regions.
 func (s *Solver) release(key string) {
 	owned := s.owned[key]

@@ -153,7 +153,9 @@ func (b *Backend) Stats() string {
 	srv := b.Sys.Srv.Stats
 	return fmt.Sprintf(
 		"cache: hits=%d misses=%d images=%d relocs=%d buildcycles=%d\n"+
-			"memory: frames=%d resident=%dKB shared-frames=%d saved=%dKB\n",
+			"memory: frames=%d resident=%dKB shared-frames=%d saved=%dKB\n"+
+			"store: warm-loaded=%d loads=%d stores=%d evictions=%d corrupt=%d bytes=%d\n",
 		srv.CacheHits, srv.CacheMisses, srv.ImagesBuilt, srv.RelocsApplied, srv.BuildCycles,
-		st.Frames, st.Bytes()/1024, st.SharedFrames, st.SavedBytes()/1024)
+		st.Frames, st.Bytes()/1024, st.SharedFrames, st.SavedBytes()/1024,
+		srv.WarmLoaded, srv.StoreLoads, srv.StoreStores, srv.StoreEvictions, srv.StoreCorrupt, srv.StoreBytes)
 }

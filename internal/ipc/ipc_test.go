@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestFrameRoundtrip(t *testing.T) {
@@ -227,4 +228,85 @@ func TestFederationOps(t *testing.T) {
 		t.Fatalf("stats: %v", err)
 	}
 	_ = b
+}
+
+// slowBackend blocks Run until released, to hold a request in flight
+// across a Shutdown call.
+type slowBackend struct {
+	*fakeBackend
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (s *slowBackend) Run(name string, args []string, boot bool) (RunOutcome, error) {
+	close(s.entered)
+	<-s.release
+	return RunOutcome{ExitCode: 3, Output: "slow"}, nil
+}
+
+func TestGracefulShutdownDrainsInflight(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &slowBackend{
+		fakeBackend: newFakeBackend(),
+		entered:     make(chan struct{}),
+		release:     make(chan struct{}),
+	}
+	srv := NewServer(b)
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(l) }()
+
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	type callResult struct {
+		resp *Response
+		err  error
+	}
+	inflight := make(chan callResult, 1)
+	go func() {
+		resp, err := c.Call(&Request{Op: OpRun, Path: "/bin/slow"})
+		inflight <- callResult{resp, err}
+	}()
+	<-b.entered // the request is now inside the backend
+
+	shutdownDone := make(chan struct{})
+	go func() {
+		srv.Shutdown()
+		close(shutdownDone)
+	}()
+
+	// Shutdown must not complete while the request is in flight.
+	select {
+	case <-shutdownDone:
+		t.Fatal("Shutdown returned with a request in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(b.release)
+	<-shutdownDone
+	res := <-inflight
+	if res.err != nil {
+		t.Fatalf("in-flight call lost during shutdown: %v", res.err)
+	}
+	if res.resp.ExitCode != 3 || res.resp.Output != "slow" {
+		t.Fatalf("in-flight response corrupted: %+v", res.resp)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("Serve returned %v after Shutdown, want nil", err)
+	}
+	// New connections are refused after shutdown.
+	if c2, err := Dial(l.Addr().String()); err == nil {
+		if _, err := c2.Call(&Request{Op: OpPing}); err == nil {
+			t.Fatal("server accepted a request after shutdown")
+		}
+		c2.Close()
+	}
+	// Shutdown is idempotent.
+	srv.Shutdown()
 }

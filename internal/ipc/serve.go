@@ -3,6 +3,7 @@ package ipc
 import (
 	"fmt"
 	"net"
+	"sync"
 )
 
 // RunOutcome reports a program execution performed by the daemon.
@@ -31,30 +32,118 @@ type Backend interface {
 	ExportObject(path string) ([]byte, error)
 }
 
-// Serve accepts connections until the listener closes.  Each
-// connection may issue any number of requests.
-func Serve(l net.Listener, b Backend) error {
+// Server accepts protocol connections for a Backend and supports
+// graceful shutdown: stop accepting, let every in-flight request
+// finish and its response flush, then close the idle connections.
+type Server struct {
+	b Backend
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]bool
+	closed   bool
+	inflight sync.WaitGroup
+}
+
+// NewServer returns a server for the backend.
+func NewServer(b Backend) *Server {
+	return &Server{b: b, conns: map[net.Conn]bool{}}
+}
+
+// Serve accepts connections on l until the listener closes or
+// Shutdown is called.  Each connection may issue any number of
+// requests.  After Shutdown, Serve returns nil.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return nil
+	}
+	s.listener = l
+	s.mu.Unlock()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
 			return err
 		}
-		go serveConn(conn, b)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		go s.serveConn(conn)
 	}
 }
 
-func serveConn(conn net.Conn, b Backend) {
-	defer conn.Close()
+// Shutdown stops accepting, waits for in-flight requests to complete
+// (their responses are written), and closes every connection.  Safe
+// to call more than once.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	l := s.listener
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	s.inflight.Wait()
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.conns = map[net.Conn]bool{}
+	s.mu.Unlock()
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
 	for {
 		var req Request
 		if err := ReadFrame(conn, &req); err != nil {
 			return // EOF or broken peer; nothing to report to
 		}
-		resp := handle(&req, b)
+		// Register in-flight under the lock: a request is either
+		// registered before Shutdown flips closed (and thus drained),
+		// or refused.
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			WriteFrame(conn, &Response{Err: "server shutting down"})
+			return
+		}
+		s.inflight.Add(1)
+		s.mu.Unlock()
+		resp := handle(&req, s.b)
+		s.inflight.Done()
 		if err := WriteFrame(conn, resp); err != nil {
 			return
 		}
 	}
+}
+
+// Serve accepts connections until the listener closes.  Each
+// connection may issue any number of requests.
+func Serve(l net.Listener, b Backend) error {
+	return NewServer(b).Serve(l)
 }
 
 func handle(req *Request, b Backend) *Response {

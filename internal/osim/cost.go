@@ -95,6 +95,14 @@ type CostModel struct {
 	// ServerBuildRecord prices parsing one object record during image
 	// construction (paid once).
 	ServerBuildRecord uint64
+
+	// StoreLoadPerByte prices reading one byte of a persisted image
+	// blob at warm boot (server time, charged to the kernel total —
+	// no client exists yet).
+	StoreLoadPerByte uint64
+	// StoreWritePerByte prices writing one byte of an image blob to
+	// the persistent store after a build.
+	StoreWritePerByte uint64
 }
 
 // DefaultCost returns the calibrated cost model.
@@ -129,6 +137,9 @@ func DefaultCost() CostModel {
 		ServerMapSegment:  600,
 		ServerBuildReloc:  120,
 		ServerBuildRecord: 50,
+
+		StoreLoadPerByte:  6,
+		StoreWritePerByte: 8,
 	}
 }
 

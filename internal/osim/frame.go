@@ -1,6 +1,9 @@
 package osim
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Frame is one physical page.  Frames are refcounted by the
 // FrameTable so the benchmarks can report how much physical memory is
@@ -9,11 +12,15 @@ import "fmt"
 type Frame struct {
 	ID   uint64
 	Data [PageSize]byte
-	refs int
+	refs int // guarded by the owning FrameTable's mutex
 }
 
-// FrameTable is the machine's physical memory allocator.
+// FrameTable is the machine's physical memory allocator.  It is safe
+// for concurrent use: the OMOS server materializes and evicts cached
+// images from concurrent instantiations, so allocation and refcounts
+// are guarded here rather than by the server lock.
 type FrameTable struct {
+	mu     sync.Mutex
 	nextID uint64
 	frames map[uint64]*Frame
 }
@@ -25,6 +32,8 @@ func NewFrameTable() *FrameTable {
 
 // Alloc returns a new zeroed frame with one reference.
 func (ft *FrameTable) Alloc() *Frame {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
 	ft.nextID++
 	f := &Frame{ID: ft.nextID, refs: 1}
 	ft.frames[f.ID] = f
@@ -32,10 +41,16 @@ func (ft *FrameTable) Alloc() *Frame {
 }
 
 // Ref adds a reference to f (a new mapping of a shared frame).
-func (ft *FrameTable) Ref(f *Frame) { f.refs++ }
+func (ft *FrameTable) Ref(f *Frame) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	f.refs++
+}
 
 // Unref drops a reference; the frame is freed at zero.
 func (ft *FrameTable) Unref(f *Frame) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
 	f.refs--
 	if f.refs < 0 {
 		panic(fmt.Sprintf("osim: frame %d refcount underflow", f.ID))
@@ -66,6 +81,8 @@ func (s MemStats) SavedBytes() int { return s.SharedSavings * PageSize }
 
 // Stats computes current memory statistics.
 func (ft *FrameTable) Stats() MemStats {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
 	var st MemStats
 	for _, f := range ft.frames {
 		st.Frames++
@@ -119,5 +136,32 @@ func (ft *FrameTable) Release(seg *FrameSeg) {
 	seg.Frames = nil
 }
 
+// SegInUse reports whether any of the segment's frames carries
+// references beyond the owner's own hold — i.e. some live process
+// still maps it.  The image-store eviction policy refuses to evict
+// such segments.
+func (ft *FrameTable) SegInUse(seg *FrameSeg) bool {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	for _, f := range seg.Frames {
+		if f != nil && f.refs > 1 {
+			return true
+		}
+	}
+	return false
+}
+
 // End returns the first address past the segment.
 func (s *FrameSeg) End() uint64 { return s.Addr + uint64(len(s.Frames))*PageSize }
+
+// Bytes returns the segment's contents (including zero fill), the
+// serializable form for the persistent image store.
+func (s *FrameSeg) Bytes() []byte {
+	out := make([]byte, len(s.Frames)*PageSize)
+	for i, f := range s.Frames {
+		if f != nil {
+			copy(out[i*PageSize:], f.Data[:])
+		}
+	}
+	return out
+}

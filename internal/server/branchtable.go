@@ -68,32 +68,36 @@ func (s *Server) buildBranchTableLib(dep mgraph.LibDep, v *mgraph.Value, libs []
 	}
 	key := digestStr("lib-bt", ch, dep.Spec.Hash(),
 		fmt.Sprintf("%#x/%#x", pl.TextBase, pl.DataBase), libKeys(libs))
-	if inst := s.cacheGet(key); inst != nil {
-		s.bumpHit()
-		return inst, nil
-	}
-	res, err := link.Link(module, link.Options{
-		Name:     "lib:" + dep.Path,
-		TextBase: pl.TextBase,
-		DataBase: pl.DataBase,
-		Externs:  externs,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("server: linking branch-table library %s: %w", dep.Path, err)
-	}
-	inst, err := s.materialize(key, "lib:"+dep.Path, res, libs, p)
-	if err != nil {
-		return nil, err
-	}
-	inst.BTSlots = map[string]uint64{}
-	for _, f := range upward {
-		slot, ok := res.Syms[btSlotPrefix+f]
-		if !ok {
-			return nil, fmt.Errorf("server: %s: branch-table slot for %s missing", dep.Path, f)
+	return s.buildShared(key, func() (*Instance, error) {
+		res, err := link.Link(module, link.Options{
+			Name:     "lib:" + dep.Path,
+			TextBase: pl.TextBase,
+			DataBase: pl.DataBase,
+			Externs:  externs,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: linking branch-table library %s: %w", dep.Path, err)
 		}
-		inst.BTSlots[f] = slot
-	}
-	return inst, nil
+		inst, err := s.materialize(key, "lib:"+dep.Path, res, libs, p)
+		if err != nil {
+			return nil, err
+		}
+		inst.BTSlots = map[string]uint64{}
+		for _, f := range upward {
+			slot, ok := res.Syms[btSlotPrefix+f]
+			if !ok {
+				return nil, fmt.Errorf("server: %s: branch-table slot for %s missing", dep.Path, f)
+			}
+			inst.BTSlots[f] = slot
+		}
+		inst.place = placeRec{
+			SolverKey: "lib:" + dep.Path + "|" + dep.Spec.Hash(),
+			TextBase:  pl.TextBase, TextSize: textSize,
+			DataBase: pl.DataBase, DataSize: dataSize,
+		}
+		s.persistInstance(inst)
+		return inst, nil
+	})
 }
 
 // checkCallOnly enforces the paper's constraint: upward references may

@@ -158,20 +158,28 @@ func (s *Server) instantiateLibrary(dep mgraph.LibDep, p *osim.Process) (*Instan
 	}
 	key := digestStr("lib", ch, dep.Spec.Hash(),
 		fmt.Sprintf("%#x/%#x", pl.TextBase, pl.DataBase), libKeys(libs))
-	if inst := s.cacheGet(key); inst != nil {
-		s.bumpHit()
+	return s.buildShared(key, func() (*Instance, error) {
+		res, err := link.Link(v.Module, link.Options{
+			Name:     "lib:" + dep.Path,
+			TextBase: pl.TextBase,
+			DataBase: pl.DataBase,
+			Externs:  externsOf(libs),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: linking library %s: %w", dep.Path, err)
+		}
+		inst, err := s.materialize(key, dep.Path, res, libs, p)
+		if err != nil {
+			return nil, err
+		}
+		inst.place = placeRec{
+			SolverKey: "lib:" + dep.Path + "|" + dep.Spec.Hash(),
+			TextBase:  pl.TextBase, TextSize: textSize,
+			DataBase: pl.DataBase, DataSize: dataSize,
+		}
+		s.persistInstance(inst)
 		return inst, nil
-	}
-	res, err := link.Link(v.Module, link.Options{
-		Name:     "lib:" + dep.Path,
-		TextBase: pl.TextBase,
-		DataBase: pl.DataBase,
-		Externs:  externsOf(libs),
 	})
-	if err != nil {
-		return nil, fmt.Errorf("server: linking library %s: %w", dep.Path, err)
-	}
-	return s.materialize(key, dep.Path, res, libs, p)
 }
 
 func (s *Server) instantiateProgram(name string, meta *mgraph.Meta, p *osim.Process) (*Instance, error) {
@@ -208,21 +216,29 @@ func (s *Server) instantiateProgram(name string, meta *mgraph.Meta, p *osim.Proc
 	}
 	key := digestStr("prog", meta.SrcHash, subHash,
 		fmt.Sprintf("%#x/%#x", pl.TextBase, pl.DataBase), libKeys(libs))
-	if inst := s.cacheGet(key); inst != nil {
-		s.bumpHit()
+	return s.buildShared(key, func() (*Instance, error) {
+		res, err := link.Link(v.Module, link.Options{
+			Name:     name,
+			TextBase: pl.TextBase,
+			DataBase: pl.DataBase,
+			Entry:    "_start",
+			Externs:  externsOf(libs),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: linking %s: %w", name, err)
+		}
+		inst, err := s.materialize(key, name, res, libs, p)
+		if err != nil {
+			return nil, err
+		}
+		inst.place = placeRec{
+			SolverKey: "prog:" + name,
+			TextBase:  pl.TextBase, TextSize: textSize,
+			DataBase: pl.DataBase, DataSize: dataSize,
+		}
+		s.persistInstance(inst)
 		return inst, nil
-	}
-	res, err := link.Link(v.Module, link.Options{
-		Name:     name,
-		TextBase: pl.TextBase,
-		DataBase: pl.DataBase,
-		Entry:    "_start",
-		Externs:  externsOf(libs),
 	})
-	if err != nil {
-		return nil, fmt.Errorf("server: linking %s: %w", name, err)
-	}
-	return s.materialize(key, name, res, libs, p)
 }
 
 func libKeys(libs []*Instance) string {
@@ -231,15 +247,6 @@ func libKeys(libs []*Instance) string {
 		out += li.Key + ";"
 	}
 	return out
-}
-
-func (s *Server) cacheGet(key string) *Instance {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.DisableCache {
-		return nil
-	}
-	return s.cache[key]
 }
 
 // ReleaseInstance drops the frames materialized for an instance (and
@@ -252,12 +259,6 @@ func (s *Server) ReleaseInstance(inst *Instance) {
 	if inst.Table != nil {
 		s.kern.FT.Release(inst.Table)
 	}
-}
-
-func (s *Server) bumpHit() {
-	s.mu.Lock()
-	s.Stats.CacheHits++
-	s.mu.Unlock()
 }
 
 // materialize turns a link result into a cached Instance: read-only
@@ -290,13 +291,15 @@ func (s *Server) materialize(key, name string, res *link.Result, libs []*Instanc
 	s.Stats.BuildCycles += cost
 	if !s.DisableCache {
 		if prior, raced := s.cache[key]; raced {
-			// A concurrent instantiation built the same image first;
-			// keep the cached one and release this build's frames.
+			// Unreachable under the singleflight layer (one build per
+			// key), kept as a safety net: prefer the cached instance
+			// and release this build's frames.
 			s.mu.Unlock()
 			s.ReleaseInstance(inst)
 			return prior, nil
 		}
 		s.cache[key] = inst
+		s.touchLocked(key)
 	}
 	s.mu.Unlock()
 	return inst, nil
@@ -318,14 +321,10 @@ func (s *Server) Evict(name string) int {
 		if inst.Name != name && inst.Name != "lib:"+name {
 			continue
 		}
-		for _, seg := range inst.ROSegs {
-			s.kern.FT.Release(seg)
+		s.evictEntryLocked(inst)
+		if s.store != nil {
+			s.store.Delete(key)
 		}
-		if inst.Table != nil {
-			s.kern.FT.Release(inst.Table)
-			s.solver.Release("table:" + inst.Key)
-		}
-		delete(s.cache, key)
 		evicted++
 	}
 	s.solver.Release("prog:" + name)
@@ -334,7 +333,25 @@ func (s *Server) Evict(name string) int {
 			s.solver.Release(k)
 		}
 	}
+	s.syncStoreStatsLocked()
 	return evicted
+}
+
+// evictEntryLocked drops one cached instance from the in-memory
+// tier: its shared frames (and export table) are released and the
+// cache entry removed.  Frames a running process maps stay alive
+// through the process's own references.  The main solver placement is
+// deliberately kept so a rebuild lands at the same addresses.
+func (s *Server) evictEntryLocked(inst *Instance) {
+	for _, seg := range inst.ROSegs {
+		s.kern.FT.Release(seg)
+	}
+	if inst.Table != nil {
+		s.kern.FT.Release(inst.Table)
+		s.solver.Release("table:" + inst.Key)
+	}
+	delete(s.cache, inst.Key)
+	delete(s.lastUse, inst.Key)
 }
 
 // MapInstance maps the instance and all its libraries into a process,

@@ -1,0 +1,364 @@
+package server
+
+import (
+	"bytes"
+	"sort"
+
+	"omos/internal/constraint"
+	"omos/internal/image"
+	"omos/internal/link"
+	"omos/internal/obj"
+	"omos/internal/store"
+)
+
+// This file is the bridge between the in-memory image cache and the
+// persistent store tier: cached instances are serialized through
+// store.Record on build (write-through), reconstructed as shared
+// frames at daemon boot (warm load), and evicted LRU-first when the
+// store exceeds its byte budget.
+
+// AttachStore attaches a persistent store as the backing tier of the
+// image cache and warm-loads every decodable entry: shared frames are
+// re-materialized in the kernel and the constraint-solver placements
+// re-reserved, so subsequent instantiations of unchanged meta-objects
+// hit the cache without a single relink.  Corrupt or stale entries
+// are rejected (and removed) rather than loaded.  Returns the number
+// of instances reconstructed.
+func (s *Server) AttachStore(st *store.Store) int {
+	s.mu.Lock()
+	s.store = st
+	before := s.Stats.WarmLoaded
+	s.mu.Unlock()
+	// Oldest-first so reconstruction preserves the persisted LRU
+	// order in the in-memory recency tracking.
+	for _, key := range st.KeysLRU() {
+		s.loadFromStore(key, map[string]bool{})
+	}
+	s.mu.Lock()
+	n := int(s.Stats.WarmLoaded - before)
+	s.syncStoreStatsLocked()
+	s.mu.Unlock()
+	// The byte budget may have shrunk since the blobs were written.
+	s.evictForCapacity("")
+	return n
+}
+
+// CloseStore flushes and detaches the persistent store.  Safe to call
+// when no store is attached.
+func (s *Server) CloseStore() error {
+	s.mu.Lock()
+	st := s.store
+	s.store = nil
+	s.mu.Unlock()
+	if st == nil {
+		return nil
+	}
+	return st.Close()
+}
+
+// FlushStore persists the store's LRU index without detaching.
+func (s *Server) FlushStore() error {
+	s.mu.Lock()
+	st := s.store
+	s.mu.Unlock()
+	if st == nil {
+		return nil
+	}
+	return st.Flush()
+}
+
+// touchLocked marks a cache key as most recently used in both tiers.
+func (s *Server) touchLocked(key string) {
+	s.useSeq++
+	s.lastUse[key] = s.useSeq
+	if s.store != nil {
+		s.store.Touch(key)
+	}
+}
+
+// syncStoreStatsLocked mirrors the store's counters into Server.Stats.
+func (s *Server) syncStoreStatsLocked() {
+	if s.store == nil {
+		return
+	}
+	st := s.store.Stats()
+	s.Stats.StoreLoads = st.Loads
+	s.Stats.StoreStores = st.Stores
+	s.Stats.StoreEvictions = st.Evictions
+	s.Stats.StoreCorrupt = st.CorruptRejects
+	s.Stats.StoreBytes = st.Bytes
+}
+
+// persistInstance writes a freshly built instance through to the
+// store and enforces the byte budget.  Persistence is best-effort: a
+// failed write costs only future warm starts, never correctness.
+func (s *Server) persistInstance(inst *Instance) {
+	s.mu.Lock()
+	st := s.store
+	s.mu.Unlock()
+	if st == nil || inst.place.SolverKey == "" {
+		return
+	}
+	blob, err := store.Encode(recordOf(inst))
+	if err != nil {
+		return
+	}
+	if err := st.Put(inst.Key, blob); err != nil {
+		return
+	}
+	s.mu.Lock()
+	s.kern.Total.Server += uint64(len(blob)) * s.kern.Cost.StoreWritePerByte
+	s.syncStoreStatsLocked()
+	s.mu.Unlock()
+	// Capacity enforcement happens in buildShared once this build's
+	// flight is deregistered; an in-flight build must not evict the
+	// library instances it references.
+}
+
+// recordOf serializes an instance's reconstruction state: segment
+// bytes, bound symbols, branch-table slots, placement, library keys.
+func recordOf(inst *Instance) *store.Record {
+	rec := &store.Record{
+		Key:         inst.Key,
+		Name:        inst.Name,
+		SolverKey:   inst.place.SolverKey,
+		TextBase:    inst.place.TextBase,
+		TextSize:    inst.place.TextSize,
+		DataBase:    inst.place.DataBase,
+		DataSize:    inst.place.DataSize,
+		Entry:       inst.Res.Image.Entry,
+		NumRelocs:   uint64(inst.Res.NumRelocs),
+		ExternBinds: uint64(inst.Res.ExternBinds),
+		ResTextSize: inst.Res.TextSize,
+		ResDataSize: inst.Res.DataSize,
+		ResBSSSize:  inst.Res.BSSSize,
+	}
+	names := make([]string, 0, len(inst.Res.Image.Syms))
+	for n := range inst.Res.Image.Syms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		sym := store.Sym{Name: n, Addr: inst.Res.Image.Syms[n], Size: inst.Res.SymSizes[n], Kind: store.KindNone}
+		if k, ok := inst.Res.SymKinds[n]; ok {
+			sym.Kind = uint8(k)
+		}
+		rec.Syms = append(rec.Syms, sym)
+	}
+	for _, seg := range inst.ROSegs {
+		data := seg.Bytes()
+		memSize := uint64(len(data))
+		// Trailing zero fill (bss, page padding) reconstructs from
+		// MemSize; don't store it.
+		data = bytes.TrimRight(data, "\x00")
+		rec.ROSegs = append(rec.ROSegs, store.Seg{
+			Name: seg.Name, Addr: seg.Addr, MemSize: memSize, Perm: seg.Perm,
+			Data: append([]byte(nil), data...),
+		})
+	}
+	for i := range inst.RWSegs {
+		seg := &inst.RWSegs[i]
+		rec.RWSegs = append(rec.RWSegs, store.Seg{
+			Name: seg.Name, Addr: seg.Addr, MemSize: seg.MemSize, Perm: uint8(seg.Perm),
+			Data: append([]byte(nil), seg.Data...),
+		})
+	}
+	btNames := make([]string, 0, len(inst.BTSlots))
+	for n := range inst.BTSlots {
+		btNames = append(btNames, n)
+	}
+	sort.Strings(btNames)
+	for _, n := range btNames {
+		rec.BTSlots = append(rec.BTSlots, store.Sym{Name: n, Addr: inst.BTSlots[n]})
+	}
+	for _, li := range inst.Libs {
+		rec.LibKeys = append(rec.LibKeys, li.Key)
+	}
+	return rec
+}
+
+// loadFromStore reconstructs the instance stored under key (loading
+// its library dependencies first) and installs it in the cache.
+// Returns nil when the entry is absent, corrupt, stale, or its
+// placement can no longer be honored — in every such case the entry
+// is discarded and the next instantiation simply rebuilds.
+func (s *Server) loadFromStore(key string, visiting map[string]bool) *Instance {
+	s.mu.Lock()
+	inst := s.cache[key]
+	st := s.store
+	s.mu.Unlock()
+	if inst != nil {
+		return inst
+	}
+	if st == nil || visiting[key] {
+		return nil
+	}
+	visiting[key] = true
+
+	blob, ok, err := st.Get(key)
+	if err != nil || !ok {
+		return nil
+	}
+	reject := func() *Instance {
+		st.RejectCorrupt(key)
+		s.mu.Lock()
+		s.syncStoreStatsLocked()
+		s.mu.Unlock()
+		return nil
+	}
+	rec, err := store.Decode(blob)
+	if err != nil || rec.Key != key {
+		return reject()
+	}
+	var libs []*Instance
+	for _, lk := range rec.LibKeys {
+		li := s.loadFromStore(lk, visiting)
+		if li == nil {
+			// Unusable without its libraries: stale, rebuild instead.
+			return reject()
+		}
+		libs = append(libs, li)
+	}
+	s.mu.Lock()
+	err = s.solver.Restore(rec.SolverKey,
+		constraint.Placement{TextBase: rec.TextBase, DataBase: rec.DataBase},
+		rec.TextSize, rec.DataSize)
+	s.mu.Unlock()
+	if err != nil {
+		return reject()
+	}
+	inst, err = s.instanceFromRecord(rec, libs)
+	if err != nil {
+		return reject()
+	}
+	s.mu.Lock()
+	if prior := s.cache[key]; prior != nil {
+		s.mu.Unlock()
+		s.ReleaseInstance(inst)
+		return prior
+	}
+	s.cache[key] = inst
+	s.touchLocked(key)
+	s.Stats.WarmLoaded++
+	s.kern.Total.Server += uint64(len(blob)) * s.kern.Cost.StoreLoadPerByte
+	s.syncStoreStatsLocked()
+	s.mu.Unlock()
+	return inst
+}
+
+// instanceFromRecord rebuilds the in-memory instance: shared frames
+// for read-only segments, pristine byte templates for writable ones,
+// and a link.Result carrying the bound symbol table and accounting.
+func (s *Server) instanceFromRecord(rec *store.Record, libs []*Instance) (*Instance, error) {
+	im := &image.Image{Name: rec.Name, Entry: rec.Entry, Syms: map[string]uint64{}}
+	res := &link.Result{
+		Image:       im,
+		Syms:        im.Syms,
+		AllSyms:     map[string]uint64{},
+		SymSizes:    map[string]uint64{},
+		SymKinds:    map[string]obj.SymKind{},
+		NumRelocs:   int(rec.NumRelocs),
+		ExternBinds: int(rec.ExternBinds),
+		TextSize:    rec.ResTextSize,
+		DataSize:    rec.ResDataSize,
+		BSSSize:     rec.ResBSSSize,
+	}
+	for _, sym := range rec.Syms {
+		im.Syms[sym.Name] = sym.Addr
+		res.AllSyms[sym.Name] = sym.Addr
+		if sym.Size > 0 {
+			res.SymSizes[sym.Name] = sym.Size
+		}
+		if sym.Kind != store.KindNone {
+			res.SymKinds[sym.Name] = obj.SymKind(sym.Kind)
+		}
+	}
+	inst := &Instance{
+		Key: rec.Key, Name: rec.Name, Res: res, Libs: libs,
+		place: placeRec{
+			SolverKey: rec.SolverKey,
+			TextBase:  rec.TextBase, TextSize: rec.TextSize,
+			DataBase: rec.DataBase, DataSize: rec.DataSize,
+		},
+	}
+	for _, sr := range rec.ROSegs {
+		fs, err := s.kern.FT.MakeFrameSeg(sr.Name, sr.Addr, sr.Data, sr.MemSize, sr.Perm)
+		if err != nil {
+			for _, made := range inst.ROSegs {
+				s.kern.FT.Release(made)
+			}
+			return nil, err
+		}
+		inst.ROSegs = append(inst.ROSegs, fs)
+	}
+	for _, sr := range rec.RWSegs {
+		inst.RWSegs = append(inst.RWSegs, image.Segment{
+			Name: sr.Name, Addr: sr.Addr, Data: sr.Data,
+			MemSize: sr.MemSize, Perm: image.Perm(sr.Perm),
+		})
+	}
+	if len(rec.BTSlots) > 0 {
+		inst.BTSlots = make(map[string]uint64, len(rec.BTSlots))
+		for _, sym := range rec.BTSlots {
+			inst.BTSlots[sym.Name] = sym.Addr
+		}
+	}
+	return inst, nil
+}
+
+// evictForCapacity brings the store back under its byte budget by
+// evicting least-recently-used entries from both tiers.  Victims are
+// skipped while live: instances whose frames are still mapped by a
+// process, and libraries other cached images link against — the
+// refcounts, not the policy, decide when memory is truly reclaimable
+// (frames a running process maps stay alive through its own refs
+// regardless).  exclude names a key that must survive this sweep: the
+// instance a builder is about to hand to its caller, which holds no
+// process references yet.  Solver placements are kept so a later
+// rebuild lands at the same addresses and re-earns the same cache key.
+func (s *Server) evictForCapacity(exclude string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.store
+	if st == nil || st.OverCapacity() == 0 {
+		return
+	}
+	if len(s.inflight) > 0 {
+		// In-flight builds may hold references to would-be victims;
+		// the next persist retries.
+		return
+	}
+	deps := map[string]int{}
+	for _, inst := range s.cache {
+		for _, li := range inst.Libs {
+			deps[li.Key]++
+		}
+	}
+	for _, key := range st.KeysLRU() {
+		if st.OverCapacity() == 0 {
+			break
+		}
+		if key == exclude {
+			continue
+		}
+		if inst := s.cache[key]; inst != nil {
+			if deps[key] > 0 || s.mappedLive(inst) {
+				continue
+			}
+			s.evictEntryLocked(inst)
+		}
+		st.Delete(key)
+	}
+	s.syncStoreStatsLocked()
+}
+
+// mappedLive reports whether any live process still maps the
+// instance's shared frames.
+func (s *Server) mappedLive(inst *Instance) bool {
+	for _, seg := range inst.ROSegs {
+		if s.kern.FT.SegInUse(seg) {
+			return true
+		}
+	}
+	return inst.Table != nil && s.kern.FT.SegInUse(inst.Table)
+}

@@ -28,6 +28,7 @@ import (
 	"omos/internal/minic"
 	"omos/internal/obj"
 	"omos/internal/osim"
+	"omos/internal/store"
 )
 
 // SpecFunc is a server-registered specialization transformation
@@ -44,6 +45,19 @@ type Stats struct {
 	// BuildCycles is the simulated server time spent constructing
 	// images (charged to the first requester).
 	BuildCycles uint64
+
+	// The Store* fields mirror the persistent image store's counters
+	// (zero when the server runs without a store): blobs read back,
+	// blobs written, capacity/namespace evictions, corrupt or stale
+	// entries rejected, and current on-disk bytes.
+	StoreLoads     uint64
+	StoreStores    uint64
+	StoreEvictions uint64
+	StoreCorrupt   uint64
+	StoreBytes     uint64
+	// WarmLoaded counts instances reconstructed from the store at
+	// attach time (images served without ever rebuilding).
+	WarmLoaded uint64
 }
 
 // nsEntry is one namespace binding.
@@ -76,6 +90,20 @@ type Instance struct {
 	// data and are patched per process at map time, so the library's
 	// text stays shared even though it references client procedures.
 	BTSlots map[string]uint64
+
+	// place records the constraint-solver request this instance was
+	// placed under, so the persistent store can re-reserve the same
+	// addresses on warm boot.
+	place placeRec
+}
+
+// placeRec is the solver placement an instance occupies.
+type placeRec struct {
+	SolverKey string
+	TextBase  uint64
+	TextSize  uint64
+	DataBase  uint64
+	DataSize  uint64
 }
 
 // Server is an OMOS instance.  It is safe for concurrent use.
@@ -97,6 +125,16 @@ type Server struct {
 	DisableCache bool
 	Stats        Stats
 
+	// store is the optional persistent tier of the image cache.
+	store *store.Store
+	// inflight tracks in-progress builds so concurrent misses on one
+	// key perform exactly one link (singleflight).
+	inflight map[string]*flight
+	// lastUse orders cache entries for LRU eviction; useSeq is the
+	// monotone use counter.
+	lastUse map[string]uint64
+	useSeq  uint64
+
 	mounts []mount
 }
 
@@ -104,11 +142,13 @@ type Server struct {
 // table backs the image cache).
 func New(kern *osim.Kernel) *Server {
 	s := &Server{
-		kern:   kern,
-		ns:     map[string]nsEntry{},
-		solver: constraint.NewSolver(),
-		cache:  map[string]*Instance{},
-		specs:  map[string]SpecFunc{},
+		kern:     kern,
+		ns:       map[string]nsEntry{},
+		solver:   constraint.NewSolver(),
+		cache:    map[string]*Instance{},
+		specs:    map[string]SpecFunc{},
+		inflight: map[string]*flight{},
+		lastUse:  map[string]uint64{},
 	}
 	return s
 }

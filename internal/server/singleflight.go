@@ -1,0 +1,56 @@
+package server
+
+// flight is one in-progress image build.  Concurrent cache misses on
+// the same key find the flight and wait on done instead of linking
+// the same image twice; every waiter shares the builder's result.
+type flight struct {
+	done chan struct{}
+	inst *Instance
+	err  error
+}
+
+// buildShared resolves key through the cache, the in-flight build
+// table, or — for exactly one caller — the build function.  This is
+// what makes the image cache safe under contention: N concurrent
+// misses on one key cost one link, with the other N-1 callers
+// blocking for the shared result (they pay only the lookup they were
+// already charged).
+//
+// With DisableCache (the cache-ablation benchmark) every caller
+// builds privately and owns its instance.
+func (s *Server) buildShared(key string, build func() (*Instance, error)) (*Instance, error) {
+	s.mu.Lock()
+	if s.DisableCache {
+		s.mu.Unlock()
+		return build()
+	}
+	if inst := s.cache[key]; inst != nil {
+		s.Stats.CacheHits++
+		s.touchLocked(key)
+		s.mu.Unlock()
+		return inst, nil
+	}
+	if f, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		<-f.done
+		return f.inst, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[key] = f
+	s.mu.Unlock()
+
+	f.inst, f.err = build()
+	s.mu.Lock()
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	close(f.done)
+	// Capacity enforcement runs only after this flight is
+	// deregistered: an in-flight build may reference would-be victims
+	// (its library instances), so eviction waits for a quiet moment.
+	// The freshly built key is exempt — the caller holds it but has
+	// not mapped it yet.
+	if f.err == nil {
+		s.evictForCapacity(key)
+	}
+	return f.inst, f.err
+}

@@ -1,0 +1,359 @@
+// Package store is the persistent tier of the OMOS image cache: a
+// content-addressed blob store that keeps bound, relocated images
+// across daemon restarts.
+//
+// The paper's central mechanism — caching link results in a
+// persistent server — only survives as long as the server process
+// does.  This package extends the cache's lifetime past the process:
+// each cached image is serialized (segments, bound symbols,
+// branch-table slots, placement) under its m-graph content key, so a
+// restarted daemon reconstructs its shared frames from disk instead
+// of relinking.  Corrupt or stale entries are detected by a versioned
+// header and checksum and rejected, never loaded.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Codec layout (all integers little-endian):
+//
+//	magic     [4]byte "OMS1"
+//	version   u32
+//	paylen    u64
+//	checksum  [32]byte  sha256 of the payload
+//	payload   (see Record field order in encodePayload)
+//
+// A decoder that sees a wrong magic, an unknown version, a length
+// that disagrees with the blob, or a checksum mismatch rejects the
+// entry; the server then rebuilds the image from its m-graph, which
+// is always safe.
+
+// Magic identifies a serialized image record.
+var Magic = [4]byte{'O', 'M', 'S', '1'}
+
+// Version is the current codec version; bump on layout change so old
+// daemons' blobs are rejected as stale rather than misparsed.
+const Version = 1
+
+const headerSize = 4 + 4 + 8 + 32
+
+// maxCount bounds decoded element counts against the blob size so a
+// hostile length prefix cannot drive huge allocations.
+const maxCount = 1 << 20
+
+// Seg is a serialized image segment (shared read-only frames or a
+// per-client writable template).
+type Seg struct {
+	Name    string
+	Addr    uint64
+	MemSize uint64
+	Perm    uint8
+	Data    []byte
+}
+
+// Sym is one bound symbol: name, absolute address, size, and the
+// link-level kind byte (func/data; 0xff when the kind is unknown).
+type Sym struct {
+	Name string
+	Addr uint64
+	Size uint64
+	Kind uint8
+}
+
+// KindNone marks a symbol whose link kind was not recorded.
+const KindNone = uint8(0xff)
+
+// Record is the serializable form of one cached instance.  It carries
+// everything the server needs to reconstruct the image without
+// relinking: segment bytes, the bound symbol table, branch-table
+// slots, the solver placement to re-reserve, and the keys of the
+// library instances it was linked against.
+type Record struct {
+	// Key is the cache key (content hash + placement digest) the blob
+	// is stored under.
+	Key string
+	// Name is the image's display name (e.g. "lib:/lib/libc").
+	Name string
+
+	// SolverKey plus the bases/sizes reproduce the constraint-solver
+	// placement on warm boot, so re-instantiation resolves to the same
+	// addresses and therefore the same cache key.
+	SolverKey string
+	TextBase  uint64
+	TextSize  uint64
+	DataBase  uint64
+	DataSize  uint64
+
+	// Entry is the image entry point (zero for libraries).
+	Entry uint64
+	Syms  []Sym
+
+	// NumRelocs/ExternBinds/ResText/ResData/ResBSS preserve the link
+	// result's accounting so stats and cost estimates survive reload.
+	NumRelocs   uint64
+	ExternBinds uint64
+	ResTextSize uint64
+	ResDataSize uint64
+	ResBSSSize  uint64
+
+	// ROSegs are the shared read-only segments; RWSegs the pristine
+	// writable templates copied per client.
+	ROSegs []Seg
+	RWSegs []Seg
+
+	// BTSlots are the branch-table slot addresses for upward
+	// references (§4.1 lib-branch-table libraries).
+	BTSlots []Sym
+
+	// LibKeys are the cache keys of the library instances this image
+	// links against; they must be loadable for this record to be used.
+	LibKeys []string
+}
+
+// Encode serializes a record with the versioned header and checksum.
+func Encode(rec *Record) ([]byte, error) {
+	if rec.Key == "" {
+		return nil, fmt.Errorf("store: encode: empty key")
+	}
+	payload := encodePayload(rec)
+	var buf bytes.Buffer
+	buf.Grow(headerSize + len(payload))
+	buf.Write(Magic[:])
+	writeU32(&buf, Version)
+	writeU64(&buf, uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	buf.Write(sum[:])
+	buf.Write(payload)
+	return buf.Bytes(), nil
+}
+
+func encodePayload(rec *Record) []byte {
+	var buf bytes.Buffer
+	writeStr(&buf, rec.Key)
+	writeStr(&buf, rec.Name)
+	writeStr(&buf, rec.SolverKey)
+	writeU64(&buf, rec.TextBase)
+	writeU64(&buf, rec.TextSize)
+	writeU64(&buf, rec.DataBase)
+	writeU64(&buf, rec.DataSize)
+	writeU64(&buf, rec.Entry)
+	writeU32(&buf, uint32(len(rec.Syms)))
+	for _, s := range rec.Syms {
+		writeStr(&buf, s.Name)
+		writeU64(&buf, s.Addr)
+		writeU64(&buf, s.Size)
+		buf.WriteByte(s.Kind)
+	}
+	writeU64(&buf, rec.NumRelocs)
+	writeU64(&buf, rec.ExternBinds)
+	writeU64(&buf, rec.ResTextSize)
+	writeU64(&buf, rec.ResDataSize)
+	writeU64(&buf, rec.ResBSSSize)
+	writeSegs(&buf, rec.ROSegs)
+	writeSegs(&buf, rec.RWSegs)
+	writeU32(&buf, uint32(len(rec.BTSlots)))
+	for _, s := range rec.BTSlots {
+		writeStr(&buf, s.Name)
+		writeU64(&buf, s.Addr)
+	}
+	writeU32(&buf, uint32(len(rec.LibKeys)))
+	for _, k := range rec.LibKeys {
+		writeStr(&buf, k)
+	}
+	return buf.Bytes()
+}
+
+func writeSegs(buf *bytes.Buffer, segs []Seg) {
+	writeU32(buf, uint32(len(segs)))
+	for _, s := range segs {
+		writeStr(buf, s.Name)
+		writeU64(buf, s.Addr)
+		writeU64(buf, s.MemSize)
+		buf.WriteByte(s.Perm)
+		writeBytes(buf, s.Data)
+	}
+}
+
+// Decode parses and verifies a serialized record.  Any structural
+// problem — bad magic, unknown version, truncation, checksum
+// mismatch, implausible counts, trailing bytes — is an error; the
+// caller treats the entry as corrupt and rebuilds.
+func Decode(b []byte) (*Record, error) {
+	if len(b) < headerSize {
+		return nil, fmt.Errorf("store: blob too short (%d bytes)", len(b))
+	}
+	if !bytes.Equal(b[:4], Magic[:]) {
+		return nil, fmt.Errorf("store: bad magic %q", b[:4])
+	}
+	ver := binary.LittleEndian.Uint32(b[4:8])
+	if ver != Version {
+		return nil, fmt.Errorf("store: unsupported version %d", ver)
+	}
+	paylen := binary.LittleEndian.Uint64(b[8:16])
+	payload := b[headerSize:]
+	if paylen != uint64(len(payload)) {
+		return nil, fmt.Errorf("store: payload length %d, have %d bytes", paylen, len(payload))
+	}
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], b[16:48]) {
+		return nil, fmt.Errorf("store: checksum mismatch")
+	}
+	r := &reader{b: payload}
+	rec := &Record{}
+	rec.Key = r.str()
+	rec.Name = r.str()
+	rec.SolverKey = r.str()
+	rec.TextBase = r.u64()
+	rec.TextSize = r.u64()
+	rec.DataBase = r.u64()
+	rec.DataSize = r.u64()
+	rec.Entry = r.u64()
+	nsyms := r.count(len(payload))
+	rec.Syms = make([]Sym, 0, nsyms)
+	for i := 0; i < nsyms && r.err == nil; i++ {
+		var s Sym
+		s.Name = r.str()
+		s.Addr = r.u64()
+		s.Size = r.u64()
+		s.Kind = r.u8()
+		rec.Syms = append(rec.Syms, s)
+	}
+	rec.NumRelocs = r.u64()
+	rec.ExternBinds = r.u64()
+	rec.ResTextSize = r.u64()
+	rec.ResDataSize = r.u64()
+	rec.ResBSSSize = r.u64()
+	rec.ROSegs = r.segs(len(payload))
+	rec.RWSegs = r.segs(len(payload))
+	nbt := r.count(len(payload))
+	rec.BTSlots = make([]Sym, 0, nbt)
+	for i := 0; i < nbt && r.err == nil; i++ {
+		var s Sym
+		s.Name = r.str()
+		s.Addr = r.u64()
+		rec.BTSlots = append(rec.BTSlots, s)
+	}
+	nlibs := r.count(len(payload))
+	rec.LibKeys = make([]string, 0, nlibs)
+	for i := 0; i < nlibs && r.err == nil; i++ {
+		rec.LibKeys = append(rec.LibKeys, r.str())
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("store: decode: %w", r.err)
+	}
+	if r.off != len(payload) {
+		return nil, fmt.Errorf("store: %d trailing payload bytes", len(payload)-r.off)
+	}
+	if rec.Key == "" {
+		return nil, fmt.Errorf("store: decode: empty key")
+	}
+	return rec, nil
+}
+
+func writeU32(w *bytes.Buffer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.Write(b[:])
+}
+
+func writeU64(w *bytes.Buffer, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.Write(b[:])
+}
+
+func writeStr(w *bytes.Buffer, s string) {
+	writeU32(w, uint32(len(s)))
+	w.WriteString(s)
+}
+
+func writeBytes(w *bytes.Buffer, p []byte) {
+	writeU32(w, uint32(len(p)))
+	w.Write(p)
+}
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) bytes(p []byte) {
+	if r.err != nil {
+		return
+	}
+	if r.off+len(p) > len(r.b) {
+		r.err = io.ErrUnexpectedEOF
+		return
+	}
+	copy(p, r.b[r.off:])
+	r.off += len(p)
+}
+
+func (r *reader) u8() uint8 {
+	var b [1]byte
+	r.bytes(b[:])
+	return b[0]
+}
+
+func (r *reader) u32() uint32 {
+	var b [4]byte
+	r.bytes(b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (r *reader) u64() uint64 {
+	var b [8]byte
+	r.bytes(b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// count reads a u32 element count and sanity-bounds it against the
+// remaining payload so corrupt prefixes cannot force huge allocations.
+func (r *reader) count(total int) int {
+	n := r.u32()
+	if r.err != nil {
+		return 0
+	}
+	if n > maxCount || int(n) > total-r.off {
+		r.err = fmt.Errorf("implausible element count %d", n)
+		return 0
+	}
+	return int(n)
+}
+
+func (r *reader) blob() []byte {
+	n := r.u32()
+	if r.err != nil {
+		return nil
+	}
+	if int(n) > len(r.b)-r.off {
+		r.err = fmt.Errorf("implausible length %d", n)
+		return nil
+	}
+	p := make([]byte, n)
+	r.bytes(p)
+	return p
+}
+
+func (r *reader) str() string { return string(r.blob()) }
+
+func (r *reader) segs(total int) []Seg {
+	n := r.count(total)
+	segs := make([]Seg, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		var s Seg
+		s.Name = r.str()
+		s.Addr = r.u64()
+		s.MemSize = r.u64()
+		s.Perm = r.u8()
+		s.Data = r.blob()
+		segs = append(segs, s)
+	}
+	return segs
+}

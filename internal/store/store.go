@@ -1,0 +1,380 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// On-disk layout under the root directory:
+//
+//	<root>/<key>.img   one encoded Record per cache key
+//	<root>/index       LRU index: key -> {size, last-use sequence}
+//
+// Blobs are written atomically (temp file + rename) so a crash
+// mid-write leaves at worst a stray *.tmp file, never a truncated
+// blob under a live name.  The index is advisory: a missing or stale
+// index is rebuilt from the blobs (with unknown recency), so deleting
+// it never loses data, only LRU order.
+
+// blobExt is the blob file suffix.
+const blobExt = ".img"
+
+// indexMagic identifies the index file.
+var indexMagic = [4]byte{'O', 'M', 'I', 'X'}
+
+// Stats counts store activity.
+type Stats struct {
+	// Loads counts blobs successfully read back (Get).
+	Loads uint64
+	// Stores counts blobs written (Put).
+	Stores uint64
+	// Evictions counts blobs removed by capacity eviction or Delete.
+	Evictions uint64
+	// CorruptRejects counts blobs the caller reported as corrupt or
+	// stale (RejectCorrupt).
+	CorruptRejects uint64
+	// Bytes is the current total size of all blobs.
+	Bytes uint64
+}
+
+type entry struct {
+	size    uint64
+	lastUse uint64 // monotone sequence; higher = more recent
+}
+
+// Store is a persistent content-addressed blob store with LRU
+// bookkeeping.  It is safe for concurrent use.
+type Store struct {
+	mu       sync.Mutex
+	dir      string
+	maxBytes uint64 // 0 = unbounded
+	index    map[string]*entry
+	seq      uint64
+	stats    Stats
+	closed   bool
+}
+
+// Open opens (creating if needed) a store rooted at dir.  maxBytes
+// bounds the total blob size the store will hold; 0 means unbounded.
+// Existing blobs are indexed; LRU order is recovered from the index
+// file when present.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	s := &Store{
+		dir:      dir,
+		maxBytes: uint64(maxBytes),
+		index:    map[string]*entry{},
+	}
+	if err := s.scan(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// scan builds the index from the blobs on disk, merging last-use
+// sequences from the index file when it is present and parseable.
+func (s *Store) scan() error {
+	lru := s.readIndexFile()
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: scan: %w", err)
+	}
+	for _, de := range ents {
+		name := de.Name()
+		if !strings.HasSuffix(name, blobExt) || de.IsDir() {
+			// Stray temp files from a crashed write are garbage.
+			if strings.HasSuffix(name, ".tmp") {
+				os.Remove(filepath.Join(s.dir, name))
+			}
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		key := strings.TrimSuffix(name, blobExt)
+		e := &entry{size: uint64(info.Size())}
+		if seq, ok := lru[key]; ok {
+			e.lastUse = seq
+			if seq > s.seq {
+				s.seq = seq
+			}
+		}
+		s.index[key] = e
+		s.stats.Bytes += e.size
+	}
+	return nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// MaxBytes returns the configured capacity (0 = unbounded).
+func (s *Store) MaxBytes() uint64 { return s.maxBytes }
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *Store) blobPath(key string) (string, error) {
+	// Keys are hex content digests; refuse anything that could walk
+	// outside the root directory.
+	if key == "" || strings.ContainsAny(key, "/\\") || strings.Contains(key, "..") {
+		return "", fmt.Errorf("store: invalid key %q", key)
+	}
+	return filepath.Join(s.dir, key+blobExt), nil
+}
+
+// Put atomically writes a blob under key and records it as most
+// recently used.  It does not enforce capacity — the server drives
+// eviction so it can respect live refcounts; see OverCapacity.
+func (s *Store) Put(key string, blob []byte) error {
+	path, err := s.blobPath(key)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, key+".*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	_, werr := tmp.Write(blob)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr == nil {
+			werr = cerr
+		}
+		return fmt.Errorf("store: put %s: %w", key, werr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.index[key]; ok {
+		s.stats.Bytes -= old.size
+	}
+	s.seq++
+	s.index[key] = &entry{size: uint64(len(blob)), lastUse: s.seq}
+	s.stats.Bytes += uint64(len(blob))
+	s.stats.Stores++
+	return nil
+}
+
+// Get reads the blob stored under key and marks it used.  ok is false
+// when the key is absent; err reports I/O trouble.
+func (s *Store) Get(key string) (blob []byte, ok bool, err error) {
+	path, err := s.blobPath(key)
+	if err != nil {
+		return nil, false, err
+	}
+	s.mu.Lock()
+	_, present := s.index[key]
+	s.mu.Unlock()
+	if !present {
+		return nil, false, nil
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			s.drop(key, false)
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("store: get %s: %w", key, err)
+	}
+	s.mu.Lock()
+	if e, ok := s.index[key]; ok {
+		s.seq++
+		e.lastUse = s.seq
+	}
+	s.stats.Loads++
+	s.mu.Unlock()
+	return b, true, nil
+}
+
+// Touch marks key as most recently used (an in-memory cache hit keeps
+// the persisted copy warm in LRU order).
+func (s *Store) Touch(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.index[key]; ok {
+		s.seq++
+		e.lastUse = s.seq
+	}
+}
+
+// Delete removes a blob, counting it as an eviction.
+func (s *Store) Delete(key string) { s.drop(key, true) }
+
+// RejectCorrupt removes a blob that failed decoding or validation,
+// counting it as a corrupt-reject.
+func (s *Store) RejectCorrupt(key string) {
+	s.mu.Lock()
+	s.stats.CorruptRejects++
+	s.mu.Unlock()
+	s.drop(key, false)
+}
+
+func (s *Store) drop(key string, countEvict bool) {
+	path, err := s.blobPath(key)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	if e, ok := s.index[key]; ok {
+		s.stats.Bytes -= e.size
+		delete(s.index, key)
+		if countEvict {
+			s.stats.Evictions++
+		}
+	}
+	s.mu.Unlock()
+	os.Remove(path)
+}
+
+// Has reports whether key is present.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[key]
+	return ok
+}
+
+// Len returns the number of stored blobs.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// OverCapacity returns how many bytes the store currently exceeds its
+// configured capacity by (0 when unbounded or within bounds).
+func (s *Store) OverCapacity() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.maxBytes == 0 || s.stats.Bytes <= s.maxBytes {
+		return 0
+	}
+	return s.stats.Bytes - s.maxBytes
+}
+
+// KeysLRU returns all keys ordered least-recently-used first — the
+// order eviction should consider victims, and the order the warm-load
+// path uses so reconstruction touches match recency.
+func (s *Store) KeysLRU() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := s.index[keys[i]], s.index[keys[j]]
+		if a.lastUse != b.lastUse {
+			return a.lastUse < b.lastUse
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}
+
+// Flush writes the LRU index file atomically.  Blob writes are
+// already durable; Flush only persists recency so the next boot
+// evicts in the right order.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	var buf bytes.Buffer
+	buf.Write(indexMagic[:])
+	writeU32(&buf, Version)
+	writeU32(&buf, uint32(len(s.index)))
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		writeStr(&buf, k)
+		writeU64(&buf, s.index[k].lastUse)
+	}
+	s.mu.Unlock()
+
+	tmp, err := os.CreateTemp(s.dir, "index.*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: flush: %w", err)
+	}
+	_, werr := tmp.Write(buf.Bytes())
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr == nil {
+			werr = cerr
+		}
+		return fmt.Errorf("store: flush: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, "index")); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: flush: %w", err)
+	}
+	return nil
+}
+
+// readIndexFile parses the index file into key -> lastUse; a missing
+// or malformed index yields an empty map (LRU order is lost, nothing
+// else).
+func (s *Store) readIndexFile() map[string]uint64 {
+	b, err := os.ReadFile(filepath.Join(s.dir, "index"))
+	if err != nil {
+		return nil
+	}
+	if len(b) < 12 || !bytes.Equal(b[:4], indexMagic[:]) {
+		return nil
+	}
+	if binary.LittleEndian.Uint32(b[4:8]) != Version {
+		return nil
+	}
+	n := binary.LittleEndian.Uint32(b[8:12])
+	r := &reader{b: b, off: 12}
+	if uint64(n) > uint64(len(b)) {
+		return nil
+	}
+	out := make(map[string]uint64, n)
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		k := r.str()
+		seq := r.u64()
+		if r.err == nil {
+			out[k] = seq
+		}
+	}
+	return out
+}
+
+// Close flushes the index and marks the store closed.  Blobs written
+// before Close are durable regardless.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	return s.Flush()
+}

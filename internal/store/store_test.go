@@ -1,0 +1,217 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleRecord() *Record {
+	return &Record{
+		Key:       "abc123def456",
+		Name:      "lib:/lib/libc",
+		SolverKey: "lib:/lib/libc|spec",
+		TextBase:  0x0100_0000,
+		TextSize:  0x2345,
+		DataBase:  0x4100_0000,
+		DataSize:  0x800,
+		Entry:     0x0100_0010,
+		Syms: []Sym{
+			{Name: "printf", Addr: 0x0100_0010, Size: 64, Kind: 1},
+			{Name: "buf", Addr: 0x4100_0000, Size: 8, Kind: 2},
+			{Name: "weird", Addr: 0x4100_0100, Size: 0, Kind: KindNone},
+		},
+		NumRelocs:   17,
+		ExternBinds: 3,
+		ResTextSize: 0x2345,
+		ResDataSize: 0x800,
+		ResBSSSize:  0x100,
+		ROSegs: []Seg{
+			{Name: "text", Addr: 0x0100_0000, MemSize: 0x3000, Perm: 5, Data: []byte{1, 2, 3, 4}},
+		},
+		RWSegs: []Seg{
+			{Name: "data", Addr: 0x4100_0000, MemSize: 0x1000, Perm: 6, Data: []byte{9, 8, 7}},
+		},
+		BTSlots: []Sym{{Name: "client_fn", Addr: 0x4100_0200}},
+		LibKeys: []string{"feedbeef0001", "feedbeef0002"},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	rec := sampleRecord()
+	blob, err := Encode(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec, got) {
+		t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", rec, got)
+	}
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	blob, err := Encode(sampleRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     blob[:10],
+		"truncated": blob[:len(blob)-5],
+	}
+	// Flip one byte in each region: magic, version, checksum, payload.
+	for name, off := range map[string]int{
+		"magic": 0, "version": 5, "checksum": 20, "payload": headerSize + 3,
+	} {
+		bad := append([]byte(nil), blob...)
+		bad[off] ^= 0xff
+		cases[name] = bad
+	}
+	trailing := append(append([]byte(nil), blob...), 0)
+	cases["trailing"] = trailing
+	for name, b := range cases {
+		if _, err := Decode(b); err == nil {
+			t.Errorf("%s: corrupt blob decoded without error", name)
+		}
+	}
+}
+
+func TestStorePutGetReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := Encode(sampleRecord())
+	if err := st.Put("k1", blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("k2", blob); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st.Get("k1")
+	if err != nil || !ok || !bytes.Equal(got, blob) {
+		t.Fatalf("get k1: ok=%v err=%v match=%v", ok, err, bytes.Equal(got, blob))
+	}
+	if _, ok, _ := st.Get("missing"); ok {
+		t.Fatal("got a blob for a missing key")
+	}
+	stats := st.Stats()
+	if stats.Stores != 2 || stats.Loads != 1 || stats.Bytes != uint64(2*len(blob)) {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: both blobs indexed, LRU order preserved (k2 older than
+	// k1 because k1 was touched by Get).
+	st2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != 2 || st2.Stats().Bytes != uint64(2*len(blob)) {
+		t.Fatalf("reopen: len=%d bytes=%d", st2.Len(), st2.Stats().Bytes)
+	}
+	keys := st2.KeysLRU()
+	if len(keys) != 2 || keys[0] != "k2" || keys[1] != "k1" {
+		t.Fatalf("LRU order after reopen = %v, want [k2 k1]", keys)
+	}
+}
+
+func TestStoreDeleteAndCorruptReject(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := Encode(sampleRecord())
+	if err := st.Put("gone", blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("bad", blob); err != nil {
+		t.Fatal(err)
+	}
+	st.Delete("gone")
+	st.RejectCorrupt("bad")
+	if st.Len() != 0 {
+		t.Fatalf("len = %d after removals", st.Len())
+	}
+	stats := st.Stats()
+	if stats.Evictions != 1 || stats.CorruptRejects != 1 || stats.Bytes != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "gone"+blobExt)); !os.IsNotExist(err) {
+		t.Fatal("deleted blob still on disk")
+	}
+}
+
+func TestStoreRejectsHostileKeys(t *testing.T) {
+	st, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "../escape", "a/b", `a\b`} {
+		if err := st.Put(key, []byte("x")); err == nil {
+			t.Errorf("key %q accepted", key)
+		}
+	}
+}
+
+func TestStoreOverCapacity(t *testing.T) {
+	st, err := Open(t.TempDir(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("a", make([]byte, 80)); err != nil {
+		t.Fatal(err)
+	}
+	if over := st.OverCapacity(); over != 0 {
+		t.Fatalf("over = %d within capacity", over)
+	}
+	if err := st.Put("b", make([]byte, 80)); err != nil {
+		t.Fatal(err)
+	}
+	if over := st.OverCapacity(); over != 60 {
+		t.Fatalf("over = %d, want 60", over)
+	}
+	// "a" is least recently used and should head the victim list.
+	if keys := st.KeysLRU(); keys[0] != "a" {
+		t.Fatalf("LRU head = %v", keys)
+	}
+	st.Touch("a")
+	if keys := st.KeysLRU(); keys[0] != "b" {
+		t.Fatalf("LRU head after touch = %v", keys)
+	}
+}
+
+func TestStoreCrashArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	// A crashed write leaves a temp file; a scribbled index must not
+	// prevent opening.
+	if err := os.WriteFile(filepath.Join(dir, "k.123.tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "index"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := Encode(sampleRecord())
+	if err := os.WriteFile(filepath.Join(dir, "k"+blobExt), blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 1 || !st.Has("k") {
+		t.Fatalf("len=%d has=%v", st.Len(), st.Has("k"))
+	}
+	if _, err := os.Stat(filepath.Join(dir, "k.123.tmp")); !os.IsNotExist(err) {
+		t.Fatal("stray temp file survived Open")
+	}
+}

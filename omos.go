@@ -29,6 +29,7 @@ import (
 	"omos/internal/obj"
 	"omos/internal/osim"
 	"omos/internal/server"
+	"omos/internal/store"
 	"omos/internal/vm"
 )
 
@@ -41,12 +42,34 @@ type System struct {
 	// RT is the loader runtime (bootstrap, integrated, and
 	// partial-image exec paths).
 	RT *loader.Runtime
+	// WarmLoaded is the number of cached images reconstructed from the
+	// persistent store at boot (zero without a store or on a cold
+	// directory).
+	WarmLoaded int
+}
+
+// Options configures system boot.
+type Options struct {
+	// StoreDir, when non-empty, names a directory backing the image
+	// cache persistently: every image built is written through, and
+	// the next boot on the same directory warm-loads it — cached
+	// instantiations across daemon restarts without a single relink.
+	StoreDir string
+	// StoreMaxBytes bounds the store's payload bytes; 0 means
+	// unlimited.  When over budget, least-recently-used images that no
+	// live process maps and no cached image links against are evicted.
+	StoreMaxBytes int64
 }
 
 // NewSystem boots a fresh machine, attaches an OMOS server, installs
 // the bootstrap loader binary, and provides the default startup object
 // at /lib/crt0.o.
-func NewSystem() (*System, error) {
+func NewSystem() (*System, error) { return NewSystemWith(Options{}) }
+
+// NewSystemWith boots a system with explicit options.  With a store
+// directory configured, images persisted by previous sessions are
+// reconstructed before the system is returned.
+func NewSystemWith(opts Options) (*System, error) {
 	k := osim.NewKernel()
 	srv := server.New(k)
 	rt, err := loader.Setup(k, srv)
@@ -63,8 +86,23 @@ func NewSystem() (*System, error) {
 	if err := srv.PutObject("/lib/crt0.o", crt0); err != nil {
 		return nil, err
 	}
-	return &System{Kern: k, Srv: srv, RT: rt}, nil
+	sys := &System{Kern: k, Srv: srv, RT: rt}
+	if opts.StoreDir != "" {
+		st, err := store.Open(opts.StoreDir, opts.StoreMaxBytes)
+		if err != nil {
+			return nil, fmt.Errorf("omos: opening image store: %w", err)
+		}
+		sys.WarmLoaded = srv.AttachStore(st)
+	}
+	return sys, nil
 }
+
+// Close flushes and detaches the persistent image store, if any.  The
+// system remains usable afterwards but stops persisting.
+func (s *System) Close() error { return s.Srv.CloseStore() }
+
+// FlushStore persists the image store's index without detaching it.
+func (s *System) FlushStore() error { return s.Srv.FlushStore() }
 
 // crt0Src is the default startup stub: argc/argv pass through to main
 // in R1/R2; main's return value becomes the exit status.
