@@ -8,8 +8,9 @@
 //	omosbench [-quick] [-table id[,id...]] [-iters n] [-list]
 //
 // Table ids: 1a 1b 1c 1d reorder memory linktime cache constraints
-// schemes binding cacheoff monitor clients warmrestart all.  -list
-// prints every table id with a one-line description and exits.
+// schemes binding cacheoff monitor clients warmrestart concurrency
+// all.  -list prints every table id with a one-line description and
+// exits.
 package main
 
 import (
@@ -58,6 +59,7 @@ func main() {
 		{"binding", "eager vs lazy binding ablation", bench.BindAblation},
 		{"constraints", "constraint system: conflicting placement requests (§3.5)", bench.Constraints},
 		{"warmrestart", "persistent store: cold boot vs warm restart", bench.WarmRestart},
+		{"concurrency", "concurrent clients: singleflight, lock decomposition, parallel builds", bench.Concurrency},
 	}
 	if *list {
 		for _, e := range all {

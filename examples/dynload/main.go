@@ -71,7 +71,7 @@ int main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	st := sys.Srv.Stats
+	st := sys.Srv.Stats()
 	fmt.Printf("second run: exit=%d; images built=%d (no rebuild), cache hits=%d\n",
 		res2.ExitCode, st.ImagesBuilt, st.CacheHits)
 

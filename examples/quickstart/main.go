@@ -73,7 +73,7 @@ int main(int argc, char **argv) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	st := sys.Srv.Stats
+	st := sys.Srv.Stats()
 	fmt.Printf("second run: server=%d cycles (first: %d); cache hits=%d, images built=%d\n",
 		res2.Clock.Server, res.Clock.Server, st.CacheHits, st.ImagesBuilt)
 

@@ -256,7 +256,7 @@ func LinkTime(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	ro := Row{Label: "OMOS first instantiation", Clock: osim.Clock{Server: p.Clock.Server},
-		Extra: map[string]float64{"relocs": float64(ow.Srv.Stats.RelocsApplied)}}
+		Extra: map[string]float64{"relocs": float64(ow.Srv.Stats().RelocsApplied)}}
 	p.Release()
 	t.Rows = append(t.Rows, ro)
 
@@ -304,8 +304,8 @@ func CacheWarmCold(cfg Config) (*Table, error) {
 		}
 		row := Row{Label: label, Clock: osim.Clock{Server: p.Clock.Server}, Extra: map[string]float64{}}
 		if i == 0 {
-			row.Extra["relocs-applied"] = float64(ow.Srv.Stats.RelocsApplied)
-			row.Extra["images-built"] = float64(ow.Srv.Stats.ImagesBuilt)
+			row.Extra["relocs-applied"] = float64(ow.Srv.Stats().RelocsApplied)
+			row.Extra["images-built"] = float64(ow.Srv.Stats().ImagesBuilt)
 		}
 		p.Release()
 		t.Rows = append(t.Rows, row)
@@ -345,12 +345,12 @@ func Constraints(cfg Config) (*Table, error) {
 		t.Rows = append(t.Rows, row)
 	}
 	// Reuse on re-instantiation.
-	before := srv.Stats.CacheHits
+	before := srv.Stats().CacheHits
 	if _, err := srv.Instantiate("/lib/conflict-two", nil); err != nil {
 		return nil, err
 	}
 	t.Rows = append(t.Rows, Row{Label: "re-instantiate conflict-two", Extra: map[string]float64{
-		"cache-hit": b2f(srv.Stats.CacheHits > before),
+		"cache-hit": b2f(srv.Stats().CacheHits > before),
 	}})
 	return t, nil
 }

@@ -55,8 +55,8 @@ func WarmRestart(cfg Config) (*Table, error) {
 		}
 		row := Row{Label: label, Clock: osim.Clock{Server: p.Clock.Server}, Extra: map[string]float64{}}
 		if i == 0 {
-			row.Extra["images-built"] = float64(ow1.Srv.Stats.ImagesBuilt)
-			row.Extra["store-bytes"] = float64(ow1.Srv.Stats.StoreBytes)
+			row.Extra["images-built"] = float64(ow1.Srv.Stats().ImagesBuilt)
+			row.Extra["store-bytes"] = float64(ow1.Srv.Stats().StoreBytes)
 		}
 		p.Release()
 		t.Rows = append(t.Rows, row)
@@ -81,15 +81,15 @@ func WarmRestart(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ow2.Srv.Stats.ImagesBuilt != 0 {
+	if ow2.Srv.Stats().ImagesBuilt != 0 {
 		return nil, fmt.Errorf("bench warmrestart: rebooted server rebuilt %d images (want 0)",
-			ow2.Srv.Stats.ImagesBuilt)
+			ow2.Srv.Stats().ImagesBuilt)
 	}
 	row := Row{Label: "Warm restart (from store)", Clock: osim.Clock{Server: p.Clock.Server},
 		Extra: map[string]float64{
 			"warm-loaded":  float64(warm),
-			"store-loads":  float64(ow2.Srv.Stats.StoreLoads),
-			"images-built": float64(ow2.Srv.Stats.ImagesBuilt),
+			"store-loads":  float64(ow2.Srv.Stats().StoreLoads),
+			"images-built": float64(ow2.Srv.Stats().ImagesBuilt),
 		}}
 	p.Release()
 	t.Rows = append(t.Rows, row)

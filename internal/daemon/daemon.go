@@ -150,7 +150,7 @@ func (f Fetcher) FetchObject(path string) ([]byte, error) {
 // Stats implements ipc.Backend.
 func (b *Backend) Stats() string {
 	st := b.Sys.MemStats()
-	srv := b.Sys.Srv.Stats
+	srv := b.Sys.Srv.Stats()
 	return fmt.Sprintf(
 		"cache: hits=%d misses=%d images=%d relocs=%d buildcycles=%d\n"+
 			"memory: frames=%d resident=%dKB shared-frames=%d saved=%dKB\n"+

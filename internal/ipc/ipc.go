@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 )
 
 // Op identifies a request operation.
@@ -126,8 +127,13 @@ func (r *byteReader) Read(p []byte) (int, error) {
 	return n, nil
 }
 
-// Client is a connection to an OMOS daemon.
+// Client is a connection to an OMOS daemon.  It is safe for
+// concurrent use: the protocol is strictly request/response on one
+// connection, so calls serialize on a mutex held across the whole
+// exchange — a writer interleaving frames with another caller's
+// pending read would corrupt the stream.
 type Client struct {
+	mu   sync.Mutex
 	conn net.Conn
 }
 
@@ -148,6 +154,8 @@ func (c *Client) Close() error { return c.conn.Close() }
 
 // Call performs one request/response exchange.
 func (c *Client) Call(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if err := WriteFrame(c.conn, req); err != nil {
 		return nil, err
 	}

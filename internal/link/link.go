@@ -14,6 +14,7 @@ package link
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"omos/internal/image"
 	"omos/internal/jigsaw"
@@ -21,6 +22,46 @@ import (
 	"omos/internal/osim"
 	"omos/internal/vm"
 )
+
+// Workers bounds the per-fragment fan-out of the symbol-binding and
+// relocation passes.  It is a fixed default rather than GOMAXPROCS so
+// links behave identically on every machine; 1 restores the fully
+// serial passes.  Output is byte-identical at any setting: fragments
+// touch disjoint byte ranges and all per-fragment results are merged
+// in view order.
+var Workers = 4
+
+// forEachFragment applies fn to every fragment index, fanning
+// contiguous chunks across up to Workers goroutines.  fn must only
+// touch state owned by its index.
+func forEachFragment(n int, fn func(i int)) {
+	workers := Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
 
 // Options control a link.
 type Options struct {
@@ -187,7 +228,13 @@ func Link(m *jigsaw.Module, opts Options) (*Result, error) {
 		bssCur += pl.Obj.BSSSize
 	}
 
-	// Pass 3: bind symbol addresses.
+	// Pass 3: bind symbol addresses.  Each fragment's raw symbol
+	// addresses and alias resolutions depend only on its own placement,
+	// so fragments bind concurrently; the cross-fragment work —
+	// duplicate detection and first-write-wins insertion into the
+	// shared tables — happens in a serial merge in view order, so the
+	// outcome (including which duplicate is reported) is exactly the
+	// serial pass's.
 	symAddr := func(pl *Placement, s *obj.Symbol) uint64 {
 		switch s.Section {
 		case obj.SecText:
@@ -198,8 +245,22 @@ func Link(m *jigsaw.Module, opts Options) (*Result, error) {
 			return pl.BSSAddr + s.Offset
 		}
 	}
-	for vi, lv := range views {
+	type symBind struct {
+		ext   string
+		addr  uint64
+		size  uint64
+		kind  obj.SymKind
+		local bool
+	}
+	type fragSyms struct {
+		binds []symBind
+		err   error
+	}
+	frags := make([]fragSyms, len(views))
+	forEachFragment(len(views), func(vi int) {
+		lv := views[vi]
 		pl := &res.Placements[vi]
+		f := &frags[vi]
 		rawAddr := map[string]uint64{}
 		rawSize := map[string]uint64{}
 		rawKind := map[string]obj.SymKind{}
@@ -215,61 +276,83 @@ func Link(m *jigsaw.Module, opts Options) (*Result, error) {
 			if d.Deleted {
 				continue
 			}
-			addr := rawAddr[d.Raw]
-			if prev, dup := res.AllSyms[d.Ext]; dup && prev != addr {
-				return nil, fmt.Errorf("link %s: multiple definitions of %s", opts.Name, d.Ext)
-			}
-			res.AllSyms[d.Ext] = addr
-			if !d.Local {
-				res.Syms[d.Ext] = addr
-				res.SymSizes[d.Ext] = rawSize[d.Raw]
-				res.SymKinds[d.Ext] = rawKind[d.Raw]
-			}
+			f.binds = append(f.binds, symBind{
+				ext: d.Ext, addr: rawAddr[d.Raw],
+				size: rawSize[d.Raw], kind: rawKind[d.Raw], local: d.Local,
+			})
 		}
 		for _, a := range lv.Aliases {
 			addr, ok := rawAddr[a.TargetRaw]
 			if !ok {
-				return nil, fmt.Errorf("link %s: alias %s targets undefined %s", opts.Name, a.Ext, a.TargetRaw)
+				f.err = fmt.Errorf("link %s: alias %s targets undefined %s", opts.Name, a.Ext, a.TargetRaw)
+				return
 			}
-			if prev, dup := res.AllSyms[a.Ext]; dup && prev != addr {
-				return nil, fmt.Errorf("link %s: multiple definitions of %s", opts.Name, a.Ext)
+			f.binds = append(f.binds, symBind{
+				ext: a.Ext, addr: addr,
+				size: rawSize[a.TargetRaw], kind: rawKind[a.TargetRaw], local: a.Local,
+			})
+		}
+	})
+	for vi := range frags {
+		f := &frags[vi]
+		if f.err != nil {
+			return nil, f.err
+		}
+		for _, b := range f.binds {
+			if prev, dup := res.AllSyms[b.ext]; dup && prev != b.addr {
+				return nil, fmt.Errorf("link %s: multiple definitions of %s", opts.Name, b.ext)
 			}
-			res.AllSyms[a.Ext] = addr
-			if !a.Local {
-				res.Syms[a.Ext] = addr
-				res.SymSizes[a.Ext] = rawSize[a.TargetRaw]
-				res.SymKinds[a.Ext] = rawKind[a.TargetRaw]
+			res.AllSyms[b.ext] = b.addr
+			if !b.local {
+				res.Syms[b.ext] = b.addr
+				res.SymSizes[b.ext] = b.size
+				res.SymKinds[b.ext] = b.kind
 			}
 		}
 	}
 
-	// Pass 4: apply relocations.
-	patch64 := func(site uint64, val uint64) error {
-		var seg []byte
-		var base uint64
-		if site >= opts.TextBase && site < opts.TextBase+uint64(len(textBuf)) {
-			seg, base = textBuf, opts.TextBase
-		} else {
-			seg, base = dataBuf, opts.DataBase+gotSize
-		}
-		off := site - base
-		if off+8 > uint64(len(seg)) {
-			return fmt.Errorf("link %s: patch site %#x out of range", opts.Name, site)
-		}
-		putU64(seg[off:], val)
-		res.AbsPatches = append(res.AbsPatches, AbsPatch{Site: site, Value: val})
-		return nil
+	// Pass 4: apply relocations.  Every relocation site lies inside its
+	// own fragment's text or data range, so fragments patch the shared
+	// buffers concurrently without overlap; the symbol tables they read
+	// are frozen after pass 3.  Per-fragment AbsPatches, Unresolved,
+	// and counters accumulate locally and are concatenated in view
+	// order, making the output byte-identical to the serial pass.
+	type fragRelocs struct {
+		absPatches  []AbsPatch
+		unresolved  []Unresolved
+		numRelocs   int
+		externBinds int
+		err         error
 	}
-	for vi, lv := range views {
+	rfrags := make([]fragRelocs, len(views))
+	forEachFragment(len(views), func(vi int) {
+		lv := views[vi]
 		pl := &res.Placements[vi]
+		f := &rfrags[vi]
+		patch64 := func(site uint64, val uint64) error {
+			var seg []byte
+			var base uint64
+			if site >= opts.TextBase && site < opts.TextBase+uint64(len(textBuf)) {
+				seg, base = textBuf, opts.TextBase
+			} else {
+				seg, base = dataBuf, opts.DataBase+gotSize
+			}
+			off := site - base
+			if off+8 > uint64(len(seg)) {
+				return fmt.Errorf("link %s: patch site %#x out of range", opts.Name, site)
+			}
+			putU64(seg[off:], val)
+			f.absPatches = append(f.absPatches, AbsPatch{Site: site, Value: val})
+			return nil
+		}
 		for _, r := range lv.Obj.Relocs {
-			res.NumRelocs++
+			f.numRelocs++
 			ext := lv.RefExt[r.Symbol]
 			target, bound := res.AllSyms[ext]
 			if !bound && opts.Externs != nil {
 				if v, ok := opts.Externs[ext]; ok {
 					target, bound = v, true
-					res.ExternBinds++
+					f.externBinds++
 				}
 			}
 			var site uint64
@@ -279,29 +362,33 @@ func Link(m *jigsaw.Module, opts Options) (*Result, error) {
 			case obj.SecData:
 				site = pl.DataAddr + r.Offset
 			default:
-				return nil, fmt.Errorf("link %s: relocation in bss", opts.Name)
+				f.err = fmt.Errorf("link %s: relocation in bss", opts.Name)
+				return
 			}
 			instr := site - vm.ImmOffset
 			switch r.Kind {
 			case obj.RelAbs64:
 				if !bound {
 					if !opts.AllowUndefined {
-						return nil, fmt.Errorf("link %s: undefined symbol %s (from %s)", opts.Name, ext, lv.Obj.Name)
+						f.err = fmt.Errorf("link %s: undefined symbol %s (from %s)", opts.Name, ext, lv.Obj.Name)
+						return
 					}
-					res.Unresolved = append(res.Unresolved, Unresolved{
+					f.unresolved = append(f.unresolved, Unresolved{
 						Site: site, InstrAddr: instr, Kind: r.Kind, Symbol: ext, Addend: r.Addend,
 					})
 					continue
 				}
 				if err := patch64(site, target+uint64(r.Addend)); err != nil {
-					return nil, err
+					f.err = err
+					return
 				}
 			case obj.RelPC64:
 				if !bound {
 					if !opts.AllowUndefined {
-						return nil, fmt.Errorf("link %s: undefined symbol %s (from %s)", opts.Name, ext, lv.Obj.Name)
+						f.err = fmt.Errorf("link %s: undefined symbol %s (from %s)", opts.Name, ext, lv.Obj.Name)
+						return
 					}
-					res.Unresolved = append(res.Unresolved, Unresolved{
+					f.unresolved = append(f.unresolved, Unresolved{
 						Site: site, InstrAddr: instr, Kind: r.Kind, Symbol: ext, Addend: r.Addend,
 					})
 					continue
@@ -309,7 +396,8 @@ func Link(m *jigsaw.Module, opts Options) (*Result, error) {
 				// PC-relative: no AbsPatch (position independent).
 				off := site - (opts.TextBase)
 				if r.Section == obj.SecData {
-					return nil, fmt.Errorf("link %s: pc-relative relocation in data", opts.Name)
+					f.err = fmt.Errorf("link %s: pc-relative relocation in data", opts.Name)
+					return
 				}
 				putU64(textBuf[off:], target+uint64(r.Addend)-instr)
 			case obj.RelGotSlot:
@@ -318,24 +406,36 @@ func Link(m *jigsaw.Module, opts Options) (*Result, error) {
 				// which is always resolvable.
 				off := site - opts.TextBase
 				if r.Section != obj.SecText {
-					return nil, fmt.Errorf("link %s: got relocation outside text", opts.Name)
+					f.err = fmt.Errorf("link %s: got relocation outside text", opts.Name)
+					return
 				}
 				putU64(textBuf[off:], slot-instr)
 				if bound {
 					// Slot contents resolved statically; the final
 					// GOT bytes are rebuilt from AbsPatches below.
-					res.AbsPatches = append(res.AbsPatches, AbsPatch{Site: slot, Value: target})
+					f.absPatches = append(f.absPatches, AbsPatch{Site: slot, Value: target})
 				} else {
 					if !opts.AllowUndefined {
-						return nil, fmt.Errorf("link %s: undefined symbol %s (from %s)", opts.Name, ext, lv.Obj.Name)
+						f.err = fmt.Errorf("link %s: undefined symbol %s (from %s)", opts.Name, ext, lv.Obj.Name)
+						return
 					}
-					res.Unresolved = append(res.Unresolved, Unresolved{
+					f.unresolved = append(f.unresolved, Unresolved{
 						Site: site, InstrAddr: instr, Kind: r.Kind, Symbol: ext,
 						Addend: r.Addend, GotSlot: slot,
 					})
 				}
 			}
 		}
+	})
+	for vi := range rfrags {
+		f := &rfrags[vi]
+		if f.err != nil {
+			return nil, f.err
+		}
+		res.AbsPatches = append(res.AbsPatches, f.absPatches...)
+		res.Unresolved = append(res.Unresolved, f.unresolved...)
+		res.NumRelocs += f.numRelocs
+		res.ExternBinds += f.externBinds
 	}
 
 	// Assemble the image.  The GOT occupies the front of the data

@@ -103,7 +103,7 @@ func TestEvict(t *testing.T) {
 		t.Fatalf("run: %d %v", code, err)
 	}
 	p.Release()
-	built := rt.Srv.Stats.ImagesBuilt
+	built := rt.Srv.Stats().ImagesBuilt
 	frames := rt.Kern.FT.Stats().Frames
 
 	if n := rt.Srv.Evict("/bin/prog"); n == 0 {
@@ -125,7 +125,7 @@ func TestEvict(t *testing.T) {
 	if code, err := rt.Run(p2); err != nil || code != 42 {
 		t.Fatalf("post-evict run: %d %v", code, err)
 	}
-	if rt.Srv.Stats.ImagesBuilt <= built {
+	if rt.Srv.Stats().ImagesBuilt <= built {
 		t.Fatal("eviction did not force a rebuild")
 	}
 }

@@ -112,7 +112,7 @@ func TestExecPartial(t *testing.T) {
 
 	// Second invocation: library instance and table are cached; stubs
 	// bind again (per process) but the server does no construction.
-	built := rt.Srv.Stats.ImagesBuilt
+	built := rt.Srv.Stats().ImagesBuilt
 	p2, err := rt.ExecPartial("/bin/prog.exe", nil)
 	if err != nil {
 		t.Fatal(err)
@@ -120,8 +120,8 @@ func TestExecPartial(t *testing.T) {
 	if code, err := rt.Run(p2); err != nil || code != 42 {
 		t.Fatalf("second run: code=%d err=%v", code, err)
 	}
-	if rt.Srv.Stats.ImagesBuilt != built {
-		t.Fatalf("partial re-exec rebuilt images: %d -> %d", built, rt.Srv.Stats.ImagesBuilt)
+	if rt.Srv.Stats().ImagesBuilt != built {
+		t.Fatalf("partial re-exec rebuilt images: %d -> %d", built, rt.Srv.Stats().ImagesBuilt)
 	}
 }
 

@@ -147,7 +147,10 @@ func mergeValues(vals []*Value, combine func(mods []*jigsaw.Module) (*jigsaw.Mod
 
 // MergeNode binds definitions in each operand to references in the
 // others; duplicate definitions are an error.
-type MergeNode struct{ Children []Node }
+type MergeNode struct {
+	Children []Node
+	memo     hashMemo
+}
 
 // Eval implements Node.
 func (n *MergeNode) Eval(ctx Context) (*Value, error) {
@@ -161,7 +164,9 @@ func (n *MergeNode) Eval(ctx Context) (*Value, error) {
 }
 
 // Hash implements Node.
-func (n *MergeNode) Hash(ctx Context) (string, error) { return hashOp(ctx, "merge", nil, n.Children) }
+func (n *MergeNode) Hash(ctx Context) (string, error) {
+	return n.memo.resolve(ctx, func() (string, error) { return hashOp(ctx, "merge", nil, n.Children) })
+}
 
 // String renders the node in blueprint syntax.
 func (n *MergeNode) String() string { return opString("merge", nil, n.Children) }
@@ -170,7 +175,10 @@ func (n *MergeNode) String() string { return opString("merge", nil, n.Children) 
 
 // OverrideNode merges two operands resolving conflicts in favor of the
 // second.
-type OverrideNode struct{ Base, Over Node }
+type OverrideNode struct {
+	Base, Over Node
+	memo       hashMemo
+}
 
 // Eval implements Node.
 func (n *OverrideNode) Eval(ctx Context) (*Value, error) {
@@ -198,7 +206,9 @@ func (n *OverrideNode) Eval(ctx Context) (*Value, error) {
 
 // Hash implements Node.
 func (n *OverrideNode) Hash(ctx Context) (string, error) {
-	return hashOp(ctx, "override", nil, []Node{n.Base, n.Over})
+	return n.memo.resolve(ctx, func() (string, error) {
+		return hashOp(ctx, "override", nil, []Node{n.Base, n.Over})
+	})
 }
 
 // String renders the node in blueprint syntax.
@@ -224,7 +234,8 @@ type RegexNode struct {
 	Regex string
 	Child Node
 
-	re *regexp.Regexp
+	re   *regexp.Regexp
+	memo hashMemo
 }
 
 // NewRegexNode validates the pattern eagerly.
@@ -265,7 +276,9 @@ func (n *RegexNode) Eval(ctx Context) (*Value, error) {
 
 // Hash implements Node.
 func (n *RegexNode) Hash(ctx Context) (string, error) {
-	return hashOp(ctx, string(n.Op), []string{n.Regex}, []Node{n.Child})
+	return n.memo.resolve(ctx, func() (string, error) {
+		return hashOp(ctx, string(n.Op), []string{n.Regex}, []Node{n.Child})
+	})
 }
 
 // String renders the node in blueprint syntax.
@@ -280,6 +293,7 @@ type CopyAsNode struct {
 	Regex, NewName string
 	Child          Node
 	re             *regexp.Regexp
+	memo           hashMemo
 }
 
 // NewCopyAsNode validates the pattern eagerly.
@@ -311,7 +325,9 @@ func (n *CopyAsNode) Eval(ctx Context) (*Value, error) {
 
 // Hash implements Node.
 func (n *CopyAsNode) Hash(ctx Context) (string, error) {
-	return hashOp(ctx, "copy-as", []string{n.Regex, n.NewName}, []Node{n.Child})
+	return n.memo.resolve(ctx, func() (string, error) {
+		return hashOp(ctx, "copy-as", []string{n.Regex, n.NewName}, []Node{n.Child})
+	})
 }
 
 // String renders the node in blueprint syntax.
@@ -325,6 +341,7 @@ type RenameNode struct {
 	Mode            jigsaw.RenameMode
 	Child           Node
 	re              *regexp.Regexp
+	memo            hashMemo
 }
 
 // NewRenameNode validates the pattern eagerly.
@@ -352,7 +369,9 @@ func (n *RenameNode) Eval(ctx Context) (*Value, error) {
 
 // Hash implements Node.
 func (n *RenameNode) Hash(ctx Context) (string, error) {
-	return hashOp(ctx, fmt.Sprintf("rename%d", n.Mode), []string{n.Regex, n.Template}, []Node{n.Child})
+	return n.memo.resolve(ctx, func() (string, error) {
+		return hashOp(ctx, fmt.Sprintf("rename%d", n.Mode), []string{n.Regex, n.Template}, []Node{n.Child})
+	})
 }
 
 // String renders the node in blueprint syntax.
@@ -364,7 +383,10 @@ func (n *RenameNode) String() string {
 
 // RefNode references a namespace path: a raw object (inlined as a
 // fragment) or a meta-object (library deps or expanded graphs).
-type RefNode struct{ Path string }
+type RefNode struct {
+	Path string
+	memo hashMemo
+}
 
 // Eval implements Node.
 func (n *RefNode) Eval(ctx Context) (*Value, error) {
@@ -391,11 +413,13 @@ func (n *RefNode) Eval(ctx Context) (*Value, error) {
 
 // Hash implements Node.
 func (n *RefNode) Hash(ctx Context) (string, error) {
-	ch, err := ctx.ContentHash(n.Path)
-	if err != nil {
-		return "", err
-	}
-	return digest("ref", n.Path, ch), nil
+	return n.memo.resolve(ctx, func() (string, error) {
+		ch, err := ctx.ContentHash(n.Path)
+		if err != nil {
+			return "", err
+		}
+		return digest("ref", n.Path, ch), nil
+	})
 }
 
 // String renders the node in blueprint syntax.
@@ -403,7 +427,10 @@ func (n *RefNode) String() string { return n.Path }
 
 // SourceNode compiles source text into fragments (the `source`
 // operator).
-type SourceNode struct{ Lang, Text string }
+type SourceNode struct {
+	Lang, Text string
+	memo       hashMemo
+}
 
 // Eval implements Node.
 func (n *SourceNode) Eval(ctx Context) (*Value, error) {
@@ -420,7 +447,9 @@ func (n *SourceNode) Eval(ctx Context) (*Value, error) {
 
 // Hash implements Node.
 func (n *SourceNode) Hash(ctx Context) (string, error) {
-	return digest("source", n.Lang, n.Text), nil
+	return n.memo.resolve(ctx, func() (string, error) {
+		return digest("source", n.Lang, n.Text), nil
+	})
 }
 
 // String renders the node in blueprint syntax.
@@ -434,6 +463,7 @@ func (n *SourceNode) String() string { return fmt.Sprintf("(source %q %q)", n.La
 type ConstrainNode struct {
 	Prefs []constraint.Pref
 	Child Node
+	memo  hashMemo
 }
 
 // Eval implements Node.
@@ -458,11 +488,13 @@ func (n *ConstrainNode) Eval(ctx Context) (*Value, error) {
 
 // Hash implements Node.
 func (n *ConstrainNode) Hash(ctx Context) (string, error) {
-	args := make([]string, 0, len(n.Prefs))
-	for _, p := range n.Prefs {
-		args = append(args, fmt.Sprintf("%c=%#x", p.Seg, p.Addr))
-	}
-	return hashOp(ctx, "constrain", args, []Node{n.Child})
+	return n.memo.resolve(ctx, func() (string, error) {
+		args := make([]string, 0, len(n.Prefs))
+		for _, p := range n.Prefs {
+			args = append(args, fmt.Sprintf("%c=%#x", p.Seg, p.Addr))
+		}
+		return hashOp(ctx, "constrain", args, []Node{n.Child})
+	})
 }
 
 // String renders the node in blueprint syntax.
@@ -483,6 +515,7 @@ type SpecializeNode struct {
 	Args  []string
 	Prefs []constraint.Pref
 	Child Node
+	memo  hashMemo
 }
 
 // Eval implements Node.
@@ -522,11 +555,13 @@ func (n *SpecializeNode) Eval(ctx Context) (*Value, error) {
 
 // Hash implements Node.
 func (n *SpecializeNode) Hash(ctx Context) (string, error) {
-	args := append([]string{n.Kind}, n.Args...)
-	for _, p := range n.Prefs {
-		args = append(args, fmt.Sprintf("%c=%#x", p.Seg, p.Addr))
-	}
-	return hashOp(ctx, "specialize", args, []Node{n.Child})
+	return n.memo.resolve(ctx, func() (string, error) {
+		args := append([]string{n.Kind}, n.Args...)
+		for _, p := range n.Prefs {
+			args = append(args, fmt.Sprintf("%c=%#x", p.Seg, p.Addr))
+		}
+		return hashOp(ctx, "specialize", args, []Node{n.Child})
+	})
 }
 
 // String renders the node in blueprint syntax.
@@ -539,7 +574,10 @@ func (n *SpecializeNode) String() string {
 // prefix and generates __do_global_ctors invoking each in sorted
 // order — the role the paper's `initializers` operator plays for C++
 // static initializers.
-type InitializersNode struct{ Child Node }
+type InitializersNode struct {
+	Child Node
+	memo  hashMemo
+}
 
 // CtorPrefix marks constructor functions gathered by InitializersNode.
 const CtorPrefix = "__ctor_"
@@ -585,7 +623,9 @@ func (n *InitializersNode) Eval(ctx Context) (*Value, error) {
 
 // Hash implements Node.
 func (n *InitializersNode) Hash(ctx Context) (string, error) {
-	return hashOp(ctx, "initializers", nil, []Node{n.Child})
+	return n.memo.resolve(ctx, func() (string, error) {
+		return hashOp(ctx, "initializers", nil, []Node{n.Child})
+	})
 }
 
 // String renders the node in blueprint syntax.

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"omos/internal/image"
 	"omos/internal/vm"
@@ -54,8 +56,12 @@ type Kernel struct {
 	FS   *FS
 	Cost CostModel
 	// Total accumulates the clocks of all completed processes plus
-	// kernel-side work not attributable to a live process.
-	Total Clock
+	// kernel-side work not attributable to a live process.  Guarded by
+	// totalMu: concurrent OMOS clients release processes and persist
+	// images in parallel, so mutate it only through AddTotal /
+	// ChargeTotalServer and read it through TotalClock.
+	Total   Clock
+	totalMu sync.Mutex
 	// Hooks are the registered upcall handlers.
 	Hooks Handlers
 
@@ -148,20 +154,45 @@ func (k *Kernel) Spawn() *Process {
 // into the kernel total.
 func (p *Process) Release() {
 	p.AS.Destroy()
-	p.Kern.Total.Add(p.Clock)
+	p.Kern.AddTotal(p.Clock)
 }
 
-// charge helpers.
-func (p *Process) ChargeSys(n uint64) { p.Clock.Sys += n }
+// AddTotal folds a clock into the kernel total.  Safe for concurrent
+// use (concurrent clients release processes in parallel).
+func (k *Kernel) AddTotal(c Clock) {
+	k.totalMu.Lock()
+	k.Total.Add(c)
+	k.totalMu.Unlock()
+}
+
+// ChargeTotalServer adds server cycles not attributable to a live
+// process (e.g. persistent-store I/O).  Safe for concurrent use.
+func (k *Kernel) ChargeTotalServer(n uint64) {
+	k.totalMu.Lock()
+	k.Total.Server += n
+	k.totalMu.Unlock()
+}
+
+// TotalClock returns a snapshot of the accumulated kernel total.
+func (k *Kernel) TotalClock() Clock {
+	k.totalMu.Lock()
+	defer k.totalMu.Unlock()
+	return k.Total
+}
+
+// charge helpers.  The Charge* methods are atomic adds: during a
+// concurrent instantiation the server's worker pool charges library
+// build cycles to the requesting process from several goroutines.
+func (p *Process) ChargeSys(n uint64) { atomic.AddUint64(&p.Clock.Sys, n) }
 
 // ChargeUser adds user-mode cycles.
-func (p *Process) ChargeUser(n uint64) { p.Clock.User += n }
+func (p *Process) ChargeUser(n uint64) { atomic.AddUint64(&p.Clock.User, n) }
 
 // ChargeServer adds OMOS server cycles.
-func (p *Process) ChargeServer(n uint64) { p.Clock.Server += n }
+func (p *Process) ChargeServer(n uint64) { atomic.AddUint64(&p.Clock.Server, n) }
 
 // ChargeWait adds I/O wait cycles.
-func (p *Process) ChargeWait(n uint64) { p.Clock.Wait += n }
+func (p *Process) ChargeWait(n uint64) { atomic.AddUint64(&p.Clock.Wait, n) }
 
 // MapSharedSegs maps cached frame segments, charging PTE-insert costs
 // to the given clock component ("sys" for kernel exec, "server" for

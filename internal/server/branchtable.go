@@ -25,7 +25,7 @@ const btSlotPrefix = "$bt$slot$"
 // data slots, so one cached text image serves every application
 // instead of "a new library image for each different application".
 func (s *Server) buildBranchTableLib(dep mgraph.LibDep, v *mgraph.Value, libs []*Instance,
-	prefs []constraint.Pref, ch string, p *osim.Process) (*Instance, error) {
+	prefs []constraint.Pref, ch string, c charger) (*Instance, error) {
 
 	externs := externsOf(libs)
 	var upward []string
@@ -55,14 +55,12 @@ func (s *Server) buildBranchTableLib(dep mgraph.LibDep, v *mgraph.Value, libs []
 	}
 
 	textSize, dataSize := link.Measure(module)
-	s.mu.Lock()
-	pl, err := s.solver.Place(constraint.Request{
+	pl, err := s.place(constraint.Request{
 		Key:      "lib:" + dep.Path + "|" + dep.Spec.Hash(),
 		TextSize: textSize,
 		DataSize: dataSize,
 		Prefs:    prefs,
 	})
-	s.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +76,7 @@ func (s *Server) buildBranchTableLib(dep mgraph.LibDep, v *mgraph.Value, libs []
 		if err != nil {
 			return nil, fmt.Errorf("server: linking branch-table library %s: %w", dep.Path, err)
 		}
-		inst, err := s.materialize(key, "lib:"+dep.Path, res, libs, p)
+		inst, err := s.materialize(key, "lib:"+dep.Path, res, libs, c)
 		if err != nil {
 			return nil, err
 		}

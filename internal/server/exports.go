@@ -63,7 +63,7 @@ func (s *Server) InstantiateLib(dep mgraph.LibDep, p *osim.Process) (*Instance, 
 	// differs.
 	impl := dep
 	impl.Spec.Kind = "lib-static"
-	return s.instantiateLibrary(impl, p)
+	return s.instantiateLibrary(impl, asCharger(p))
 }
 
 // ExportTable returns (building and caching on first use) the
@@ -79,12 +79,12 @@ func (s *Server) InstantiateLib(dep mgraph.LibDep, p *osim.Process) (*Instance, 
 // Only function exports are included: the paper notes shared variables
 // are the scheme's fundamental limitation, so data never appears here.
 func (s *Server) ExportTable(inst *Instance) (*osim.FrameSeg, error) {
-	s.mu.Lock()
+	s.cacheMu.RLock()
 	if inst.Table != nil {
-		s.mu.Unlock()
+		s.cacheMu.RUnlock()
 		return inst.Table, nil
 	}
-	s.mu.Unlock()
+	s.cacheMu.RUnlock()
 
 	var funcs []string
 	for name, kind := range inst.Res.SymKinds {
@@ -115,12 +115,10 @@ func (s *Server) ExportTable(inst *Instance) (*osim.FrameSeg, error) {
 			idx = (idx + 1) & (nslots - 1)
 		}
 	}
-	s.mu.Lock()
-	pl, err := s.solver.Place(constraint.Request{
+	pl, err := s.place(constraint.Request{
 		Key:      "table:" + inst.Key,
 		TextSize: uint64(len(buf)),
 	})
-	s.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -129,10 +127,17 @@ func (s *Server) ExportTable(inst *Instance) (*osim.FrameSeg, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
+	s.cacheMu.Lock()
+	if inst.Table != nil {
+		// Another builder won the race; keep its table and release ours.
+		won := inst.Table
+		s.cacheMu.Unlock()
+		s.kern.FT.Release(seg)
+		return won, nil
+	}
 	inst.Table = seg
 	inst.TableAddr = pl.TextBase
-	s.mu.Unlock()
+	s.cacheMu.Unlock()
 	return seg, nil
 }
 

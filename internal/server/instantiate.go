@@ -40,9 +40,9 @@ func (s *Server) Instantiate(name string, p *osim.Process) (*Instance, error) {
 		return nil, fmt.Errorf("server: %s is not a meta-object", name)
 	}
 	if meta.IsLibrary {
-		return s.instantiateLibrary(mgraph.LibDep{Path: name, Spec: meta.DefaultSpec}, p)
+		return s.instantiateLibrary(mgraph.LibDep{Path: name, Spec: meta.DefaultSpec}, asCharger(p))
 	}
-	return s.instantiateProgram(name, meta, p)
+	return s.instantiateProgram(name, meta, asCharger(p))
 }
 
 // InstantiateBlueprint evaluates an anonymous blueprint (§5: "the
@@ -59,12 +59,12 @@ func (s *Server) InstantiateBlueprint(src string, p *osim.Process) (*Instance, e
 		return nil, err
 	}
 	meta := &mgraph.Meta{Path: "(anonymous)", Root: root, SrcHash: digestStr(src)}
-	return s.instantiateProgram("(anonymous:"+meta.SrcHash+")", meta, p)
+	return s.instantiateProgram("(anonymous:"+meta.SrcHash+")", meta, asCharger(p))
 }
 
-func (s *Server) chargeLookup(p *osim.Process) {
-	if p != nil {
-		p.ChargeServer(s.kern.Cost.ServerCacheLookup)
+func (s *Server) chargeLookup(c charger) {
+	if c != nil {
+		c.ChargeServer(s.kern.Cost.ServerCacheLookup)
 	}
 }
 
@@ -78,25 +78,18 @@ func (s *Server) buildCost(res *link.Result) uint64 {
 }
 
 // evalValue evaluates a meta-object root and resolves its library
-// dependencies into instances (deduplicated by path+spec).
-func (s *Server) evalValue(meta *mgraph.Meta, p *osim.Process) (*mgraph.Value, []*Instance, error) {
+// dependencies into instances (deduplicated by path+spec).  Distinct
+// dependencies build concurrently on the worker pool; the join is in
+// dependency order, so downstream consumers (externsOf, libKeys) see
+// exactly the serial ordering.
+func (s *Server) evalValue(meta *mgraph.Meta, c charger) (*mgraph.Value, []*Instance, error) {
 	v, err := meta.Root.Eval(ctx{s})
 	if err != nil {
 		return nil, nil, fmt.Errorf("server: evaluating %s: %w", meta.Path, err)
 	}
-	seen := map[string]bool{}
-	var insts []*Instance
-	for _, dep := range v.Libs {
-		id := dep.Path + "|" + dep.Spec.Hash()
-		if seen[id] {
-			continue
-		}
-		seen[id] = true
-		inst, err := s.instantiateLibrary(dep, p)
-		if err != nil {
-			return nil, nil, err
-		}
-		insts = append(insts, inst)
+	insts, err := s.instantiateDeps(v.Libs, c)
+	if err != nil {
+		return nil, nil, err
 	}
 	return v, insts, nil
 }
@@ -115,22 +108,29 @@ func externsOf(libs []*Instance) map[string]uint64 {
 	return ext
 }
 
-func (s *Server) instantiateLibrary(dep mgraph.LibDep, p *osim.Process) (*Instance, error) {
-	c := ctx{s}
-	meta, err := c.LookupMeta(dep.Path)
+// place runs a constraint-solver request under the solver lock.
+func (s *Server) place(req constraint.Request) (constraint.Placement, error) {
+	s.solverMu.Lock()
+	defer s.solverMu.Unlock()
+	return s.solver.Place(req)
+}
+
+func (s *Server) instantiateLibrary(dep mgraph.LibDep, c charger) (*Instance, error) {
+	cx := ctx{s}
+	meta, err := cx.LookupMeta(dep.Path)
 	if err != nil {
 		return nil, err
 	}
 	if meta == nil || !meta.IsLibrary {
 		return nil, fmt.Errorf("server: %s is not a library meta-object", dep.Path)
 	}
-	ch, err := c.ContentHash(dep.Path)
+	ch, err := cx.ContentHash(dep.Path)
 	if err != nil {
 		return nil, err
 	}
-	s.chargeLookup(p)
+	s.chargeLookup(c)
 
-	v, libs, err := s.evalValue(meta, p)
+	v, libs, err := s.evalValue(meta, c)
 	if err != nil {
 		return nil, err
 	}
@@ -142,17 +142,15 @@ func (s *Server) instantiateLibrary(dep mgraph.LibDep, p *osim.Process) (*Instan
 		prefs = meta.DefaultSpec.Prefs
 	}
 	if dep.Spec.Kind == "lib-branch-table" {
-		return s.buildBranchTableLib(dep, v, libs, prefs, ch, p)
+		return s.buildBranchTableLib(dep, v, libs, prefs, ch, c)
 	}
 	textSize, dataSize := link.Measure(v.Module)
-	s.mu.Lock()
-	pl, err := s.solver.Place(constraint.Request{
+	pl, err := s.place(constraint.Request{
 		Key:      "lib:" + dep.Path + "|" + dep.Spec.Hash(),
 		TextSize: textSize,
 		DataSize: dataSize,
 		Prefs:    prefs,
 	})
-	s.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -168,7 +166,7 @@ func (s *Server) instantiateLibrary(dep mgraph.LibDep, p *osim.Process) (*Instan
 		if err != nil {
 			return nil, fmt.Errorf("server: linking library %s: %w", dep.Path, err)
 		}
-		inst, err := s.materialize(key, dep.Path, res, libs, p)
+		inst, err := s.materialize(key, dep.Path, res, libs, c)
 		if err != nil {
 			return nil, err
 		}
@@ -182,13 +180,13 @@ func (s *Server) instantiateLibrary(dep mgraph.LibDep, p *osim.Process) (*Instan
 	})
 }
 
-func (s *Server) instantiateProgram(name string, meta *mgraph.Meta, p *osim.Process) (*Instance, error) {
-	s.chargeLookup(p)
+func (s *Server) instantiateProgram(name string, meta *mgraph.Meta, c charger) (*Instance, error) {
+	s.chargeLookup(c)
 	subHash, err := meta.Root.Hash(ctx{s})
 	if err != nil {
 		return nil, err
 	}
-	v, libs, err := s.evalValue(meta, p)
+	v, libs, err := s.evalValue(meta, c)
 	if err != nil {
 		return nil, err
 	}
@@ -203,14 +201,12 @@ func (s *Server) instantiateProgram(name string, meta *mgraph.Meta, p *osim.Proc
 		}
 	}
 	textSize, dataSize := link.Measure(v.Module)
-	s.mu.Lock()
-	pl, err := s.solver.Place(constraint.Request{
+	pl, err := s.place(constraint.Request{
 		Key:      "prog:" + name,
 		TextSize: textSize,
 		DataSize: dataSize,
 		Prefs:    prefs,
 	})
-	s.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -227,7 +223,7 @@ func (s *Server) instantiateProgram(name string, meta *mgraph.Meta, p *osim.Proc
 		if err != nil {
 			return nil, fmt.Errorf("server: linking %s: %w", name, err)
 		}
-		inst, err := s.materialize(key, name, res, libs, p)
+		inst, err := s.materialize(key, name, res, libs, c)
 		if err != nil {
 			return nil, err
 		}
@@ -265,7 +261,7 @@ func (s *Server) ReleaseInstance(inst *Instance) {
 // segments become shared frames, writable segments stay as pristine
 // bytes for per-client copying.  Build cost is charged to the
 // requesting process (the only one that ever pays it).
-func (s *Server) materialize(key, name string, res *link.Result, libs []*Instance, p *osim.Process) (*Instance, error) {
+func (s *Server) materialize(key, name string, res *link.Result, libs []*Instance, c charger) (*Instance, error) {
 	inst := &Instance{Key: key, Name: name, Res: res, Libs: libs}
 	for i := range res.Image.Segments {
 		seg := &res.Image.Segments[i]
@@ -280,28 +276,29 @@ func (s *Server) materialize(key, name string, res *link.Result, libs []*Instanc
 		inst.ROSegs = append(inst.ROSegs, fs)
 	}
 	cost := s.buildCost(res)
-	if p != nil {
-		p.ChargeServer(cost)
+	if c != nil {
+		c.ChargeServer(cost)
 	}
-	s.mu.Lock()
-	s.Stats.CacheMisses++
-	s.Stats.ImagesBuilt++
-	s.Stats.RelocsApplied += uint64(res.NumRelocs)
-	s.Stats.ExternBinds += uint64(res.ExternBinds)
-	s.Stats.BuildCycles += cost
+	s.stats.cacheMisses.Add(1)
+	s.stats.imagesBuilt.Add(1)
+	s.stats.relocsApplied.Add(uint64(res.NumRelocs))
+	s.stats.externBinds.Add(uint64(res.ExternBinds))
+	s.stats.buildCycles.Add(cost)
 	if !s.DisableCache {
+		s.cacheMu.Lock()
 		if prior, raced := s.cache[key]; raced {
 			// Unreachable under the singleflight layer (one build per
 			// key), kept as a safety net: prefer the cached instance
 			// and release this build's frames.
-			s.mu.Unlock()
+			s.cacheMu.Unlock()
 			s.ReleaseInstance(inst)
 			return prior, nil
 		}
 		s.cache[key] = inst
-		s.touchLocked(key)
+		st := s.store
+		s.cacheMu.Unlock()
+		s.touch(key, inst, st)
 	}
-	s.mu.Unlock()
 	return inst, nil
 }
 
@@ -314,8 +311,8 @@ func (s *Server) materialize(key, name string, res *link.Result, libs []*Instanc
 // through the frame refcounts.
 func (s *Server) Evict(name string) int {
 	name = cleanPath(name)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
 	evicted := 0
 	for key, inst := range s.cache {
 		if inst.Name != name && inst.Name != "lib:"+name {
@@ -327,13 +324,14 @@ func (s *Server) Evict(name string) int {
 		}
 		evicted++
 	}
+	s.solverMu.Lock()
 	s.solver.Release("prog:" + name)
 	for _, k := range s.solver.Keys() {
 		if strings.HasPrefix(k, "lib:"+name+"|") {
 			s.solver.Release(k)
 		}
 	}
-	s.syncStoreStatsLocked()
+	s.solverMu.Unlock()
 	return evicted
 }
 
@@ -341,17 +339,19 @@ func (s *Server) Evict(name string) int {
 // tier: its shared frames (and export table) are released and the
 // cache entry removed.  Frames a running process maps stay alive
 // through the process's own references.  The main solver placement is
-// deliberately kept so a rebuild lands at the same addresses.
+// deliberately kept so a rebuild lands at the same addresses.  Caller
+// holds cacheMu.
 func (s *Server) evictEntryLocked(inst *Instance) {
 	for _, seg := range inst.ROSegs {
 		s.kern.FT.Release(seg)
 	}
 	if inst.Table != nil {
 		s.kern.FT.Release(inst.Table)
+		s.solverMu.Lock()
 		s.solver.Release("table:" + inst.Key)
+		s.solverMu.Unlock()
 	}
 	delete(s.cache, inst.Key)
-	delete(s.lastUse, inst.Key)
 }
 
 // MapInstance maps the instance and all its libraries into a process,

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"omos/internal/mgraph"
+	"omos/internal/osim"
+)
+
+// This file implements the concurrent instantiation pipeline: one
+// instantiation fans its distinct library dependencies out across a
+// bounded worker pool, joining the results in dependency order so
+// cache keys, externsOf's first-definition-wins semantics, and symbol
+// tables come out exactly as a serial build would produce them.  The
+// singleflight layer (singleflight.go) already guarantees overlapping
+// subtrees across concurrent requests are each built exactly once.
+
+// DefaultBuildWorkers is the default bound on concurrent library
+// builds per server.  It is a fixed constant rather than GOMAXPROCS so
+// the simulated cost accounting (and thus the benchmark tables) is
+// identical on every machine.
+const DefaultBuildWorkers = 4
+
+// SetBuildWorkers bounds the dependency fan-out to n concurrent
+// builds; n <= 1 restores the fully serial pipeline (used by the
+// contention-ablation benchmark).  Not safe to call while
+// instantiations are in flight.
+func (s *Server) SetBuildWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.buildWorkers = n
+	s.buildSem = make(chan struct{}, n)
+}
+
+// BuildWorkers returns the current fan-out bound.
+func (s *Server) BuildWorkers() int { return s.buildWorkers }
+
+// charger receives simulated server cycles.  *osim.Process implements
+// it; the parallel fan-out substitutes a clockTally per branch so each
+// branch's cost is known at the join.
+type charger interface {
+	ChargeServer(n uint64)
+}
+
+// asCharger converts a possibly-nil process into a possibly-nil
+// charger (a nil *osim.Process inside a non-nil interface would defeat
+// the nil checks downstream).
+func asCharger(p *osim.Process) charger {
+	if p == nil {
+		return nil
+	}
+	return p
+}
+
+// clockTally accumulates one fan-out branch's server cycles.
+type clockTally struct {
+	cycles atomic.Uint64
+}
+
+// ChargeServer implements charger.
+func (t *clockTally) ChargeServer(n uint64) { t.cycles.Add(n) }
+
+// instantiateDeps resolves library dependencies (deduplicated by
+// path+spec, order preserved) into instances, building distinct
+// dependencies concurrently when the worker pool allows.
+//
+// Cost model: a branch's cycles are accumulated on a private tally and
+// the requester is charged the makespan of running the branches on
+// buildWorkers workers — max(longest branch, ceil(total/workers)) —
+// instead of their sum.  That is the point of the pipeline: a
+// four-library cold build costs the requester roughly the longest
+// library link, not the sum of all four.  Stats.BuildCycles still
+// accumulates the full sum (the server really did that work).
+func (s *Server) instantiateDeps(deps []mgraph.LibDep, c charger) ([]*Instance, error) {
+	seen := map[string]bool{}
+	distinct := deps[:0:0]
+	for _, dep := range deps {
+		id := dep.Path + "|" + dep.Spec.Hash()
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		distinct = append(distinct, dep)
+	}
+	if len(distinct) == 0 {
+		return nil, nil
+	}
+	workers := s.buildWorkers
+	if len(distinct) == 1 || workers <= 1 {
+		var insts []*Instance
+		for _, dep := range distinct {
+			inst, err := s.instantiateLibrary(dep, c)
+			if err != nil {
+				return nil, err
+			}
+			insts = append(insts, inst)
+		}
+		return insts, nil
+	}
+
+	insts := make([]*Instance, len(distinct))
+	errs := make([]error, len(distinct))
+	tallies := make([]clockTally, len(distinct))
+	var wg sync.WaitGroup
+	for i := range distinct {
+		i := i
+		run := func() {
+			insts[i], errs[i] = s.instantiateLibrary(distinct[i], &tallies[i])
+		}
+		// A token is required to SPAWN, never to RUN: when the pool is
+		// saturated the branch builds inline on this goroutine, so
+		// nested fan-outs (a library's own dependencies) always make
+		// progress and the pool cannot deadlock.
+		select {
+		case s.buildSem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-s.buildSem }()
+				run()
+			}()
+		default:
+			run()
+		}
+	}
+	wg.Wait()
+
+	// Deterministic join: results in dependency order, first error (by
+	// dependency order) wins regardless of which branch failed first
+	// in wall-clock time.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if c != nil {
+		var sum, longest uint64
+		for i := range tallies {
+			cy := tallies[i].cycles.Load()
+			sum += cy
+			if cy > longest {
+				longest = cy
+			}
+		}
+		charged := (sum + uint64(workers) - 1) / uint64(workers)
+		if charged < longest {
+			charged = longest
+		}
+		c.ChargeServer(charged)
+	}
+	return insts, nil
+}

@@ -25,19 +25,16 @@ import (
 // are rejected (and removed) rather than loaded.  Returns the number
 // of instances reconstructed.
 func (s *Server) AttachStore(st *store.Store) int {
-	s.mu.Lock()
+	s.cacheMu.Lock()
 	s.store = st
-	before := s.Stats.WarmLoaded
-	s.mu.Unlock()
+	s.cacheMu.Unlock()
+	before := s.stats.warmLoaded.Load()
 	// Oldest-first so reconstruction preserves the persisted LRU
 	// order in the in-memory recency tracking.
 	for _, key := range st.KeysLRU() {
 		s.loadFromStore(key, map[string]bool{})
 	}
-	s.mu.Lock()
-	n := int(s.Stats.WarmLoaded - before)
-	s.syncStoreStatsLocked()
-	s.mu.Unlock()
+	n := int(s.stats.warmLoaded.Load() - before)
 	// The byte budget may have shrunk since the blobs were written.
 	s.evictForCapacity("")
 	return n
@@ -46,10 +43,10 @@ func (s *Server) AttachStore(st *store.Store) int {
 // CloseStore flushes and detaches the persistent store.  Safe to call
 // when no store is attached.
 func (s *Server) CloseStore() error {
-	s.mu.Lock()
+	s.cacheMu.Lock()
 	st := s.store
 	s.store = nil
-	s.mu.Unlock()
+	s.cacheMu.Unlock()
 	if st == nil {
 		return nil
 	}
@@ -58,44 +55,32 @@ func (s *Server) CloseStore() error {
 
 // FlushStore persists the store's LRU index without detaching.
 func (s *Server) FlushStore() error {
-	s.mu.Lock()
+	s.cacheMu.RLock()
 	st := s.store
-	s.mu.Unlock()
+	s.cacheMu.RUnlock()
 	if st == nil {
 		return nil
 	}
 	return st.Flush()
 }
 
-// touchLocked marks a cache key as most recently used in both tiers.
-func (s *Server) touchLocked(key string) {
-	s.useSeq++
-	s.lastUse[key] = s.useSeq
-	if s.store != nil {
-		s.store.Touch(key)
+// touch marks a cache key as most recently used in both tiers.  The
+// in-memory stamp is a per-instance atomic, so cache hits need no
+// cache write lock; the store keeps its own lock.
+func (s *Server) touch(key string, inst *Instance, st *store.Store) {
+	inst.lastUse.Store(s.useSeq.Add(1))
+	if st != nil {
+		st.Touch(key)
 	}
-}
-
-// syncStoreStatsLocked mirrors the store's counters into Server.Stats.
-func (s *Server) syncStoreStatsLocked() {
-	if s.store == nil {
-		return
-	}
-	st := s.store.Stats()
-	s.Stats.StoreLoads = st.Loads
-	s.Stats.StoreStores = st.Stores
-	s.Stats.StoreEvictions = st.Evictions
-	s.Stats.StoreCorrupt = st.CorruptRejects
-	s.Stats.StoreBytes = st.Bytes
 }
 
 // persistInstance writes a freshly built instance through to the
 // store and enforces the byte budget.  Persistence is best-effort: a
 // failed write costs only future warm starts, never correctness.
 func (s *Server) persistInstance(inst *Instance) {
-	s.mu.Lock()
+	s.cacheMu.RLock()
 	st := s.store
-	s.mu.Unlock()
+	s.cacheMu.RUnlock()
 	if st == nil || inst.place.SolverKey == "" {
 		return
 	}
@@ -106,10 +91,7 @@ func (s *Server) persistInstance(inst *Instance) {
 	if err := st.Put(inst.Key, blob); err != nil {
 		return
 	}
-	s.mu.Lock()
-	s.kern.Total.Server += uint64(len(blob)) * s.kern.Cost.StoreWritePerByte
-	s.syncStoreStatsLocked()
-	s.mu.Unlock()
+	s.kern.ChargeTotalServer(uint64(len(blob)) * s.kern.Cost.StoreWritePerByte)
 	// Capacity enforcement happens in buildShared once this build's
 	// flight is deregistered; an in-flight build must not evict the
 	// library instances it references.
@@ -183,10 +165,10 @@ func recordOf(inst *Instance) *store.Record {
 // placement can no longer be honored — in every such case the entry
 // is discarded and the next instantiation simply rebuilds.
 func (s *Server) loadFromStore(key string, visiting map[string]bool) *Instance {
-	s.mu.Lock()
+	s.cacheMu.RLock()
 	inst := s.cache[key]
 	st := s.store
-	s.mu.Unlock()
+	s.cacheMu.RUnlock()
 	if inst != nil {
 		return inst
 	}
@@ -201,9 +183,6 @@ func (s *Server) loadFromStore(key string, visiting map[string]bool) *Instance {
 	}
 	reject := func() *Instance {
 		st.RejectCorrupt(key)
-		s.mu.Lock()
-		s.syncStoreStatsLocked()
-		s.mu.Unlock()
 		return nil
 	}
 	rec, err := store.Decode(blob)
@@ -219,11 +198,11 @@ func (s *Server) loadFromStore(key string, visiting map[string]bool) *Instance {
 		}
 		libs = append(libs, li)
 	}
-	s.mu.Lock()
+	s.solverMu.Lock()
 	err = s.solver.Restore(rec.SolverKey,
 		constraint.Placement{TextBase: rec.TextBase, DataBase: rec.DataBase},
 		rec.TextSize, rec.DataSize)
-	s.mu.Unlock()
+	s.solverMu.Unlock()
 	if err != nil {
 		return reject()
 	}
@@ -231,18 +210,17 @@ func (s *Server) loadFromStore(key string, visiting map[string]bool) *Instance {
 	if err != nil {
 		return reject()
 	}
-	s.mu.Lock()
+	s.cacheMu.Lock()
 	if prior := s.cache[key]; prior != nil {
-		s.mu.Unlock()
+		s.cacheMu.Unlock()
 		s.ReleaseInstance(inst)
 		return prior
 	}
 	s.cache[key] = inst
-	s.touchLocked(key)
-	s.Stats.WarmLoaded++
-	s.kern.Total.Server += uint64(len(blob)) * s.kern.Cost.StoreLoadPerByte
-	s.syncStoreStatsLocked()
-	s.mu.Unlock()
+	s.cacheMu.Unlock()
+	s.touch(key, inst, st)
+	s.stats.warmLoaded.Add(1)
+	s.kern.ChargeTotalServer(uint64(len(blob)) * s.kern.Cost.StoreLoadPerByte)
 	return inst
 }
 
@@ -317,8 +295,8 @@ func (s *Server) instanceFromRecord(rec *store.Record, libs []*Instance) (*Insta
 // process references yet.  Solver placements are kept so a later
 // rebuild lands at the same addresses and re-earns the same cache key.
 func (s *Server) evictForCapacity(exclude string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
 	st := s.store
 	if st == nil || st.OverCapacity() == 0 {
 		return
@@ -349,7 +327,6 @@ func (s *Server) evictForCapacity(exclude string) {
 		}
 		st.Delete(key)
 	}
-	s.syncStoreStatsLocked()
 }
 
 // mappedLive reports whether any live process still maps the

@@ -56,11 +56,11 @@ func TestWarmRestartFromStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s1.Stats.ImagesBuilt == 0 {
+	if s1.Stats().ImagesBuilt == 0 {
 		t.Fatal("cold session built nothing")
 	}
-	if s1.Stats.StoreStores == 0 || s1.Stats.StoreBytes == 0 {
-		t.Fatalf("no write-through: %+v", s1.Stats)
+	if s1.Stats().StoreStores == 0 || s1.Stats().StoreBytes == 0 {
+		t.Fatalf("no write-through: %+v", s1.Stats())
 	}
 	_, code1 := runInstance(t, s1, inst1, nil)
 	if code1 != 42 {
@@ -83,11 +83,11 @@ func TestWarmRestartFromStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s2.Stats.ImagesBuilt != 0 {
-		t.Fatalf("warm session rebuilt %d images", s2.Stats.ImagesBuilt)
+	if s2.Stats().ImagesBuilt != 0 {
+		t.Fatalf("warm session rebuilt %d images", s2.Stats().ImagesBuilt)
 	}
-	if s2.Stats.CacheHits == 0 || s2.Stats.WarmLoaded == 0 {
-		t.Fatalf("warm stats = %+v", s2.Stats)
+	if s2.Stats().CacheHits == 0 || s2.Stats().WarmLoaded == 0 {
+		t.Fatalf("warm stats = %+v", s2.Stats())
 	}
 	if inst2.Key != inst1.Key || inst2.Entry() != inst1.Entry() {
 		t.Fatalf("identity drift: key %s vs %s, entry %#x vs %#x",
@@ -149,23 +149,23 @@ func TestCorruptBlobRejectedAndRebuilt(t *testing.T) {
 	if n != 0 {
 		t.Fatalf("loaded %d corrupt entries", n)
 	}
-	if s2.Stats.StoreCorrupt == 0 {
-		t.Fatalf("corrupt rejects not counted: %+v", s2.Stats)
+	if s2.Stats().StoreCorrupt == 0 {
+		t.Fatalf("corrupt rejects not counted: %+v", s2.Stats())
 	}
 	definePersistWorld(t, s2)
 	inst, err := s2.Instantiate("/bin/app", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s2.Stats.ImagesBuilt == 0 {
+	if s2.Stats().ImagesBuilt == 0 {
 		t.Fatal("rebuild did not happen")
 	}
 	if _, code := runInstance(t, s2, inst, nil); code != 42 {
 		t.Fatal("rebuilt image does not run")
 	}
 	// The rebuild must have re-persisted fresh blobs.
-	if s2.Stats.StoreStores == 0 {
-		t.Fatalf("rebuild not re-persisted: %+v", s2.Stats)
+	if s2.Stats().StoreStores == 0 {
+		t.Fatalf("rebuild not re-persisted: %+v", s2.Stats())
 	}
 }
 
@@ -206,13 +206,13 @@ func TestStoreCapacityEvictionRespectsDependents(t *testing.T) {
 		}
 		soloInsts = append(soloInsts, si)
 	}
-	if s.Stats.StoreEvictions == 0 {
-		t.Fatalf("no evictions despite tiny capacity: %+v", s.Stats)
+	if s.Stats().StoreEvictions == 0 {
+		t.Fatalf("no evictions despite tiny capacity: %+v", s.Stats())
 	}
-	s.mu.Lock()
+	s.cacheMu.Lock()
 	_, appCached := s.cache[appInst.Key]
 	_, libCached := s.cache[libKey]
-	s.mu.Unlock()
+	s.cacheMu.Unlock()
 	if !appCached {
 		t.Fatal("live mapped program evicted from the cache")
 	}
@@ -221,19 +221,19 @@ func TestStoreCapacityEvictionRespectsDependents(t *testing.T) {
 	}
 	// The oldest unprotected entry (solo1) must have been evicted from
 	// the store tier.
-	s.mu.Lock()
+	s.cacheMu.Lock()
 	st := s.store
-	s.mu.Unlock()
+	s.cacheMu.Unlock()
 	if st.Has(soloInsts[0].Key) {
-		t.Fatalf("LRU victim survived: %+v", s.Stats)
+		t.Fatalf("LRU victim survived: %+v", s.Stats())
 	}
 	// Evicted standalone programs rebuild transparently on next use.
-	before := s.Stats.ImagesBuilt
+	before := s.Stats().ImagesBuilt
 	if _, err := s.Instantiate("/bin/solo1", nil); err != nil {
 		t.Fatal(err)
 	}
-	if s.Stats.ImagesBuilt == before {
-		t.Fatalf("evicted program did not rebuild: %+v", s.Stats)
+	if s.Stats().ImagesBuilt == before {
+		t.Fatalf("evicted program did not rebuild: %+v", s.Stats())
 	}
 }
 
@@ -246,9 +246,9 @@ func TestEvictRemovesStoredBlob(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.mu.Lock()
+	s.cacheMu.Lock()
 	st := s.store
-	s.mu.Unlock()
+	s.cacheMu.Unlock()
 	if !st.Has(inst.Key) {
 		t.Fatal("instance not persisted")
 	}
@@ -290,8 +290,8 @@ func TestSingleflightConcurrentMisses(t *testing.T) {
 			t.Fatal(errs[i])
 		}
 	}
-	if s.Stats.ImagesBuilt != 1 {
-		t.Fatalf("ImagesBuilt = %d, want 1", s.Stats.ImagesBuilt)
+	if s.Stats().ImagesBuilt != 1 {
+		t.Fatalf("ImagesBuilt = %d, want 1", s.Stats().ImagesBuilt)
 	}
 	for i := 1; i < n; i++ {
 		if insts[i] != insts[0] {

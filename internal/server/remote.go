@@ -33,20 +33,22 @@ type mount struct {
 // further remote entries under the same prefix.
 func (s *Server) Mount(prefix string, f RemoteFetcher) {
 	prefix = cleanPath(prefix)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.nsMu.Lock()
 	s.mounts = append(s.mounts, mount{prefix: prefix, fetcher: f})
 	// Longest prefix first.
 	sort.Slice(s.mounts, func(i, j int) bool {
 		return len(s.mounts[i].prefix) > len(s.mounts[j].prefix)
 	})
+	s.nsMu.Unlock()
+	// A new mount changes what paths resolve to; memoized content
+	// hashes may no longer describe what a lookup would now find.
+	s.invalidateHashes()
 }
 
 // Unmount removes every mount at prefix.
 func (s *Server) Unmount(prefix string) {
 	prefix = cleanPath(prefix)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.nsMu.Lock()
 	keep := s.mounts[:0]
 	for _, m := range s.mounts {
 		if m.prefix != prefix {
@@ -54,11 +56,13 @@ func (s *Server) Unmount(prefix string) {
 		}
 	}
 	s.mounts = keep
+	s.nsMu.Unlock()
+	s.invalidateHashes()
 }
 
 func (s *Server) mountFor(p string) *mount {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.nsMu.RLock()
+	defer s.nsMu.RUnlock()
 	for i := range s.mounts {
 		m := &s.mounts[i]
 		if p == m.prefix || strings.HasPrefix(p, m.prefix+"/") {
@@ -101,9 +105,9 @@ func (s *Server) fetchRemote(p string) (bool, error) {
 // lookupEntry finds a namespace entry, consulting mounts on a miss.
 func (s *Server) lookupEntry(p string) (nsEntry, bool, error) {
 	p = cleanPath(p)
-	s.mu.Lock()
+	s.nsMu.RLock()
 	e, ok := s.ns[p]
-	s.mu.Unlock()
+	s.nsMu.RUnlock()
 	if ok {
 		return e, true, nil
 	}
@@ -114,18 +118,18 @@ func (s *Server) lookupEntry(p string) (nsEntry, bool, error) {
 	if !fetched {
 		return nsEntry{}, false, nil
 	}
-	s.mu.Lock()
+	s.nsMu.RLock()
 	e, ok = s.ns[p]
-	s.mu.Unlock()
+	s.nsMu.RUnlock()
 	return e, ok, nil
 }
 
 // ExportMeta returns the blueprint source of a local meta-object (the
 // server side of FetchMeta).
 func (s *Server) ExportMeta(p string) (src string, isLibrary bool, err error) {
-	s.mu.Lock()
+	s.nsMu.RLock()
 	e, ok := s.ns[cleanPath(p)]
-	s.mu.Unlock()
+	s.nsMu.RUnlock()
 	if !ok || e.meta == nil {
 		return "", false, fmt.Errorf("server: no meta-object at %s", p)
 	}
@@ -135,9 +139,9 @@ func (s *Server) ExportMeta(p string) (src string, isLibrary bool, err error) {
 // ExportObject returns the encoded bytes of a local object (the
 // server side of FetchObject).
 func (s *Server) ExportObject(p string) ([]byte, error) {
-	s.mu.Lock()
+	s.nsMu.RLock()
 	e, ok := s.ns[cleanPath(p)]
-	s.mu.Unlock()
+	s.nsMu.RUnlock()
 	if !ok || e.object == nil {
 		return nil, fmt.Errorf("server: no object at %s", p)
 	}

@@ -9,6 +9,25 @@
 // Because cached read-only segments are materialized as shared
 // physical frames, the cache *is* the shared-library mechanism: every
 // client of /lib/libc maps the same frames.
+//
+// # Concurrency
+//
+// The server is safe for concurrent use and built to scale with it:
+// many clients instantiate at once, and one instantiation fans its
+// library dependencies out across a bounded worker pool (parallel.go).
+// Instead of a single global mutex, state is split into independent
+// locks so cache hits never contend with builds:
+//
+//   - nsMu (RWMutex): namespace bindings, mounts, specializers.
+//   - solverMu: the constraint solver's address-space bookkeeping.
+//   - cacheMu (RWMutex): the image cache, in-flight build table, and
+//     persistent store attachment.
+//   - hashMu (RWMutex): the per-path content-hash memo.
+//   - Stats counters are atomics; read them via the Stats method.
+//
+// Lock order: cacheMu may be taken before solverMu (eviction releases
+// placements); no other pair nests.  None of these locks is ever held
+// across an m-graph evaluation, a link, or store I/O.
 package server
 
 import (
@@ -19,6 +38,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"omos/internal/blueprint"
 	"omos/internal/constraint"
@@ -35,7 +55,9 @@ import (
 // (e.g. "monitor", "reorder").
 type SpecFunc func(args []string, v *mgraph.Value) (*mgraph.Value, error)
 
-// Stats counts server activity for the benchmarks.
+// Stats is a point-in-time snapshot of server activity (see the
+// Server.Stats method).  It is safe to take while builds are in
+// flight: the counters behind it are atomics.
 type Stats struct {
 	CacheHits     uint64
 	CacheMisses   uint64
@@ -58,6 +80,43 @@ type Stats struct {
 	// WarmLoaded counts instances reconstructed from the store at
 	// attach time (images served without ever rebuilding).
 	WarmLoaded uint64
+}
+
+// statsCounters are the live counters behind the Stats snapshot.
+type statsCounters struct {
+	cacheHits     atomic.Uint64
+	cacheMisses   atomic.Uint64
+	imagesBuilt   atomic.Uint64
+	relocsApplied atomic.Uint64
+	externBinds   atomic.Uint64
+	buildCycles   atomic.Uint64
+	warmLoaded    atomic.Uint64
+}
+
+// Stats returns a consistent-enough snapshot of the activity counters.
+// Safe to call at any time, including while builds are in flight.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		CacheHits:     s.stats.cacheHits.Load(),
+		CacheMisses:   s.stats.cacheMisses.Load(),
+		ImagesBuilt:   s.stats.imagesBuilt.Load(),
+		RelocsApplied: s.stats.relocsApplied.Load(),
+		ExternBinds:   s.stats.externBinds.Load(),
+		BuildCycles:   s.stats.buildCycles.Load(),
+		WarmLoaded:    s.stats.warmLoaded.Load(),
+	}
+	s.cacheMu.RLock()
+	stor := s.store
+	s.cacheMu.RUnlock()
+	if stor != nil {
+		sst := stor.Stats()
+		st.StoreLoads = sst.Loads
+		st.StoreStores = sst.Stores
+		st.StoreEvictions = sst.Evictions
+		st.StoreCorrupt = sst.CorruptRejects
+		st.StoreBytes = sst.Bytes
+	}
+	return st
 }
 
 // nsEntry is one namespace binding.
@@ -95,6 +154,10 @@ type Instance struct {
 	// placed under, so the persistent store can re-reserve the same
 	// addresses on warm boot.
 	place placeRec
+
+	// lastUse is the LRU stamp (Server.useSeq at last touch), updated
+	// atomically so cache hits need no write lock.
+	lastUse atomic.Uint64
 }
 
 // placeRec is the solver placement an instance occupies.
@@ -106,14 +169,54 @@ type placeRec struct {
 	DataSize  uint64
 }
 
+// memoHash is one cached per-path content hash, valid while the
+// namespace generation is unchanged.
+type memoHash struct {
+	gen uint64
+	val string
+}
+
 // Server is an OMOS instance.  It is safe for concurrent use.
 type Server struct {
-	mu     sync.Mutex
-	kern   *osim.Kernel
+	kern *osim.Kernel
+
+	// nsMu guards the namespace: ns, mounts, specs.
+	nsMu   sync.RWMutex
 	ns     map[string]nsEntry
-	solver *constraint.Solver
-	cache  map[string]*Instance
+	mounts []mount
 	specs  map[string]SpecFunc
+
+	// solverMu guards the constraint solver.
+	solverMu sync.Mutex
+	solver   *constraint.Solver
+
+	// cacheMu guards the image cache tier: cache, the in-flight build
+	// table (singleflight), and the persistent store attachment.
+	cacheMu  sync.RWMutex
+	cache    map[string]*Instance
+	inflight map[string]*flight
+	store    *store.Store
+
+	// useSeq is the monotone LRU clock; each Instance stamps itself on
+	// use.
+	useSeq atomic.Uint64
+
+	// hashGen versions the namespace contents for hash memoization:
+	// every mutation (define, put-object, remove, mount change) bumps
+	// it, invalidating all memoized content and subtree hashes at once.
+	// While it is unchanged the warm path does zero re-hashing.
+	hashGen atomic.Uint64
+	// hashMu guards hashMemo, the per-path content-hash memo.
+	hashMu   sync.RWMutex
+	hashMemo map[string]memoHash
+
+	stats statsCounters
+
+	// buildSem bounds the extra goroutines the dependency fan-out may
+	// spawn (see parallel.go); buildWorkers is its capacity.
+	buildSem     chan struct{}
+	buildWorkers int
+
 	// PICSource selects PIC code generation for the source operator
 	// (the OMOS path does not need PIC; see §4.1).
 	PICSource bool
@@ -121,34 +224,23 @@ type Server struct {
 	// rebuilds from the m-graph.  This exists for the cache-ablation
 	// benchmark — it isolates exactly what the paper's central
 	// mechanism buys.  Callers are responsible for releasing uncached
-	// instances with ReleaseInstance.
+	// instances with ReleaseInstance.  Set before serving traffic.
 	DisableCache bool
-	Stats        Stats
-
-	// store is the optional persistent tier of the image cache.
-	store *store.Store
-	// inflight tracks in-progress builds so concurrent misses on one
-	// key perform exactly one link (singleflight).
-	inflight map[string]*flight
-	// lastUse orders cache entries for LRU eviction; useSeq is the
-	// monotone use counter.
-	lastUse map[string]uint64
-	useSeq  uint64
-
-	mounts []mount
 }
 
 // New creates a server attached to a simulated kernel (whose frame
 // table backs the image cache).
 func New(kern *osim.Kernel) *Server {
 	s := &Server{
-		kern:     kern,
-		ns:       map[string]nsEntry{},
-		solver:   constraint.NewSolver(),
-		cache:    map[string]*Instance{},
-		specs:    map[string]SpecFunc{},
-		inflight: map[string]*flight{},
-		lastUse:  map[string]uint64{},
+		kern:         kern,
+		ns:           map[string]nsEntry{},
+		solver:       constraint.NewSolver(),
+		cache:        map[string]*Instance{},
+		specs:        map[string]SpecFunc{},
+		inflight:     map[string]*flight{},
+		hashMemo:     map[string]memoHash{},
+		buildWorkers: DefaultBuildWorkers,
+		buildSem:     make(chan struct{}, DefaultBuildWorkers),
 	}
 	return s
 }
@@ -162,12 +254,19 @@ func (s *Server) Solver() *constraint.Solver { return s.solver }
 
 // RegisterSpecializer installs a custom specialization kind.
 func (s *Server) RegisterSpecializer(kind string, fn SpecFunc) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.nsMu.Lock()
+	defer s.nsMu.Unlock()
 	s.specs[kind] = fn
 }
 
 func cleanPath(p string) string { return path.Clean("/" + p) }
+
+// invalidateHashes bumps the namespace generation, invalidating every
+// memoized content hash and m-graph subtree hash.  Called on any
+// mutation that can change what a path resolves to.
+func (s *Server) invalidateHashes() {
+	s.hashGen.Add(1)
+}
 
 // PutObject stores a relocatable object at a namespace path.
 func (s *Server) PutObject(p string, o *obj.Object) error {
@@ -179,9 +278,10 @@ func (s *Server) PutObject(p string, o *obj.Object) error {
 		return err
 	}
 	h := sha256.Sum256(enc)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.nsMu.Lock()
 	s.ns[cleanPath(p)] = nsEntry{object: o, objHash: hex.EncodeToString(h[:8])}
+	s.nsMu.Unlock()
+	s.invalidateHashes()
 	return nil
 }
 
@@ -226,9 +326,10 @@ func (s *Server) define(p, src string, isLib bool) error {
 		return fmt.Errorf("server: define %s: %w", p, err)
 	}
 	meta.Root = root
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.nsMu.Lock()
 	s.ns[meta.Path] = nsEntry{meta: meta}
+	s.nsMu.Unlock()
+	s.invalidateHashes()
 	return nil
 }
 
@@ -237,18 +338,21 @@ func (s *Server) GetObject(p string) (*obj.Object, error) {
 	return ctx{s}.LookupObject(p)
 }
 
-// Remove deletes a namespace entry.
+// Remove deletes a namespace entry.  Memoized hashes are invalidated,
+// so a later redefine at the same path yields new cache keys rather
+// than serving a stale image.
 func (s *Server) Remove(p string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.nsMu.Lock()
 	delete(s.ns, cleanPath(p))
+	s.nsMu.Unlock()
+	s.invalidateHashes()
 }
 
 // List returns namespace paths under a prefix, sorted.
 func (s *Server) List(prefix string) []string {
 	prefix = cleanPath(prefix)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.nsMu.RLock()
+	defer s.nsMu.RUnlock()
 	var out []string
 	for p := range s.ns {
 		if prefix == "/" || p == prefix || strings.HasPrefix(p, prefix+"/") {
@@ -270,12 +374,18 @@ func digestStr(parts ...string) string {
 
 // ---- mgraph.Context implementation ----
 
-// ctx wraps the server for an evaluation; it exists so evaluation can
-// run without holding the server lock the whole time if that ever
-// becomes necessary.
+// ctx wraps the server for an evaluation; evaluation runs without any
+// server lock held (the context methods take the fine-grained locks
+// they need), which is what lets many evaluations proceed in parallel.
 type ctx struct{ s *Server }
 
 var _ mgraph.Context = ctx{}
+var _ mgraph.HashGenerator = ctx{}
+
+// HashGeneration implements mgraph.HashGenerator: m-graph subtree
+// hashes memoized under this generation stay valid until the next
+// namespace mutation.
+func (c ctx) HashGeneration() uint64 { return c.s.hashGen.Load() }
 
 // LookupObject implements mgraph.Context.
 func (c ctx) LookupObject(p string) (*obj.Object, error) {
@@ -301,8 +411,18 @@ func (c ctx) LookupMeta(p string) (*mgraph.Meta, error) {
 	return e.meta, nil // nil for raw objects
 }
 
-// ContentHash implements mgraph.Context.
+// ContentHash implements mgraph.Context.  Results are memoized per
+// path for the current namespace generation: the warm path costs one
+// read-locked map lookup instead of a transitive re-hash.
 func (c ctx) ContentHash(p string) (string, error) {
+	p = cleanPath(p)
+	gen := c.s.hashGen.Load()
+	c.s.hashMu.RLock()
+	m, ok := c.s.hashMemo[p]
+	c.s.hashMu.RUnlock()
+	if ok && m.gen == gen {
+		return m.val, nil
+	}
 	e, ok, err := c.s.lookupEntry(p)
 	if err != nil {
 		return "", err
@@ -310,16 +430,25 @@ func (c ctx) ContentHash(p string) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("server: nothing at %s", p)
 	}
+	var h string
 	if e.object != nil {
-		return e.objHash, nil
+		h = e.objHash
+	} else {
+		// Meta: include the blueprint hash; the transitive content of
+		// its references is folded in by hashing the root graph.
+		sub, err := e.meta.Root.Hash(c)
+		if err != nil {
+			return "", err
+		}
+		h = digestStr(e.meta.SrcHash, sub)
 	}
-	// Meta: include the blueprint hash; the transitive content of its
-	// references is folded in by hashing the root graph.
-	sub, err := e.meta.Root.Hash(c)
-	if err != nil {
-		return "", err
-	}
-	return digestStr(e.meta.SrcHash, sub), nil
+	// Store under the generation read before the lookup: if a mutation
+	// raced with the computation the entry is already stale and will
+	// be recomputed on the next call.
+	c.s.hashMu.Lock()
+	c.s.hashMemo[p] = memoHash{gen: gen, val: h}
+	c.s.hashMu.Unlock()
+	return h, nil
 }
 
 // Compile implements mgraph.Context (the `source` operator).
@@ -340,9 +469,9 @@ func (c ctx) Compile(lang, text string) ([]*obj.Object, error) {
 
 // Specialize implements mgraph.Context.
 func (c ctx) Specialize(kind string, args []string, v *mgraph.Value) (*mgraph.Value, error) {
-	c.s.mu.Lock()
+	c.s.nsMu.RLock()
 	fn, ok := c.s.specs[kind]
-	c.s.mu.Unlock()
+	c.s.nsMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("server: unknown specialization %q", kind)
 	}

@@ -89,7 +89,7 @@ int main() { return lib_add(lib_val, 12); }
 	}
 
 	// Second instantiation must hit the cache entirely.
-	misses := s.Stats.CacheMisses
+	misses := s.Stats().CacheMisses
 	inst2, err := s.Instantiate("/bin/prog", nil)
 	if err != nil {
 		t.Fatal(err)
@@ -97,10 +97,10 @@ int main() { return lib_add(lib_val, 12); }
 	if inst2 != inst {
 		t.Fatal("expected the cached instance")
 	}
-	if s.Stats.CacheMisses != misses {
-		t.Fatalf("cache misses grew: %d -> %d", misses, s.Stats.CacheMisses)
+	if s.Stats().CacheMisses != misses {
+		t.Fatalf("cache misses grew: %d -> %d", misses, s.Stats().CacheMisses)
 	}
-	if s.Stats.CacheHits == 0 {
+	if s.Stats().CacheHits == 0 {
 		t.Fatal("expected cache hits")
 	}
 }

@@ -16,33 +16,47 @@ type flight struct {
 // blocking for the shared result (they pay only the lookup they were
 // already charged).
 //
+// The hit path takes only the cache read lock: recency is tracked by
+// a per-instance atomic stamp, so concurrent warm instantiations
+// never serialize on a write lock.
+//
 // With DisableCache (the cache-ablation benchmark) every caller
 // builds privately and owns its instance.
 func (s *Server) buildShared(key string, build func() (*Instance, error)) (*Instance, error) {
-	s.mu.Lock()
 	if s.DisableCache {
-		s.mu.Unlock()
 		return build()
 	}
+	s.cacheMu.RLock()
+	inst := s.cache[key]
+	st := s.store
+	s.cacheMu.RUnlock()
+	if inst != nil {
+		s.stats.cacheHits.Add(1)
+		s.touch(key, inst, st)
+		return inst, nil
+	}
+
+	s.cacheMu.Lock()
 	if inst := s.cache[key]; inst != nil {
-		s.Stats.CacheHits++
-		s.touchLocked(key)
-		s.mu.Unlock()
+		st := s.store
+		s.cacheMu.Unlock()
+		s.stats.cacheHits.Add(1)
+		s.touch(key, inst, st)
 		return inst, nil
 	}
 	if f, ok := s.inflight[key]; ok {
-		s.mu.Unlock()
+		s.cacheMu.Unlock()
 		<-f.done
 		return f.inst, f.err
 	}
 	f := &flight{done: make(chan struct{})}
 	s.inflight[key] = f
-	s.mu.Unlock()
+	s.cacheMu.Unlock()
 
 	f.inst, f.err = build()
-	s.mu.Lock()
+	s.cacheMu.Lock()
 	delete(s.inflight, key)
-	s.mu.Unlock()
+	s.cacheMu.Unlock()
 	close(f.done)
 	// Capacity enforcement runs only after this flight is
 	// deregistered: an in-flight build may reference would-be victims

@@ -50,7 +50,7 @@ func TestWarmRestartEndToEnd(t *testing.T) {
 		t.Fatalf("cold boot warm-loaded %d images", sys1.WarmLoaded)
 	}
 	coldCycles := instantiateCodegen(t, sys1)
-	built := sys1.Srv.Stats.ImagesBuilt
+	built := sys1.Srv.Stats().ImagesBuilt
 	if built == 0 {
 		t.Fatal("cold session built nothing")
 	}
@@ -67,8 +67,8 @@ func TestWarmRestartEndToEnd(t *testing.T) {
 		t.Fatal("rebooted system warm-loaded nothing")
 	}
 	warmCycles := instantiateCodegen(t, sys2)
-	if sys2.Srv.Stats.ImagesBuilt != 0 {
-		t.Fatalf("warm session rebuilt %d images (want 0)", sys2.Srv.Stats.ImagesBuilt)
+	if sys2.Srv.Stats().ImagesBuilt != 0 {
+		t.Fatalf("warm session rebuilt %d images (want 0)", sys2.Srv.Stats().ImagesBuilt)
 	}
 	if warmCycles*2 >= coldCycles {
 		t.Fatalf("warm instantiation not measurably cheaper: warm=%d cold=%d",
@@ -125,15 +125,15 @@ func TestCorruptStoreEntryEndToEnd(t *testing.T) {
 	}
 
 	sys2 := newStoreSys(t, dir)
-	if sys2.Srv.Stats.StoreCorrupt == 0 {
-		t.Fatalf("corrupt blob not rejected: %+v", sys2.Srv.Stats)
+	if sys2.Srv.Stats().StoreCorrupt == 0 {
+		t.Fatalf("corrupt blob not rejected: %+v", sys2.Srv.Stats())
 	}
 	instantiateCodegen(t, sys2)
 	res, err := sys2.Run("/bin/codegen", nil)
 	if err != nil {
 		t.Fatalf("instantiation after corruption failed: %v", err)
 	}
-	if sys2.Srv.Stats.ImagesBuilt == 0 {
+	if sys2.Srv.Stats().ImagesBuilt == 0 {
 		t.Fatal("corrupt entry was not rebuilt")
 	}
 	_ = res
