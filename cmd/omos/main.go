@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	omos [-server addr] <command> [args]
+//	omos [-server addr] [-timeout D] [-connect-timeout D] [-retries N] <command> [args]
+//
+// -timeout bounds each call (a deadline overrun is reported, never a
+// hang); -retries sets how many times idempotent operations retry on
+// transport failure (with exponential backoff and one transparent
+// reconnect).  run/run-boot are never retried automatically.
 //
 // Commands:
 //
@@ -21,24 +26,35 @@
 //	run-boot <path> [args...]   run via the bootstrap loader
 //	dis <path>                  disassemble a stored object
 //	stats                       server and memory statistics
+//	health                      daemon liveness + robustness counters
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"omos/internal/ipc"
 )
 
 func main() {
 	server := flag.String("server", "127.0.0.1:7070", "omosd address")
+	timeout := flag.Duration("timeout", ipc.DefaultOptions.CallTimeout, "per-call deadline (0: none)")
+	connectTimeout := flag.Duration("connect-timeout", ipc.DefaultOptions.ConnectTimeout, "dial deadline (0: none)")
+	retries := flag.Int("retries", ipc.DefaultOptions.Retries, "retry attempts for idempotent operations")
+	backoff := flag.Duration("backoff", ipc.DefaultOptions.Backoff, "initial retry backoff (doubles per attempt)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 	}
-	c, err := ipc.Dial(*server)
+	c, err := ipc.DialWith(*server, ipc.Options{
+		ConnectTimeout: *connectTimeout,
+		CallTimeout:    *timeout,
+		Retries:        *retries,
+		Backoff:        *backoff,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -117,6 +133,15 @@ func main() {
 	case "stats":
 		resp := call(c, &ipc.Request{Op: ipc.OpStats})
 		fmt.Print(resp.Text)
+	case "health":
+		resp := call(c, &ipc.Request{Op: ipc.OpHealth})
+		if resp.Health == nil {
+			fatal(fmt.Errorf("daemon did not report health"))
+		}
+		h := resp.Health
+		fmt.Printf("uptime=%s inflight-builds=%d recovered=%d quarantined=%d warm-loaded=%d draining=%v\n",
+			(time.Duration(h.UptimeMS) * time.Millisecond).Round(time.Millisecond),
+			h.InflightBuilds, h.Recovered, h.Quarantined, h.WarmLoaded, h.Draining)
 	default:
 		usage()
 	}
@@ -144,10 +169,10 @@ func fatal(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: omos [-server addr] <command> [args]
+	fmt.Fprintln(os.Stderr, `usage: omos [-server addr] [-timeout D] [-retries N] <command> [args]
 commands: ping | ls [prefix] | define <path> <file> | define-lib <path> <file>
           asm <path> <file.s> | cc <dir> <unit> <file.c> | put <path> <file.rof>
           rm <path> | run <path> [args...] | run-boot <path> [args...]
-          dis <path> | stats`)
+          dis <path> | stats | health`)
 	os.Exit(2)
 }

@@ -9,8 +9,8 @@
 //
 // Table ids: 1a 1b 1c 1d reorder memory linktime cache constraints
 // schemes binding cacheoff monitor clients warmrestart concurrency
-// all.  -list prints every table id with a one-line description and
-// exits.
+// degraded all.  -list prints every table id with a one-line
+// description and exits.
 package main
 
 import (
@@ -60,6 +60,7 @@ func main() {
 		{"constraints", "constraint system: conflicting placement requests (§3.5)", bench.Constraints},
 		{"warmrestart", "persistent store: cold boot vs warm restart", bench.WarmRestart},
 		{"concurrency", "concurrent clients: singleflight, lock decomposition, parallel builds", bench.Concurrency},
+		{"degraded", "degraded store: warm-hit latency under 1% injected read faults", bench.Degraded},
 	}
 	if *list {
 		for _, e := range all {

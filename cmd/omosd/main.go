@@ -7,6 +7,8 @@
 // Usage:
 //
 //	omosd [-listen :7070] [-workloads] [-store DIR] [-store-max-bytes N]
+//	      [-faults SPEC] [-fault-seed N]
+//	omosd -health [-listen addr]
 //
 // With -workloads the daemon boots with the evaluation workloads
 // preinstalled (/bin/ls, /bin/codegen, /lib/libc, ...).
@@ -17,17 +19,32 @@
 // single relink.  -store-max-bytes bounds the store (LRU eviction);
 // 0 means unlimited.
 //
+// -health queries a running daemon at the -listen address and prints
+// its liveness counters (uptime, in-flight builds, recovered panics,
+// quarantined blobs) instead of serving.
+//
+// -faults (or the OMOS_FAULTS environment variable) arms deterministic
+// fault injection for resilience drills.  The spec syntax is
+// "site:kind[:p=P|n=N][:count=C][:delay=D]" entries joined by ';',
+// e.g. "store.read:error:p=0.01" or "build.link:panic:n=100:count=1".
+// -fault-seed makes probabilistic rules reproducible.
+//
 // On SIGINT/SIGTERM the daemon shuts down gracefully: it stops
-// accepting, lets in-flight requests finish, and flushes the store.
+// accepting, lets in-flight requests finish, answers stragglers with
+// a clean draining error during a short grace window, and flushes the
+// store.
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
+	"time"
 
 	"omos"
 	"omos/internal/daemon"
@@ -36,21 +53,34 @@ import (
 )
 
 func main() {
-	listen := flag.String("listen", ":7070", "TCP address to listen on")
+	listen := flag.String("listen", ":7070", "TCP address to listen on (or query with -health)")
 	workloads := flag.Bool("workloads", false, "preinstall the evaluation workloads")
 	storeDir := flag.String("store", "", "directory for the persistent image store (empty: in-memory only)")
 	storeMax := flag.Int64("store-max-bytes", 0, "image store capacity in bytes (0: unlimited)")
+	health := flag.Bool("health", false, "query a running daemon's health and exit")
+	faults := flag.String("faults", os.Getenv("OMOS_FAULTS"),
+		"fault-injection spec, e.g. \"store.read:error:p=0.01;build.link:panic:n=100\" (default $OMOS_FAULTS)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault rules")
 	flag.Parse()
+
+	if *health {
+		os.Exit(queryHealth(*listen))
+	}
 
 	sys, err := omos.NewSystemWith(omos.Options{
 		StoreDir:      *storeDir,
 		StoreMaxBytes: *storeMax,
+		FaultSpec:     *faults,
+		FaultSeed:     *faultSeed,
 	})
 	if err != nil {
 		log.Fatalf("omosd: %v", err)
 	}
 	if *storeDir != "" {
 		log.Printf("omosd: image store at %s (%d images warm-loaded)", *storeDir, sys.WarmLoaded)
+	}
+	if *faults != "" {
+		log.Printf("omosd: fault injection armed: %s (seed %d)", *faults, *faultSeed)
 	}
 	if *workloads {
 		if err := daemon.InstallWorkloads(sys, workload.DefaultCodegen()); err != nil {
@@ -64,6 +94,7 @@ func main() {
 	log.Printf("omosd: serving on %s (workloads=%v)", l.Addr(), *workloads)
 
 	srv := ipc.NewServer(daemon.New(sys))
+	srv.SetFaults(sys.Faults)
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	done := make(chan struct{})
@@ -82,4 +113,37 @@ func main() {
 		log.Printf("omosd: closing store: %v", err)
 	}
 	log.Printf("omosd: shut down cleanly")
+}
+
+// queryHealth dials a running daemon and prints its health counters.
+// Exit status 0 means alive and not draining.
+func queryHealth(addr string) int {
+	if strings.HasPrefix(addr, ":") {
+		addr = "127.0.0.1" + addr
+	}
+	c, err := ipc.DialWith(addr, ipc.Options{
+		ConnectTimeout: 3 * time.Second,
+		CallTimeout:    5 * time.Second,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omosd: health: %v\n", err)
+		return 1
+	}
+	defer c.Close()
+	resp, err := c.Call(&ipc.Request{Op: ipc.OpHealth})
+	if err != nil || resp.Health == nil {
+		fmt.Fprintf(os.Stderr, "omosd: health: %v\n", err)
+		return 1
+	}
+	h := resp.Health
+	fmt.Printf("uptime:          %s\n", (time.Duration(h.UptimeMS) * time.Millisecond).Round(time.Millisecond))
+	fmt.Printf("inflight-builds: %d\n", h.InflightBuilds)
+	fmt.Printf("recovered:       %d\n", h.Recovered)
+	fmt.Printf("quarantined:     %d\n", h.Quarantined)
+	fmt.Printf("warm-loaded:     %d\n", h.WarmLoaded)
+	fmt.Printf("draining:        %v\n", h.Draining)
+	if h.Draining {
+		return 1
+	}
+	return 0
 }

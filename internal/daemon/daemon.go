@@ -6,6 +6,7 @@ package daemon
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"omos"
 	"omos/internal/ipc"
@@ -16,13 +17,17 @@ import (
 
 // Backend serves the OMOS daemon protocol over an omos.System.
 type Backend struct {
-	Sys *omos.System
+	Sys   *omos.System
+	start time.Time
 }
 
-var _ ipc.Backend = (*Backend)(nil)
+var (
+	_ ipc.Backend       = (*Backend)(nil)
+	_ ipc.HealthBackend = (*Backend)(nil)
+)
 
 // New wraps a system.
-func New(sys *omos.System) *Backend { return &Backend{Sys: sys} }
+func New(sys *omos.System) *Backend { return &Backend{Sys: sys, start: time.Now()} }
 
 // InstallWorkloads preinstalls the evaluation workloads (/bin/ls,
 // /bin/codegen, /lib/libc plus codegen's auxiliary libraries) and the
@@ -145,6 +150,20 @@ func (f Fetcher) FetchObject(path string) ([]byte, error) {
 		return nil, err
 	}
 	return resp.Blob, nil
+}
+
+// Health implements ipc.HealthBackend: the liveness and robustness
+// counters behind omosd -health.  The transport adds its own
+// recovered-panic count and the draining flag.
+func (b *Backend) Health() ipc.HealthInfo {
+	st := b.Sys.Srv.Stats()
+	return ipc.HealthInfo{
+		UptimeMS:       uint64(time.Since(b.start).Milliseconds()),
+		InflightBuilds: b.Sys.Srv.InflightBuilds(),
+		Recovered:      st.Recovered,
+		Quarantined:    st.StoreQuarantined,
+		WarmLoaded:     st.WarmLoaded,
+	}
 }
 
 // Stats implements ipc.Backend.

@@ -1,0 +1,225 @@
+package daemon
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"omos"
+	"omos/internal/fault"
+	"omos/internal/ipc"
+)
+
+// startFaultDaemon serves a system over the real protocol with the
+// system's fault set armed on the transport too, and returns a client
+// tuned to ride out transient failures.
+func startFaultDaemon(t *testing.T, sys *omos.System) (*ipc.Client, *ipc.Server) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ipc.NewServer(New(sys))
+	srv.SetFaults(sys.Faults)
+	go srv.Serve(l)
+	t.Cleanup(srv.Shutdown)
+	c, err := ipc.DialWith(l.Addr().String(), ipc.Options{
+		ConnectTimeout: 2 * time.Second,
+		CallTimeout:    30 * time.Second,
+		Retries:        3,
+		Backoff:        5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, srv
+}
+
+// callRetry issues a call with workload-level retries on top of the
+// client's own: each fresh Call gets its own transparent reconnect,
+// which is how a real client outlives a fault budget larger than one
+// connection.
+func callRetry(t *testing.T, c *ipc.Client, req *ipc.Request, attempts int) *ipc.Response {
+	t.Helper()
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		resp, err := c.Call(req)
+		if err == nil {
+			return resp
+		}
+		lastErr = err
+	}
+	t.Fatalf("%s failed after %d attempts: %v", req.Op, attempts, lastErr)
+	return nil
+}
+
+// defineWorkload installs a tiny library + program over the wire,
+// retrying (the transport sites may be armed).
+func defineWorkload(t *testing.T, c *ipc.Client) {
+	t.Helper()
+	callRetry(t, c, &ipc.Request{Op: ipc.OpDefineLib, Path: "/lib/l",
+		Text: `(source "c" "int triple(int x) { return 3 * x; }")`}, 4)
+	callRetry(t, c, &ipc.Request{Op: ipc.OpDefine, Path: "/bin/t",
+		Text: `(merge /lib/crt0.o (source "c" "extern int triple(int); int main() { return triple(14); }") /lib/l)`}, 4)
+}
+
+// runUntilCorrect retries the (non-idempotent, so never auto-retried)
+// run op until the injected fault budget is exhausted and the program
+// completes with the right answer.
+func runUntilCorrect(t *testing.T, c *ipc.Client, attempts int) {
+	t.Helper()
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		resp, err := c.Call(&ipc.Request{Op: ipc.OpRun, Path: "/bin/t"})
+		if err == nil {
+			if resp.ExitCode != 42 {
+				t.Fatalf("exit = %d, want 42 (a fault corrupted results, not just availability)", resp.ExitCode)
+			}
+			return
+		}
+		lastErr = err
+	}
+	t.Fatalf("no correct result in %d attempts: %v", attempts, lastErr)
+}
+
+// TestFaultMatrix drives a real client workload against a live daemon
+// under every injection site and both error and panic kinds, twice
+// per site: a cold session (build pipeline under fire) and a warm
+// restart on the same store directory (reconstruction under fire).
+// The daemon must survive every cell with correct results.
+func TestFaultMatrix(t *testing.T) {
+	for _, site := range fault.Sites() {
+		for _, kind := range []string{"error", "panic"} {
+			t.Run(site+"/"+kind, func(t *testing.T) {
+				dir := t.TempDir()
+				spec := fmt.Sprintf("%s:%s:n=1:count=2", site, kind)
+
+				// Session 1: cold builds under injection.
+				sys, err := omos.NewSystemWith(omos.Options{StoreDir: dir, FaultSpec: spec})
+				if err != nil {
+					t.Fatal(err)
+				}
+				c, _ := startFaultDaemon(t, sys)
+				defineWorkload(t, c)
+				runUntilCorrect(t, c, 6)
+				hresp, err := c.Call(&ipc.Request{Op: ipc.OpHealth})
+				if err != nil || hresp.Health == nil {
+					t.Fatalf("daemon unhealthy after faults: %v", err)
+				}
+				if err := sys.Close(); err != nil {
+					t.Fatal(err)
+				}
+
+				// Session 2: warm restart on the same store with the
+				// same faults re-armed (count resets: two more trips,
+				// now aimed at the reconstruction path).
+				sys2, err := omos.NewSystemWith(omos.Options{StoreDir: dir, FaultSpec: spec})
+				if err != nil {
+					t.Fatalf("warm boot under %s: %v", spec, err)
+				}
+				c2, _ := startFaultDaemon(t, sys2)
+				defineWorkload(t, c2)
+				runUntilCorrect(t, c2, 6)
+				if err := sys2.Close(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestFaultCorruptBlobQuarantineRebuild is the acceptance scenario:
+// flip bytes in a persisted image blob on disk, warm-restart, and the
+// daemon must quarantine the damaged blob (visible in -health) while
+// the request succeeds via rebuild from source.
+func TestFaultCorruptBlobQuarantineRebuild(t *testing.T) {
+	dir := t.TempDir()
+
+	sys, err := omos.NewSystemWith(omos.Options{StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := startFaultDaemon(t, sys)
+	defineWorkload(t, c)
+	runUntilCorrect(t, c, 1)
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a byte in the middle of every persisted blob.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := 0
+	for _, de := range ents {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".img") {
+			continue
+		}
+		p := filepath.Join(dir, de.Name())
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[len(b)/2] ^= 0xFF
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		corrupted++
+	}
+	if corrupted == 0 {
+		t.Fatal("no blobs persisted; nothing to corrupt")
+	}
+
+	// Warm restart: decoding fails, blobs are quarantined, nothing
+	// warm-loads — and the workload still runs correctly via rebuild.
+	sys2, err := omos.NewSystemWith(omos.Options{StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys2.WarmLoaded != 0 {
+		t.Fatalf("warm-loaded %d corrupted images", sys2.WarmLoaded)
+	}
+	c2, _ := startFaultDaemon(t, sys2)
+	defineWorkload(t, c2)
+	runUntilCorrect(t, c2, 1)
+
+	hresp, err := c2.Call(&ipc.Request{Op: ipc.OpHealth})
+	if err != nil || hresp.Health == nil {
+		t.Fatalf("health: %v", err)
+	}
+	if hresp.Health.Quarantined == 0 {
+		t.Fatalf("health reports no quarantined blobs after corruption; health = %+v", hresp.Health)
+	}
+	// The corrupt bytes survive for autopsy.
+	qents, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil || len(qents) == 0 {
+		t.Fatalf("quarantine directory empty (err=%v)", err)
+	}
+	if err := sys2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultHealthEndToEnd: the health op over the wire reports uptime
+// and warm-load state from a real backend.
+func TestFaultHealthEndToEnd(t *testing.T) {
+	sys, err := omos.NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := startFaultDaemon(t, sys)
+	resp, err := c.Call(&ipc.Request{Op: ipc.OpHealth})
+	if err != nil || resp.Health == nil {
+		t.Fatalf("health: %v", err)
+	}
+	h := resp.Health
+	if h.Draining || h.InflightBuilds != 0 || h.Recovered != 0 {
+		t.Fatalf("fresh daemon health = %+v", h)
+	}
+}

@@ -1,0 +1,194 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFaultEveryNth(t *testing.T) {
+	s := New(1)
+	if err := s.Enable(Rule{Site: "x", Kind: KindError, EveryN: 3}); err != nil {
+		t.Fatal(err)
+	}
+	var got []bool
+	for i := 0; i < 9; i++ {
+		got = append(got, s.Fire("x") != nil)
+	}
+	want := []bool{false, false, true, false, false, true, false, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d: triggered=%v, want %v (seq %v)", i, got[i], want[i], got)
+		}
+	}
+	if s.Trips("x") != 3 {
+		t.Fatalf("trips = %d, want 3", s.Trips("x"))
+	}
+}
+
+func TestFaultCountCap(t *testing.T) {
+	s := New(1)
+	if err := s.Enable(Rule{Site: "x", Kind: KindError, EveryN: 1, Count: 2}); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if s.Fire("x") != nil {
+			fired++
+		}
+	}
+	if fired != 2 || s.Trips("x") != 2 {
+		t.Fatalf("fired=%d trips=%d, want 2/2", fired, s.Trips("x"))
+	}
+}
+
+// TestFaultDeterministic: two sets with the same seed produce the
+// same probabilistic trigger sequence; a different seed produces a
+// different one (for this configuration).
+func TestFaultDeterministic(t *testing.T) {
+	seq := func(seed int64) []bool {
+		s := New(seed)
+		if err := s.Enable(Rule{Site: "x", Kind: KindError, Prob: 0.3}); err != nil {
+			t.Fatal(err)
+		}
+		var out []bool
+		for i := 0; i < 64; i++ {
+			out = append(out, s.Fire("x") != nil)
+		}
+		return out
+	}
+	a, b, c := seq(7), seq(7), seq(8)
+	same := func(x, y []bool) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !same(a, b) {
+		t.Fatal("same seed produced different trigger sequences")
+	}
+	if same(a, c) {
+		t.Fatal("different seeds produced identical 64-hit sequences (suspicious)")
+	}
+}
+
+func TestFaultTypedError(t *testing.T) {
+	s := New(1)
+	s.Enable(Rule{Site: "x", Kind: KindError, EveryN: 1})
+	err := s.Fire("x")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err %v does not match ErrInjected", err)
+	}
+	var inj *Injected
+	if !errors.As(err, &inj) || inj.Site != "x" {
+		t.Fatalf("err %v is not an *Injected for site x", err)
+	}
+}
+
+func TestFaultPanicKind(t *testing.T) {
+	s := New(1)
+	s.Enable(Rule{Site: "x", Kind: KindPanic, EveryN: 1})
+	defer func() {
+		r := recover()
+		inj, ok := r.(*Injected)
+		if !ok || inj.Site != "x" {
+			t.Fatalf("recovered %v, want *Injected{x}", r)
+		}
+	}()
+	s.Fire("x")
+	t.Fatal("panic kind did not panic")
+}
+
+func TestFaultCorrupt(t *testing.T) {
+	s := New(1)
+	s.Enable(Rule{Site: "x", Kind: KindCorrupt, EveryN: 2})
+	orig := []byte("The quick brown fox jumps over the lazy dog")
+	first := s.Corrupt("x", orig)
+	if string(first) != string(orig) {
+		t.Fatal("first hit of every-2nd rule corrupted")
+	}
+	second := s.Corrupt("x", orig)
+	if string(second) == string(orig) {
+		t.Fatal("second hit did not corrupt")
+	}
+	if string(orig) != "The quick brown fox jumps over the lazy dog" {
+		t.Fatal("Corrupt mutated the caller's buffer")
+	}
+	// A corrupt rule never fires as an error/panic and Fire does not
+	// consume its hits.
+	if err := s.Fire("x"); err != nil {
+		t.Fatalf("Fire on corrupt rule: %v", err)
+	}
+	// Hits 3 and 4 of the every-2nd rule: the second of these trips,
+	// proving Fire above consumed no hit.
+	s.Corrupt("x", orig)
+	s.Corrupt("x", orig)
+	if s.Trips("x") != 2 {
+		t.Fatalf("trips = %d, want 2 (Fire must not advance corrupt hits)", s.Trips("x"))
+	}
+}
+
+func TestFaultNilSafe(t *testing.T) {
+	var s *Set
+	if err := s.Fire("x"); err != nil {
+		t.Fatal(err)
+	}
+	b := []byte("abc")
+	if string(s.Corrupt("x", b)) != "abc" {
+		t.Fatal("nil set corrupted")
+	}
+	if s.Trips("x") != 0 || s.Armed() != nil {
+		t.Fatal("nil set has state")
+	}
+	s.Disable("x")
+	s.DisableAll()
+}
+
+func TestFaultParse(t *testing.T) {
+	s, err := Parse("store.read:corrupt:p=0.5; ipc.write:error:n=100:count=3, build.link:delay:n=1:delay=2ms", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	armed := s.Armed()
+	if len(armed) != 3 {
+		t.Fatalf("armed = %v", armed)
+	}
+	start := time.Now()
+	if err := s.Fire(SiteBuildLink); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 2*time.Millisecond {
+		t.Fatal("delay rule did not sleep")
+	}
+	// Bare site:kind defaults to every hit.
+	s2, err := Parse("a.b:error", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Fire("a.b") == nil {
+		t.Fatal("bare rule did not trigger")
+	}
+
+	for _, bad := range []string{
+		"justasite", "a.b:frobnicate", "a.b:error:p=nope",
+		"a.b:error:p=0.5:n=2", "a.b:error:wat", "a.b:error:q=1",
+	} {
+		if _, err := Parse(bad, 1); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFaultSitesSorted(t *testing.T) {
+	sites := Sites()
+	if len(sites) < 8 {
+		t.Fatalf("only %d registered sites", len(sites))
+	}
+	for i := 1; i < len(sites); i++ {
+		if sites[i-1] >= sites[i] {
+			t.Fatalf("sites not sorted/unique at %d: %v", i, sites)
+		}
+	}
+}

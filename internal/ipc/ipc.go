@@ -7,15 +7,25 @@
 // The protocol is length-prefixed gob over any net.Conn.  Operations
 // cover namespace management (define, put-object, list, remove) and
 // program execution inside the daemon's simulated machine.
+//
+// Failure model: frame-level damage (truncated, oversized, or
+// malformed frames) surfaces as *FrameError and costs only the one
+// connection it arrived on.  Calls carry deadlines that surface as
+// context.DeadlineExceeded.  Idempotent operations retry with bounded
+// exponential backoff and at most one transparent reconnect; a
+// draining server answers with ErrDraining rather than a reset.
 package ipc
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // Op identifies a request operation.
@@ -37,7 +47,20 @@ const (
 	OpStats     Op = "stats"      // server + memory statistics
 	OpGetMeta   Op = "get-meta"   // Path; returns blueprint source + library flag
 	OpGetObject Op = "get-object" // Path; returns encoded ROF bytes
+	OpHealth    Op = "health"     // liveness + robustness counters
 )
+
+// idempotent reports whether an operation can be retried safely: the
+// result of doing it twice is the result of doing it once.  Namespace
+// writes qualify (same content, same outcome); Run does not (the
+// program may have side effects in the daemon's namespace).
+func idempotent(op Op) bool {
+	switch op {
+	case OpRun, OpRunBoot:
+		return false
+	}
+	return true
+}
 
 // Request is a client message.
 type Request struct {
@@ -49,6 +72,26 @@ type Request struct {
 	Blob []byte
 }
 
+// HealthInfo is the payload of OpHealth: enough to tell a live,
+// healthy daemon from one that is limping or going away.
+type HealthInfo struct {
+	// UptimeMS is milliseconds since the daemon's backend started.
+	UptimeMS uint64
+	// InflightBuilds is the number of image builds currently running.
+	InflightBuilds int
+	// Recovered counts panics recovered (build workers + connection
+	// handlers) instead of killing the daemon.
+	Recovered uint64
+	// Quarantined counts store blobs moved aside after failing
+	// verification.
+	Quarantined uint64
+	// WarmLoaded counts instances reconstructed from the store at boot.
+	WarmLoaded uint64
+	// Draining is true once shutdown has begun: the daemon answers
+	// in-flight work but accepts nothing new.
+	Draining bool
+}
+
 // Response is the server's reply.
 type Response struct {
 	Err      string
@@ -58,6 +101,7 @@ type Response struct {
 	Flag     bool
 	ExitCode uint64
 	Output   string
+	Health   *HealthInfo
 	// Clock components (user, sys, server, wait cycles).
 	User, Sys, Server, Wait uint64
 }
@@ -65,6 +109,37 @@ type Response struct {
 // maxFrame bounds a single message (largest realistic payload is a
 // workload blueprint of a few hundred KB).
 const maxFrame = 16 << 20
+
+// drainingMsg is the wire form of ErrDraining (Response.Err is a
+// string; the client maps it back to the sentinel).
+const drainingMsg = "server draining"
+
+// ErrDraining is returned by Client.Call when the daemon has begun
+// graceful shutdown: the request was refused cleanly, not reset
+// mid-exchange.  Point the client at another server or give up.
+var ErrDraining = errors.New("ipc: server draining")
+
+// FrameError reports a damaged protocol frame: truncated mid-message,
+// an oversized length prefix, or a payload gob cannot decode.  The
+// serve loop treats it as fatal to the one connection it arrived on —
+// never to the accept loop.
+type FrameError struct {
+	Reason string // "truncated", "oversized", "malformed"
+	Size   uint32 // claimed frame size, when meaningful
+	Err    error  // underlying error, when any
+}
+
+func (e *FrameError) Error() string {
+	if e.Size > 0 {
+		return fmt.Sprintf("ipc: %s frame (%d bytes)", e.Reason, e.Size)
+	}
+	if e.Err != nil {
+		return fmt.Sprintf("ipc: %s frame: %v", e.Reason, e.Err)
+	}
+	return fmt.Sprintf("ipc: %s frame", e.Reason)
+}
+
+func (e *FrameError) Unwrap() error { return e.Err }
 
 // WriteFrame sends one gob-encoded value with a length prefix.
 func WriteFrame(w io.Writer, v interface{}) error {
@@ -85,23 +160,28 @@ func WriteFrame(w io.Writer, v interface{}) error {
 	return err
 }
 
-// ReadFrame receives one gob-encoded value.
+// ReadFrame receives one gob-encoded value.  A cleanly closed peer
+// returns io.EOF; anything else wrong with the frame itself returns a
+// *FrameError.
 func ReadFrame(r io.Reader, v interface{}) error {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return err
+		if err == io.ErrUnexpectedEOF {
+			return &FrameError{Reason: "truncated", Err: err}
+		}
+		return err // io.EOF (clean close) or transport error
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxFrame {
-		return fmt.Errorf("ipc: frame too large (%d bytes)", n)
+		return &FrameError{Reason: "oversized", Size: n}
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return err
+		return &FrameError{Reason: "truncated", Size: n, Err: err}
 	}
 	dec := gob.NewDecoder(&byteReader{b: buf})
 	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("ipc: decode: %w", err)
+		return &FrameError{Reason: "malformed", Size: n, Err: err}
 	}
 	return nil
 }
@@ -127,6 +207,32 @@ func (r *byteReader) Read(p []byte) (int, error) {
 	return n, nil
 }
 
+// Options tunes a Client's robustness behavior.  The zero value means
+// no timeouts and no retries (the pre-hardening behavior, still right
+// for tests that want to observe raw transport failures).
+type Options struct {
+	// ConnectTimeout bounds Dial and any transparent reconnect.
+	ConnectTimeout time.Duration
+	// CallTimeout bounds each Call exchange (write + read).  Exceeding
+	// it surfaces context.DeadlineExceeded.
+	CallTimeout time.Duration
+	// Retries is the number of additional attempts for idempotent
+	// operations after a transport failure.
+	Retries int
+	// Backoff is the delay before the first retry; it doubles per
+	// attempt.  Defaults to 10ms when Retries > 0.
+	Backoff time.Duration
+}
+
+// DefaultOptions is the tuning cmd/omos ships with: fail a dead
+// server fast, ride out a transient hiccup.
+var DefaultOptions = Options{
+	ConnectTimeout: 5 * time.Second,
+	CallTimeout:    2 * time.Minute,
+	Retries:        2,
+	Backoff:        25 * time.Millisecond,
+}
+
 // Client is a connection to an OMOS daemon.  It is safe for
 // concurrent use: the protocol is strictly request/response on one
 // connection, so calls serialize on a mutex held across the whole
@@ -135,36 +241,143 @@ func (r *byteReader) Read(p []byte) (int, error) {
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
+	addr string // for transparent reconnect; "" disables
+	opts Options
 }
 
-// Dial connects to a daemon.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+// Dial connects to a daemon with zero Options.
+func Dial(addr string) (*Client, error) { return DialWith(addr, Options{}) }
+
+// DialWith connects to a daemon with explicit robustness tuning.
+func DialWith(addr string, opts Options) (*Client, error) {
+	conn, err := dialAddr(addr, opts.ConnectTimeout)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn}, nil
+	return &Client{conn: conn, addr: addr, opts: opts}, nil
 }
 
-// NewClient wraps an existing connection.
+func dialAddr(addr string, timeout time.Duration) (net.Conn, error) {
+	if timeout > 0 {
+		return net.DialTimeout("tcp", addr, timeout)
+	}
+	return net.Dial("tcp", addr)
+}
+
+// NewClient wraps an existing connection.  No reconnect is possible
+// (the client does not know how the connection was made).
 func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
+
+// SetOptions replaces the client's robustness tuning.  Not safe to
+// call concurrently with Call.
+func (c *Client) SetOptions(opts Options) { c.opts = opts }
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// Call performs one request/response exchange.
+// Call performs one request/response exchange under the client's
+// configured CallTimeout.
 func (c *Client) Call(req *Request) (*Response, error) {
+	return c.CallCtx(context.Background(), req)
+}
+
+// CallCtx performs one request/response exchange bounded by both ctx
+// and the configured CallTimeout (whichever deadline is sooner).  A
+// deadline overrun surfaces as context.DeadlineExceeded.  Transport
+// failures on idempotent operations are retried with exponential
+// backoff and at most one transparent reconnect; an application-level
+// error in the response is never retried.
+func (c *Client) CallCtx(ctx context.Context, req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := WriteFrame(c.conn, req); err != nil {
+
+	attempts := 1
+	if idempotent(req.Op) {
+		attempts += c.opts.Retries
+	}
+	backoff := c.opts.Backoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	reconnected := false
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		resp, err := c.exchange(ctx, req)
+		if err == nil {
+			if resp.Err == drainingMsg {
+				// Clean refusal: the server is going away; retrying
+				// this connection cannot help.
+				return resp, fmt.Errorf("omosd: %w", ErrDraining)
+			}
+			if resp.Err != "" {
+				return resp, fmt.Errorf("omosd: %s", resp.Err)
+			}
+			return resp, nil
+		}
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			// The stream may still carry the late response; a later
+			// call must not mistake it for its own reply.  Poison the
+			// connection and (best effort) replace it.
+			c.conn.Close()
+			if c.addr != "" {
+				if nc, derr := dialAddr(c.addr, c.opts.ConnectTimeout); derr == nil {
+					c.conn = nc
+				}
+			}
+			return nil, err
+		}
+		lastErr = err
+		// Transport failure: the connection is suspect.  Idempotent
+		// callers get one transparent reconnect per Call.
+		if attempt+1 < attempts && !reconnected && c.addr != "" {
+			if nc, derr := dialAddr(c.addr, c.opts.ConnectTimeout); derr == nil {
+				c.conn.Close()
+				c.conn = nc
+				reconnected = true
+			}
+		}
+	}
+	return nil, lastErr
+}
+
+// exchange performs one raw write/read on the current connection,
+// mapping I/O timeouts to context.DeadlineExceeded.  Caller holds mu.
+func (c *Client) exchange(ctx context.Context, req *Request) (*Response, error) {
+	deadline := time.Time{}
+	if c.opts.CallTimeout > 0 {
+		deadline = time.Now().Add(c.opts.CallTimeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	c.conn.SetDeadline(deadline) // zero time clears any prior deadline
+	if err := WriteFrame(c.conn, req); err != nil {
+		return nil, mapTimeout(err)
 	}
 	var resp Response
 	if err := ReadFrame(c.conn, &resp); err != nil {
-		return nil, err
-	}
-	if resp.Err != "" {
-		return &resp, fmt.Errorf("omosd: %s", resp.Err)
+		return nil, mapTimeout(err)
 	}
 	return &resp, nil
+}
+
+// mapTimeout converts net timeout errors into context.DeadlineExceeded
+// so callers see one canonical deadline error.
+func mapTimeout(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("ipc: call: %w", context.DeadlineExceeded)
+	}
+	return err
 }

@@ -4,6 +4,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"omos/internal/fault"
 )
 
 // RunOutcome reports a program execution performed by the daemon.
@@ -32,22 +36,57 @@ type Backend interface {
 	ExportObject(path string) ([]byte, error)
 }
 
+// HealthBackend is optionally implemented by backends that can report
+// robustness counters; OpHealth works (with transport-level fields
+// only) even when the backend cannot.
+type HealthBackend interface {
+	Health() HealthInfo
+}
+
+// DefaultDrainGrace is how long a draining server keeps answering
+// ErrDraining to retrying clients before closing their connections.
+const DefaultDrainGrace = 250 * time.Millisecond
+
 // Server accepts protocol connections for a Backend and supports
 // graceful shutdown: stop accepting, let every in-flight request
-// finish and its response flush, then close the idle connections.
+// finish and its response flush, then — for DrainGrace — answer any
+// straggler request with a clean draining error instead of a reset,
+// and only then close the idle connections.
 type Server struct {
 	b Backend
+
+	// DrainGrace overrides DefaultDrainGrace when set before Serve.
+	DrainGrace time.Duration
 
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]bool
 	closed   bool
 	inflight sync.WaitGroup
+	connWG   sync.WaitGroup
+
+	recovered atomic.Uint64
+	faults    *fault.Set
 }
 
 // NewServer returns a server for the backend.
 func NewServer(b Backend) *Server {
-	return &Server{b: b, conns: map[net.Conn]bool{}}
+	return &Server{b: b, conns: map[net.Conn]bool{}, DrainGrace: DefaultDrainGrace}
+}
+
+// SetFaults arms deterministic fault injection on the transport
+// (sites ipc.read and ipc.write).  Call before Serve.
+func (s *Server) SetFaults(f *fault.Set) { s.faults = f }
+
+// Recovered returns the number of panics recovered in connection
+// handlers (each failed one request, never the daemon).
+func (s *Server) Recovered() uint64 { return s.recovered.Load() }
+
+// Draining reports whether shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
 }
 
 // Serve accepts connections on l until the listener closes or
@@ -80,14 +119,17 @@ func (s *Server) Serve(l net.Listener) error {
 			return nil
 		}
 		s.conns[conn] = true
+		s.connWG.Add(1)
 		s.mu.Unlock()
 		go s.serveConn(conn)
 	}
 }
 
 // Shutdown stops accepting, waits for in-flight requests to complete
-// (their responses are written), and closes every connection.  Safe
-// to call more than once.
+// (their responses are written), then gives connected clients a grace
+// window in which any further request is answered with a clean
+// draining error rather than a connection reset.  When the window
+// closes, every connection is shut.  Safe to call more than once.
 func (s *Server) Shutdown() {
 	s.mu.Lock()
 	if s.closed {
@@ -96,11 +138,25 @@ func (s *Server) Shutdown() {
 	}
 	s.closed = true
 	l := s.listener
+	grace := s.DrainGrace
 	s.mu.Unlock()
 	if l != nil {
 		l.Close()
 	}
 	s.inflight.Wait()
+	// Nudge every idle reader: after the grace deadline its ReadFrame
+	// fails and the handler closes the connection itself.  Until then
+	// a client that races its request against our SIGTERM gets a
+	// typed "draining" response, not a RST mid-frame.
+	deadline := time.Now().Add(grace)
+	s.mu.Lock()
+	for conn := range s.conns {
+		// Read and write both: a handler stuck writing to a client
+		// that stopped reading must not hold Shutdown hostage.
+		conn.SetDeadline(deadline)
+	}
+	s.mu.Unlock()
+	s.connWG.Wait()
 	s.mu.Lock()
 	for conn := range s.conns {
 		conn.Close()
@@ -110,16 +166,28 @@ func (s *Server) Shutdown() {
 }
 
 func (s *Server) serveConn(conn net.Conn) {
+	defer s.connWG.Done()
 	defer func() {
+		// A panic anywhere in this connection's handling (including
+		// injected transport faults) costs the connection, never the
+		// accept loop.
+		if r := recover(); r != nil {
+			s.recovered.Add(1)
+		}
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
 	for {
+		if err := s.faults.Fire(fault.SiteIPCRead); err != nil {
+			return // simulated receive failure: drop the connection
+		}
 		var req Request
 		if err := ReadFrame(conn, &req); err != nil {
-			return // EOF or broken peer; nothing to report to
+			// EOF, a drain-deadline expiry, or a damaged frame
+			// (*FrameError): all fatal to this connection only.
+			return
 		}
 		// Register in-flight under the lock: a request is either
 		// registered before Shutdown flips closed (and thus drained),
@@ -127,17 +195,37 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
-			WriteFrame(conn, &Response{Err: "server shutting down"})
-			return
+			// Keep answering retries until the drain deadline set by
+			// Shutdown expires the read above.
+			if err := WriteFrame(conn, &Response{Err: drainingMsg}); err != nil {
+				return
+			}
+			continue
 		}
 		s.inflight.Add(1)
 		s.mu.Unlock()
-		resp := handle(&req, s.b)
+		resp := s.safeHandle(&req)
 		s.inflight.Done()
+		if err := s.faults.Fire(fault.SiteIPCWrite); err != nil {
+			return // simulated send failure: response lost, conn dropped
+		}
 		if err := WriteFrame(conn, resp); err != nil {
 			return
 		}
 	}
+}
+
+// safeHandle dispatches one request with panic isolation: a panicking
+// handler produces an error response and a Recovered increment, and
+// the connection lives on.
+func (s *Server) safeHandle(req *Request) (resp *Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.recovered.Add(1)
+			resp = &Response{Err: fmt.Sprintf("internal error: recovered panic: %v", r)}
+		}
+	}()
+	return s.handle(req)
 }
 
 // Serve accepts connections until the listener closes.  Each
@@ -146,7 +234,8 @@ func Serve(l net.Listener, b Backend) error {
 	return NewServer(b).Serve(l)
 }
 
-func handle(req *Request, b Backend) *Response {
+func (s *Server) handle(req *Request) *Response {
+	b := s.b
 	resp := &Response{}
 	fail := func(err error) *Response {
 		resp.Err = err.Error()
@@ -210,6 +299,14 @@ func handle(req *Request, b Backend) *Response {
 			return fail(err)
 		}
 		resp.Blob = blob
+	case OpHealth:
+		var hi HealthInfo
+		if hb, ok := b.(HealthBackend); ok {
+			hi = hb.Health()
+		}
+		hi.Recovered += s.recovered.Load()
+		hi.Draining = s.Draining()
+		resp.Health = &hi
 	default:
 		return fail(fmt.Errorf("unknown operation %q", req.Op))
 	}

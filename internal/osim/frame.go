@@ -3,6 +3,8 @@ package osim
 import (
 	"fmt"
 	"sync"
+
+	"omos/internal/fault"
 )
 
 // Frame is one physical page.  Frames are refcounted by the
@@ -23,6 +25,11 @@ type FrameTable struct {
 	mu     sync.Mutex
 	nextID uint64
 	frames map[uint64]*Frame
+
+	// Faults, when non-nil, injects failures into frame
+	// materialization (site "osim.frame").  Set once at system
+	// construction, before any concurrent use.
+	Faults *fault.Set
 }
 
 // NewFrameTable returns an empty physical memory.
@@ -111,6 +118,9 @@ type FrameSeg struct {
 func (ft *FrameTable) MakeFrameSeg(name string, addr uint64, data []byte, memSize uint64, perm uint8) (*FrameSeg, error) {
 	if addr%PageSize != 0 {
 		return nil, fmt.Errorf("osim: segment %s: unaligned address %#x", name, addr)
+	}
+	if err := ft.Faults.Fire(fault.SiteFrameMake); err != nil {
+		return nil, fmt.Errorf("osim: segment %s: %w", name, err)
 	}
 	if memSize < uint64(len(data)) {
 		memSize = uint64(len(data))

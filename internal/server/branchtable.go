@@ -1,12 +1,14 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"omos/internal/asm"
 	"omos/internal/constraint"
+	"omos/internal/fault"
 	"omos/internal/jigsaw"
 	"omos/internal/link"
 	"omos/internal/mgraph"
@@ -24,7 +26,7 @@ const btSlotPrefix = "$bt$slot$"
 // procedures the client must supply) are routed through per-process
 // data slots, so one cached text image serves every application
 // instead of "a new library image for each different application".
-func (s *Server) buildBranchTableLib(dep mgraph.LibDep, v *mgraph.Value, libs []*Instance,
+func (s *Server) buildBranchTableLib(ctx context.Context, dep mgraph.LibDep, v *mgraph.Value, libs []*Instance,
 	prefs []constraint.Pref, ch string, c charger) (*Instance, error) {
 
 	externs := externsOf(libs)
@@ -66,7 +68,10 @@ func (s *Server) buildBranchTableLib(dep mgraph.LibDep, v *mgraph.Value, libs []
 	}
 	key := digestStr("lib-bt", ch, dep.Spec.Hash(),
 		fmt.Sprintf("%#x/%#x", pl.TextBase, pl.DataBase), libKeys(libs))
-	return s.buildShared(key, func() (*Instance, error) {
+	return s.buildShared(ctx, key, func() (*Instance, error) {
+		if err := s.faults.Fire(fault.SiteBuildLink); err != nil {
+			return nil, fmt.Errorf("server: linking branch-table library %s: %w", dep.Path, err)
+		}
 		res, err := link.Link(module, link.Options{
 			Name:     "lib:" + dep.Path,
 			TextBase: pl.TextBase,

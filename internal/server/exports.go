@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -32,14 +33,14 @@ func HashName(name string) uint64 {
 // covering its transitive references (the version identity used by
 // partial-image stub validation).
 func (s *Server) ContentHashOf(path string) (string, error) {
-	return ctx{s}.ContentHash(path)
+	return evalCtx{s}.ContentHash(path)
 }
 
 // EvalProgram evaluates a program meta-object without linking it,
 // returning its value (module + library deps).  The loader package
 // uses this to build partial-image executables (§4.2).
 func (s *Server) EvalProgram(name string) (*mgraph.Value, *mgraph.Meta, error) {
-	c := ctx{s}
+	c := evalCtx{s}
 	meta, err := c.LookupMeta(name)
 	if err != nil {
 		return nil, nil, err
@@ -63,7 +64,7 @@ func (s *Server) InstantiateLib(dep mgraph.LibDep, p *osim.Process) (*Instance, 
 	// differs.
 	impl := dep
 	impl.Spec.Kind = "lib-static"
-	return s.instantiateLibrary(impl, asCharger(p))
+	return s.instantiateLibrary(context.Background(), impl, asCharger(p))
 }
 
 // ExportTable returns (building and caching on first use) the

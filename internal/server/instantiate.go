@@ -1,12 +1,14 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"omos/internal/asm"
 	"omos/internal/blueprint"
 	"omos/internal/constraint"
+	"omos/internal/fault"
 	"omos/internal/image"
 	"omos/internal/link"
 	"omos/internal/mgraph"
@@ -31,7 +33,18 @@ func asmCompile(text string) (*obj.Object, error) {
 // requester only — later requests hit the cache, which is the paper's
 // central performance mechanism.
 func (s *Server) Instantiate(name string, p *osim.Process) (*Instance, error) {
-	c := ctx{s}
+	return s.InstantiateCtx(context.Background(), name, p)
+}
+
+// InstantiateCtx is Instantiate under a context: cancellation and
+// deadlines propagate through the library fan-out and into the
+// singleflight layer, where a canceled waiter detaches without
+// disturbing the build it was sharing.
+func (s *Server) InstantiateCtx(ctx context.Context, name string, p *osim.Process) (*Instance, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c := evalCtx{s}
 	meta, err := c.LookupMeta(name)
 	if err != nil {
 		return nil, err
@@ -40,9 +53,9 @@ func (s *Server) Instantiate(name string, p *osim.Process) (*Instance, error) {
 		return nil, fmt.Errorf("server: %s is not a meta-object", name)
 	}
 	if meta.IsLibrary {
-		return s.instantiateLibrary(mgraph.LibDep{Path: name, Spec: meta.DefaultSpec}, asCharger(p))
+		return s.instantiateLibrary(ctx, mgraph.LibDep{Path: name, Spec: meta.DefaultSpec}, asCharger(p))
 	}
-	return s.instantiateProgram(name, meta, asCharger(p))
+	return s.instantiateProgram(ctx, name, meta, asCharger(p))
 }
 
 // InstantiateBlueprint evaluates an anonymous blueprint (§5: "the
@@ -59,7 +72,7 @@ func (s *Server) InstantiateBlueprint(src string, p *osim.Process) (*Instance, e
 		return nil, err
 	}
 	meta := &mgraph.Meta{Path: "(anonymous)", Root: root, SrcHash: digestStr(src)}
-	return s.instantiateProgram("(anonymous:"+meta.SrcHash+")", meta, asCharger(p))
+	return s.instantiateProgram(context.Background(), "(anonymous:"+meta.SrcHash+")", meta, asCharger(p))
 }
 
 func (s *Server) chargeLookup(c charger) {
@@ -82,12 +95,15 @@ func (s *Server) buildCost(res *link.Result) uint64 {
 // dependencies build concurrently on the worker pool; the join is in
 // dependency order, so downstream consumers (externsOf, libKeys) see
 // exactly the serial ordering.
-func (s *Server) evalValue(meta *mgraph.Meta, c charger) (*mgraph.Value, []*Instance, error) {
-	v, err := meta.Root.Eval(ctx{s})
+func (s *Server) evalValue(ctx context.Context, meta *mgraph.Meta, c charger) (*mgraph.Value, []*Instance, error) {
+	if err := s.faults.Fire(fault.SiteBuildEval); err != nil {
+		return nil, nil, fmt.Errorf("server: evaluating %s: %w", meta.Path, err)
+	}
+	v, err := meta.Root.Eval(evalCtx{s})
 	if err != nil {
 		return nil, nil, fmt.Errorf("server: evaluating %s: %w", meta.Path, err)
 	}
-	insts, err := s.instantiateDeps(v.Libs, c)
+	insts, err := s.instantiateDeps(ctx, v.Libs, c)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -115,8 +131,11 @@ func (s *Server) place(req constraint.Request) (constraint.Placement, error) {
 	return s.solver.Place(req)
 }
 
-func (s *Server) instantiateLibrary(dep mgraph.LibDep, c charger) (*Instance, error) {
-	cx := ctx{s}
+func (s *Server) instantiateLibrary(ctx context.Context, dep mgraph.LibDep, c charger) (*Instance, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cx := evalCtx{s}
 	meta, err := cx.LookupMeta(dep.Path)
 	if err != nil {
 		return nil, err
@@ -130,7 +149,7 @@ func (s *Server) instantiateLibrary(dep mgraph.LibDep, c charger) (*Instance, er
 	}
 	s.chargeLookup(c)
 
-	v, libs, err := s.evalValue(meta, c)
+	v, libs, err := s.evalValue(ctx, meta, c)
 	if err != nil {
 		return nil, err
 	}
@@ -142,7 +161,7 @@ func (s *Server) instantiateLibrary(dep mgraph.LibDep, c charger) (*Instance, er
 		prefs = meta.DefaultSpec.Prefs
 	}
 	if dep.Spec.Kind == "lib-branch-table" {
-		return s.buildBranchTableLib(dep, v, libs, prefs, ch, c)
+		return s.buildBranchTableLib(ctx, dep, v, libs, prefs, ch, c)
 	}
 	textSize, dataSize := link.Measure(v.Module)
 	pl, err := s.place(constraint.Request{
@@ -156,7 +175,10 @@ func (s *Server) instantiateLibrary(dep mgraph.LibDep, c charger) (*Instance, er
 	}
 	key := digestStr("lib", ch, dep.Spec.Hash(),
 		fmt.Sprintf("%#x/%#x", pl.TextBase, pl.DataBase), libKeys(libs))
-	return s.buildShared(key, func() (*Instance, error) {
+	return s.buildShared(ctx, key, func() (*Instance, error) {
+		if err := s.faults.Fire(fault.SiteBuildLink); err != nil {
+			return nil, fmt.Errorf("server: linking library %s: %w", dep.Path, err)
+		}
 		res, err := link.Link(v.Module, link.Options{
 			Name:     "lib:" + dep.Path,
 			TextBase: pl.TextBase,
@@ -180,13 +202,13 @@ func (s *Server) instantiateLibrary(dep mgraph.LibDep, c charger) (*Instance, er
 	})
 }
 
-func (s *Server) instantiateProgram(name string, meta *mgraph.Meta, c charger) (*Instance, error) {
+func (s *Server) instantiateProgram(ctx context.Context, name string, meta *mgraph.Meta, c charger) (*Instance, error) {
 	s.chargeLookup(c)
-	subHash, err := meta.Root.Hash(ctx{s})
+	subHash, err := meta.Root.Hash(evalCtx{s})
 	if err != nil {
 		return nil, err
 	}
-	v, libs, err := s.evalValue(meta, c)
+	v, libs, err := s.evalValue(ctx, meta, c)
 	if err != nil {
 		return nil, err
 	}
@@ -212,7 +234,10 @@ func (s *Server) instantiateProgram(name string, meta *mgraph.Meta, c charger) (
 	}
 	key := digestStr("prog", meta.SrcHash, subHash,
 		fmt.Sprintf("%#x/%#x", pl.TextBase, pl.DataBase), libKeys(libs))
-	return s.buildShared(key, func() (*Instance, error) {
+	return s.buildShared(ctx, key, func() (*Instance, error) {
+		if err := s.faults.Fire(fault.SiteBuildLink); err != nil {
+			return nil, fmt.Errorf("server: linking %s: %w", name, err)
+		}
 		res, err := link.Link(v.Module, link.Options{
 			Name:     name,
 			TextBase: pl.TextBase,

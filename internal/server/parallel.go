@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -73,7 +75,7 @@ func (t *clockTally) ChargeServer(n uint64) { t.cycles.Add(n) }
 // four-library cold build costs the requester roughly the longest
 // library link, not the sum of all four.  Stats.BuildCycles still
 // accumulates the full sum (the server really did that work).
-func (s *Server) instantiateDeps(deps []mgraph.LibDep, c charger) ([]*Instance, error) {
+func (s *Server) instantiateDeps(ctx context.Context, deps []mgraph.LibDep, c charger) ([]*Instance, error) {
 	seen := map[string]bool{}
 	distinct := deps[:0:0]
 	for _, dep := range deps {
@@ -91,7 +93,7 @@ func (s *Server) instantiateDeps(deps []mgraph.LibDep, c charger) ([]*Instance, 
 	if len(distinct) == 1 || workers <= 1 {
 		var insts []*Instance
 		for _, dep := range distinct {
-			inst, err := s.instantiateLibrary(dep, c)
+			inst, err := s.buildDep(ctx, dep, c)
 			if err != nil {
 				return nil, err
 			}
@@ -107,7 +109,7 @@ func (s *Server) instantiateDeps(deps []mgraph.LibDep, c charger) ([]*Instance, 
 	for i := range distinct {
 		i := i
 		run := func() {
-			insts[i], errs[i] = s.instantiateLibrary(distinct[i], &tallies[i])
+			insts[i], errs[i] = s.buildDep(ctx, distinct[i], &tallies[i])
 		}
 		// A token is required to SPAWN, never to RUN: when the pool is
 		// saturated the branch builds inline on this goroutine, so
@@ -151,4 +153,24 @@ func (s *Server) instantiateDeps(deps []mgraph.LibDep, c charger) ([]*Instance, 
 		c.ChargeServer(charged)
 	}
 	return insts, nil
+}
+
+// buildDep builds one library dependency with panic isolation: a
+// panic anywhere in the branch (evaluation, specialization, injected
+// faults) fails this dependency — and therefore this request — but
+// never the worker goroutine it happens to be running on.  The
+// singleflight leader has its own recovery; this guards the stages
+// that run before a flight exists.
+func (s *Server) buildDep(ctx context.Context, dep mgraph.LibDep, c charger) (inst *Instance, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.stats.recovered.Add(1)
+			inst = nil
+			err = fmt.Errorf("server: building %s: recovered panic: %v", dep.Path, r)
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.instantiateLibrary(ctx, dep, c)
 }

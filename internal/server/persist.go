@@ -30,9 +30,19 @@ func (s *Server) AttachStore(st *store.Store) int {
 	s.cacheMu.Unlock()
 	before := s.stats.warmLoaded.Load()
 	// Oldest-first so reconstruction preserves the persisted LRU
-	// order in the in-memory recency tracking.
+	// order in the in-memory recency tracking.  Warm loading is
+	// best-effort: a panic reconstructing one entry (a decoder bug, an
+	// injected fault) skips that entry — the image rebuilds from
+	// source on demand — and must never prevent boot.
 	for _, key := range st.KeysLRU() {
-		s.loadFromStore(key, map[string]bool{})
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					s.stats.recovered.Add(1)
+				}
+			}()
+			s.loadFromStore(key, map[string]bool{})
+		}()
 	}
 	n := int(s.stats.warmLoaded.Load() - before)
 	// The byte budget may have shrunk since the blobs were written.
@@ -182,7 +192,7 @@ func (s *Server) loadFromStore(key string, visiting map[string]bool) *Instance {
 		return nil
 	}
 	reject := func() *Instance {
-		st.RejectCorrupt(key)
+		st.Quarantine(key)
 		return nil
 	}
 	rec, err := store.Decode(blob)

@@ -42,6 +42,7 @@ import (
 
 	"omos/internal/blueprint"
 	"omos/internal/constraint"
+	"omos/internal/fault"
 	"omos/internal/image"
 	"omos/internal/link"
 	"omos/internal/mgraph"
@@ -80,6 +81,15 @@ type Stats struct {
 	// WarmLoaded counts instances reconstructed from the store at
 	// attach time (images served without ever rebuilding).
 	WarmLoaded uint64
+	// StoreQuarantined counts blobs moved to the store's quarantine
+	// directory after failing validation (including those found there
+	// at boot).
+	StoreQuarantined uint64
+
+	// Recovered counts panics recovered inside build workers and the
+	// singleflight leader — failures that were converted into one
+	// failed request instead of a dead daemon.
+	Recovered uint64
 }
 
 // statsCounters are the live counters behind the Stats snapshot.
@@ -91,6 +101,7 @@ type statsCounters struct {
 	externBinds   atomic.Uint64
 	buildCycles   atomic.Uint64
 	warmLoaded    atomic.Uint64
+	recovered     atomic.Uint64
 }
 
 // Stats returns a consistent-enough snapshot of the activity counters.
@@ -104,6 +115,7 @@ func (s *Server) Stats() Stats {
 		ExternBinds:   s.stats.externBinds.Load(),
 		BuildCycles:   s.stats.buildCycles.Load(),
 		WarmLoaded:    s.stats.warmLoaded.Load(),
+		Recovered:     s.stats.recovered.Load(),
 	}
 	s.cacheMu.RLock()
 	stor := s.store
@@ -114,9 +126,19 @@ func (s *Server) Stats() Stats {
 		st.StoreStores = sst.Stores
 		st.StoreEvictions = sst.Evictions
 		st.StoreCorrupt = sst.CorruptRejects
+		st.StoreQuarantined = sst.Quarantined
 		st.StoreBytes = sst.Bytes
 	}
 	return st
+}
+
+// InflightBuilds reports how many image builds are currently in
+// flight (the singleflight table's population) — a health signal: a
+// stuck build shows up here.
+func (s *Server) InflightBuilds() int {
+	s.cacheMu.RLock()
+	defer s.cacheMu.RUnlock()
+	return len(s.inflight)
 }
 
 // nsEntry is one namespace binding.
@@ -217,6 +239,10 @@ type Server struct {
 	buildSem     chan struct{}
 	buildWorkers int
 
+	// faults, when non-nil, arms the build.eval / build.link injection
+	// sites.  Install with SetFaults before serving traffic.
+	faults *fault.Set
+
 	// PICSource selects PIC code generation for the source operator
 	// (the OMOS path does not need PIC; see §4.1).
 	PICSource bool
@@ -247,6 +273,11 @@ func New(kern *osim.Kernel) *Server {
 
 // Kernel returns the kernel this server is attached to.
 func (s *Server) Kernel() *osim.Kernel { return s.kern }
+
+// SetFaults installs a fault-injection set for the build pipeline's
+// sites.  Must be called before the server sees traffic (only the
+// rules inside the set may change while requests are in flight).
+func (s *Server) SetFaults(f *fault.Set) { s.faults = f }
 
 // Solver exposes the constraint solver (for inspection in tests and
 // benchmarks).
@@ -335,7 +366,7 @@ func (s *Server) define(p, src string, isLib bool) error {
 
 // GetObject returns the relocatable object stored at a namespace path.
 func (s *Server) GetObject(p string) (*obj.Object, error) {
-	return ctx{s}.LookupObject(p)
+	return evalCtx{s}.LookupObject(p)
 }
 
 // Remove deletes a namespace entry.  Memoized hashes are invalidated,
@@ -374,21 +405,22 @@ func digestStr(parts ...string) string {
 
 // ---- mgraph.Context implementation ----
 
-// ctx wraps the server for an evaluation; evaluation runs without any
-// server lock held (the context methods take the fine-grained locks
-// they need), which is what lets many evaluations proceed in parallel.
-type ctx struct{ s *Server }
+// evalCtx wraps the server for an evaluation; evaluation runs without
+// any server lock held (the context methods take the fine-grained
+// locks they need), which is what lets many evaluations proceed in
+// parallel.
+type evalCtx struct{ s *Server }
 
-var _ mgraph.Context = ctx{}
-var _ mgraph.HashGenerator = ctx{}
+var _ mgraph.Context = evalCtx{}
+var _ mgraph.HashGenerator = evalCtx{}
 
 // HashGeneration implements mgraph.HashGenerator: m-graph subtree
 // hashes memoized under this generation stay valid until the next
 // namespace mutation.
-func (c ctx) HashGeneration() uint64 { return c.s.hashGen.Load() }
+func (c evalCtx) HashGeneration() uint64 { return c.s.hashGen.Load() }
 
 // LookupObject implements mgraph.Context.
-func (c ctx) LookupObject(p string) (*obj.Object, error) {
+func (c evalCtx) LookupObject(p string) (*obj.Object, error) {
 	e, ok, err := c.s.lookupEntry(p)
 	if err != nil {
 		return nil, err
@@ -400,7 +432,7 @@ func (c ctx) LookupObject(p string) (*obj.Object, error) {
 }
 
 // LookupMeta implements mgraph.Context.
-func (c ctx) LookupMeta(p string) (*mgraph.Meta, error) {
+func (c evalCtx) LookupMeta(p string) (*mgraph.Meta, error) {
 	e, ok, err := c.s.lookupEntry(p)
 	if err != nil {
 		return nil, err
@@ -414,7 +446,7 @@ func (c ctx) LookupMeta(p string) (*mgraph.Meta, error) {
 // ContentHash implements mgraph.Context.  Results are memoized per
 // path for the current namespace generation: the warm path costs one
 // read-locked map lookup instead of a transitive re-hash.
-func (c ctx) ContentHash(p string) (string, error) {
+func (c evalCtx) ContentHash(p string) (string, error) {
 	p = cleanPath(p)
 	gen := c.s.hashGen.Load()
 	c.s.hashMu.RLock()
@@ -452,7 +484,7 @@ func (c ctx) ContentHash(p string) (string, error) {
 }
 
 // Compile implements mgraph.Context (the `source` operator).
-func (c ctx) Compile(lang, text string) ([]*obj.Object, error) {
+func (c evalCtx) Compile(lang, text string) ([]*obj.Object, error) {
 	switch lang {
 	case "c":
 		return minic.Compile(text, minic.Options{Unit: "source", PIC: c.s.PICSource})
@@ -468,7 +500,7 @@ func (c ctx) Compile(lang, text string) ([]*obj.Object, error) {
 }
 
 // Specialize implements mgraph.Context.
-func (c ctx) Specialize(kind string, args []string, v *mgraph.Value) (*mgraph.Value, error) {
+func (c evalCtx) Specialize(kind string, args []string, v *mgraph.Value) (*mgraph.Value, error) {
 	c.s.nsMu.RLock()
 	fn, ok := c.s.specs[kind]
 	c.s.nsMu.RUnlock()

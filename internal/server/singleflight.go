@@ -1,5 +1,11 @@
 package server
 
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
 // flight is one in-progress image build.  Concurrent cache misses on
 // the same key find the flight and wait on done instead of linking
 // the same image twice; every waiter shares the builder's result.
@@ -7,6 +13,12 @@ type flight struct {
 	done chan struct{}
 	inst *Instance
 	err  error
+}
+
+// errCtx reports whether err is a context cancellation or deadline —
+// the leader's private misfortune, not a property of the build.
+func errCtx(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // buildShared resolves key through the cache, the in-flight build
@@ -20,51 +32,96 @@ type flight struct {
 // a per-instance atomic stamp, so concurrent warm instantiations
 // never serialize on a write lock.
 //
+// Resilience contract:
+//
+//   - A waiter whose context is canceled detaches immediately; the
+//     leader keeps building (the result still populates the cache).
+//   - A leader that panics fails only its own request: the panic is
+//     recovered into an error, Stats.Recovered is incremented, and
+//     the flight is always deregistered and its done channel closed,
+//     so followers can never wedge on a dead leader.
+//   - A leader that died of *its own* context (not the build) hands
+//     followers a context error that is not theirs; a follower whose
+//     context is still live simply retries the key.
+//
 // With DisableCache (the cache-ablation benchmark) every caller
 // builds privately and owns its instance.
-func (s *Server) buildShared(key string, build func() (*Instance, error)) (*Instance, error) {
+func (s *Server) buildShared(ctx context.Context, key string, build func() (*Instance, error)) (*Instance, error) {
 	if s.DisableCache {
-		return build()
+		return s.runBuild(key, build)
 	}
-	s.cacheMu.RLock()
-	inst := s.cache[key]
-	st := s.store
-	s.cacheMu.RUnlock()
-	if inst != nil {
-		s.stats.cacheHits.Add(1)
-		s.touch(key, inst, st)
-		return inst, nil
-	}
-
-	s.cacheMu.Lock()
-	if inst := s.cache[key]; inst != nil {
+	for {
+		s.cacheMu.RLock()
+		inst := s.cache[key]
 		st := s.store
+		s.cacheMu.RUnlock()
+		if inst != nil {
+			s.stats.cacheHits.Add(1)
+			s.touch(key, inst, st)
+			return inst, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+
+		s.cacheMu.Lock()
+		if inst := s.cache[key]; inst != nil {
+			st := s.store
+			s.cacheMu.Unlock()
+			s.stats.cacheHits.Add(1)
+			s.touch(key, inst, st)
+			return inst, nil
+		}
+		if f, ok := s.inflight[key]; ok {
+			s.cacheMu.Unlock()
+			select {
+			case <-ctx.Done():
+				// Canceled waiter detaches; the leader builds on.
+				return nil, ctx.Err()
+			case <-f.done:
+			}
+			if f.err != nil && errCtx(f.err) && ctx.Err() == nil {
+				// The leader died of its own cancellation, not of the
+				// build; this follower is still live, so retry the key.
+				continue
+			}
+			return f.inst, f.err
+		}
+		f := &flight{done: make(chan struct{})}
+		s.inflight[key] = f
 		s.cacheMu.Unlock()
-		s.stats.cacheHits.Add(1)
-		s.touch(key, inst, st)
-		return inst, nil
-	}
-	if f, ok := s.inflight[key]; ok {
+
+		f.inst, f.err = s.runBuild(key, build)
+		// Deregister and wake followers unconditionally — runBuild has
+		// already converted any panic into f.err, so a dying build can
+		// never leave a permanently in-flight key.
+		s.cacheMu.Lock()
+		delete(s.inflight, key)
 		s.cacheMu.Unlock()
-		<-f.done
+		close(f.done)
+		// Capacity enforcement runs only after this flight is
+		// deregistered: an in-flight build may reference would-be
+		// victims (its library instances), so eviction waits for a
+		// quiet moment.  The freshly built key is exempt — the caller
+		// holds it but has not mapped it yet.
+		if f.err == nil {
+			s.evictForCapacity(key)
+		}
 		return f.inst, f.err
 	}
-	f := &flight{done: make(chan struct{})}
-	s.inflight[key] = f
-	s.cacheMu.Unlock()
+}
 
-	f.inst, f.err = build()
-	s.cacheMu.Lock()
-	delete(s.inflight, key)
-	s.cacheMu.Unlock()
-	close(f.done)
-	// Capacity enforcement runs only after this flight is
-	// deregistered: an in-flight build may reference would-be victims
-	// (its library instances), so eviction waits for a quiet moment.
-	// The freshly built key is exempt — the caller holds it but has
-	// not mapped it yet.
-	if f.err == nil {
-		s.evictForCapacity(key)
-	}
-	return f.inst, f.err
+// runBuild executes one build function with panic isolation: a panic
+// anywhere under the build (linker bugs, injected faults) becomes an
+// error on this request and a Stats.Recovered increment, never a dead
+// daemon.
+func (s *Server) runBuild(key string, build func() (*Instance, error)) (inst *Instance, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.stats.recovered.Add(1)
+			inst = nil
+			err = fmt.Errorf("server: build %s: recovered panic: %v", key, r)
+		}
+	}()
+	return build()
 }

@@ -9,21 +9,32 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"omos/internal/fault"
 )
 
 // On-disk layout under the root directory:
 //
-//	<root>/<key>.img   one encoded Record per cache key
-//	<root>/index       LRU index: key -> {size, last-use sequence}
+//	<root>/<key>.img        one encoded Record per cache key
+//	<root>/index            LRU index: key -> {size, last-use sequence}
+//	<root>/quarantine/      blobs that failed validation, kept for autopsy
 //
 // Blobs are written atomically (temp file + rename) so a crash
 // mid-write leaves at worst a stray *.tmp file, never a truncated
 // blob under a live name.  The index is advisory: a missing or stale
 // index is rebuilt from the blobs (with unknown recency), so deleting
 // it never loses data, only LRU order.
+//
+// A blob that fails decoding or validation is *quarantined* — moved
+// into <root>/quarantine/ rather than deleted — so the corrupt bytes
+// survive for diagnosis while the live store degrades gracefully: the
+// key reads as absent and the server rebuilds the image from source.
 
 // blobExt is the blob file suffix.
 const blobExt = ".img"
+
+// quarantineDir is the subdirectory corrupt blobs are moved into.
+const quarantineDir = "quarantine"
 
 // indexMagic identifies the index file.
 var indexMagic = [4]byte{'O', 'M', 'I', 'X'}
@@ -37,8 +48,11 @@ type Stats struct {
 	// Evictions counts blobs removed by capacity eviction or Delete.
 	Evictions uint64
 	// CorruptRejects counts blobs the caller reported as corrupt or
-	// stale (RejectCorrupt).
+	// stale (RejectCorrupt and Quarantine).
 	CorruptRejects uint64
+	// Quarantined counts blobs moved into the quarantine directory
+	// instead of being deleted.
+	Quarantined uint64
 	// Bytes is the current total size of all blobs.
 	Bytes uint64
 }
@@ -58,7 +72,17 @@ type Store struct {
 	seq      uint64
 	stats    Stats
 	closed   bool
+
+	// faults, when non-nil, arms the store.read / store.write /
+	// store.rename injection sites.  Install with SetFaults before
+	// serving traffic; the Set itself is concurrency-safe.
+	faults *fault.Set
 }
+
+// SetFaults installs a fault-injection set.  Must be called before
+// the store sees traffic (only the rules inside the set may change
+// while requests are in flight).
+func (s *Store) SetFaults(f *fault.Set) { s.faults = f }
 
 // Open opens (creating if needed) a store rooted at dir.  maxBytes
 // bounds the total blob size the store will hold; 0 means unbounded.
@@ -96,8 +120,9 @@ func (s *Store) scan() error {
 	for _, de := range ents {
 		name := de.Name()
 		if !strings.HasSuffix(name, blobExt) || de.IsDir() {
-			// Stray temp files from a crashed write are garbage.
-			if strings.HasSuffix(name, ".tmp") {
+			// Stray temp files from a crashed write are garbage; the
+			// quarantine directory and index file are left alone.
+			if !de.IsDir() && strings.HasSuffix(name, ".tmp") {
 				os.Remove(filepath.Join(s.dir, name))
 			}
 			continue
@@ -117,6 +142,9 @@ func (s *Store) scan() error {
 		s.index[key] = e
 		s.stats.Bytes += e.size
 	}
+	// Blobs quarantined by earlier sessions still count: the health
+	// endpoint reports them until an operator clears the directory.
+	s.stats.Quarantined = uint64(len(s.QuarantinedKeys()))
 	return nil
 }
 
@@ -150,6 +178,9 @@ func (s *Store) Put(key string, blob []byte) error {
 	if err != nil {
 		return err
 	}
+	if err := s.faults.Fire(fault.SiteStoreWrite); err != nil {
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
 	tmp, err := os.CreateTemp(s.dir, key+".*.tmp")
 	if err != nil {
 		return fmt.Errorf("store: put %s: %w", key, err)
@@ -162,6 +193,13 @@ func (s *Store) Put(key string, blob []byte) error {
 			werr = cerr
 		}
 		return fmt.Errorf("store: put %s: %w", key, werr)
+	}
+	// A fault here simulates a crash between the temp-file write and
+	// the publishing rename: the temp file is deliberately left behind
+	// (as a real crash would), and the key never becomes visible.  The
+	// next Open sweeps the orphan; warm restart rebuilds the image.
+	if err := s.faults.Fire(fault.SiteStoreRename); err != nil {
+		return fmt.Errorf("store: put %s: %w", key, err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
@@ -192,6 +230,9 @@ func (s *Store) Get(key string) (blob []byte, ok bool, err error) {
 	if !present {
 		return nil, false, nil
 	}
+	if err := s.faults.Fire(fault.SiteStoreRead); err != nil {
+		return nil, false, fmt.Errorf("store: get %s: %w", key, err)
+	}
 	b, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -200,6 +241,7 @@ func (s *Store) Get(key string) (blob []byte, ok bool, err error) {
 		}
 		return nil, false, fmt.Errorf("store: get %s: %w", key, err)
 	}
+	b = s.faults.Corrupt(fault.SiteStoreRead, b)
 	s.mu.Lock()
 	if e, ok := s.index[key]; ok {
 		s.seq++
@@ -231,6 +273,59 @@ func (s *Store) RejectCorrupt(key string) {
 	s.stats.CorruptRejects++
 	s.mu.Unlock()
 	s.drop(key, false)
+}
+
+// Quarantine moves a blob that failed decoding or validation into
+// the quarantine directory instead of deleting it: the key becomes
+// absent (so the server rebuilds from source) while the corrupt bytes
+// are preserved for autopsy.  If the move fails the blob is removed
+// outright — degraded operation must never re-serve bad bytes.
+func (s *Store) Quarantine(key string) {
+	path, err := s.blobPath(key)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	s.stats.CorruptRejects++
+	if e, ok := s.index[key]; ok {
+		s.stats.Bytes -= e.size
+		delete(s.index, key)
+	}
+	s.mu.Unlock()
+	qdir := filepath.Join(s.dir, quarantineDir)
+	moved := false
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		if err := os.Rename(path, filepath.Join(qdir, key+blobExt)); err == nil {
+			moved = true
+		}
+	}
+	if !moved {
+		os.Remove(path)
+		return
+	}
+	s.mu.Lock()
+	s.stats.Quarantined++
+	s.mu.Unlock()
+}
+
+// QuarantineDir returns the quarantine directory path (it may not
+// exist yet).
+func (s *Store) QuarantineDir() string { return filepath.Join(s.dir, quarantineDir) }
+
+// QuarantinedKeys lists the keys currently held in quarantine.
+func (s *Store) QuarantinedKeys() []string {
+	ents, err := os.ReadDir(filepath.Join(s.dir, quarantineDir))
+	if err != nil {
+		return nil
+	}
+	var keys []string
+	for _, de := range ents {
+		if name := de.Name(); strings.HasSuffix(name, blobExt) && !de.IsDir() {
+			keys = append(keys, strings.TrimSuffix(name, blobExt))
+		}
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func (s *Store) drop(key string, countEvict bool) {

@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"omos/internal/asm"
+	"omos/internal/fault"
 	"omos/internal/loader"
 	"omos/internal/minic"
 	"omos/internal/obj"
@@ -46,6 +47,10 @@ type System struct {
 	// persistent store at boot (zero without a store or on a cold
 	// directory).
 	WarmLoaded int
+	// Faults is the deterministic fault-injection set armed at boot
+	// (nil when Options.FaultSpec was empty).  Shared by the server,
+	// the store, and the frame table.
+	Faults *fault.Set
 }
 
 // Options configures system boot.
@@ -59,6 +64,14 @@ type Options struct {
 	// unlimited.  When over budget, least-recently-used images that no
 	// live process maps and no cached image links against are evicted.
 	StoreMaxBytes int64
+	// FaultSpec, when non-empty, arms deterministic fault injection
+	// across the store, server build pipeline, and frame table.  The
+	// syntax is fault.Parse's: "site:kind[:p=P|n=N][:count=C][:delay=D]"
+	// entries separated by ';' or ','.
+	FaultSpec string
+	// FaultSeed seeds the injection PRNG; 0 means seed 1 (injection
+	// stays reproducible by default).
+	FaultSeed int64
 }
 
 // NewSystem boots a fresh machine, attaches an OMOS server, installs
@@ -87,11 +100,25 @@ func NewSystemWith(opts Options) (*System, error) {
 		return nil, err
 	}
 	sys := &System{Kern: k, Srv: srv, RT: rt}
+	if opts.FaultSpec != "" {
+		seed := opts.FaultSeed
+		if seed == 0 {
+			seed = 1
+		}
+		f, err := fault.Parse(opts.FaultSpec, seed)
+		if err != nil {
+			return nil, fmt.Errorf("omos: fault spec: %w", err)
+		}
+		sys.Faults = f
+		srv.SetFaults(f)
+		k.FT.Faults = f
+	}
 	if opts.StoreDir != "" {
 		st, err := store.Open(opts.StoreDir, opts.StoreMaxBytes)
 		if err != nil {
 			return nil, fmt.Errorf("omos: opening image store: %w", err)
 		}
+		st.SetFaults(sys.Faults)
 		sys.WarmLoaded = srv.AttachStore(st)
 	}
 	return sys, nil
