@@ -27,6 +27,7 @@
 //	dis <path>                  disassemble a stored object
 //	stats                       server and memory statistics
 //	health                      daemon liveness + robustness counters
+//	                            (exits 1 when draining or degraded)
 package main
 
 import (
@@ -139,9 +140,21 @@ func main() {
 			fatal(fmt.Errorf("daemon did not report health"))
 		}
 		h := resp.Health
-		fmt.Printf("uptime=%s inflight-builds=%d recovered=%d quarantined=%d warm-loaded=%d draining=%v\n",
+		fmt.Printf("uptime=%s inflight-builds=%d recovered=%d quarantined=%d warm-loaded=%d "+
+			"queue-depth=%d shed=%d build-timeouts=%d scrub-checked=%d scrub-quarantined=%d "+
+			"degraded=%v draining=%v\n",
 			(time.Duration(h.UptimeMS) * time.Millisecond).Round(time.Millisecond),
-			h.InflightBuilds, h.Recovered, h.Quarantined, h.WarmLoaded, h.Draining)
+			h.InflightBuilds, h.Recovered, h.Quarantined, h.WarmLoaded,
+			h.QueueDepth, h.Shed, h.BuildTimeouts, h.ScrubChecked, h.ScrubQuarantined,
+			h.Degraded, h.Draining)
+		if h.Degraded {
+			fmt.Printf("degraded-reason: %s\n", h.DegradedReason)
+		}
+		// A draining or degraded daemon is not a healthy daemon:
+		// non-zero exit so scripts and orchestrators notice.
+		if h.Draining || h.Degraded {
+			os.Exit(1)
+		}
 	default:
 		usage()
 	}

@@ -9,7 +9,7 @@
 //
 // Table ids: 1a 1b 1c 1d reorder memory linktime cache constraints
 // schemes binding cacheoff monitor clients warmrestart concurrency
-// degraded all.  -list prints every table id with a one-line
+// degraded soak all.  -list prints every table id with a one-line
 // description and exits.
 package main
 
@@ -61,6 +61,7 @@ func main() {
 		{"warmrestart", "persistent store: cold boot vs warm restart", bench.WarmRestart},
 		{"concurrency", "concurrent clients: singleflight, lock decomposition, parallel builds", bench.Concurrency},
 		{"degraded", "degraded store: warm-hit latency under 1% injected read faults", bench.Degraded},
+		{"soak", "overload soak: shed rate and latency at 1x/4x/16x saturation (wall clock)", bench.Soak},
 	}
 	if *list {
 		for _, e := range all {

@@ -8,6 +8,8 @@
 //
 //	omosd [-listen :7070] [-workloads] [-store DIR] [-store-max-bytes N]
 //	      [-faults SPEC] [-fault-seed N]
+//	      [-max-inflight N] [-queue-depth N] [-build-timeout D]
+//	      [-scrub-interval D] [-scrub-per-tick N] [-supervise-interval D]
 //	omosd -health [-listen addr]
 //
 // With -workloads the daemon boots with the evaluation workloads
@@ -21,7 +23,14 @@
 //
 // -health queries a running daemon at the -listen address and prints
 // its liveness counters (uptime, in-flight builds, recovered panics,
-// quarantined blobs) instead of serving.
+// quarantined blobs, shed requests, degraded verdict) instead of
+// serving; it exits non-zero when the daemon is draining or degraded.
+//
+// -max-inflight/-queue-depth size the admission gate (overload
+// protection: excess requests are shed with a retry-after hint rather
+// than queued without bound).  -build-timeout arms the per-build
+// watchdog.  -scrub-interval enables the background store scrubber.
+// -supervise-interval enables the degraded-health supervisor.
 //
 // -faults (or the OMOS_FAULTS environment variable) arms deterministic
 // fault injection for resilience drills.  The spec syntax is
@@ -61,6 +70,12 @@ func main() {
 	faults := flag.String("faults", os.Getenv("OMOS_FAULTS"),
 		"fault-injection spec, e.g. \"store.read:error:p=0.01;build.link:panic:n=100\" (default $OMOS_FAULTS)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault rules")
+	maxInflight := flag.Int("max-inflight", 64, "admission gate: concurrent instantiations (0: ungated)")
+	queueDepth := flag.Int("queue-depth", 256, "admission gate: waiting requests before shedding")
+	buildTimeout := flag.Duration("build-timeout", time.Minute, "watchdog bound per image build (0: none)")
+	scrubInterval := flag.Duration("scrub-interval", 30*time.Second, "store scrub tick (0: no scrubbing; needs -store)")
+	scrubPerTick := flag.Int("scrub-per-tick", 4, "blobs re-verified per scrub tick")
+	superviseInterval := flag.Duration("supervise-interval", 250*time.Millisecond, "supervisor sampling period (0: no supervisor)")
 	flag.Parse()
 
 	if *health {
@@ -68,10 +83,16 @@ func main() {
 	}
 
 	sys, err := omos.NewSystemWith(omos.Options{
-		StoreDir:      *storeDir,
-		StoreMaxBytes: *storeMax,
-		FaultSpec:     *faults,
-		FaultSeed:     *faultSeed,
+		StoreDir:          *storeDir,
+		StoreMaxBytes:     *storeMax,
+		FaultSpec:         *faults,
+		FaultSeed:         *faultSeed,
+		MaxInflight:       *maxInflight,
+		QueueDepth:        *queueDepth,
+		BuildTimeout:      *buildTimeout,
+		ScrubInterval:     *scrubInterval,
+		ScrubPerTick:      *scrubPerTick,
+		SuperviseInterval: *superviseInterval,
 	})
 	if err != nil {
 		log.Fatalf("omosd: %v", err)
@@ -141,8 +162,17 @@ func queryHealth(addr string) int {
 	fmt.Printf("recovered:       %d\n", h.Recovered)
 	fmt.Printf("quarantined:     %d\n", h.Quarantined)
 	fmt.Printf("warm-loaded:     %d\n", h.WarmLoaded)
+	fmt.Printf("queue-depth:     %d\n", h.QueueDepth)
+	fmt.Printf("shed:            %d\n", h.Shed)
+	fmt.Printf("build-timeouts:  %d\n", h.BuildTimeouts)
+	fmt.Printf("scrub-checked:   %d\n", h.ScrubChecked)
+	fmt.Printf("scrub-quarantined: %d\n", h.ScrubQuarantined)
+	fmt.Printf("degraded:        %v\n", h.Degraded)
+	if h.Degraded {
+		fmt.Printf("degraded-reason: %s\n", h.DegradedReason)
+	}
 	fmt.Printf("draining:        %v\n", h.Draining)
-	if h.Draining {
+	if h.Draining || h.Degraded {
 		return 1
 	}
 	return 0

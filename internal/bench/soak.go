@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"omos"
+	"omos/internal/daemon"
+	"omos/internal/ipc"
+)
+
+// Soak measures overload behavior end to end: a deliberately tiny
+// admission gate (MaxInflight=2, QueueDepth=2) on a live daemon, with
+// every build-pipeline evaluation slowed by an injected delay so the
+// gate actually saturates, driven by churning wire clients at 1x, 4x,
+// and 16x the gate's concurrency.  Each row reports the shed rate and
+// the wall-clock latency distribution of the successes: the overload
+// story in one table — under saturation latency stays bounded and the
+// excess is shed with retry hints instead of queueing without limit.
+//
+// Unlike the other tables this one reports wall-clock milliseconds
+// (overload is a real-time phenomenon; simulated cycles cannot see
+// queueing).  The background scrubber and supervisor run throughout.
+func Soak(cfg Config) (*Table, error) {
+	perClient := 8
+	if cfg.ItersHPUX >= 1000 {
+		perClient = 16 // full runs: more samples per client
+	}
+	t := &Table{
+		ID:    "soak",
+		Title: "overload soak: shed rate and latency vs offered load (gate: 2 in flight + 2 queued)",
+		Iters: perClient,
+		Notes: []string{
+			"wall-clock milliseconds, not simulated cycles (overload is queueing, which cycles cannot see)",
+			"every eval pays an injected 2ms delay (build.eval:delay, seed 7) so the gate saturates",
+			"clients use no automatic retries: each shed is counted once, with the server's retry-after hint honored by the breaker",
+			"p50/p99 are over successful requests; shed-rate = shed / (ok + shed)",
+		},
+	}
+	for _, mult := range []int{1, 4, 16} {
+		row, err := soakRow(mult, perClient)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// soakRow drives mult x MaxInflight churning clients against a fresh
+// gated daemon and summarizes the outcome distribution.
+func soakRow(mult, perClient int) (Row, error) {
+	dir, err := os.MkdirTemp("", "omos-bench-soak-")
+	if err != nil {
+		return Row{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	sys, err := omos.NewSystemWith(omos.Options{
+		StoreDir:          dir,
+		MaxInflight:       2,
+		QueueDepth:        2,
+		BuildTimeout:      10 * time.Second,
+		ScrubInterval:     2 * time.Millisecond,
+		SuperviseInterval: 5 * time.Millisecond,
+		FaultSpec:         "build.eval:delay:n=1:delay=2ms",
+		FaultSeed:         7,
+	})
+	if err != nil {
+		return Row{}, err
+	}
+	defer sys.Close()
+	if err := sys.DefineLibrary("/lib/l",
+		`(source "c" "int triple(int x) { return 3 * x; }")`); err != nil {
+		return Row{}, err
+	}
+	if err := sys.Define("/bin/t",
+		`(merge /lib/crt0.o (source "c" "extern int triple(int); int main() { return triple(14); }") /lib/l)`); err != nil {
+		return Row{}, err
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return Row{}, err
+	}
+	srv := ipc.NewServer(daemon.New(sys))
+	go srv.Serve(l)
+	defer srv.Shutdown()
+
+	clients := 2 * mult
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		ok, shed  int
+		badExit   int
+		firstErr  error
+	)
+	var wg sync.WaitGroup
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := ipc.DialWith(l.Addr().String(), ipc.Options{
+				ConnectTimeout: 5 * time.Second,
+				CallTimeout:    30 * time.Second,
+			})
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			defer c.Close()
+			for i := 0; i < perClient; i++ {
+				start := time.Now()
+				resp, err := c.Call(&ipc.Request{Op: ipc.OpRun, Path: "/bin/t"})
+				elapsed := time.Since(start)
+				mu.Lock()
+				switch {
+				case err == nil:
+					ok++
+					latencies = append(latencies, float64(elapsed)/float64(time.Millisecond))
+					if resp.ExitCode != 42 {
+						badExit++
+					}
+				case errors.Is(err, ipc.ErrOverloaded):
+					shed++
+				default:
+					if firstErr == nil {
+						firstErr = err
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return Row{}, fmt.Errorf("bench: soak %dx: %w", mult, firstErr)
+	}
+	if badExit > 0 {
+		return Row{}, fmt.Errorf("bench: soak %dx: %d wrong exit codes under load", mult, badExit)
+	}
+	if ok == 0 {
+		return Row{}, fmt.Errorf("bench: soak %dx: no request ever succeeded", mult)
+	}
+
+	st := sys.Srv.Stats()
+	row := Row{
+		Label: fmt.Sprintf("%2dx saturation (%d clients)", mult, clients),
+		Extra: map[string]float64{
+			"ok":            float64(ok),
+			"shed":          float64(shed),
+			"shed-rate-pct": 100 * float64(shed) / float64(ok+shed),
+			"p50-ms":        percentile(latencies, 0.50),
+			"p99-ms":        percentile(latencies, 0.99),
+			"scrub-checked": float64(st.ScrubChecked),
+		},
+	}
+	return row, nil
+}
+
+// percentile returns the p-th percentile (0..1) of values, by sorted
+// rank.
+func percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	idx := int(p * float64(len(s)-1))
+	return s[idx]
+}

@@ -157,12 +157,20 @@ func (f Fetcher) FetchObject(path string) ([]byte, error) {
 // recovered-panic count and the draining flag.
 func (b *Backend) Health() ipc.HealthInfo {
 	st := b.Sys.Srv.Stats()
+	degraded, reason := b.Sys.Srv.Degraded()
 	return ipc.HealthInfo{
-		UptimeMS:       uint64(time.Since(b.start).Milliseconds()),
-		InflightBuilds: b.Sys.Srv.InflightBuilds(),
-		Recovered:      st.Recovered,
-		Quarantined:    st.StoreQuarantined,
-		WarmLoaded:     st.WarmLoaded,
+		UptimeMS:         uint64(time.Since(b.start).Milliseconds()),
+		InflightBuilds:   b.Sys.Srv.InflightBuilds(),
+		Recovered:        st.Recovered,
+		Quarantined:      st.StoreQuarantined,
+		WarmLoaded:       st.WarmLoaded,
+		Degraded:         degraded,
+		DegradedReason:   reason,
+		QueueDepth:       b.Sys.Srv.Admission().Queued(),
+		Shed:             st.Shed,
+		BuildTimeouts:    st.BuildTimeouts,
+		ScrubChecked:     st.ScrubChecked,
+		ScrubQuarantined: st.ScrubQuarantined,
 	}
 }
 

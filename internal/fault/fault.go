@@ -90,6 +90,10 @@ const (
 	// SiteStoreRename fires in Store.Put between the temp-file write
 	// and the rename — a simulated crash that leaves a partial file.
 	SiteStoreRename = "store.rename"
+	// SiteStoreScrub fires in the background scrubber's blob
+	// re-verification (read errors and corruption of the bytes the
+	// scrubber sees, independent of the Get path).
+	SiteStoreScrub = "store.scrub"
 	// SiteIPCRead fires in the daemon's serve loop after a request
 	// frame is read.
 	SiteIPCRead = "ipc.read"
@@ -112,8 +116,18 @@ func Sites() []string {
 		SiteBuildEval, SiteBuildLink,
 		SiteIPCRead, SiteIPCWrite,
 		SiteFrameMake,
-		SiteStoreRead, SiteStoreRename, SiteStoreWrite,
+		SiteStoreRead, SiteStoreRename, SiteStoreScrub, SiteStoreWrite,
 	}
+}
+
+// knownSite reports whether name is a registered injection site.
+func knownSite(name string) bool {
+	for _, s := range Sites() {
+		if s == name {
+			return true
+		}
+	}
+	return false
 }
 
 // Rule arms one site.  Exactly one of Prob (probabilistic trigger per
@@ -336,7 +350,14 @@ func Parse(spec string, seed int64) (*Set, error) {
 			return nil, fmt.Errorf("fault: rule %q: want site:kind[:opts]", part)
 		}
 		r := Rule{Site: strings.TrimSpace(fields[0])}
-		switch strings.TrimSpace(fields[1]) {
+		// A typo'd site would otherwise arm a rule that silently never
+		// trips — reject it here, naming the offending token and the
+		// sites that do exist.
+		if !knownSite(r.Site) {
+			return nil, fmt.Errorf("fault: rule %q: unknown site %q (known sites: %s)",
+				part, r.Site, strings.Join(Sites(), ", "))
+		}
+		switch kind := strings.TrimSpace(fields[1]); kind {
 		case "error":
 			r.Kind = KindError
 		case "delay":
@@ -346,7 +367,7 @@ func Parse(spec string, seed int64) (*Set, error) {
 		case "corrupt":
 			r.Kind = KindCorrupt
 		default:
-			return nil, fmt.Errorf("fault: rule %q: unknown kind %q", part, fields[1])
+			return nil, fmt.Errorf("fault: rule %q: unknown kind %q (known kinds: error, delay, panic, corrupt)", part, kind)
 		}
 		for _, opt := range fields[2:] {
 			key, val, ok := strings.Cut(strings.TrimSpace(opt), "=")

@@ -2,6 +2,7 @@ package fault
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"time"
 )
@@ -163,21 +164,28 @@ func TestFaultParse(t *testing.T) {
 		t.Fatal("delay rule did not sleep")
 	}
 	// Bare site:kind defaults to every hit.
-	s2, err := Parse("a.b:error", 1)
+	s2, err := Parse("store.read:error", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s2.Fire("a.b") == nil {
+	if s2.Fire(SiteStoreRead) == nil {
 		t.Fatal("bare rule did not trigger")
 	}
 
 	for _, bad := range []string{
-		"justasite", "a.b:frobnicate", "a.b:error:p=nope",
-		"a.b:error:p=0.5:n=2", "a.b:error:wat", "a.b:error:q=1",
+		"justasite", "store.read:frobnicate", "store.read:error:p=nope",
+		"store.read:error:p=0.5:n=2", "store.read:error:wat", "store.read:error:q=1",
+		"a.b:error", // typo'd site must be rejected, not silently armed
 	} {
 		if _, err := Parse(bad, 1); err == nil {
 			t.Errorf("Parse(%q) accepted", bad)
 		}
+	}
+	// The unknown-site error names the token and lists real sites.
+	_, err = Parse("store.raed:error", 1)
+	if err == nil || !strings.Contains(err.Error(), `"store.raed"`) ||
+		!strings.Contains(err.Error(), SiteStoreRead) {
+		t.Fatalf("unknown-site error unhelpful: %v", err)
 	}
 }
 

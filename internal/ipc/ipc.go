@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -90,6 +91,20 @@ type HealthInfo struct {
 	// Draining is true once shutdown has begun: the daemon answers
 	// in-flight work but accepts nothing new.
 	Draining bool
+	// Degraded is the daemon supervisor's verdict; DegradedReason says
+	// why (queue pressure, a stuck build, a nearly full store).
+	Degraded       bool
+	DegradedReason string
+	// QueueDepth is how many requests are waiting at the admission
+	// gate; Shed counts requests the gate rejected; BuildTimeouts
+	// counts builds cancelled by the watchdog.
+	QueueDepth    int
+	Shed          uint64
+	BuildTimeouts uint64
+	// ScrubChecked/ScrubQuarantined mirror the store's background
+	// scrubber (blobs re-verified / quarantined proactively).
+	ScrubChecked     uint64
+	ScrubQuarantined uint64
 }
 
 // Response is the server's reply.
@@ -104,6 +119,10 @@ type Response struct {
 	Health   *HealthInfo
 	// Clock components (user, sys, server, wait cycles).
 	User, Sys, Server, Wait uint64
+	// RetryAfterMS accompanies an overloaded error: the server's hint,
+	// in milliseconds, of when capacity should free up.  (gob tolerates
+	// the field's absence, so old clients interoperate.)
+	RetryAfterMS int64
 }
 
 // maxFrame bounds a single message (largest realistic payload is a
@@ -118,6 +137,30 @@ const drainingMsg = "server draining"
 // graceful shutdown: the request was refused cleanly, not reset
 // mid-exchange.  Point the client at another server or give up.
 var ErrDraining = errors.New("ipc: server draining")
+
+// overloadedMsg is the wire form of an admission-gate rejection (like
+// drainingMsg, the client maps it back to a typed error).
+const overloadedMsg = "server overloaded"
+
+// ErrOverloaded is the sentinel for admission-gate rejections: match
+// with errors.Is.  The concrete error is an *OverloadedError carrying
+// the backoff to honor.
+var ErrOverloaded = errors.New("ipc: server overloaded")
+
+// OverloadedError reports a request shed by the daemon's admission
+// gate before any work was done — always safe to retry after
+// RetryAfter.  It is also what a tripped client circuit breaker
+// returns, with RetryAfter the time left until the next probe.
+type OverloadedError struct {
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("ipc: server overloaded, retry after %v", e.RetryAfter)
+}
+
+// Is lets errors.Is(err, ErrOverloaded) match.
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
 
 // FrameError reports a damaged protocol frame: truncated mid-message,
 // an oversized length prefix, or a payload gob cannot decode.  The
@@ -243,6 +286,20 @@ type Client struct {
 	conn net.Conn
 	addr string // for transparent reconnect; "" disables
 	opts Options
+
+	// Circuit breaker against a shedding server (all fields guarded by
+	// mu, which Call holds for the whole exchange).  An overloaded
+	// response trips it open for max(server hint, doubled prior hold)
+	// plus jitter; while open, calls fail fast with an
+	// *OverloadedError instead of piling onto the overloaded server.
+	// When the hold expires the breaker is half-open: the next call is
+	// the single probe, and its success closes the breaker.
+	brOpenUntil time.Time
+	brHold      time.Duration
+
+	// rng drives retry jitter (guarded by mu; private so concurrent
+	// clients never contend on the global source).
+	rng *rand.Rand
 }
 
 // Dial connects to a daemon with zero Options.
@@ -284,42 +341,64 @@ func (c *Client) Call(req *Request) (*Response, error) {
 // CallCtx performs one request/response exchange bounded by both ctx
 // and the configured CallTimeout (whichever deadline is sooner).  A
 // deadline overrun surfaces as context.DeadlineExceeded.  Transport
-// failures on idempotent operations are retried with exponential
-// backoff and at most one transparent reconnect; an application-level
-// error in the response is never retried.
+// failures on idempotent operations are retried with jittered
+// exponential backoff and at most one transparent reconnect; an
+// application-level error in the response is never retried — except an
+// overload shed, which happened before any work and so is retried
+// (honoring the server's retry-after hint) for every operation, even
+// non-idempotent ones.  A call arriving while the circuit breaker is
+// open fails fast with an *OverloadedError instead of touching the
+// network.
 func (c *Client) CallCtx(ctx context.Context, req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
-	attempts := 1
-	if idempotent(req.Op) {
-		attempts += c.opts.Retries
+	// Breaker open: don't even pile this request onto the server.
+	if rem := time.Until(c.brOpenUntil); rem > 0 {
+		return nil, fmt.Errorf("omosd: %w", &OverloadedError{RetryAfter: rem})
 	}
+
+	transportLeft := 0
+	if idempotent(req.Op) {
+		transportLeft = c.opts.Retries
+	}
+	// Overload sheds happen before any server-side work, so they are
+	// retry-safe for every op; they draw from the same retry budget.
+	overloadLeft := c.opts.Retries
 	backoff := c.opts.Backoff
 	if backoff <= 0 {
 		backoff = 10 * time.Millisecond
 	}
 	reconnected := false
-	var lastErr error
-	for attempt := 0; attempt < attempts; attempt++ {
-		if attempt > 0 {
-			select {
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			case <-time.After(backoff):
-			}
-			backoff *= 2
-		}
+	for {
 		resp, err := c.exchange(ctx, req)
 		if err == nil {
-			if resp.Err == drainingMsg {
+			switch {
+			case resp.Err == drainingMsg:
 				// Clean refusal: the server is going away; retrying
 				// this connection cannot help.
 				return resp, fmt.Errorf("omosd: %w", ErrDraining)
-			}
-			if resp.Err != "" {
+			case resp.Err == overloadedMsg:
+				hint := time.Duration(resp.RetryAfterMS) * time.Millisecond
+				hold := c.tripBreaker(hint)
+				if overloadLeft > 0 {
+					overloadLeft--
+					// Wait out the hold, then this call is the
+					// half-open probe.
+					if err := c.sleep(ctx, hold); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				return resp, fmt.Errorf("omosd: %w", &OverloadedError{RetryAfter: hold})
+			case resp.Err != "":
+				// Any ordinary application error still proves the
+				// server is answering; a half-open probe may close the
+				// breaker on it.
+				c.resetBreaker()
 				return resp, fmt.Errorf("omosd: %s", resp.Err)
 			}
+			c.resetBreaker()
 			return resp, nil
 		}
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
@@ -334,18 +413,88 @@ func (c *Client) CallCtx(ctx context.Context, req *Request) (*Response, error) {
 			}
 			return nil, err
 		}
-		lastErr = err
 		// Transport failure: the connection is suspect.  Idempotent
 		// callers get one transparent reconnect per Call.
-		if attempt+1 < attempts && !reconnected && c.addr != "" {
+		if transportLeft <= 0 {
+			return nil, err
+		}
+		transportLeft--
+		if !reconnected && c.addr != "" {
 			if nc, derr := dialAddr(c.addr, c.opts.ConnectTimeout); derr == nil {
 				c.conn.Close()
 				c.conn = nc
 				reconnected = true
 			}
 		}
+		if err := c.sleep(ctx, c.jitter(backoff)); err != nil {
+			return nil, err
+		}
+		backoff *= 2
 	}
-	return nil, lastErr
+}
+
+// sleep waits d or until ctx is done.  Caller holds mu (deliberately:
+// the connection is single-exchange, so a sleeping call blocks the
+// line exactly like an in-flight one).
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// jitter spreads a backoff over [d/2, 3d/2) so a herd of clients shed
+// together does not retry together.
+func (c *Client) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return d/2 + time.Duration(c.rng.Int63n(int64(d)))
+}
+
+// breaker hold bounds: never retry sooner than the floor even with no
+// server hint; never lock a client out longer than the cap.
+const (
+	minBreakerHold = 5 * time.Millisecond
+	maxBreakerHold = 5 * time.Second
+)
+
+// tripBreaker opens the breaker after an overloaded response and
+// returns the jittered hold (at least the server's hint; doubling
+// while sheds repeat).  Caller holds mu.
+func (c *Client) tripBreaker(hint time.Duration) time.Duration {
+	base := c.brHold * 2
+	if hint > base {
+		base = hint
+	}
+	if base < minBreakerHold {
+		base = minBreakerHold
+	}
+	if base > maxBreakerHold {
+		base = maxBreakerHold
+	}
+	c.brHold = base
+	// Jitter only upward: retrying before the server's hint is wasted.
+	hold := base + c.jitter(base/4)
+	c.brOpenUntil = time.Now().Add(hold)
+	return hold
+}
+
+// resetBreaker closes the breaker after any successful exchange.
+// Caller holds mu.
+func (c *Client) resetBreaker() {
+	c.brHold = 0
+	c.brOpenUntil = time.Time{}
 }
 
 // exchange performs one raw write/read on the current connection,

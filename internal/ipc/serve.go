@@ -1,6 +1,7 @@
 package ipc
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -238,6 +239,18 @@ func (s *Server) handle(req *Request) *Response {
 	b := s.b
 	resp := &Response{}
 	fail := func(err error) *Response {
+		// An admission-gate shed travels as the overloaded sentinel
+		// plus the server's retry-after hint (matched structurally so
+		// this package need not import the server's error type).
+		var ra interface{ RetryAfterHint() time.Duration }
+		if errors.As(err, &ra) {
+			resp.Err = overloadedMsg
+			resp.RetryAfterMS = int64(ra.RetryAfterHint() / time.Millisecond)
+			if resp.RetryAfterMS < 1 {
+				resp.RetryAfterMS = 1
+			}
+			return resp
+		}
 		resp.Err = err.Error()
 		return resp
 	}

@@ -65,7 +65,9 @@ type Kernel struct {
 	// Hooks are the registered upcall handlers.
 	Hooks Handlers
 
-	nextPID int
+	// nextPID is advanced atomically: concurrent clients spawn
+	// processes in parallel.
+	nextPID int64
 	// fileSegCache is the buffer cache of file-backed read-only
 	// segments: path -> per-segment frame runs.  It is what lets
 	// repeated execs of the same binary share text, as a real unified
@@ -133,9 +135,8 @@ type Process struct {
 
 // Spawn creates an empty process (task), charging creation cost.
 func (k *Kernel) Spawn() *Process {
-	k.nextPID++
 	p := &Process{
-		PID:      k.nextPID,
+		PID:      int(atomic.AddInt64(&k.nextPID, 1)),
 		Kern:     k,
 		AS:       NewAddressSpace(k.FT),
 		fds:      map[int]*fdesc{0: {kind: fdConsole}, 1: {kind: fdConsole}, 2: {kind: fdConsole}},

@@ -44,6 +44,13 @@ func (s *Server) InstantiateCtx(ctx context.Context, name string, p *osim.Proces
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// The admission gate wraps only this public entry point; nested
+	// library instantiations run under the caller's admission.
+	release, err := s.admit.Acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	c := evalCtx{s}
 	meta, err := c.LookupMeta(name)
 	if err != nil {
@@ -63,6 +70,11 @@ func (s *Server) InstantiateCtx(ctx context.Context, name string, p *osim.Proces
 // result is cached under the blueprint's content hash like any named
 // instantiation.
 func (s *Server) InstantiateBlueprint(src string, p *osim.Process) (*Instance, error) {
+	release, err := s.admit.Acquire(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	expr, err := blueprint.Parse(src)
 	if err != nil {
 		return nil, err

@@ -39,6 +39,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"omos/internal/blueprint"
 	"omos/internal/constraint"
@@ -90,6 +91,19 @@ type Stats struct {
 	// singleflight leader — failures that were converted into one
 	// failed request instead of a dead daemon.
 	Recovered uint64
+
+	// Shed counts requests rejected at the admission gate (zero when
+	// the server runs ungated); BuildTimeouts counts builds cancelled
+	// by the per-build watchdog.
+	Shed          uint64
+	BuildTimeouts uint64
+
+	// The Scrub* fields mirror the store's background scrubber: blobs
+	// re-verified, blobs quarantined by the scrubber, and orphaned
+	// .tmp files swept.
+	ScrubChecked     uint64
+	ScrubQuarantined uint64
+	ScrubOrphans     uint64
 }
 
 // statsCounters are the live counters behind the Stats snapshot.
@@ -102,6 +116,7 @@ type statsCounters struct {
 	buildCycles   atomic.Uint64
 	warmLoaded    atomic.Uint64
 	recovered     atomic.Uint64
+	buildTimeouts atomic.Uint64
 }
 
 // Stats returns a consistent-enough snapshot of the activity counters.
@@ -116,6 +131,8 @@ func (s *Server) Stats() Stats {
 		BuildCycles:   s.stats.buildCycles.Load(),
 		WarmLoaded:    s.stats.warmLoaded.Load(),
 		Recovered:     s.stats.recovered.Load(),
+		BuildTimeouts: s.stats.buildTimeouts.Load(),
+		Shed:          s.admit.Shed(),
 	}
 	s.cacheMu.RLock()
 	stor := s.store
@@ -128,6 +145,9 @@ func (s *Server) Stats() Stats {
 		st.StoreCorrupt = sst.CorruptRejects
 		st.StoreQuarantined = sst.Quarantined
 		st.StoreBytes = sst.Bytes
+		st.ScrubChecked = sst.ScrubChecked
+		st.ScrubQuarantined = sst.ScrubQuarantined
+		st.ScrubOrphans = sst.ScrubOrphans
 	}
 	return st
 }
@@ -242,6 +262,19 @@ type Server struct {
 	// faults, when non-nil, arms the build.eval / build.link injection
 	// sites.  Install with SetFaults before serving traffic.
 	faults *fault.Set
+
+	// admit, when non-nil, gates the public instantiation entry points
+	// (admission.go).  Install with SetAdmission before serving
+	// traffic.
+	admit *Admission
+
+	// buildTimeout, when positive, bounds each singleflight build
+	// (watchdog.go).  Set with SetBuildTimeout before serving traffic.
+	buildTimeout time.Duration
+
+	// degraded is the supervisor's verdict (supervisor.go): a
+	// *degradedState or nil.
+	degraded atomic.Pointer[degradedState]
 
 	// PICSource selects PIC code generation for the source operator
 	// (the OMOS path does not need PIC; see §4.1).

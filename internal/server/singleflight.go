@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 )
 
 // flight is one in-progress image build.  Concurrent cache misses on
@@ -11,14 +12,29 @@ import (
 // the same image twice; every waiter shares the builder's result.
 type flight struct {
 	done chan struct{}
-	inst *Instance
-	err  error
+	// started lets the supervisor measure in-flight build age (a
+	// wedged leader shows up as an old flight).
+	started time.Time
+	inst    *Instance
+	err     error
 }
 
 // errCtx reports whether err is a context cancellation or deadline —
 // the leader's private misfortune, not a property of the build.
 func errCtx(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// errReElect reports whether a flight's error is private to its leader
+// (the leader's own cancellation, or a watchdog timeout of the
+// leader's attempt) rather than a verdict on the build: a follower
+// with a live context should retry the key instead of inheriting it.
+func errReElect(err error) bool {
+	if errCtx(err) {
+		return true
+	}
+	var bt *BuildTimeoutError
+	return errors.As(err, &bt)
 }
 
 // buildShared resolves key through the cache, the in-flight build
@@ -80,18 +96,20 @@ func (s *Server) buildShared(ctx context.Context, key string, build func() (*Ins
 				return nil, ctx.Err()
 			case <-f.done:
 			}
-			if f.err != nil && errCtx(f.err) && ctx.Err() == nil {
-				// The leader died of its own cancellation, not of the
-				// build; this follower is still live, so retry the key.
+			if f.err != nil && errReElect(f.err) && ctx.Err() == nil {
+				// The leader died of its own cancellation (or its
+				// watchdog), not of the build; this follower is still
+				// live, so retry the key — one of the retrying callers
+				// becomes the next leader.
 				continue
 			}
 			return f.inst, f.err
 		}
-		f := &flight{done: make(chan struct{})}
+		f := &flight{done: make(chan struct{}), started: time.Now()}
 		s.inflight[key] = f
 		s.cacheMu.Unlock()
 
-		f.inst, f.err = s.runBuild(key, build)
+		f.inst, f.err = s.runBuildWatched(key, build)
 		// Deregister and wake followers unconditionally — runBuild has
 		// already converted any panic into f.err, so a dying build can
 		// never leave a permanently in-flight key.

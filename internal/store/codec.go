@@ -179,6 +179,33 @@ func writeSegs(buf *bytes.Buffer, segs []Seg) {
 	}
 }
 
+// Verify checks a blob's envelope — magic, version, payload length,
+// and SHA-256 checksum — without decoding the payload.  This is the
+// scrubber's fast integrity pass: any blob Verify accepts has exactly
+// the bytes its writer checksummed (a later Decode can still reject
+// it as structurally stale, which is a rebuild, not corruption).
+func Verify(b []byte) error {
+	if len(b) < headerSize {
+		return fmt.Errorf("store: blob too short (%d bytes)", len(b))
+	}
+	if !bytes.Equal(b[:4], Magic[:]) {
+		return fmt.Errorf("store: bad magic %q", b[:4])
+	}
+	if ver := binary.LittleEndian.Uint32(b[4:8]); ver != Version {
+		return fmt.Errorf("store: unsupported version %d", ver)
+	}
+	paylen := binary.LittleEndian.Uint64(b[8:16])
+	payload := b[headerSize:]
+	if paylen != uint64(len(payload)) {
+		return fmt.Errorf("store: payload length %d, have %d bytes", paylen, len(payload))
+	}
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], b[16:48]) {
+		return fmt.Errorf("store: checksum mismatch")
+	}
+	return nil
+}
+
 // Decode parses and verifies a serialized record.  Any structural
 // problem — bad magic, unknown version, truncation, checksum
 // mismatch, implausible counts, trailing bytes — is an error; the

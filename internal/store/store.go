@@ -55,6 +55,16 @@ type Stats struct {
 	Quarantined uint64
 	// Bytes is the current total size of all blobs.
 	Bytes uint64
+
+	// ScrubChecked counts blobs whose checksum the background scrubber
+	// re-verified.
+	ScrubChecked uint64
+	// ScrubQuarantined counts blobs the scrubber quarantined after
+	// failing verification twice (also included in Quarantined).
+	ScrubQuarantined uint64
+	// ScrubOrphans counts stray .tmp files from crashed writes the
+	// scrubber swept.
+	ScrubOrphans uint64
 }
 
 type entry struct {
@@ -72,6 +82,9 @@ type Store struct {
 	seq      uint64
 	stats    Stats
 	closed   bool
+	// scrubStop, when non-nil, stops the running background scrubber
+	// (see StartScrub); Close closes it.
+	scrubStop chan struct{}
 
 	// faults, when non-nil, arms the store.read / store.write /
 	// store.rename injection sites.  Install with SetFaults before
@@ -461,8 +474,9 @@ func (s *Store) readIndexFile() map[string]uint64 {
 	return out
 }
 
-// Close flushes the index and marks the store closed.  Blobs written
-// before Close are durable regardless.
+// Close stops any background scrubber, flushes the index, and marks
+// the store closed.  Blobs written before Close are durable
+// regardless.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -470,6 +484,10 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	if s.scrubStop != nil {
+		close(s.scrubStop)
+		s.scrubStop = nil
+	}
 	s.mu.Unlock()
 	return s.Flush()
 }

@@ -22,6 +22,7 @@ package omos
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"omos/internal/asm"
 	"omos/internal/fault"
@@ -51,6 +52,10 @@ type System struct {
 	// (nil when Options.FaultSpec was empty).  Shared by the server,
 	// the store, and the frame table.
 	Faults *fault.Set
+
+	// stops are the background loops (scrubber, supervisor) Close
+	// shuts down.
+	stops []func()
 }
 
 // Options configures system boot.
@@ -72,6 +77,32 @@ type Options struct {
 	// FaultSeed seeds the injection PRNG; 0 means seed 1 (injection
 	// stays reproducible by default).
 	FaultSeed int64
+
+	// MaxInflight and QueueDepth size the admission gate on the
+	// server's instantiation entry points: up to MaxInflight requests
+	// run at once, up to QueueDepth more wait, and the rest are shed
+	// with a retry-after hint.  Both zero leaves the server ungated
+	// (the pre-overload-protection behavior); either non-zero gates
+	// with defaults (64/256) for the other.
+	MaxInflight int
+	QueueDepth  int
+	// BuildTimeout bounds each image build; past it the watchdog
+	// cancels the build and singleflight followers re-elect.  Zero
+	// disables the watchdog.
+	BuildTimeout time.Duration
+	// ScrubInterval enables the store's background scrubber (requires
+	// StoreDir): every interval it re-verifies ScrubPerTick blob
+	// checksums, quarantining rot proactively, and sweeps orphaned
+	// temp files.  Zero disables scrubbing.
+	ScrubInterval time.Duration
+	// ScrubPerTick is how many blobs each scrub tick verifies
+	// (default 4).
+	ScrubPerTick int
+	// SuperviseInterval enables the daemon supervisor: every interval
+	// it samples queue depth, in-flight build age, and store fill, and
+	// flips the degraded health flag when any crosses its high-water
+	// mark.  Zero disables supervision.
+	SuperviseInterval time.Duration
 }
 
 // NewSystem boots a fresh machine, attaches an OMOS server, installs
@@ -120,13 +151,40 @@ func NewSystemWith(opts Options) (*System, error) {
 		}
 		st.SetFaults(sys.Faults)
 		sys.WarmLoaded = srv.AttachStore(st)
+		if opts.ScrubInterval > 0 {
+			sys.stops = append(sys.stops, st.StartScrub(store.ScrubConfig{
+				Interval: opts.ScrubInterval,
+				PerTick:  opts.ScrubPerTick,
+			}))
+		}
+	}
+	if opts.MaxInflight > 0 || opts.QueueDepth > 0 {
+		srv.SetAdmission(server.NewAdmission(server.AdmissionConfig{
+			MaxInflight: opts.MaxInflight,
+			QueueDepth:  opts.QueueDepth,
+		}))
+	}
+	if opts.BuildTimeout > 0 {
+		srv.SetBuildTimeout(opts.BuildTimeout)
+	}
+	if opts.SuperviseInterval > 0 {
+		sys.stops = append(sys.stops, srv.StartSupervisor(server.SupervisorConfig{
+			Interval: opts.SuperviseInterval,
+		}))
 	}
 	return sys, nil
 }
 
-// Close flushes and detaches the persistent image store, if any.  The
+// Close stops the background loops (scrubber, supervisor), then
+// flushes and detaches the persistent image store, if any.  The
 // system remains usable afterwards but stops persisting.
-func (s *System) Close() error { return s.Srv.CloseStore() }
+func (s *System) Close() error {
+	for _, stop := range s.stops {
+		stop()
+	}
+	s.stops = nil
+	return s.Srv.CloseStore()
+}
 
 // FlushStore persists the image store's index without detaching it.
 func (s *System) FlushStore() error { return s.Srv.FlushStore() }
