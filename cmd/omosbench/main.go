@@ -5,12 +5,14 @@
 //
 // Usage:
 //
-//	omosbench [-quick] [-table id[,id...]] [-iters n] [-list]
+//	omosbench [-quick] [-table id[,id...]] [-iters n] [-json path] [-list]
 //
 // Table ids: 1a 1b 1c 1d reorder memory linktime cache constraints
 // schemes binding cacheoff monitor clients warmrestart concurrency
-// degraded soak all.  -list prints every table id with a one-line
-// description and exits.
+// degraded rebase soak all.  -list prints every table id with a
+// one-line description and exits.  -json additionally writes every
+// table that ran to the given path as JSON (table -> rows -> metric
+// map), for CI artifacts and offline comparison.
 package main
 
 import (
@@ -26,6 +28,7 @@ func main() {
 	quick := flag.Bool("quick", false, "small workloads and few iterations")
 	tables := flag.String("table", "all", "comma-separated table ids")
 	iters := flag.Int("iters", 0, "override iteration count")
+	jsonPath := flag.String("json", "", "also write the tables that ran to this path as JSON")
 	list := flag.Bool("list", false, "print the table ids and exit")
 	flag.Parse()
 
@@ -61,6 +64,7 @@ func main() {
 		{"warmrestart", "persistent store: cold boot vs warm restart", bench.WarmRestart},
 		{"concurrency", "concurrent clients: singleflight, lock decomposition, parallel builds", bench.Concurrency},
 		{"degraded", "degraded store: warm-hit latency under 1% injected read faults", bench.Degraded},
+		{"rebase", "rebase fast path: full relink vs slide at 1/4/16 distinct bases", bench.Rebase},
 		{"soak", "overload soak: shed rate and latency at 1x/4x/16x saturation (wall clock)", bench.Soak},
 	}
 	if *list {
@@ -73,7 +77,7 @@ func main() {
 	for _, id := range strings.Split(*tables, ",") {
 		want[strings.TrimSpace(id)] = true
 	}
-	ran := 0
+	var ran []*bench.Table
 	for _, e := range all {
 		if !want["all"] && !want[e.id] {
 			continue
@@ -84,10 +88,21 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(t.Format())
-		ran++
+		ran = append(ran, t)
 	}
-	if ran == 0 {
+	if len(ran) == 0 {
 		fmt.Fprintln(os.Stderr, "omosbench: no matching tables (use -list to see the ids, or -table all)")
 		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		blob, err := bench.TablesJSON(ran)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omosbench: encoding json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "omosbench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
 	}
 }

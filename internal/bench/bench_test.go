@@ -248,6 +248,33 @@ func TestClientsShape(t *testing.T) {
 	t.Log("\n" + tab.Format())
 }
 
+func TestRebaseShape(t *testing.T) {
+	tab, err := Rebase(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := tab.Rows[0].Clock.Server
+	for _, i := range []int{1, 2} {
+		r := &tab.Rows[i]
+		// The slide must be strictly cheaper than the relink it replaces.
+		if r.Clock.Server >= fresh {
+			t.Errorf("%s: %d cycles, want < fresh relink's %d", r.Label, r.Clock.Server, fresh)
+		}
+		if r.Extra["images-built"] != 0 {
+			t.Errorf("%s: relinked %v images", r.Label, r.Extra["images-built"])
+		}
+		if r.Extra["patches-per-slide"] <= 0 {
+			t.Errorf("%s: no patch sites rewritten", r.Label)
+		}
+		// Sliding must leave some pages physically shared; the dirtied
+		// set is what the patches actually touched.
+		if r.Extra["shared-pages"] <= 0 {
+			t.Errorf("%s: no pages shared with the source variant", r.Label)
+		}
+	}
+	t.Log("\n" + tab.Format())
+}
+
 // TestPaperRatiosFullScale pins the calibrated Table 1 ratios at the
 // paper's workload sizes (skipped under -short; ~1 minute).
 func TestPaperRatiosFullScale(t *testing.T) {

@@ -1,0 +1,50 @@
+package bench
+
+import "encoding/json"
+
+// jsonRow flattens a Row for machine consumption: the clock fields
+// and the Extra metrics merge into one metric map (cycles, not
+// Mcycles — consumers scale for display).
+type jsonRow struct {
+	Label   string             `json:"label"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+type jsonTable struct {
+	ID    string    `json:"id"`
+	Title string    `json:"title"`
+	Iters int       `json:"iters"`
+	Rows  []jsonRow `json:"rows"`
+	Notes []string  `json:"notes,omitempty"`
+}
+
+// TablesJSON serializes rendered tables for CI artifacts and offline
+// comparison: {"tables": [{id, title, iters, rows: [{label,
+// metrics}], notes}]}.
+func TablesJSON(tables []*Table) ([]byte, error) {
+	out := struct {
+		Tables []jsonTable `json:"tables"`
+	}{Tables: make([]jsonTable, 0, len(tables))}
+	for _, t := range tables {
+		jt := jsonTable{ID: t.ID, Title: t.Title, Iters: t.Iters, Notes: t.Notes}
+		for i := range t.Rows {
+			r := &t.Rows[i]
+			m := map[string]float64{
+				"user-cycles":    float64(r.Clock.User),
+				"sys-cycles":     float64(r.Clock.Sys),
+				"server-cycles":  float64(r.Clock.Server),
+				"wait-cycles":    float64(r.Clock.Wait),
+				"elapsed-cycles": float64(r.Clock.Elapsed()),
+			}
+			if i > 0 {
+				m["ratio"] = t.Ratio(i)
+			}
+			for k, v := range r.Extra {
+				m[k] = v
+			}
+			jt.Rows = append(jt.Rows, jsonRow{Label: r.Label, Metrics: m})
+		}
+		out.Tables = append(out.Tables, jt)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"omos/internal/osim"
+	"omos/internal/workload"
+)
+
+// coldPad is a relocation-free text region merged into the bench
+// program: non-PIC codegen carries an absolute call on nearly every
+// code page, so without some patch-free pages (cold handlers, table
+// space — common in real binaries) the page-sharing half of the
+// rebase path would have nothing to show.
+const coldPad = `
+.text
+cg_cold_pad:
+    .space 16384
+`
+
+// Rebase measures the rebase fast path against the full relink it
+// replaces.  Sixteen programs share codegen's construction (same
+// m-graph content, distinct namespace paths), so the solver gives
+// each a distinct placement: the first placement pays the four-pass
+// relink, every later one slides the cached image — O(patch sites)
+// instead of O(relocations), and only the pages holding a patch site
+// stop being shared with the source variant.
+func Rebase(cfg Config) (*Table, error) {
+	ow, err := workload.SetupOMOS(cfg.CG)
+	if err != nil {
+		return nil, err
+	}
+	srv := ow.Srv
+	bp := strings.Replace(workload.CodegenBlueprint(cfg.CG), "(merge /lib/crt0.o\n",
+		"(merge /lib/crt0.o\n  (source \"asm\" "+strconv.Quote(coldPad)+")\n", 1)
+	if bp == workload.CodegenBlueprint(cfg.CG) {
+		return nil, fmt.Errorf("bench rebase: codegen blueprint shape changed; pad not inserted")
+	}
+
+	// instantiate charges one fresh process and returns its
+	// server-side cycles.
+	instantiate := func(name string) (uint64, error) {
+		p := ow.Kern.Spawn()
+		defer p.Release()
+		if _, err := srv.Instantiate(name, p); err != nil {
+			return 0, err
+		}
+		return p.Clock.Server, nil
+	}
+
+	t := &Table{ID: "rebase", Title: "rebase fast path: relink vs slide at 1/4/16 distinct bases (codegen)", Iters: 1,
+		Notes: []string{
+			"all programs share codegen's construction; distinct paths force distinct placements",
+			"row cycles are the per-instantiation server cost (averaged within each row)",
+			"pages not dirtied by a patch stay physically shared with the first image",
+		}}
+
+	if err := srv.Define("/bin/codegen-r01", bp); err != nil {
+		return nil, err
+	}
+	fresh, err := instantiate("/bin/codegen-r01")
+	if err != nil {
+		return nil, err
+	}
+	st := srv.Stats()
+	if st.Rebases != 0 {
+		return nil, fmt.Errorf("bench rebase: cold build reported %d rebases", st.Rebases)
+	}
+	t.Rows = append(t.Rows, Row{Label: "fresh relink (1 base)",
+		Clock: osim.Clock{Server: fresh},
+		Extra: map[string]float64{
+			"relocs-applied": float64(st.RelocsApplied),
+			"images-built":   float64(st.ImagesBuilt),
+		}})
+
+	// Slide the image to 15 more bases, reporting the 4-base and
+	// 16-base marks as separate rows.
+	slide := func(from, to int) (Row, error) {
+		before := srv.Stats()
+		var cycles uint64
+		for i := from; i <= to; i++ {
+			name := fmt.Sprintf("/bin/codegen-r%02d", i)
+			if err := srv.Define(name, bp); err != nil {
+				return Row{}, err
+			}
+			c, err := instantiate(name)
+			if err != nil {
+				return Row{}, err
+			}
+			cycles += c
+		}
+		n := uint64(to - from + 1)
+		after := srv.Stats()
+		if got := after.Rebases - before.Rebases; got != n {
+			return Row{}, fmt.Errorf("bench rebase: bases %d..%d: %d rebases, want %d (relinked instead)",
+				from, to, got, n)
+		}
+		return Row{Label: fmt.Sprintf("rebase x%d (%d bases)", n, to),
+			Clock: osim.Clock{Server: cycles / n},
+			Extra: map[string]float64{
+				"patches-per-slide": float64(after.RebasePatches-before.RebasePatches) / float64(n),
+				"dirty-pages":       float64(after.RebaseDirtyPages - before.RebaseDirtyPages),
+				"shared-pages":      float64(after.RebaseSharedPages - before.RebaseSharedPages),
+				"images-built":      float64(after.ImagesBuilt - before.ImagesBuilt),
+			}}, nil
+	}
+	for _, span := range [][2]int{{2, 4}, {5, 16}} {
+		row, err := slide(span[0], span[1])
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -180,9 +180,11 @@ func (b *Backend) Stats() string {
 	srv := b.Sys.Srv.Stats()
 	return fmt.Sprintf(
 		"cache: hits=%d misses=%d images=%d relocs=%d buildcycles=%d\n"+
+			"rebase: slides=%d misses=%d patches=%d dirty-pages=%d shared-pages=%d\n"+
 			"memory: frames=%d resident=%dKB shared-frames=%d saved=%dKB\n"+
 			"store: warm-loaded=%d loads=%d stores=%d evictions=%d corrupt=%d bytes=%d\n",
 		srv.CacheHits, srv.CacheMisses, srv.ImagesBuilt, srv.RelocsApplied, srv.BuildCycles,
+		srv.Rebases, srv.RebaseMiss, srv.RebasePatches, srv.RebaseDirtyPages, srv.RebaseSharedPages,
 		st.Frames, st.Bytes()/1024, st.SharedFrames, st.SavedBytes()/1024,
 		srv.WarmLoaded, srv.StoreLoads, srv.StoreStores, srv.StoreEvictions, srv.StoreCorrupt, srv.StoreBytes)
 }

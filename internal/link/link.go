@@ -102,12 +102,42 @@ type Unresolved struct {
 	GotSlot uint64
 }
 
+// Segment classes for AbsPatch.Seg and RelPatch.Seg: which region the
+// patched value's *target* lives in, which decides how the value moves
+// when the image is rebased (SegExtern targets are pre-bound library
+// addresses and do not move with this image).
+const (
+	SegText   = byte('T')
+	SegData   = byte('D')
+	SegExtern = byte('X')
+)
+
 // AbsPatch records an absolute address stored into the image at link
-// time.  If the image is later loaded at a different base (PIC), each
-// such site in a writable segment must be rebased by the load delta.
+// time.  If the image is later loaded at a different base, each such
+// site must be rebased: the site slides with its containing segment,
+// and the stored value slides with the segment its target lives in
+// (Seg; SegExtern values are fixed).  This is exactly the delta the
+// Rebase fast path applies — O(patch sites), not O(relocations).
 type AbsPatch struct {
 	Site  uint64
 	Value uint64
+	// Seg classifies the value's target: SegText/SegData for
+	// module-internal addresses, SegExtern for pre-bound externals.
+	Seg byte
+}
+
+// RelPatch records a PC-relative site in the text segment whose target
+// lies outside the text segment: the stored displacement depends on
+// the distance between the segments, so a rebase that slides text and
+// data by different deltas (or slides text away from fixed externals)
+// must adjust it.  Sites whose target is in text are never recorded —
+// their displacement is invariant under any uniform text slide.
+type RelPatch struct {
+	// Site is the VA of the 8-byte displacement.
+	Site uint64
+	// Seg is the target's class: SegData (slot/data target inside the
+	// module) or SegExtern (pre-bound external target).
+	Seg byte
 }
 
 // Placement records where one fragment landed.
@@ -125,6 +155,12 @@ type Result struct {
 	// Image.Syms).  AllSyms additionally includes module-local names.
 	Syms    map[string]uint64
 	AllSyms map[string]uint64
+	// SymSegs classifies every name in AllSyms as SegText or SegData —
+	// the segment its definition lives in, hence which slide delta its
+	// address follows under Rebase.
+	SymSegs map[string]byte
+	// EntrySeg is the entry symbol's segment class (0 when no entry).
+	EntrySeg byte
 	// SymSizes maps exported function/data names to their sizes.
 	SymSizes map[string]uint64
 	// SymKinds maps exported names to func/data kinds.
@@ -138,17 +174,29 @@ type Result struct {
 	GotBase  uint64
 	GotSize  uint64
 	GotSlots map[string]uint64
-	// AbsPatches lists every absolute patch applied, for PIC rebasing.
+	// AbsPatches lists every absolute patch applied, for rebasing.
 	AbsPatches []AbsPatch
+	// RelPatches lists the PC-relative text sites whose targets lie
+	// outside the text segment (GOT-slot addressing, cross-segment
+	// leapc/callpc); Rebase adjusts exactly these when the segment
+	// deltas differ.
+	RelPatches []RelPatch
 	// NumRelocs counts relocations processed — the work OMOS caches
 	// and traditional schemes repeat.
 	NumRelocs int
 	// ExternBinds counts references satisfied from Options.Externs.
 	ExternBinds int
 	Placements  []Placement
-	TextSize    uint64
-	DataSize    uint64
-	BSSSize     uint64
+	// TextBase and DataBase record the segment bases this result was
+	// linked at (Rebase derives its slide deltas from them).
+	TextBase uint64
+	DataBase uint64
+	TextSize uint64
+	DataSize uint64
+	BSSSize  uint64
+	// Rebased is non-nil when this result was derived by Rebase rather
+	// than a fresh Link, and reports the delta-apply work done.
+	Rebased *RebaseInfo
 }
 
 const fragAlign = 16
@@ -180,13 +228,21 @@ func Link(m *jigsaw.Module, opts Options) (*Result, error) {
 		}
 	}
 
-	// Pass 2: place fragments.
+	// Pass 2: place fragments.  Map capacities are hinted from the
+	// total definition count across views so the binding pass does not
+	// rehash while inserting.
+	totalDefs := 0
+	for _, lv := range views {
+		totalDefs += len(lv.Defs) + len(lv.Aliases)
+	}
 	res := &Result{
-		Syms:     map[string]uint64{},
-		AllSyms:  map[string]uint64{},
-		SymSizes: map[string]uint64{},
-		SymKinds: map[string]obj.SymKind{},
-		GotSlots: map[string]uint64{},
+		Syms:     make(map[string]uint64, totalDefs),
+		AllSyms:  make(map[string]uint64, totalDefs),
+		SymSizes: make(map[string]uint64, totalDefs),
+		SymKinds: make(map[string]obj.SymKind, totalDefs),
+		GotSlots: make(map[string]uint64, len(gotOrder)),
+		TextBase: opts.TextBase,
+		DataBase: opts.DataBase,
 	}
 	gotSize := uint64(len(gotOrder)) * 8
 	if gotSize > 0 {
@@ -205,11 +261,11 @@ func Link(m *jigsaw.Module, opts Options) (*Result, error) {
 	for _, lv := range views {
 		textCur = alignUp(textCur, fragAlign)
 		dataCur = alignUp(dataCur, 8)
-		for uint64(len(textBuf)) < textCur-opts.TextBase {
-			textBuf = append(textBuf, 0)
+		if pad := textCur - opts.TextBase - uint64(len(textBuf)); pad > 0 {
+			textBuf = append(textBuf, make([]byte, pad)...)
 		}
-		for uint64(len(dataBuf)) < dataCur-opts.DataBase-gotSize {
-			dataBuf = append(dataBuf, 0)
+		if pad := dataCur - opts.DataBase - gotSize - uint64(len(dataBuf)); pad > 0 {
+			dataBuf = append(dataBuf, make([]byte, pad)...)
 		}
 		pl := Placement{Obj: lv.Obj, TextAddr: textCur, DataAddr: dataCur}
 		emitText(lv.Obj.Text)
@@ -250,7 +306,14 @@ func Link(m *jigsaw.Module, opts Options) (*Result, error) {
 		addr  uint64
 		size  uint64
 		kind  obj.SymKind
+		sec   byte // SegText or SegData: which segment the symbol lives in
 		local bool
+	}
+	secOf := func(s obj.SectionKind) byte {
+		if s == obj.SecText {
+			return SegText
+		}
+		return SegData
 	}
 	type fragSyms struct {
 		binds []symBind
@@ -261,15 +324,19 @@ func Link(m *jigsaw.Module, opts Options) (*Result, error) {
 		lv := views[vi]
 		pl := &res.Placements[vi]
 		f := &frags[vi]
-		rawAddr := map[string]uint64{}
-		rawSize := map[string]uint64{}
-		rawKind := map[string]obj.SymKind{}
+		nsyms := len(lv.Obj.Syms)
+		rawAddr := make(map[string]uint64, nsyms)
+		rawSize := make(map[string]uint64, nsyms)
+		rawKind := make(map[string]obj.SymKind, nsyms)
+		rawSec := make(map[string]byte, nsyms)
+		f.binds = make([]symBind, 0, len(lv.Defs)+len(lv.Aliases))
 		for i := range lv.Obj.Syms {
 			s := &lv.Obj.Syms[i]
 			if s.Defined {
 				rawAddr[s.Name] = symAddr(pl, s)
 				rawSize[s.Name] = s.Size
 				rawKind[s.Name] = s.Kind
+				rawSec[s.Name] = secOf(s.Section)
 			}
 		}
 		for _, d := range lv.Defs {
@@ -278,7 +345,8 @@ func Link(m *jigsaw.Module, opts Options) (*Result, error) {
 			}
 			f.binds = append(f.binds, symBind{
 				ext: d.Ext, addr: rawAddr[d.Raw],
-				size: rawSize[d.Raw], kind: rawKind[d.Raw], local: d.Local,
+				size: rawSize[d.Raw], kind: rawKind[d.Raw],
+				sec: rawSec[d.Raw], local: d.Local,
 			})
 		}
 		for _, a := range lv.Aliases {
@@ -289,10 +357,16 @@ func Link(m *jigsaw.Module, opts Options) (*Result, error) {
 			}
 			f.binds = append(f.binds, symBind{
 				ext: a.Ext, addr: addr,
-				size: rawSize[a.TargetRaw], kind: rawKind[a.TargetRaw], local: a.Local,
+				size: rawSize[a.TargetRaw], kind: rawKind[a.TargetRaw],
+				sec: rawSec[a.TargetRaw], local: a.Local,
 			})
 		}
 	})
+	// SymSegs records which segment each bound name lives in; pass 4
+	// classifies absolute patch values with it, and Rebase slides each
+	// symbol by its own segment's delta.
+	res.SymSegs = make(map[string]byte, totalDefs)
+	symSeg := res.SymSegs
 	for vi := range frags {
 		f := &frags[vi]
 		if f.err != nil {
@@ -303,6 +377,7 @@ func Link(m *jigsaw.Module, opts Options) (*Result, error) {
 				return nil, fmt.Errorf("link %s: multiple definitions of %s", opts.Name, b.ext)
 			}
 			res.AllSyms[b.ext] = b.addr
+			symSeg[b.ext] = b.sec
 			if !b.local {
 				res.Syms[b.ext] = b.addr
 				res.SymSizes[b.ext] = b.size
@@ -319,6 +394,7 @@ func Link(m *jigsaw.Module, opts Options) (*Result, error) {
 	// order, making the output byte-identical to the serial pass.
 	type fragRelocs struct {
 		absPatches  []AbsPatch
+		relPatches  []RelPatch
 		unresolved  []Unresolved
 		numRelocs   int
 		externBinds int
@@ -329,7 +405,7 @@ func Link(m *jigsaw.Module, opts Options) (*Result, error) {
 		lv := views[vi]
 		pl := &res.Placements[vi]
 		f := &rfrags[vi]
-		patch64 := func(site uint64, val uint64) error {
+		patch64 := func(site uint64, val uint64, valSeg byte) error {
 			var seg []byte
 			var base uint64
 			if site >= opts.TextBase && site < opts.TextBase+uint64(len(textBuf)) {
@@ -342,18 +418,27 @@ func Link(m *jigsaw.Module, opts Options) (*Result, error) {
 				return fmt.Errorf("link %s: patch site %#x out of range", opts.Name, site)
 			}
 			putU64(seg[off:], val)
-			f.absPatches = append(f.absPatches, AbsPatch{Site: site, Value: val})
+			f.absPatches = append(f.absPatches, AbsPatch{Site: site, Value: val, Seg: valSeg})
 			return nil
 		}
 		for _, r := range lv.Obj.Relocs {
 			f.numRelocs++
 			ext := lv.RefExt[r.Symbol]
 			target, bound := res.AllSyms[ext]
+			extern := false
 			if !bound && opts.Externs != nil {
 				if v, ok := opts.Externs[ext]; ok {
 					target, bound = v, true
+					extern = true
 					f.externBinds++
 				}
+			}
+			// targetSeg classifies where the bound target lives, which
+			// decides how a stored value or cross-segment displacement
+			// moves when the image is rebased.
+			targetSeg := SegExtern
+			if bound && !extern {
+				targetSeg = symSeg[ext]
 			}
 			var site uint64
 			switch r.Section {
@@ -378,7 +463,7 @@ func Link(m *jigsaw.Module, opts Options) (*Result, error) {
 					})
 					continue
 				}
-				if err := patch64(site, target+uint64(r.Addend)); err != nil {
+				if err := patch64(site, target+uint64(r.Addend), targetSeg); err != nil {
 					f.err = err
 					return
 				}
@@ -393,27 +478,36 @@ func Link(m *jigsaw.Module, opts Options) (*Result, error) {
 					})
 					continue
 				}
-				// PC-relative: no AbsPatch (position independent).
+				// PC-relative: no AbsPatch (position independent under a
+				// uniform slide).  A target outside the text segment
+				// makes the displacement depend on the inter-segment
+				// distance, so record the site for Rebase to adjust.
 				off := site - (opts.TextBase)
 				if r.Section == obj.SecData {
 					f.err = fmt.Errorf("link %s: pc-relative relocation in data", opts.Name)
 					return
 				}
 				putU64(textBuf[off:], target+uint64(r.Addend)-instr)
+				if targetSeg != SegText {
+					f.relPatches = append(f.relPatches, RelPatch{Site: site, Seg: targetSeg})
+				}
 			case obj.RelGotSlot:
 				slot := res.GotSlots[ext]
 				// The instruction addresses its slot pc-relatively,
-				// which is always resolvable.
+				// which is always resolvable.  The slot lives in the
+				// data segment, so the displacement shifts whenever
+				// text and data slide by different deltas.
 				off := site - opts.TextBase
 				if r.Section != obj.SecText {
 					f.err = fmt.Errorf("link %s: got relocation outside text", opts.Name)
 					return
 				}
 				putU64(textBuf[off:], slot-instr)
+				f.relPatches = append(f.relPatches, RelPatch{Site: site, Seg: SegData})
 				if bound {
 					// Slot contents resolved statically; the final
 					// GOT bytes are rebuilt from AbsPatches below.
-					f.absPatches = append(f.absPatches, AbsPatch{Site: slot, Value: target})
+					f.absPatches = append(f.absPatches, AbsPatch{Site: slot, Value: target, Seg: targetSeg})
 				} else {
 					if !opts.AllowUndefined {
 						f.err = fmt.Errorf("link %s: undefined symbol %s (from %s)", opts.Name, ext, lv.Obj.Name)
@@ -433,6 +527,7 @@ func Link(m *jigsaw.Module, opts Options) (*Result, error) {
 			return nil, f.err
 		}
 		res.AbsPatches = append(res.AbsPatches, f.absPatches...)
+		res.RelPatches = append(res.RelPatches, f.relPatches...)
 		res.Unresolved = append(res.Unresolved, f.unresolved...)
 		res.NumRelocs += f.numRelocs
 		res.ExternBinds += f.externBinds
@@ -476,6 +571,7 @@ func Link(m *jigsaw.Module, opts Options) (*Result, error) {
 			return nil, fmt.Errorf("link %s: entry symbol %q undefined", opts.Name, opts.Entry)
 		}
 		img.Entry = e
+		res.EntrySeg = symSeg[opts.Entry]
 	}
 	if err := img.Validate(); err != nil {
 		return nil, err

@@ -95,6 +95,11 @@ type CostModel struct {
 	// ServerBuildRecord prices parsing one object record during image
 	// construction (paid once).
 	ServerBuildRecord uint64
+	// ServerRebasePatch prices rewriting one recorded patch site while
+	// sliding a cached image to a new base (the rebase fast path).  A
+	// rebase costs patch-sites * this, far below a full relink's
+	// relocs * ServerBuildReloc + records * ServerBuildRecord.
+	ServerRebasePatch uint64
 
 	// StoreLoadPerByte prices reading one byte of a persisted image
 	// blob at warm boot (server time, charged to the kernel total —
@@ -137,6 +142,7 @@ func DefaultCost() CostModel {
 		ServerMapSegment:  600,
 		ServerBuildReloc:  120,
 		ServerBuildRecord: 50,
+		ServerRebasePatch: 60,
 
 		StoreLoadPerByte:  6,
 		StoreWritePerByte: 8,

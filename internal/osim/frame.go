@@ -138,6 +138,60 @@ func (ft *FrameTable) MakeFrameSeg(name string, addr uint64, data []byte, memSiz
 	return seg, nil
 }
 
+// MakeFrameSegDelta materializes data (plus zero fill to memSize) at
+// addr like MakeFrameSeg, but shares physical frames with src for
+// every page whose bytes are identical: shared pages get a reference
+// to src's frame instead of a fresh allocation.  This is how the
+// rebase fast path keeps clean pages physically shared between a
+// cached image and its slid variants — only pages a patch site
+// dirtied cost new frames.  Returns the segment and the number of
+// pages shared.  A nil src degrades to MakeFrameSeg.
+func (ft *FrameTable) MakeFrameSegDelta(name string, addr uint64, data []byte, memSize uint64, perm uint8, src *FrameSeg) (*FrameSeg, int, error) {
+	if src == nil {
+		seg, err := ft.MakeFrameSeg(name, addr, data, memSize, perm)
+		return seg, 0, err
+	}
+	if addr%PageSize != 0 {
+		return nil, 0, fmt.Errorf("osim: segment %s: unaligned address %#x", name, addr)
+	}
+	if err := ft.Faults.Fire(fault.SiteFrameMake); err != nil {
+		return nil, 0, fmt.Errorf("osim: segment %s: %w", name, err)
+	}
+	if memSize < uint64(len(data)) {
+		memSize = uint64(len(data))
+	}
+	npages := int(PageAlign(memSize) / PageSize)
+	seg := &FrameSeg{Name: name, Addr: addr, Perm: perm, Frames: make([]*Frame, npages)}
+	shared := 0
+	var page [PageSize]byte
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	for i := 0; i < npages; i++ {
+		for j := range page {
+			page[j] = 0
+		}
+		if lo := i * PageSize; lo < len(data) {
+			copy(page[:], data[lo:])
+		}
+		if i < len(src.Frames) {
+			// Frame contents are immutable after materialization, so the
+			// comparison needs no further synchronization; the refs>0
+			// check skips frames a concurrent eviction already freed.
+			if sf := src.Frames[i]; sf != nil && sf.refs > 0 && sf.Data == page {
+				sf.refs++
+				seg.Frames[i] = sf
+				shared++
+				continue
+			}
+		}
+		ft.nextID++
+		f := &Frame{ID: ft.nextID, refs: 1, Data: page}
+		ft.frames[f.ID] = f
+		seg.Frames[i] = f
+	}
+	return seg, shared, nil
+}
+
 // Release drops the table's references to the segment's frames.
 func (ft *FrameTable) Release(seg *FrameSeg) {
 	for _, f := range seg.Frames {

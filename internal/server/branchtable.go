@@ -81,7 +81,10 @@ func (s *Server) buildBranchTableLib(ctx context.Context, dep mgraph.LibDep, v *
 		if err != nil {
 			return nil, fmt.Errorf("server: linking branch-table library %s: %w", dep.Path, err)
 		}
-		inst, err := s.materialize(key, "lib:"+dep.Path, res, libs, c)
+		// Branch-table libraries stay out of the rebase path (empty
+		// content key): their per-process slot patching is placement
+		// metadata the slide does not model.
+		inst, err := s.materialize(key, "", "lib:"+dep.Path, res, libs, c)
 		if err != nil {
 			return nil, err
 		}

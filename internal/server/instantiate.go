@@ -187,7 +187,19 @@ func (s *Server) instantiateLibrary(ctx context.Context, dep mgraph.LibDep, c ch
 	}
 	key := digestStr("lib", ch, dep.Spec.Hash(),
 		fmt.Sprintf("%#x/%#x", pl.TextBase, pl.DataBase), libKeys(libs))
+	ckey := contentKeyLib(ch, dep.Spec.Kind, libs)
+	pr := placeRec{
+		SolverKey: "lib:" + dep.Path + "|" + dep.Spec.Hash(),
+		TextBase:  pl.TextBase, TextSize: textSize,
+		DataBase: pl.DataBase, DataSize: dataSize,
+	}
 	return s.buildShared(ctx, key, func() (*Instance, error) {
+		// Placement miss: a cached variant of the same content at other
+		// bases can be slid here instead of relinked (rebase.go).
+		if inst, ok := s.tryRebase(key, ckey, dep.Path, pl.TextBase, pl.DataBase, libs, pr, c); ok {
+			return inst, nil
+		}
+		s.stats.rebaseMiss.Add(1)
 		if err := s.faults.Fire(fault.SiteBuildLink); err != nil {
 			return nil, fmt.Errorf("server: linking library %s: %w", dep.Path, err)
 		}
@@ -200,15 +212,11 @@ func (s *Server) instantiateLibrary(ctx context.Context, dep mgraph.LibDep, c ch
 		if err != nil {
 			return nil, fmt.Errorf("server: linking library %s: %w", dep.Path, err)
 		}
-		inst, err := s.materialize(key, dep.Path, res, libs, c)
+		inst, err := s.materialize(key, ckey, dep.Path, res, libs, c)
 		if err != nil {
 			return nil, err
 		}
-		inst.place = placeRec{
-			SolverKey: "lib:" + dep.Path + "|" + dep.Spec.Hash(),
-			TextBase:  pl.TextBase, TextSize: textSize,
-			DataBase: pl.DataBase, DataSize: dataSize,
-		}
+		inst.place = pr
 		s.persistInstance(inst)
 		return inst, nil
 	})
@@ -229,6 +237,13 @@ func (s *Server) instantiateProgram(ctx context.Context, name string, meta *mgra
 	}
 	prefs := v.Prefs
 	if len(prefs) == 0 {
+		// A leading (constraint-list ...) in the program's blueprint
+		// gives default preferences, like a library's (Figure 1).  It is
+		// not part of the construction subgraph, so programs differing
+		// only in placement share a content key and can rebase.
+		prefs = meta.DefaultSpec.Prefs
+	}
+	if len(prefs) == 0 {
 		prefs = []constraint.Pref{
 			{Seg: 'T', Addr: DefaultClientText},
 			{Seg: 'D', Addr: DefaultClientData},
@@ -246,7 +261,17 @@ func (s *Server) instantiateProgram(ctx context.Context, name string, meta *mgra
 	}
 	key := digestStr("prog", meta.SrcHash, subHash,
 		fmt.Sprintf("%#x/%#x", pl.TextBase, pl.DataBase), libKeys(libs))
+	ckey := contentKeyProg(subHash, libs)
+	pr := placeRec{
+		SolverKey: "prog:" + name,
+		TextBase:  pl.TextBase, TextSize: textSize,
+		DataBase: pl.DataBase, DataSize: dataSize,
+	}
 	return s.buildShared(ctx, key, func() (*Instance, error) {
+		if inst, ok := s.tryRebase(key, ckey, name, pl.TextBase, pl.DataBase, libs, pr, c); ok {
+			return inst, nil
+		}
+		s.stats.rebaseMiss.Add(1)
 		if err := s.faults.Fire(fault.SiteBuildLink); err != nil {
 			return nil, fmt.Errorf("server: linking %s: %w", name, err)
 		}
@@ -260,15 +285,11 @@ func (s *Server) instantiateProgram(ctx context.Context, name string, meta *mgra
 		if err != nil {
 			return nil, fmt.Errorf("server: linking %s: %w", name, err)
 		}
-		inst, err := s.materialize(key, name, res, libs, c)
+		inst, err := s.materialize(key, ckey, name, res, libs, c)
 		if err != nil {
 			return nil, err
 		}
-		inst.place = placeRec{
-			SolverKey: "prog:" + name,
-			TextBase:  pl.TextBase, TextSize: textSize,
-			DataBase: pl.DataBase, DataSize: dataSize,
-		}
+		inst.place = pr
 		s.persistInstance(inst)
 		return inst, nil
 	})
@@ -297,9 +318,11 @@ func (s *Server) ReleaseInstance(inst *Instance) {
 // materialize turns a link result into a cached Instance: read-only
 // segments become shared frames, writable segments stay as pristine
 // bytes for per-client copying.  Build cost is charged to the
-// requesting process (the only one that ever pays it).
-func (s *Server) materialize(key, name string, res *link.Result, libs []*Instance, c charger) (*Instance, error) {
-	inst := &Instance{Key: key, Name: name, Res: res, Libs: libs}
+// requesting process (the only one that ever pays it).  ckey is the
+// placement-independent content identity registered in the variants
+// index (empty to keep the instance out of the rebase path).
+func (s *Server) materialize(key, ckey, name string, res *link.Result, libs []*Instance, c charger) (*Instance, error) {
+	inst := &Instance{Key: key, ContentKey: ckey, Name: name, Res: res, Libs: libs}
 	for i := range res.Image.Segments {
 		seg := &res.Image.Segments[i]
 		if seg.Perm&image.PermW != 0 {
@@ -321,22 +344,7 @@ func (s *Server) materialize(key, name string, res *link.Result, libs []*Instanc
 	s.stats.relocsApplied.Add(uint64(res.NumRelocs))
 	s.stats.externBinds.Add(uint64(res.ExternBinds))
 	s.stats.buildCycles.Add(cost)
-	if !s.DisableCache {
-		s.cacheMu.Lock()
-		if prior, raced := s.cache[key]; raced {
-			// Unreachable under the singleflight layer (one build per
-			// key), kept as a safety net: prefer the cached instance
-			// and release this build's frames.
-			s.cacheMu.Unlock()
-			s.ReleaseInstance(inst)
-			return prior, nil
-		}
-		s.cache[key] = inst
-		st := s.store
-		s.cacheMu.Unlock()
-		s.touch(key, inst, st)
-	}
-	return inst, nil
+	return s.cacheInstance(inst), nil
 }
 
 // Evict removes every cached instance derived from the named
@@ -388,6 +396,7 @@ func (s *Server) evictEntryLocked(inst *Instance) {
 		s.solver.Release("table:" + inst.Key)
 		s.solverMu.Unlock()
 	}
+	s.dropVariantLocked(inst)
 	delete(s.cache, inst.Key)
 }
 

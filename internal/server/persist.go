@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"sort"
+	"strings"
 
 	"omos/internal/constraint"
 	"omos/internal/image"
@@ -124,6 +125,16 @@ func recordOf(inst *Instance) *store.Record {
 		ResTextSize: inst.Res.TextSize,
 		ResDataSize: inst.Res.DataSize,
 		ResBSSSize:  inst.Res.BSSSize,
+		ContentKey:  inst.ContentKey,
+		ResTextBase: inst.Res.TextBase,
+		ResDataBase: inst.Res.DataBase,
+		EntrySeg:    inst.Res.EntrySeg,
+	}
+	for _, p := range inst.Res.AbsPatches {
+		rec.AbsPatches = append(rec.AbsPatches, store.Patch{Site: p.Site, Value: p.Value, Seg: p.Seg})
+	}
+	for _, p := range inst.Res.RelPatches {
+		rec.RelPatches = append(rec.RelPatches, store.Patch{Site: p.Site, Seg: p.Seg})
 	}
 	names := make([]string, 0, len(inst.Res.Image.Syms))
 	for n := range inst.Res.Image.Syms {
@@ -135,6 +146,7 @@ func recordOf(inst *Instance) *store.Record {
 		if k, ok := inst.Res.SymKinds[n]; ok {
 			sym.Kind = uint8(k)
 		}
+		sym.Seg = inst.Res.SymSegs[n]
 		rec.Syms = append(rec.Syms, sym)
 	}
 	for _, seg := range inst.ROSegs {
@@ -227,6 +239,9 @@ func (s *Server) loadFromStore(key string, visiting map[string]bool) *Instance {
 		return prior
 	}
 	s.cache[key] = inst
+	if inst.ContentKey != "" {
+		s.variants[inst.ContentKey] = append(s.variants[inst.ContentKey], inst)
+	}
 	s.cacheMu.Unlock()
 	s.touch(key, inst, st)
 	s.stats.warmLoaded.Add(1)
@@ -247,9 +262,12 @@ func (s *Server) instanceFromRecord(rec *store.Record, libs []*Instance) (*Insta
 		SymKinds:    map[string]obj.SymKind{},
 		NumRelocs:   int(rec.NumRelocs),
 		ExternBinds: int(rec.ExternBinds),
+		TextBase:    rec.ResTextBase,
+		DataBase:    rec.ResDataBase,
 		TextSize:    rec.ResTextSize,
 		DataSize:    rec.ResDataSize,
 		BSSSize:     rec.ResBSSSize,
+		EntrySeg:    rec.EntrySeg,
 	}
 	for _, sym := range rec.Syms {
 		im.Syms[sym.Name] = sym.Addr
@@ -261,8 +279,41 @@ func (s *Server) instanceFromRecord(rec *store.Record, libs []*Instance) (*Insta
 			res.SymKinds[sym.Name] = obj.SymKind(sym.Kind)
 		}
 	}
+	// A v2 record carries the rebase metadata; reconstruct everything
+	// link.Rebase needs (segment bytes, symbol segment classes, patch
+	// sites) so the warm-loaded instance can serve as a rebase source.
+	if rec.ContentKey != "" {
+		res.SymSegs = make(map[string]byte, len(rec.Syms))
+		for _, sym := range rec.Syms {
+			if sym.Seg != 0 {
+				res.SymSegs[sym.Name] = sym.Seg
+			}
+		}
+		for _, p := range rec.AbsPatches {
+			res.AbsPatches = append(res.AbsPatches, link.AbsPatch{Site: p.Site, Value: p.Value, Seg: p.Seg})
+		}
+		for _, p := range rec.RelPatches {
+			res.RelPatches = append(res.RelPatches, link.RelPatch{Site: p.Site, Seg: p.Seg})
+		}
+		for _, sr := range rec.ROSegs {
+			// Stored data is zero-trimmed; Rebase patches sites anywhere
+			// in the segment, so restore the full extent.
+			data := make([]byte, sr.MemSize)
+			copy(data, sr.Data)
+			im.Segments = append(im.Segments, image.Segment{
+				Name: segBaseName(sr.Name), Addr: sr.Addr, Data: data,
+				MemSize: sr.MemSize, Perm: image.Perm(sr.Perm),
+			})
+		}
+		for _, sr := range rec.RWSegs {
+			im.Segments = append(im.Segments, image.Segment{
+				Name: segBaseName(sr.Name), Addr: sr.Addr, Data: sr.Data,
+				MemSize: sr.MemSize, Perm: image.Perm(sr.Perm),
+			})
+		}
+	}
 	inst := &Instance{
-		Key: rec.Key, Name: rec.Name, Res: res, Libs: libs,
+		Key: rec.Key, ContentKey: rec.ContentKey, Name: rec.Name, Res: res, Libs: libs,
 		place: placeRec{
 			SolverKey: rec.SolverKey,
 			TextBase:  rec.TextBase, TextSize: rec.TextSize,
@@ -337,6 +388,15 @@ func (s *Server) evictForCapacity(exclude string) {
 		}
 		st.Delete(key)
 	}
+}
+
+// segBaseName strips the instance-name prefix frame segments carry
+// ("lib:/lib/libc/text" -> "text"), recovering the image segment name.
+func segBaseName(n string) string {
+	if i := strings.LastIndexByte(n, '/'); i >= 0 {
+		return n[i+1:]
+	}
+	return n
 }
 
 // mappedLive reports whether any live process still maps the

@@ -70,6 +70,20 @@ type Stats struct {
 	// images (charged to the first requester).
 	BuildCycles uint64
 
+	// Rebases counts placement misses served by sliding a cached
+	// variant of the same content to the new bases (the rebase fast
+	// path); RebaseMiss counts placement misses that had no usable
+	// variant and fell back to a full relink.
+	Rebases    uint64
+	RebaseMiss uint64
+	// RebasePatches counts 8-byte sites rewritten by rebases, and
+	// RebaseDirtyPages the pages those rewrites dirtied; pages not
+	// counted stay physically shared with the source variant
+	// (RebaseSharedPages counts those avoided allocations).
+	RebasePatches     uint64
+	RebaseDirtyPages  uint64
+	RebaseSharedPages uint64
+
 	// The Store* fields mirror the persistent image store's counters
 	// (zero when the server runs without a store): blobs read back,
 	// blobs written, capacity/namespace evictions, corrupt or stale
@@ -117,6 +131,12 @@ type statsCounters struct {
 	warmLoaded    atomic.Uint64
 	recovered     atomic.Uint64
 	buildTimeouts atomic.Uint64
+
+	rebases           atomic.Uint64
+	rebaseMiss        atomic.Uint64
+	rebasePatches     atomic.Uint64
+	rebaseDirtyPages  atomic.Uint64
+	rebaseSharedPages atomic.Uint64
 }
 
 // Stats returns a consistent-enough snapshot of the activity counters.
@@ -133,6 +153,12 @@ func (s *Server) Stats() Stats {
 		Recovered:     s.stats.recovered.Load(),
 		BuildTimeouts: s.stats.buildTimeouts.Load(),
 		Shed:          s.admit.Shed(),
+
+		Rebases:           s.stats.rebases.Load(),
+		RebaseMiss:        s.stats.rebaseMiss.Load(),
+		RebasePatches:     s.stats.rebasePatches.Load(),
+		RebaseDirtyPages:  s.stats.rebaseDirtyPages.Load(),
+		RebaseSharedPages: s.stats.rebaseSharedPages.Load(),
 	}
 	s.cacheMu.RLock()
 	stor := s.store
@@ -172,9 +198,16 @@ type nsEntry struct {
 // server hands to loaders.  Read-only segments are shared frames;
 // writable segments are pristine bytes copied per client.
 type Instance struct {
-	Key    string
-	Name   string
-	Res    *link.Result
+	Key  string
+	Name string
+	// ContentKey is the placement-independent identity of the image:
+	// content hash + specialization kind + library identities, but no
+	// addresses.  Instances sharing a ContentKey are placement variants
+	// of the same bytes, and any of them can be slid to a new base by
+	// the rebase fast path.  Empty when the instance cannot serve as a
+	// rebase source (branch-table libraries, v1 store records).
+	ContentKey string
+	Res        *link.Result
 	ROSegs []*osim.FrameSeg
 	RWSegs []image.Segment
 	// Libs are the library instances this image was linked against;
@@ -238,6 +271,10 @@ type Server struct {
 	cache    map[string]*Instance
 	inflight map[string]*flight
 	store    *store.Store
+	// variants indexes cached instances by ContentKey: the placement
+	// variants of one content identity, i.e. the candidate sources for
+	// the rebase fast path (rebase.go).
+	variants map[string][]*Instance
 
 	// useSeq is the monotone LRU clock; each Instance stamps itself on
 	// use.
@@ -295,6 +332,7 @@ func New(kern *osim.Kernel) *Server {
 		ns:           map[string]nsEntry{},
 		solver:       constraint.NewSolver(),
 		cache:        map[string]*Instance{},
+		variants:     map[string][]*Instance{},
 		specs:        map[string]SpecFunc{},
 		inflight:     map[string]*flight{},
 		hashMemo:     map[string]memoHash{},

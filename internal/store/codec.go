@@ -38,7 +38,15 @@ var Magic = [4]byte{'O', 'M', 'S', '1'}
 
 // Version is the current codec version; bump on layout change so old
 // daemons' blobs are rejected as stale rather than misparsed.
-const Version = 1
+// Version 2 adds the rebase metadata: per-symbol segment classes, the
+// content key, the link-result bases, and the recorded patch sites,
+// so a warm-restarted server can slide a stored image to a new
+// placement without relinking.  Version 1 blobs still decode (their
+// instances simply cannot serve as rebase sources).
+const Version = 2
+
+// minVersion is the oldest codec version Decode still accepts.
+const minVersion = 1
 
 const headerSize = 4 + 4 + 8 + 32
 
@@ -58,11 +66,23 @@ type Seg struct {
 
 // Sym is one bound symbol: name, absolute address, size, and the
 // link-level kind byte (func/data; 0xff when the kind is unknown).
+// Seg is the segment class the symbol's value lives in ('T'/'D'/'X',
+// link.SegText etc.; zero in v1 records, where it was not recorded).
 type Sym struct {
 	Name string
 	Addr uint64
 	Size uint64
 	Kind uint8
+	Seg  uint8
+}
+
+// Patch is one recorded 8-byte patch site (link.AbsPatch/RelPatch):
+// the absolute site address, the stored value (absolute patches
+// only), and the segment class of the patch target.
+type Patch struct {
+	Site  uint64
+	Value uint64
+	Seg   uint8
 }
 
 // KindNone marks a symbol whose link kind was not recorded.
@@ -113,6 +133,18 @@ type Record struct {
 	// LibKeys are the cache keys of the library instances this image
 	// links against; they must be loadable for this record to be used.
 	LibKeys []string
+
+	// The remaining fields (v2) carry the rebase metadata: the
+	// placement-independent content key, the link result's segment
+	// bases, the entry point's segment class, and the recorded patch
+	// sites.  A v1 record decodes with these zero/empty, which marks
+	// the reconstructed instance as not rebaseable.
+	ContentKey  string
+	ResTextBase uint64
+	ResDataBase uint64
+	EntrySeg    uint8
+	AbsPatches  []Patch
+	RelPatches  []Patch
 }
 
 // Encode serializes a record with the versioned header and checksum.
@@ -148,6 +180,7 @@ func encodePayload(rec *Record) []byte {
 		writeU64(&buf, s.Addr)
 		writeU64(&buf, s.Size)
 		buf.WriteByte(s.Kind)
+		buf.WriteByte(s.Seg)
 	}
 	writeU64(&buf, rec.NumRelocs)
 	writeU64(&buf, rec.ExternBinds)
@@ -165,7 +198,22 @@ func encodePayload(rec *Record) []byte {
 	for _, k := range rec.LibKeys {
 		writeStr(&buf, k)
 	}
+	writeStr(&buf, rec.ContentKey)
+	writeU64(&buf, rec.ResTextBase)
+	writeU64(&buf, rec.ResDataBase)
+	buf.WriteByte(rec.EntrySeg)
+	writePatches(&buf, rec.AbsPatches)
+	writePatches(&buf, rec.RelPatches)
 	return buf.Bytes()
+}
+
+func writePatches(buf *bytes.Buffer, ps []Patch) {
+	writeU32(buf, uint32(len(ps)))
+	for _, p := range ps {
+		writeU64(buf, p.Site)
+		writeU64(buf, p.Value)
+		buf.WriteByte(p.Seg)
+	}
 }
 
 func writeSegs(buf *bytes.Buffer, segs []Seg) {
@@ -191,7 +239,7 @@ func Verify(b []byte) error {
 	if !bytes.Equal(b[:4], Magic[:]) {
 		return fmt.Errorf("store: bad magic %q", b[:4])
 	}
-	if ver := binary.LittleEndian.Uint32(b[4:8]); ver != Version {
+	if ver := binary.LittleEndian.Uint32(b[4:8]); ver < minVersion || ver > Version {
 		return fmt.Errorf("store: unsupported version %d", ver)
 	}
 	paylen := binary.LittleEndian.Uint64(b[8:16])
@@ -218,7 +266,7 @@ func Decode(b []byte) (*Record, error) {
 		return nil, fmt.Errorf("store: bad magic %q", b[:4])
 	}
 	ver := binary.LittleEndian.Uint32(b[4:8])
-	if ver != Version {
+	if ver < minVersion || ver > Version {
 		return nil, fmt.Errorf("store: unsupported version %d", ver)
 	}
 	paylen := binary.LittleEndian.Uint64(b[8:16])
@@ -248,6 +296,9 @@ func Decode(b []byte) (*Record, error) {
 		s.Addr = r.u64()
 		s.Size = r.u64()
 		s.Kind = r.u8()
+		if ver >= 2 {
+			s.Seg = r.u8()
+		}
 		rec.Syms = append(rec.Syms, s)
 	}
 	rec.NumRelocs = r.u64()
@@ -269,6 +320,14 @@ func Decode(b []byte) (*Record, error) {
 	rec.LibKeys = make([]string, 0, nlibs)
 	for i := 0; i < nlibs && r.err == nil; i++ {
 		rec.LibKeys = append(rec.LibKeys, r.str())
+	}
+	if ver >= 2 {
+		rec.ContentKey = r.str()
+		rec.ResTextBase = r.u64()
+		rec.ResDataBase = r.u64()
+		rec.EntrySeg = r.u8()
+		rec.AbsPatches = r.patches(len(payload))
+		rec.RelPatches = r.patches(len(payload))
 	}
 	if r.err != nil {
 		return nil, fmt.Errorf("store: decode: %w", r.err)
@@ -369,6 +428,22 @@ func (r *reader) blob() []byte {
 }
 
 func (r *reader) str() string { return string(r.blob()) }
+
+func (r *reader) patches(total int) []Patch {
+	n := r.count(total)
+	if n == 0 {
+		return nil
+	}
+	ps := make([]Patch, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		var p Patch
+		p.Site = r.u64()
+		p.Value = r.u64()
+		p.Seg = r.u8()
+		ps = append(ps, p)
+	}
+	return ps
+}
 
 func (r *reader) segs(total int) []Seg {
 	n := r.count(total)

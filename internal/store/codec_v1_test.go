@@ -1,0 +1,105 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"reflect"
+	"testing"
+)
+
+// encodeV1 reproduces the version-1 payload layout byte for byte:
+// symbols carry no segment class and the trailing rebase-metadata
+// block does not exist.  It exists only to pin backward compatibility
+// — blobs written by a pre-rebase daemon must keep decoding.
+func encodeV1(rec *Record) []byte {
+	var buf bytes.Buffer
+	writeStr(&buf, rec.Key)
+	writeStr(&buf, rec.Name)
+	writeStr(&buf, rec.SolverKey)
+	writeU64(&buf, rec.TextBase)
+	writeU64(&buf, rec.TextSize)
+	writeU64(&buf, rec.DataBase)
+	writeU64(&buf, rec.DataSize)
+	writeU64(&buf, rec.Entry)
+	writeU32(&buf, uint32(len(rec.Syms)))
+	for _, s := range rec.Syms {
+		writeStr(&buf, s.Name)
+		writeU64(&buf, s.Addr)
+		writeU64(&buf, s.Size)
+		buf.WriteByte(s.Kind)
+	}
+	writeU64(&buf, rec.NumRelocs)
+	writeU64(&buf, rec.ExternBinds)
+	writeU64(&buf, rec.ResTextSize)
+	writeU64(&buf, rec.ResDataSize)
+	writeU64(&buf, rec.ResBSSSize)
+	writeSegs(&buf, rec.ROSegs)
+	writeSegs(&buf, rec.RWSegs)
+	writeU32(&buf, uint32(len(rec.BTSlots)))
+	for _, s := range rec.BTSlots {
+		writeStr(&buf, s.Name)
+		writeU64(&buf, s.Addr)
+	}
+	writeU32(&buf, uint32(len(rec.LibKeys)))
+	for _, k := range rec.LibKeys {
+		writeStr(&buf, k)
+	}
+	payload := buf.Bytes()
+
+	var blob bytes.Buffer
+	blob.Write(Magic[:])
+	writeU32(&blob, 1)
+	writeU64(&blob, uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	blob.Write(sum[:])
+	blob.Write(payload)
+	return blob.Bytes()
+}
+
+// TestCodecDecodesV1 checks that a pre-rebase (version 1) blob still
+// decodes: every v1 field round-trips and the v2 rebase metadata
+// comes back zero, which is what marks the instance as not usable as
+// a rebase source.
+func TestCodecDecodesV1(t *testing.T) {
+	rec := sampleRecord()
+	blob := encodeV1(rec)
+	if err := Verify(blob); err != nil {
+		t.Fatalf("Verify rejected v1 blob: %v", err)
+	}
+	got, err := Decode(blob)
+	if err != nil {
+		t.Fatalf("Decode rejected v1 blob: %v", err)
+	}
+	if got.ContentKey != "" || got.ResTextBase != 0 || got.EntrySeg != 0 ||
+		got.AbsPatches != nil || got.RelPatches != nil {
+		t.Fatalf("v1 decode invented rebase metadata: %+v", got)
+	}
+	for i, s := range got.Syms {
+		if s.Seg != 0 {
+			t.Fatalf("sym %d has segment class %q from a v1 blob", i, s.Seg)
+		}
+	}
+	// Everything that existed in v1 must match the original record.
+	got.ContentKey, got.ResTextBase, got.ResDataBase, got.EntrySeg = rec.ContentKey, rec.ResTextBase, rec.ResDataBase, rec.EntrySeg
+	if !reflect.DeepEqual(rec, got) {
+		t.Fatalf("v1 fields mismatch:\nwant %+v\ngot  %+v", rec, got)
+	}
+}
+
+// TestCodecRejectsFutureVersion pins the other side of the window: a
+// version beyond the current one is stale-daemon output and must be
+// rejected, not misparsed.
+func TestCodecRejectsFutureVersion(t *testing.T) {
+	blob, err := Encode(sampleRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), blob...)
+	bad[4] = Version + 1
+	if err := Verify(bad); err == nil {
+		t.Error("Verify accepted a future version")
+	}
+	if _, err := Decode(bad); err == nil {
+		t.Error("Decode accepted a future version")
+	}
+}
