@@ -28,6 +28,8 @@
 //	stats                       server and memory statistics
 //	health                      daemon liveness + robustness counters
 //	                            (exits 1 when draining or degraded)
+//	graph                       build-graph report: node counters,
+//	                            recent instantiation runs, event tail
 package main
 
 import (
@@ -134,6 +136,9 @@ func main() {
 	case "stats":
 		resp := call(c, &ipc.Request{Op: ipc.OpStats})
 		fmt.Print(resp.Text)
+	case "graph":
+		resp := call(c, &ipc.Request{Op: ipc.OpGraph})
+		fmt.Print(resp.Text)
 	case "health":
 		resp := call(c, &ipc.Request{Op: ipc.OpHealth})
 		if resp.Health == nil {
@@ -186,6 +191,6 @@ func usage() {
 commands: ping | ls [prefix] | define <path> <file> | define-lib <path> <file>
           asm <path> <file.s> | cc <dir> <unit> <file.c> | put <path> <file.rof>
           rm <path> | run <path> [args...] | run-boot <path> [args...]
-          dis <path> | stats | health`)
+          dis <path> | stats | health | graph`)
 	os.Exit(2)
 }

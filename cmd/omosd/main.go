@@ -11,6 +11,7 @@
 //	      [-max-inflight N] [-queue-depth N] [-build-timeout D]
 //	      [-scrub-interval D] [-scrub-per-tick N] [-supervise-interval D]
 //	omosd -health [-listen addr]
+//	omosd -graph [-listen addr]
 //
 // With -workloads the daemon boots with the evaluation workloads
 // preinstalled (/bin/ls, /bin/codegen, /lib/libc, ...).
@@ -25,6 +26,11 @@
 // its liveness counters (uptime, in-flight builds, recovered panics,
 // quarantined blobs, shed requests, degraded verdict) instead of
 // serving; it exits non-zero when the daemon is draining or degraded.
+//
+// -graph queries a running daemon and prints its build-graph report:
+// lifetime node counters, active and recent instantiation runs with
+// per-node outcomes (built/rebased/cached/resumed/failed), and the
+// tail of the node event stream.
 //
 // -max-inflight/-queue-depth size the admission gate (overload
 // protection: excess requests are shed with a retry-after hint rather
@@ -67,6 +73,7 @@ func main() {
 	storeDir := flag.String("store", "", "directory for the persistent image store (empty: in-memory only)")
 	storeMax := flag.Int64("store-max-bytes", 0, "image store capacity in bytes (0: unlimited)")
 	health := flag.Bool("health", false, "query a running daemon's health and exit")
+	graph := flag.Bool("graph", false, "query a running daemon's build-graph report and exit")
 	faults := flag.String("faults", os.Getenv("OMOS_FAULTS"),
 		"fault-injection spec, e.g. \"store.read:error:p=0.01;build.link:panic:n=100\" (default $OMOS_FAULTS)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault rules")
@@ -80,6 +87,9 @@ func main() {
 
 	if *health {
 		os.Exit(queryHealth(*listen))
+	}
+	if *graph {
+		os.Exit(queryGraph(*listen))
 	}
 
 	sys, err := omos.NewSystemWith(omos.Options{
@@ -136,6 +146,29 @@ func main() {
 	log.Printf("omosd: shut down cleanly")
 }
 
+// queryGraph dials a running daemon and prints its build-graph report.
+func queryGraph(addr string) int {
+	if strings.HasPrefix(addr, ":") {
+		addr = "127.0.0.1" + addr
+	}
+	c, err := ipc.DialWith(addr, ipc.Options{
+		ConnectTimeout: 3 * time.Second,
+		CallTimeout:    5 * time.Second,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omosd: graph: %v\n", err)
+		return 1
+	}
+	defer c.Close()
+	resp, err := c.Call(&ipc.Request{Op: ipc.OpGraph})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omosd: graph: %v\n", err)
+		return 1
+	}
+	fmt.Print(resp.Text)
+	return 0
+}
+
 // queryHealth dials a running daemon and prints its health counters.
 // Exit status 0 means alive and not draining.
 func queryHealth(addr string) int {
@@ -167,6 +200,10 @@ func queryHealth(addr string) int {
 	fmt.Printf("build-timeouts:  %d\n", h.BuildTimeouts)
 	fmt.Printf("scrub-checked:   %d\n", h.ScrubChecked)
 	fmt.Printf("scrub-quarantined: %d\n", h.ScrubQuarantined)
+	fmt.Printf("nodes-built:     %d\n", h.NodesBuilt)
+	fmt.Printf("nodes-resumed:   %d\n", h.NodesResumed)
+	fmt.Printf("checkpoints:     %d\n", h.NodesCheckpointed)
+	fmt.Printf("checkpoint-bytes: %d\n", h.CheckpointBytes)
 	fmt.Printf("degraded:        %v\n", h.Degraded)
 	if h.Degraded {
 		fmt.Printf("degraded-reason: %s\n", h.DegradedReason)

@@ -309,3 +309,32 @@ func TestPaperRatiosFullScale(t *testing.T) {
 		}
 	}
 }
+
+func TestBuildgraphShape(t *testing.T) {
+	tab, err := Buildgraph(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := tab.Rows[0].Clock.Server
+	prev := cold
+	for _, i := range []int{1, 2, 3} {
+		r := &tab.Rows[i]
+		// Every resume must beat the cold build, and more surviving
+		// checkpoints must cost less than fewer.
+		if r.Clock.Server >= cold {
+			t.Errorf("%s: %d cycles, want < cold build's %d", r.Label, r.Clock.Server, cold)
+		}
+		if r.Clock.Server > prev {
+			t.Errorf("%s: %d cycles, want <= previous row's %d", r.Label, r.Clock.Server, prev)
+		}
+		prev = r.Clock.Server
+		if r.Extra["nodes-resumed"] <= 0 {
+			t.Errorf("%s: nothing resumed", r.Label)
+		}
+		if r.Extra["images-built"]+r.Extra["nodes-resumed"] != float64(graphLibs+1) {
+			t.Errorf("%s: built %v + resumed %v != %d nodes",
+				r.Label, r.Extra["images-built"], r.Extra["nodes-resumed"], graphLibs+1)
+		}
+	}
+	t.Log("\n" + tab.Format())
+}

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"omos/internal/fault"
+	"omos/internal/osim"
+	"omos/internal/server"
+	"omos/internal/store"
+	"omos/internal/workload"
+)
+
+// graphLibs sizes the buildgraph bench workload: graphLibs library
+// nodes plus the program node.
+const graphLibs = 8
+
+// defineGraphWorld installs graphLibs independent libraries (each
+// with its own preferred placement, so interrupted and resumed
+// sessions reproduce identical addresses) plus a program linking all
+// of them.
+func defineGraphWorld(srv *server.Server) error {
+	for i := 1; i <= graphLibs; i++ {
+		bp := fmt.Sprintf(
+			"(constraint-list \"T\" %#x \"D\" %#x)\n(source \"c\" \"int bval%d = %d; int bfn%d(int x) { return x + bval%d; }\")",
+			0x0800_0000+uint64(i)*0x40_0000, 0x4800_0000+uint64(i)*0x40_0000, i, i, i, i)
+		if err := srv.DefineLibrary(fmt.Sprintf("/lib/bglib%d", i), bp); err != nil {
+			return err
+		}
+	}
+	var src, sum strings.Builder
+	libs := ""
+	for i := 1; i <= graphLibs; i++ {
+		fmt.Fprintf(&src, "extern int bfn%d(int);\n", i)
+		if i > 1 {
+			sum.WriteString(" + ")
+		}
+		fmt.Fprintf(&sum, "bfn%d(0)", i)
+		libs += fmt.Sprintf(" /lib/bglib%d", i)
+	}
+	fmt.Fprintf(&src, "int main() { return %s; }", sum.String())
+	return srv.Define("/bin/bgraph",
+		fmt.Sprintf("(merge /lib/crt0.o (source \"c\" %q)%s)", src.String(), libs))
+}
+
+// Buildgraph measures what per-node checkpointing buys a killed
+// build: a daemon that died after K of N node checkpoints
+// warm-restarts and pays only for the missing N-K links.  Rows
+// compare the uninterrupted cold build against resumes at 25%, 50%,
+// and 75% checkpoint coverage.
+func Buildgraph(cfg Config) (*Table, error) {
+	t := &Table{ID: "buildgraph",
+		Title: fmt.Sprintf("checkpointed build graph: cold build vs crash-resume at 25/50/75%% (%d libs + program)", graphLibs),
+		Iters: 1,
+		Notes: []string{
+			"each session runs serial workers so the crash point is deterministic",
+			"interrupted sessions die at the (K+1)th link via an injected build.link fault",
+			"row cycles are the resumed instantiation's server-side cost",
+		}}
+
+	// session builds the world on a fresh machine attached to dir.
+	// crashAfter > 0 arms a fault that kills the (crashAfter+1)th
+	// link; 0 builds to completion.  Returns the instantiating
+	// process's server cycles (0 for an interrupted session) and the
+	// server's stats.
+	session := func(dir string, crashAfter int) (uint64, server.Stats, int, error) {
+		ow, err := workload.SetupOMOS(cfg.CG)
+		if err != nil {
+			return 0, server.Stats{}, 0, err
+		}
+		srv := ow.Srv
+		srv.SetBuildWorkers(1)
+		st, err := store.Open(dir, 0)
+		if err != nil {
+			return 0, server.Stats{}, 0, err
+		}
+		warm := srv.AttachStore(st)
+		if err := defineGraphWorld(srv); err != nil {
+			return 0, server.Stats{}, 0, err
+		}
+		if crashAfter > 0 {
+			f := fault.New(1)
+			f.Enable(fault.Rule{Site: fault.SiteBuildLink, Kind: fault.KindError,
+				EveryN: uint64(crashAfter + 1), Count: 1})
+			srv.SetFaults(f)
+		}
+		p := ow.Kern.Spawn()
+		defer p.Release()
+		_, err = srv.Instantiate("/bin/bgraph", p)
+		if crashAfter > 0 {
+			if err == nil {
+				return 0, server.Stats{}, 0, fmt.Errorf("bench buildgraph: interrupted session completed")
+			}
+			return 0, srv.Stats(), warm, srv.CloseStore()
+		}
+		if err != nil {
+			return 0, server.Stats{}, 0, err
+		}
+		return p.Clock.Server, srv.Stats(), warm, srv.CloseStore()
+	}
+
+	// Cold: the uninterrupted build, the baseline every resume beats.
+	coldDir, err := os.MkdirTemp("", "omos-bench-bgraph-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(coldDir)
+	cycles, st, _, err := session(coldDir, 0)
+	if err != nil {
+		return nil, err
+	}
+	if st.ImagesBuilt != graphLibs+1 {
+		return nil, fmt.Errorf("bench buildgraph: cold build linked %d images, want %d", st.ImagesBuilt, graphLibs+1)
+	}
+	t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("cold build (%d nodes)", graphLibs+1),
+		Clock: osim.Clock{Server: cycles},
+		Extra: map[string]float64{
+			"images-built":     float64(st.ImagesBuilt),
+			"checkpoints":      float64(st.NodesCheckpointed),
+			"checkpoint-bytes": float64(st.CheckpointBytes),
+		}})
+
+	// Resumes: crash after K checkpoints, warm-restart, measure the
+	// completion.
+	for _, k := range []int{graphLibs / 4, graphLibs / 2, 3 * graphLibs / 4} {
+		dir, err := os.MkdirTemp("", "omos-bench-bgraph-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		_, ist, _, err := session(dir, k)
+		if err != nil {
+			return nil, err
+		}
+		if ist.NodesCheckpointed != uint64(k) {
+			return nil, fmt.Errorf("bench buildgraph: crash left %d checkpoints, want %d", ist.NodesCheckpointed, k)
+		}
+		cycles, rst, warm, err := session(dir, 0)
+		if err != nil {
+			return nil, err
+		}
+		if warm != k || rst.NodesResumed != uint64(k) {
+			return nil, fmt.Errorf("bench buildgraph: resumed %d/%d nodes, want %d", rst.NodesResumed, warm, k)
+		}
+		if got, want := rst.ImagesBuilt, uint64(graphLibs+1-k); got != want {
+			return nil, fmt.Errorf("bench buildgraph: resume relinked %d images, want %d", got, want)
+		}
+		t.Rows = append(t.Rows, Row{
+			Label: fmt.Sprintf("resume at %d%% (%d of %d libs)", 100*k/graphLibs, k, graphLibs),
+			Clock: osim.Clock{Server: cycles},
+			Extra: map[string]float64{
+				"nodes-resumed": float64(rst.NodesResumed),
+				"images-built":  float64(rst.ImagesBuilt),
+				"checkpoints":   float64(rst.NodesCheckpointed),
+			}})
+	}
+	return t, nil
+}

@@ -1,0 +1,261 @@
+package buildgraph
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunLifecycleAndCounters(t *testing.T) {
+	l := NewLog()
+	r := l.Begin("/bin/app")
+	root := r.Node("/bin/app", KindProgram, nil)
+	lib := root.Child("/lib/libc", KindLibrary)
+
+	lib.Start()
+	lib.SetKeys("k1", "ck1")
+	lib.MarkLink()
+	lib.AddCost(100)
+	l.Checkpointed(lib, 4096, nil)
+	lib.Finish(OutcomeBuilt, nil)
+
+	root.Start()
+	root.SetKeys("k0", "ck0")
+	root.Finish(OutcomeCached, nil)
+	r.End(nil)
+
+	c := l.Counters()
+	if c.Runs != 1 || c.NodesBuilt != 1 || c.NodesCached != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+	if c.NodesCheckpointed != 1 || c.CheckpointBytes != 4096 {
+		t.Fatalf("checkpoint counters = %+v", c)
+	}
+	if lib.Parent != root.ID {
+		t.Fatalf("lib parent = %d, want %d", lib.Parent, root.ID)
+	}
+	out := l.Render()
+	for _, want := range []string{"/bin/app", "/lib/libc", "built", "ckpt=4096B", "checkpointed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCheckpointFailureCounts(t *testing.T) {
+	l := NewLog()
+	r := l.Begin("x")
+	n := r.Node("x", KindLibrary, nil)
+	n.Start()
+	l.Checkpointed(n, 0, errors.New("injected"))
+	n.Finish(OutcomeBuilt, nil)
+	r.End(nil)
+
+	c := l.Counters()
+	if c.CheckpointsFailed != 1 || c.NodesCheckpointed != 0 || c.CheckpointBytes != 0 {
+		t.Fatalf("counters = %+v", c)
+	}
+	if !strings.Contains(l.Render(), "checkpoint-failed") {
+		t.Fatal("Render missing checkpoint-failed event")
+	}
+}
+
+func TestNilNodeSafe(t *testing.T) {
+	var n *Node
+	n.Start()
+	n.SetKeys("a", "b")
+	n.MarkLink()
+	n.MarkRebase()
+	n.AddCost(1)
+	n.Finish(OutcomeBuilt, nil)
+	if n.Child("x", KindLibrary) != nil {
+		t.Fatal("nil parent produced a child")
+	}
+	if n.Linked() || n.Rebased() {
+		t.Fatal("nil node reports marks")
+	}
+	var r *Run
+	r.End(nil)
+	if r.Node("x", KindLibrary, nil) != nil {
+		t.Fatal("nil run produced a node")
+	}
+	// Counters still move for checkpoints outside any recorded run.
+	l := NewLog()
+	l.Checkpointed(nil, 10, nil)
+	if c := l.Counters(); c.NodesCheckpointed != 1 || c.CheckpointBytes != 10 {
+		t.Fatalf("nil-node checkpoint counters = %+v", c)
+	}
+}
+
+func TestEventRingBounded(t *testing.T) {
+	l := NewLog()
+	r := l.Begin("x")
+	for i := 0; i < 2*maxEvents; i++ {
+		n := r.Node("n", KindLibrary, nil)
+		n.Finish(OutcomeCached, nil)
+	}
+	evs := l.Events(0)
+	if len(evs) != maxEvents {
+		t.Fatalf("event ring holds %d, want %d", len(evs), maxEvents)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("event seq gap at %d: %d -> %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+	if got := l.Events(5); len(got) != 5 {
+		t.Fatalf("Events(5) = %d entries", len(got))
+	}
+}
+
+func TestRecentRunsBounded(t *testing.T) {
+	l := NewLog()
+	for i := 0; i < 3*maxRecentRuns; i++ {
+		l.Begin("r").End(nil)
+	}
+	l.mu.Lock()
+	n := len(l.recent)
+	l.mu.Unlock()
+	if n != maxRecentRuns {
+		t.Fatalf("recent runs = %d, want %d", n, maxRecentRuns)
+	}
+}
+
+func TestExecutorRunsAllTasks(t *testing.T) {
+	e := NewExecutor(4)
+	const n = 100
+	var ran atomic.Int64
+	tasks := make([]func(), n)
+	for i := range tasks {
+		tasks[i] = func() { ran.Add(1) }
+	}
+	e.Run(tasks)
+	if ran.Load() != n {
+		t.Fatalf("ran %d of %d tasks", ran.Load(), n)
+	}
+}
+
+func TestExecutorSerialWhenOneWorker(t *testing.T) {
+	e := NewExecutor(1)
+	var order []int
+	tasks := make([]func(), 10)
+	for i := range tasks {
+		i := i
+		tasks[i] = func() { order = append(order, i) } // no lock: must be serial
+	}
+	e.Run(tasks)
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial executor ran out of order: %v", order)
+		}
+	}
+}
+
+// TestExecutorNestedNoDeadlock drives nested fan-outs deeper than the
+// pool: inline fallback must keep everything progressing.
+func TestExecutorNestedNoDeadlock(t *testing.T) {
+	e := NewExecutor(2)
+	var ran atomic.Int64
+	var spawn func(depth int) func()
+	spawn = func(depth int) func() {
+		return func() {
+			ran.Add(1)
+			if depth == 0 {
+				return
+			}
+			sub := make([]func(), 3)
+			for i := range sub {
+				sub[i] = spawn(depth - 1)
+			}
+			e.Run(sub)
+		}
+	}
+	e.Run([]func(){spawn(4), spawn(4), spawn(4), spawn(4)})
+	want := int64(4 * (1 + 3 + 9 + 27 + 81))
+	if ran.Load() != want {
+		t.Fatalf("ran %d, want %d", ran.Load(), want)
+	}
+}
+
+func TestExecutorBoundsSpawnedGoroutines(t *testing.T) {
+	const workers = 3
+	e := NewExecutor(workers)
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	block := make(chan struct{})
+	tasks := make([]func(), 32)
+	for i := range tasks {
+		tasks[i] = func() {
+			c := cur.Add(1)
+			mu.Lock()
+			if c > peak.Load() {
+				peak.Store(c)
+			}
+			mu.Unlock()
+			<-block
+			cur.Add(-1)
+		}
+	}
+	done := make(chan struct{})
+	go func() { e.Run(tasks); close(done) }()
+	// Every task eventually blocks on block; at most workers+1 can be
+	// live at once (workers spawned + the submitter running inline).
+	for i := 0; i < len(tasks); i++ {
+		block <- struct{}{}
+	}
+	<-done
+	if p := peak.Load(); p > workers+1 {
+		t.Fatalf("peak concurrency %d > %d", p, workers+1)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	if NodeFrom(context.Background()) != nil {
+		t.Fatal("empty context carries a node")
+	}
+	l := NewLog()
+	r := l.Begin("x")
+	n := r.Node("x", KindProgram, nil)
+	ctx := WithNode(context.Background(), n)
+	if NodeFrom(ctx) != n {
+		t.Fatal("node not recovered from context")
+	}
+}
+
+func TestConcurrentNodeRecording(t *testing.T) {
+	l := NewLog()
+	r := l.Begin("root")
+	root := r.Node("root", KindProgram, nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := root.Child("lib", KindLibrary)
+			n.Start()
+			n.SetKeys("k", "ck")
+			n.AddCost(7)
+			l.Checkpointed(n, 3, nil)
+			n.Finish(OutcomeBuilt, nil)
+		}()
+	}
+	wg.Wait()
+	r.End(nil)
+	c := l.Counters()
+	if c.NodesBuilt != 16 || c.NodesCheckpointed != 16 || c.CheckpointBytes != 48 {
+		t.Fatalf("counters = %+v", c)
+	}
+	if len(r.Nodes) != 17 {
+		t.Fatalf("nodes = %d, want 17", len(r.Nodes))
+	}
+	ids := map[int]bool{}
+	for _, n := range r.Nodes {
+		if ids[n.ID] {
+			t.Fatalf("duplicate node ID %d", n.ID)
+		}
+		ids[n.ID] = true
+	}
+}

@@ -1,0 +1,86 @@
+package buildgraph
+
+import (
+	"context"
+	"sync"
+)
+
+// Executor is the build graph's bounded worker pool.  The scheduling
+// rule (inherited from the server's original fan-out) is that a pool
+// token is required to SPAWN a task onto a new goroutine, never to
+// RUN it: when the pool is saturated the task executes inline on the
+// submitting goroutine, so nested fan-outs (a library node building
+// its own dependency nodes) always make progress and the pool cannot
+// deadlock.
+type Executor struct {
+	workers int
+	sem     chan struct{}
+}
+
+// NewExecutor returns a pool bounding spawned tasks to workers
+// concurrent goroutines (minimum 1).
+func NewExecutor(workers int) *Executor {
+	e := &Executor{}
+	e.SetWorkers(workers)
+	return e
+}
+
+// SetWorkers resizes the pool; n <= 1 makes Run fully serial.  Not
+// safe to call while tasks are in flight.
+func (e *Executor) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.workers = n
+	e.sem = make(chan struct{}, n)
+}
+
+// Workers returns the pool bound.
+func (e *Executor) Workers() int { return e.workers }
+
+// Run executes every task, spawning onto the pool when a token is
+// free and running inline otherwise, and returns when all have
+// completed.  Task order of completion is not specified; callers
+// join results by index.
+func (e *Executor) Run(tasks []func()) {
+	if e.workers <= 1 || len(tasks) <= 1 {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, t := range tasks {
+		t := t
+		select {
+		case e.sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-e.sem }()
+				t()
+			}()
+		default:
+			t()
+		}
+	}
+	wg.Wait()
+}
+
+// nodeKey is the context key carrying the current node (and through
+// it the run).
+type nodeKey struct{}
+
+// WithNode returns a context carrying node as the current graph
+// position; child nodes created by deeper pipeline stages attach
+// under it.
+func WithNode(ctx context.Context, node *Node) context.Context {
+	return context.WithValue(ctx, nodeKey{}, node)
+}
+
+// NodeFrom returns the current node, or nil when the context carries
+// none (pipeline stages invoked outside a recorded run).
+func NodeFrom(ctx context.Context) *Node {
+	n, _ := ctx.Value(nodeKey{}).(*Node)
+	return n
+}

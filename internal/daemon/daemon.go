@@ -24,6 +24,7 @@ type Backend struct {
 var (
 	_ ipc.Backend       = (*Backend)(nil)
 	_ ipc.HealthBackend = (*Backend)(nil)
+	_ ipc.GraphBackend  = (*Backend)(nil)
 )
 
 // New wraps a system.
@@ -159,20 +160,28 @@ func (b *Backend) Health() ipc.HealthInfo {
 	st := b.Sys.Srv.Stats()
 	degraded, reason := b.Sys.Srv.Degraded()
 	return ipc.HealthInfo{
-		UptimeMS:         uint64(time.Since(b.start).Milliseconds()),
-		InflightBuilds:   b.Sys.Srv.InflightBuilds(),
-		Recovered:        st.Recovered,
-		Quarantined:      st.StoreQuarantined,
-		WarmLoaded:       st.WarmLoaded,
-		Degraded:         degraded,
-		DegradedReason:   reason,
-		QueueDepth:       b.Sys.Srv.Admission().Queued(),
-		Shed:             st.Shed,
-		BuildTimeouts:    st.BuildTimeouts,
-		ScrubChecked:     st.ScrubChecked,
-		ScrubQuarantined: st.ScrubQuarantined,
+		UptimeMS:          uint64(time.Since(b.start).Milliseconds()),
+		InflightBuilds:    b.Sys.Srv.InflightBuilds(),
+		Recovered:         st.Recovered,
+		Quarantined:       st.StoreQuarantined,
+		WarmLoaded:        st.WarmLoaded,
+		Degraded:          degraded,
+		DegradedReason:    reason,
+		QueueDepth:        b.Sys.Srv.Admission().Queued(),
+		Shed:              st.Shed,
+		BuildTimeouts:     st.BuildTimeouts,
+		ScrubChecked:      st.ScrubChecked,
+		ScrubQuarantined:  st.ScrubQuarantined,
+		NodesBuilt:        st.NodesBuilt,
+		NodesResumed:      st.NodesResumed,
+		NodesCheckpointed: st.NodesCheckpointed,
+		CheckpointBytes:   st.CheckpointBytes,
 	}
 }
+
+// Graph implements ipc.GraphBackend: the build-graph report behind
+// `omos graph` and omosd -graph.
+func (b *Backend) Graph() string { return b.Sys.Srv.GraphReport() }
 
 // Stats implements ipc.Backend.
 func (b *Backend) Stats() string {
@@ -182,9 +191,12 @@ func (b *Backend) Stats() string {
 		"cache: hits=%d misses=%d images=%d relocs=%d buildcycles=%d\n"+
 			"rebase: slides=%d misses=%d patches=%d dirty-pages=%d shared-pages=%d\n"+
 			"memory: frames=%d resident=%dKB shared-frames=%d saved=%dKB\n"+
-			"store: warm-loaded=%d loads=%d stores=%d evictions=%d corrupt=%d bytes=%d\n",
+			"store: warm-loaded=%d loads=%d stores=%d evictions=%d corrupt=%d bytes=%d\n"+
+			"graph: built=%d cached=%d resumed=%d failed=%d checkpoints=%d ckpt-failed=%d ckpt-bytes=%d\n",
 		srv.CacheHits, srv.CacheMisses, srv.ImagesBuilt, srv.RelocsApplied, srv.BuildCycles,
 		srv.Rebases, srv.RebaseMiss, srv.RebasePatches, srv.RebaseDirtyPages, srv.RebaseSharedPages,
 		st.Frames, st.Bytes()/1024, st.SharedFrames, st.SavedBytes()/1024,
-		srv.WarmLoaded, srv.StoreLoads, srv.StoreStores, srv.StoreEvictions, srv.StoreCorrupt, srv.StoreBytes)
+		srv.WarmLoaded, srv.StoreLoads, srv.StoreStores, srv.StoreEvictions, srv.StoreCorrupt, srv.StoreBytes,
+		srv.NodesBuilt, srv.NodesCached, srv.NodesResumed, srv.NodesFailed,
+		srv.NodesCheckpointed, srv.CheckpointsFailed, srv.CheckpointBytes)
 }

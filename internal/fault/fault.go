@@ -105,6 +105,12 @@ const (
 	// SiteBuildLink fires inside the singleflight build function,
 	// before the link runs.
 	SiteBuildLink = "build.link"
+	// SiteCheckpoint fires in the server's per-node checkpoint step,
+	// before a completed build-graph node is written through to the
+	// persistent store.  Checkpointing is best-effort: a triggered
+	// fault costs the next session's resume of that node, never the
+	// current build.
+	SiteCheckpoint = "buildgraph.checkpoint"
 	// SiteFrameMake fires in the kernel frame table when a shared
 	// segment is materialized.
 	SiteFrameMake = "osim.frame"
@@ -114,6 +120,7 @@ const (
 func Sites() []string {
 	return []string{
 		SiteBuildEval, SiteBuildLink,
+		SiteCheckpoint,
 		SiteIPCRead, SiteIPCWrite,
 		SiteFrameMake,
 		SiteStoreRead, SiteStoreRename, SiteStoreScrub, SiteStoreWrite,

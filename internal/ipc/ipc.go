@@ -49,6 +49,7 @@ const (
 	OpGetMeta   Op = "get-meta"   // Path; returns blueprint source + library flag
 	OpGetObject Op = "get-object" // Path; returns encoded ROF bytes
 	OpHealth    Op = "health"     // liveness + robustness counters
+	OpGraph     Op = "graph"      // build-graph report (runs, nodes, events)
 )
 
 // idempotent reports whether an operation can be retried safely: the
@@ -105,6 +106,14 @@ type HealthInfo struct {
 	// scrubber (blobs re-verified / quarantined proactively).
 	ScrubChecked     uint64
 	ScrubQuarantined uint64
+	// Build-graph counters: nodes fully linked this session, nodes
+	// served from a prior session's checkpoint, checkpoints written and
+	// their total encoded size.  (gob tolerates absent fields, so old
+	// daemons interoperate.)
+	NodesBuilt        uint64
+	NodesResumed      uint64
+	NodesCheckpointed uint64
+	CheckpointBytes   uint64
 }
 
 // Response is the server's reply.

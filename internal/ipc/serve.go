@@ -44,6 +44,13 @@ type HealthBackend interface {
 	Health() HealthInfo
 }
 
+// GraphBackend is optionally implemented by backends that can render
+// the server's build graph; OpGraph answers an error when the backend
+// cannot.
+type GraphBackend interface {
+	Graph() string
+}
+
 // DefaultDrainGrace is how long a draining server keeps answering
 // ErrDraining to retrying clients before closing their connections.
 const DefaultDrainGrace = 250 * time.Millisecond
@@ -320,6 +327,12 @@ func (s *Server) handle(req *Request) *Response {
 		hi.Recovered += s.recovered.Load()
 		hi.Draining = s.Draining()
 		resp.Health = &hi
+	case OpGraph:
+		gb, ok := b.(GraphBackend)
+		if !ok {
+			return fail(fmt.Errorf("backend does not expose a build graph"))
+		}
+		resp.Text = gb.Graph()
 	default:
 		return fail(fmt.Errorf("unknown operation %q", req.Op))
 	}

@@ -100,6 +100,10 @@ type CostModel struct {
 	// rebase costs patch-sites * this, far below a full relink's
 	// relocs * ServerBuildReloc + records * ServerBuildRecord.
 	ServerRebasePatch uint64
+	// ServerNodeSchedule prices scheduling one build-graph node on the
+	// server's worker pool (queue + join bookkeeping, charged to the
+	// requester like the cache lookup).
+	ServerNodeSchedule uint64
 
 	// StoreLoadPerByte prices reading one byte of a persisted image
 	// blob at warm boot (server time, charged to the kernel total —
@@ -138,11 +142,12 @@ func DefaultCost() CostModel {
 		IPCRoundTrip: 34000,
 		IPCPerByte:   2,
 
-		ServerCacheLookup: 1200,
-		ServerMapSegment:  600,
-		ServerBuildReloc:  120,
-		ServerBuildRecord: 50,
-		ServerRebasePatch: 60,
+		ServerCacheLookup:  1200,
+		ServerMapSegment:   600,
+		ServerBuildReloc:   120,
+		ServerBuildRecord:  50,
+		ServerRebasePatch:  60,
+		ServerNodeSchedule: 30,
 
 		StoreLoadPerByte:  6,
 		StoreWritePerByte: 8,

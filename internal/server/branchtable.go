@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"omos/internal/asm"
+	"omos/internal/buildgraph"
 	"omos/internal/constraint"
 	"omos/internal/fault"
 	"omos/internal/jigsaw"
@@ -68,10 +69,13 @@ func (s *Server) buildBranchTableLib(ctx context.Context, dep mgraph.LibDep, v *
 	}
 	key := digestStr("lib-bt", ch, dep.Spec.Hash(),
 		fmt.Sprintf("%#x/%#x", pl.TextBase, pl.DataBase), libKeys(libs))
+	node := buildgraph.NodeFrom(ctx)
+	node.SetKeys(key, "")
 	return s.buildShared(ctx, key, func() (*Instance, error) {
 		if err := s.faults.Fire(fault.SiteBuildLink); err != nil {
 			return nil, fmt.Errorf("server: linking branch-table library %s: %w", dep.Path, err)
 		}
+		node.MarkLink()
 		res, err := link.Link(module, link.Options{
 			Name:     "lib:" + dep.Path,
 			TextBase: pl.TextBase,
@@ -101,7 +105,7 @@ func (s *Server) buildBranchTableLib(ctx context.Context, dep mgraph.LibDep, v *
 			TextBase:  pl.TextBase, TextSize: textSize,
 			DataBase: pl.DataBase, DataSize: dataSize,
 		}
-		s.persistInstance(inst)
+		s.checkpointInstance(node, inst)
 		return inst, nil
 	})
 }

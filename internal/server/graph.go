@@ -1,0 +1,53 @@
+package server
+
+import (
+	"omos/internal/buildgraph"
+)
+
+// This file is the server side of the build-graph recording
+// (internal/buildgraph): every public instantiation opens a Run, each
+// library dependency branch becomes a Node (parallel.go), and node
+// results are checkpointed into the persistent store the moment they
+// complete (persist.go), so a daemon killed mid-build resumes at the
+// surviving nodes after a warm restart.
+
+// GraphLog exposes the server's build-graph log (for tests and the
+// bench tables).
+func (s *Server) GraphLog() *buildgraph.Log { return s.graph }
+
+// GraphReport renders the build graph for the `omos graph` /
+// `omosd -graph` introspection views.
+func (s *Server) GraphReport() string { return s.graph.Render() }
+
+// beginRun opens a build-graph run for one top-level instantiation
+// and returns the run plus its root node.
+func (s *Server) beginRun(name string, kind buildgraph.Kind) (*buildgraph.Run, *buildgraph.Node) {
+	run := s.graph.Begin(name)
+	return run, run.Node(name, kind, nil)
+}
+
+// finishNode classifies how a node's instance was obtained and
+// resolves the node.  The closure marks (MarkLink / MarkRebase) say
+// whether this branch did the work; otherwise the instance came from
+// the cache — and if the cached instance was reconstructed from the
+// persistent store, this node resumed a previous session's
+// checkpoint.  The resumed flag flips exactly once per instance, so
+// NodesResumed equals the number of surviving checkpoints actually
+// reused, not the number of cache hits on them.
+func (s *Server) finishNode(node *buildgraph.Node, inst *Instance, err error) {
+	if node == nil {
+		return
+	}
+	switch {
+	case err != nil:
+		node.Finish(buildgraph.OutcomeFailed, err)
+	case node.Linked():
+		node.Finish(buildgraph.OutcomeBuilt, nil)
+	case node.Rebased():
+		node.Finish(buildgraph.OutcomeRebased, nil)
+	case inst != nil && inst.warm && inst.resumed.CompareAndSwap(false, true):
+		node.Finish(buildgraph.OutcomeResumed, nil)
+	default:
+		node.Finish(buildgraph.OutcomeCached, nil)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"omos/internal/asm"
 	"omos/internal/blueprint"
+	"omos/internal/buildgraph"
 	"omos/internal/constraint"
 	"omos/internal/fault"
 	"omos/internal/image"
@@ -39,7 +40,9 @@ func (s *Server) Instantiate(name string, p *osim.Process) (*Instance, error) {
 // InstantiateCtx is Instantiate under a context: cancellation and
 // deadlines propagate through the library fan-out and into the
 // singleflight layer, where a canceled waiter detaches without
-// disturbing the build it was sharing.
+// disturbing the build it was sharing.  Every call records one
+// build-graph run: the requested image is the root node and each
+// library dependency branch a child node (graph.go).
 func (s *Server) InstantiateCtx(ctx context.Context, name string, p *osim.Process) (*Instance, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -59,10 +62,23 @@ func (s *Server) InstantiateCtx(ctx context.Context, name string, p *osim.Proces
 	if meta == nil {
 		return nil, fmt.Errorf("server: %s is not a meta-object", name)
 	}
+	kind := buildgraph.KindProgram
 	if meta.IsLibrary {
-		return s.instantiateLibrary(ctx, mgraph.LibDep{Path: name, Spec: meta.DefaultSpec}, asCharger(p))
+		kind = buildgraph.KindLibrary
 	}
-	return s.instantiateProgram(ctx, name, meta, asCharger(p))
+	run, root := s.beginRun(name, kind)
+	root.Start()
+	ctx = buildgraph.WithNode(ctx, root)
+	ch := withNode(asCharger(p), root)
+	var inst *Instance
+	if meta.IsLibrary {
+		inst, err = s.instantiateLibrary(ctx, mgraph.LibDep{Path: name, Spec: meta.DefaultSpec}, ch)
+	} else {
+		inst, err = s.instantiateProgram(ctx, name, meta, ch)
+	}
+	s.finishNode(root, inst, err)
+	run.End(err)
+	return inst, err
 }
 
 // InstantiateBlueprint evaluates an anonymous blueprint (§5: "the
@@ -84,7 +100,14 @@ func (s *Server) InstantiateBlueprint(src string, p *osim.Process) (*Instance, e
 		return nil, err
 	}
 	meta := &mgraph.Meta{Path: "(anonymous)", Root: root, SrcHash: digestStr(src)}
-	return s.instantiateProgram(context.Background(), "(anonymous:"+meta.SrcHash+")", meta, asCharger(p))
+	name := "(anonymous:" + meta.SrcHash + ")"
+	run, rootNode := s.beginRun(name, buildgraph.KindProgram)
+	rootNode.Start()
+	ctx := buildgraph.WithNode(context.Background(), rootNode)
+	inst, err := s.instantiateProgram(ctx, name, meta, withNode(asCharger(p), rootNode))
+	s.finishNode(rootNode, inst, err)
+	run.End(err)
+	return inst, err
 }
 
 func (s *Server) chargeLookup(c charger) {
@@ -193,16 +216,19 @@ func (s *Server) instantiateLibrary(ctx context.Context, dep mgraph.LibDep, c ch
 		TextBase:  pl.TextBase, TextSize: textSize,
 		DataBase: pl.DataBase, DataSize: dataSize,
 	}
+	node := buildgraph.NodeFrom(ctx)
+	node.SetKeys(key, ckey)
 	return s.buildShared(ctx, key, func() (*Instance, error) {
 		// Placement miss: a cached variant of the same content at other
 		// bases can be slid here instead of relinked (rebase.go).
-		if inst, ok := s.tryRebase(key, ckey, dep.Path, pl.TextBase, pl.DataBase, libs, pr, c); ok {
+		if inst, ok := s.tryRebase(node, key, ckey, dep.Path, pl.TextBase, pl.DataBase, libs, pr, c); ok {
 			return inst, nil
 		}
 		s.stats.rebaseMiss.Add(1)
 		if err := s.faults.Fire(fault.SiteBuildLink); err != nil {
 			return nil, fmt.Errorf("server: linking library %s: %w", dep.Path, err)
 		}
+		node.MarkLink()
 		res, err := link.Link(v.Module, link.Options{
 			Name:     "lib:" + dep.Path,
 			TextBase: pl.TextBase,
@@ -217,7 +243,7 @@ func (s *Server) instantiateLibrary(ctx context.Context, dep mgraph.LibDep, c ch
 			return nil, err
 		}
 		inst.place = pr
-		s.persistInstance(inst)
+		s.checkpointInstance(node, inst)
 		return inst, nil
 	})
 }
@@ -267,14 +293,17 @@ func (s *Server) instantiateProgram(ctx context.Context, name string, meta *mgra
 		TextBase:  pl.TextBase, TextSize: textSize,
 		DataBase: pl.DataBase, DataSize: dataSize,
 	}
+	node := buildgraph.NodeFrom(ctx)
+	node.SetKeys(key, ckey)
 	return s.buildShared(ctx, key, func() (*Instance, error) {
-		if inst, ok := s.tryRebase(key, ckey, name, pl.TextBase, pl.DataBase, libs, pr, c); ok {
+		if inst, ok := s.tryRebase(node, key, ckey, name, pl.TextBase, pl.DataBase, libs, pr, c); ok {
 			return inst, nil
 		}
 		s.stats.rebaseMiss.Add(1)
 		if err := s.faults.Fire(fault.SiteBuildLink); err != nil {
 			return nil, fmt.Errorf("server: linking %s: %w", name, err)
 		}
+		node.MarkLink()
 		res, err := link.Link(v.Module, link.Options{
 			Name:     name,
 			TextBase: pl.TextBase,
@@ -290,7 +319,7 @@ func (s *Server) instantiateProgram(ctx context.Context, name string, meta *mgra
 			return nil, err
 		}
 		inst.place = pr
-		s.persistInstance(inst)
+		s.checkpointInstance(node, inst)
 		return inst, nil
 	})
 }

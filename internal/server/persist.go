@@ -5,7 +5,11 @@ import (
 	"sort"
 	"strings"
 
+	"fmt"
+
+	"omos/internal/buildgraph"
 	"omos/internal/constraint"
+	"omos/internal/fault"
 	"omos/internal/image"
 	"omos/internal/link"
 	"omos/internal/obj"
@@ -85,27 +89,60 @@ func (s *Server) touch(key string, inst *Instance, st *store.Store) {
 	}
 }
 
-// persistInstance writes a freshly built instance through to the
-// store and enforces the byte budget.  Persistence is best-effort: a
-// failed write costs only future warm starts, never correctness.
-func (s *Server) persistInstance(inst *Instance) {
+// checkpointInstance writes a completed build-graph node's instance
+// through to the persistent store, the moment the node finishes —
+// independent of whether the enclosing run ever completes.  This is
+// what makes partial builds resumable: a daemon killed after K of N
+// nodes finds K decodable records at the next warm boot and relinks
+// only the missing N-K.  Checkpointing is best-effort: a failed (or
+// fault-injected, or panicking) checkpoint costs the next session's
+// resume of this node, never the current build.
+func (s *Server) checkpointInstance(node *buildgraph.Node, inst *Instance) {
 	s.cacheMu.RLock()
 	st := s.store
 	s.cacheMu.RUnlock()
 	if st == nil || inst.place.SolverKey == "" {
 		return
 	}
-	blob, err := store.Encode(recordOf(inst))
-	if err != nil {
+	defer func() {
+		if r := recover(); r != nil {
+			s.stats.recovered.Add(1)
+			s.graph.Checkpointed(node, 0, fmt.Errorf("recovered panic: %v", r))
+		}
+	}()
+	if err := s.faults.Fire(fault.SiteCheckpoint); err != nil {
+		s.graph.Checkpointed(node, 0, err)
 		return
 	}
+	n, err := s.persistInstance(inst)
+	if n > 0 || err != nil {
+		s.graph.Checkpointed(node, n, err)
+	}
+}
+
+// persistInstance writes a freshly built instance through to the
+// store, returning the encoded size.  (0, nil) means there was
+// nothing to do: no store attached, or the instance carries no solver
+// placement to restore.
+func (s *Server) persistInstance(inst *Instance) (int, error) {
+	s.cacheMu.RLock()
+	st := s.store
+	s.cacheMu.RUnlock()
+	if st == nil || inst.place.SolverKey == "" {
+		return 0, nil
+	}
+	blob, err := store.Encode(recordOf(inst))
+	if err != nil {
+		return 0, err
+	}
 	if err := st.Put(inst.Key, blob); err != nil {
-		return
+		return 0, err
 	}
 	s.kern.ChargeTotalServer(uint64(len(blob)) * s.kern.Cost.StoreWritePerByte)
 	// Capacity enforcement happens in buildShared once this build's
 	// flight is deregistered; an in-flight build must not evict the
 	// library instances it references.
+	return len(blob), nil
 }
 
 // recordOf serializes an instance's reconstruction state: segment
@@ -232,6 +269,10 @@ func (s *Server) loadFromStore(key string, visiting map[string]bool) *Instance {
 	if err != nil {
 		return reject()
 	}
+	// Mark the instance as a prior session's checkpoint: the first
+	// build-graph node that resolves to it counts as a resume
+	// (finishNode in graph.go).
+	inst.warm = true
 	s.cacheMu.Lock()
 	if prior := s.cache[key]; prior != nil {
 		s.cacheMu.Unlock()

@@ -3,6 +3,7 @@ package server
 import (
 	"strings"
 
+	"omos/internal/buildgraph"
 	"omos/internal/image"
 	"omos/internal/link"
 	"omos/internal/osim"
@@ -52,7 +53,7 @@ func rebaseSource(src *Instance) bool {
 // materialize the result sharing clean pages with the source.
 // Returns (nil, false) when no variant is usable — the caller falls
 // back to the full relink.
-func (s *Server) tryRebase(key, ckey, name string, textBase, dataBase uint64, libs []*Instance, pr placeRec, c charger) (*Instance, bool) {
+func (s *Server) tryRebase(node *buildgraph.Node, key, ckey, name string, textBase, dataBase uint64, libs []*Instance, pr placeRec, c charger) (*Instance, bool) {
 	if s.DisableCache || ckey == "" {
 		return nil, false
 	}
@@ -74,12 +75,13 @@ func (s *Server) tryRebase(key, ckey, name string, textBase, dataBase uint64, li
 	if err != nil {
 		return nil, false
 	}
+	node.MarkRebase()
 	inst, err := s.materializeRebased(key, ckey, name, slid, libs, src, c)
 	if err != nil {
 		return nil, false
 	}
 	inst.place = pr
-	s.persistInstance(inst)
+	s.checkpointInstance(node, inst)
 	return inst, true
 }
 

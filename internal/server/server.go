@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"omos/internal/blueprint"
+	"omos/internal/buildgraph"
 	"omos/internal/constraint"
 	"omos/internal/fault"
 	"omos/internal/image"
@@ -118,6 +119,22 @@ type Stats struct {
 	ScrubChecked     uint64
 	ScrubQuarantined uint64
 	ScrubOrphans     uint64
+
+	// The Nodes* fields mirror the build graph (buildgraph.Log): how
+	// each per-library node of every recorded instantiation resolved.
+	// NodesResumed counts nodes served by a previous session's
+	// checkpoint (each warm-loaded instance counts once);
+	// NodesCheckpointed and CheckpointBytes account the per-node
+	// write-through that makes resuming possible, CheckpointsFailed
+	// the best-effort writes that were lost (the build still
+	// succeeded).
+	NodesBuilt        uint64
+	NodesCached       uint64
+	NodesResumed      uint64
+	NodesFailed       uint64
+	NodesCheckpointed uint64
+	CheckpointsFailed uint64
+	CheckpointBytes   uint64
 }
 
 // statsCounters are the live counters behind the Stats snapshot.
@@ -160,6 +177,14 @@ func (s *Server) Stats() Stats {
 		RebaseDirtyPages:  s.stats.rebaseDirtyPages.Load(),
 		RebaseSharedPages: s.stats.rebaseSharedPages.Load(),
 	}
+	gc := s.graph.Counters()
+	st.NodesBuilt = gc.NodesBuilt
+	st.NodesCached = gc.NodesCached
+	st.NodesResumed = gc.NodesResumed
+	st.NodesFailed = gc.NodesFailed
+	st.NodesCheckpointed = gc.NodesCheckpointed
+	st.CheckpointsFailed = gc.CheckpointsFailed
+	st.CheckpointBytes = gc.CheckpointBytes
 	s.cacheMu.RLock()
 	stor := s.store
 	s.cacheMu.RUnlock()
@@ -208,8 +233,8 @@ type Instance struct {
 	// rebase source (branch-table libraries, v1 store records).
 	ContentKey string
 	Res        *link.Result
-	ROSegs []*osim.FrameSeg
-	RWSegs []image.Segment
+	ROSegs     []*osim.FrameSeg
+	RWSegs     []image.Segment
 	// Libs are the library instances this image was linked against;
 	// they must be mapped alongside it.
 	Libs []*Instance
@@ -233,6 +258,14 @@ type Instance struct {
 	// lastUse is the LRU stamp (Server.useSeq at last touch), updated
 	// atomically so cache hits need no write lock.
 	lastUse atomic.Uint64
+
+	// warm marks an instance reconstructed from the persistent store
+	// (loadFromStore) — a previous session's checkpoint.  resumed
+	// flips once, the first time a build-graph node resolves to the
+	// instance, so Stats.NodesResumed counts each surviving checkpoint
+	// exactly once per daemon lifetime.
+	warm    bool
+	resumed atomic.Bool
 }
 
 // placeRec is the solver placement an instance occupies.
@@ -291,10 +324,12 @@ type Server struct {
 
 	stats statsCounters
 
-	// buildSem bounds the extra goroutines the dependency fan-out may
-	// spawn (see parallel.go); buildWorkers is its capacity.
-	buildSem     chan struct{}
-	buildWorkers int
+	// exec is the build graph's bounded worker pool: the dependency
+	// fan-out submits one task per node (see parallel.go).
+	exec *buildgraph.Executor
+	// graph records every instantiation as an explicit build DAG with
+	// per-node outcomes, checkpoints, and trace events (graph.go).
+	graph *buildgraph.Log
 
 	// faults, when non-nil, arms the build.eval / build.link injection
 	// sites.  Install with SetFaults before serving traffic.
@@ -328,16 +363,16 @@ type Server struct {
 // table backs the image cache).
 func New(kern *osim.Kernel) *Server {
 	s := &Server{
-		kern:         kern,
-		ns:           map[string]nsEntry{},
-		solver:       constraint.NewSolver(),
-		cache:        map[string]*Instance{},
-		variants:     map[string][]*Instance{},
-		specs:        map[string]SpecFunc{},
-		inflight:     map[string]*flight{},
-		hashMemo:     map[string]memoHash{},
-		buildWorkers: DefaultBuildWorkers,
-		buildSem:     make(chan struct{}, DefaultBuildWorkers),
+		kern:     kern,
+		ns:       map[string]nsEntry{},
+		solver:   constraint.NewSolver(),
+		cache:    map[string]*Instance{},
+		variants: map[string][]*Instance{},
+		specs:    map[string]SpecFunc{},
+		inflight: map[string]*flight{},
+		hashMemo: map[string]memoHash{},
+		exec:     buildgraph.NewExecutor(DefaultBuildWorkers),
+		graph:    buildgraph.NewLog(),
 	}
 	return s
 }
