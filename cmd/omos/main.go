@@ -24,6 +24,9 @@
 //	rm <path>                   remove a namespace entry
 //	run <path> [args...]        run a program (integrated exec)
 //	run-boot <path> [args...]   run via the bootstrap loader
+//	instantiate <path>...       build (or warm-hit) images for several
+//	                            meta-objects in one batched request;
+//	                            per-item results, exit 1 on any failure
 //	dis <path>                  disassemble a stored object
 //	stats                       server and memory statistics
 //	health                      daemon liveness + robustness counters
@@ -127,6 +130,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "exit=%d user=%d sys=%d server=%d wait=%d cycles\n",
 			resp.ExitCode, resp.User, resp.Sys, resp.Server, resp.Wait)
 		os.Exit(int(resp.ExitCode))
+	case "instantiate":
+		if len(rest) < 1 {
+			usage()
+		}
+		res, err := c.InstantiateBatch(rest)
+		if err != nil {
+			fatal(err)
+		}
+		failed := 0
+		for _, r := range res {
+			if r.Err != nil {
+				failed++
+				fmt.Printf("%s: error: %v\n", r.Path, r.Err)
+			} else {
+				fmt.Printf("%s: ok\n", r.Path)
+			}
+		}
+		if failed > 0 {
+			os.Exit(1)
+		}
 	case "dis":
 		if len(rest) != 1 {
 			usage()
@@ -191,6 +214,6 @@ func usage() {
 commands: ping | ls [prefix] | define <path> <file> | define-lib <path> <file>
           asm <path> <file.s> | cc <dir> <unit> <file.c> | put <path> <file.rof>
           rm <path> | run <path> [args...] | run-boot <path> [args...]
-          dis <path> | stats | health | graph`)
+          instantiate <path>... | dis <path> | stats | health | graph`)
 	os.Exit(2)
 }

@@ -10,6 +10,7 @@
 //	      [-faults SPEC] [-fault-seed N]
 //	      [-max-inflight N] [-queue-depth N] [-build-timeout D]
 //	      [-scrub-interval D] [-scrub-per-tick N] [-supervise-interval D]
+//	      [-handlers-per-conn N]
 //	omosd -health [-listen addr]
 //	omosd -graph [-listen addr]
 //
@@ -34,8 +35,11 @@
 //
 // -max-inflight/-queue-depth size the admission gate (overload
 // protection: excess requests are shed with a retry-after hint rather
-// than queued without bound).  -build-timeout arms the per-build
-// watchdog.  -scrub-interval enables the background store scrubber.
+// than queued without bound).  -handlers-per-conn bounds how many
+// tagged requests one v2 connection may have executing at once — the
+// per-connection backpressure knob of the pipelined protocol (the
+// reader stops consuming frames when the pool is full).
+// -build-timeout arms the per-build watchdog.  -scrub-interval enables the background store scrubber.
 // -supervise-interval enables the degraded-health supervisor.
 //
 // -faults (or the OMOS_FAULTS environment variable) arms deterministic
@@ -83,6 +87,8 @@ func main() {
 	scrubInterval := flag.Duration("scrub-interval", 30*time.Second, "store scrub tick (0: no scrubbing; needs -store)")
 	scrubPerTick := flag.Int("scrub-per-tick", 4, "blobs re-verified per scrub tick")
 	superviseInterval := flag.Duration("supervise-interval", 250*time.Millisecond, "supervisor sampling period (0: no supervisor)")
+	handlersPerConn := flag.Int("handlers-per-conn", ipc.DefaultHandlerPool,
+		"concurrent tagged requests per v2 connection (backpressure: the reader pauses when full)")
 	flag.Parse()
 
 	if *health {
@@ -125,6 +131,7 @@ func main() {
 	log.Printf("omosd: serving on %s (workloads=%v)", l.Addr(), *workloads)
 
 	srv := ipc.NewServer(daemon.New(sys))
+	srv.HandlerPool = *handlersPerConn
 	srv.SetFaults(sys.Faults)
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)

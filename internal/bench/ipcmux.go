@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"omos"
+	"omos/internal/daemon"
+	"omos/internal/ipc"
+)
+
+// IPCMux measures what tagged pipelining buys on one shared
+// connection: N goroutines hammer warm OpRun calls through a single
+// client, once with the transport pinned to the serial v1 protocol
+// (every call holds the connection for its full round trip) and once
+// with v2 tagged frames (calls interleave; completions return out of
+// order).  Rows report wall-clock ops/sec — pipelining is a queueing
+// phenomenon, invisible to simulated cycles, like the soak table.
+//
+// Two closing rows tie the transport change to the rest of the
+// robustness story: a 16x overload soak (same gated daemon as the
+// soak table) showing tail latency with head-of-line blocking gone,
+// and the framing hot path's measured allocations per round trip
+// (pinned to zero by TestFramedHotPathAllocFree).
+func IPCMux(cfg Config) (*Table, error) {
+	perG := 20
+	soakPer := 8
+	if cfg.ItersHPUX >= 1000 {
+		perG = 80
+		soakPer = 16
+	}
+	t := &Table{
+		ID:    "ipcmux",
+		Title: "tagged pipelining: warm ops/sec on one shared connection, serial v1 vs pipelined v2",
+		Iters: perG,
+		Notes: []string{
+			"wall-clock ops/sec, not simulated cycles (pipelining is queueing, which cycles cannot see)",
+			"all goroutines share ONE client and ONE connection; serial rows pin the legacy v1 protocol (ForceV1)",
+			"ops are warm /bin/t runs: image cache hot, so the measurement is transport + dispatch, not builds",
+			"soak row repeats the overload table's 16x row over the pipelined transport (same 2+2 admission gate)",
+			"allocs/op probes the v2 framing hot path; the test suite pins it at exactly zero",
+		},
+	}
+	for _, g := range []int{8, 64} {
+		serial, err := muxThroughputRow(g, perG, true)
+		if err != nil {
+			return nil, err
+		}
+		pipelined, err := muxThroughputRow(g, perG, false)
+		if err != nil {
+			return nil, err
+		}
+		if s := serial.Extra["ops-per-sec"]; s > 0 {
+			// Stored as a percentage so the table's integer metric
+			// formatting keeps the precision (122 = 1.22x serial).
+			pipelined.Extra["speedup-vs-serial-pct"] = 100 * pipelined.Extra["ops-per-sec"] / s
+		}
+		t.Rows = append(t.Rows, serial, pipelined)
+	}
+
+	soak, err := soakRow(16, soakPer)
+	if err != nil {
+		return nil, err
+	}
+	soak.Label = "16x soak, pipelined"
+	t.Rows = append(t.Rows, soak)
+
+	t.Rows = append(t.Rows, Row{
+		Label: "v2 framing hot path",
+		Extra: map[string]float64{"allocs-per-op": ipc.AllocsPerFrameOp(2000)},
+	})
+	return t, nil
+}
+
+// muxThroughputRow serves a fresh daemon, warms the /bin/t image, and
+// drives goroutines*perG warm runs through one shared client.
+func muxThroughputRow(goroutines, perG int, forceV1 bool) (Row, error) {
+	sys, err := omos.NewSystem()
+	if err != nil {
+		return Row{}, err
+	}
+	defer sys.Close()
+	if err := sys.DefineLibrary("/lib/l",
+		`(source "c" "int triple(int x) { return 3 * x; }")`); err != nil {
+		return Row{}, err
+	}
+	if err := sys.Define("/bin/t",
+		`(merge /lib/crt0.o (source "c" "extern int triple(int); int main() { return triple(14); }") /lib/l)`); err != nil {
+		return Row{}, err
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return Row{}, err
+	}
+	srv := ipc.NewServer(daemon.New(sys))
+	go srv.Serve(l)
+	defer srv.Shutdown()
+
+	c, err := ipc.DialWith(l.Addr().String(), ipc.Options{
+		ConnectTimeout: 5 * time.Second,
+		CallTimeout:    30 * time.Second,
+		ForceV1:        forceV1,
+	})
+	if err != nil {
+		return Row{}, err
+	}
+	defer c.Close()
+
+	// Warm-up: build the image once so measured runs are cache hits.
+	if resp, err := c.Call(&ipc.Request{Op: ipc.OpRun, Path: "/bin/t"}); err != nil {
+		return Row{}, err
+	} else if resp.ExitCode != 42 {
+		return Row{}, fmt.Errorf("bench: ipcmux warm-up exit = %d, want 42", resp.ExitCode)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		badExit  int
+	)
+	start := time.Now()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				resp, err := c.Call(&ipc.Request{Op: ipc.OpRun, Path: "/bin/t"})
+				if err != nil || resp.ExitCode != 42 {
+					mu.Lock()
+					if err != nil && firstErr == nil {
+						firstErr = err
+					}
+					if err == nil {
+						badExit++
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return Row{}, fmt.Errorf("bench: ipcmux %d goroutines: %w", goroutines, firstErr)
+	}
+	if badExit > 0 {
+		return Row{}, errors.New("bench: ipcmux: wrong exit codes under pipelined load")
+	}
+
+	mode := "pipelined"
+	if forceV1 {
+		mode = "serial"
+	}
+	ops := goroutines * perG
+	return Row{
+		Label: fmt.Sprintf("%2d goroutines, %s", goroutines, mode),
+		Extra: map[string]float64{
+			"ops":         float64(ops),
+			"ops-per-sec": float64(ops) / elapsed.Seconds(),
+			"proto":       float64(c.ProtocolVersion()),
+		},
+	}, nil
+}

@@ -1,0 +1,26 @@
+package bench
+
+import "testing"
+
+// TestIPCMuxShape asserts the acceptance shape of the pipelining
+// table: with 8 goroutines sharing one connection, the pipelined v2
+// transport must beat the serial v1 transport on warm ops/sec, and
+// the framing hot path must not allocate.
+func TestIPCMuxShape(t *testing.T) {
+	serial, err := muxThroughputRow(8, 15, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipelined, err := muxThroughputRow(8, 15, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, p := serial.Extra["ops-per-sec"], pipelined.Extra["ops-per-sec"]
+	if p <= s {
+		t.Fatalf("pipelined %.0f ops/sec did not beat serial %.0f ops/sec at 8 goroutines", p, s)
+	}
+	t.Logf("8 goroutines: serial %.0f ops/sec, pipelined %.0f ops/sec (%.2fx)", s, p, p/s)
+	if serial.Extra["proto"] != 1 || pipelined.Extra["proto"] != 2 {
+		t.Fatalf("protocol versions: serial=%v pipelined=%v", serial.Extra["proto"], pipelined.Extra["proto"])
+	}
+}

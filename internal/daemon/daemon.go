@@ -4,6 +4,7 @@
 package daemon
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -25,6 +26,7 @@ var (
 	_ ipc.Backend       = (*Backend)(nil)
 	_ ipc.HealthBackend = (*Backend)(nil)
 	_ ipc.GraphBackend  = (*Backend)(nil)
+	_ ipc.BatchBackend  = (*Backend)(nil)
 )
 
 // New wraps a system.
@@ -104,6 +106,15 @@ func (b *Backend) Run(name string, args []string, bootstrap bool) (ipc.RunOutcom
 		Server:   res.Clock.Server,
 		Wait:     res.Clock.Wait,
 	}, nil
+}
+
+// InstantiateBatch implements ipc.BatchBackend: OpInstantiateBatch
+// fans the named meta-objects into the server's build executor,
+// warming the image cache without running anything.  Per-item
+// completions reach done as they land; on a v2 connection the
+// transport streams each one back immediately.
+func (b *Backend) InstantiateBatch(paths []string, done func(i int, err error)) {
+	b.Sys.Srv.InstantiateBatch(context.Background(), paths, nil, done)
 }
 
 // Disasm implements ipc.Backend.

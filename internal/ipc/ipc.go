@@ -8,12 +8,22 @@
 // cover namespace management (define, put-object, list, remove) and
 // program execution inside the daemon's simulated machine.
 //
+// Two protocol versions share the port.  Version 1 is strictly
+// single-shot: one request, one response, one outstanding exchange per
+// connection.  Version 2 (negotiated at connect via OpHello; see
+// frame.go) tags every frame with a client-assigned request ID so one
+// connection carries any number of in-flight calls, completions return
+// out of order, and OpInstantiateBatch streams per-item results.
+// Either peer speaking only v1 keeps working: a v2 client falls back
+// when the hello is refused, and a v2 server answers unupgraded
+// connections in v1 framing.
+//
 // Failure model: frame-level damage (truncated, oversized, or
 // malformed frames) surfaces as *FrameError and costs only the one
 // connection it arrived on.  Calls carry deadlines that surface as
 // context.DeadlineExceeded.  Idempotent operations retry with bounded
-// exponential backoff and at most one transparent reconnect; a
-// draining server answers with ErrDraining rather than a reset.
+// exponential backoff and transparent reconnect; a draining server
+// answers with ErrDraining rather than a reset.
 package ipc
 
 import (
@@ -26,6 +36,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -50,7 +61,23 @@ const (
 	OpGetObject Op = "get-object" // Path; returns encoded ROF bytes
 	OpHealth    Op = "health"     // liveness + robustness counters
 	OpGraph     Op = "graph"      // build-graph report (runs, nodes, events)
+	// OpHello negotiates the protocol version: Text carries the
+	// client's requested version ("2"); a capable server acknowledges
+	// with Flag set and the connection switches to tagged v2 framing.
+	// A v1-only server answers "unknown operation" and the client
+	// falls back.  Always sent in v1 framing.
+	OpHello Op = "hello"
+	// OpInstantiateBatch instantiates a vector of meta-objects (Args)
+	// in one request: the server fans the items into its build
+	// executor and, on v2 connections, streams each completion back as
+	// its own tagged response (Index set) before a Final summary.  On
+	// v1 connections the reply is a single aggregated response.
+	OpInstantiateBatch Op = "instantiate-batch"
 )
+
+// protoVersionText is the version string OpHello carries ("2"): the
+// highest protocol this package speaks.
+const protoVersionText = "2"
 
 // idempotent reports whether an operation can be retried safely: the
 // result of doing it twice is the result of doing it once.  Namespace
@@ -132,6 +159,13 @@ type Response struct {
 	// in milliseconds, of when capacity should free up.  (gob tolerates
 	// the field's absence, so old clients interoperate.)
 	RetryAfterMS int64
+	// Index and Final frame streamed batch completions
+	// (OpInstantiateBatch over protocol v2): each item answers with
+	// its Index and Final false, and the batch closes with a Final
+	// summary carrying any batch-level error.  (gob tolerates absent
+	// fields, so v1 peers interoperate.)
+	Index int
+	Final bool
 }
 
 // maxFrame bounds a single message (largest realistic payload is a
@@ -193,10 +227,14 @@ func (e *FrameError) Error() string {
 
 func (e *FrameError) Unwrap() error { return e.Err }
 
-// WriteFrame sends one gob-encoded value with a length prefix.
+// WriteFrame sends one gob-encoded value with a length prefix (v1
+// framing: a fresh gob codec per frame, so every frame is
+// self-contained).  Payload buffers are pool-recycled.
 func WriteFrame(w io.Writer, v interface{}) error {
-	var payload frameBuffer
-	enc := gob.NewEncoder(&payload)
+	payload := v1BufPool.Get().(*frameBuffer)
+	payload.b = payload.b[:0]
+	defer v1BufPool.Put(payload)
+	enc := gob.NewEncoder(payload)
 	if err := enc.Encode(v); err != nil {
 		return fmt.Errorf("ipc: encode: %w", err)
 	}
@@ -274,6 +312,11 @@ type Options struct {
 	// Backoff is the delay before the first retry; it doubles per
 	// attempt.  Defaults to 10ms when Retries > 0.
 	Backoff time.Duration
+	// ForceV1 skips protocol negotiation and speaks the legacy v1
+	// single-shot protocol even to servers that could multiplex —
+	// the serial baseline for benchmarks and wire-compat tests.
+	// Affects sessions established after it is set.
+	ForceV1 bool
 }
 
 // DefaultOptions is the tuning cmd/omos ships with: fail a dead
@@ -286,41 +329,64 @@ var DefaultOptions = Options{
 }
 
 // Client is a connection to an OMOS daemon.  It is safe for
-// concurrent use: the protocol is strictly request/response on one
-// connection, so calls serialize on a mutex held across the whole
-// exchange — a writer interleaving frames with another caller's
-// pending read would corrupt the stream.
+// concurrent use.  On a v2 (multiplexed) session many calls share one
+// connection: each is assigned a monotonically increasing tag, writes
+// its frame under a brief send lock, and parks on a per-tag channel
+// while a single reader goroutine demultiplexes completions to
+// waiters — so one connection carries hundreds of in-flight calls and
+// a slow request never blocks the fast ones behind it.  Against a
+// v1-only server (or under Options.ForceV1) calls serialize on the
+// session's exchange lock, exactly as the single-shot protocol
+// requires.
+//
+// There is deliberately no big client lock: options are read
+// atomically, the breaker and the jitter rng have their own small
+// mutexes, and the session pointer is guarded only around
+// dial/redial/close — never across an exchange.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
 	addr string // for transparent reconnect; "" disables
-	opts Options
 
-	// Circuit breaker against a shedding server (all fields guarded by
-	// mu, which Call holds for the whole exchange).  An overloaded
-	// response trips it open for max(server hint, doubled prior hold)
-	// plus jitter; while open, calls fail fast with an
-	// *OverloadedError instead of piling onto the overloaded server.
-	// When the hold expires the breaker is half-open: the next call is
-	// the single probe, and its success closes the breaker.
+	// opts is read atomically once at the top of every call, so
+	// SetOptions is safe under concurrent Calls and each call sees one
+	// coherent Options value.
+	opts atomic.Pointer[Options]
+
+	// connMu guards the session pointer (dial, redial, close).
+	connMu sync.Mutex
+	sess   *session
+	closed bool
+
+	// Circuit breaker against a shedding server (guarded by brMu).
+	// An overloaded response trips it open for max(server hint,
+	// doubled prior hold) plus jitter; while open, calls fail fast
+	// with an *OverloadedError instead of piling onto the overloaded
+	// server.  When the hold expires the breaker is half-open: the
+	// next call through is a probe, and its success closes the
+	// breaker.
+	brMu        sync.Mutex
 	brOpenUntil time.Time
 	brHold      time.Duration
 
-	// rng drives retry jitter (guarded by mu; private so concurrent
-	// clients never contend on the global source).
-	rng *rand.Rand
+	// rng drives retry jitter (guarded by rngMu; private so
+	// concurrent clients never contend on the global source).
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // Dial connects to a daemon with zero Options.
 func Dial(addr string) (*Client, error) { return DialWith(addr, Options{}) }
 
 // DialWith connects to a daemon with explicit robustness tuning.
+// Protocol negotiation happens lazily on the first call, so its
+// failures flow through that call's retry budget.
 func DialWith(addr string, opts Options) (*Client, error) {
 	conn, err := dialAddr(addr, opts.ConnectTimeout)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, addr: addr, opts: opts}, nil
+	c := &Client{addr: addr, sess: newSession(conn, opts.ForceV1)}
+	c.opts.Store(&opts)
+	return c, nil
 }
 
 func dialAddr(addr string, timeout time.Duration) (net.Conn, error) {
@@ -332,14 +398,74 @@ func dialAddr(addr string, timeout time.Duration) (net.Conn, error) {
 
 // NewClient wraps an existing connection.  No reconnect is possible
 // (the client does not know how the connection was made).
-func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
+func NewClient(conn net.Conn) *Client {
+	return &Client{sess: newSession(conn, false)}
+}
 
-// SetOptions replaces the client's robustness tuning.  Not safe to
-// call concurrently with Call.
-func (c *Client) SetOptions(opts Options) { c.opts = opts }
+// SetOptions replaces the client's robustness tuning.  Safe to call
+// concurrently with Call: in-flight calls finish under the options
+// they started with; later calls see the new value.  ForceV1 affects
+// only sessions established afterwards.
+func (c *Client) SetOptions(opts Options) { c.opts.Store(&opts) }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// options snapshots the current tuning.
+func (c *Client) options() Options {
+	if o := c.opts.Load(); o != nil {
+		return *o
+	}
+	return Options{}
+}
+
+// Close closes the connection.  In-flight calls on a multiplexed
+// session fail with a transport error.
+func (c *Client) Close() error {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	c.closed = true
+	if c.sess != nil {
+		return c.sess.close()
+	}
+	return nil
+}
+
+// ProtocolVersion reports the negotiated protocol of the current
+// session (ProtoV1 or ProtoV2), or 0 before the first call completes
+// the handshake.
+func (c *Client) ProtocolVersion() int {
+	c.connMu.Lock()
+	s := c.sess
+	c.connMu.Unlock()
+	if s == nil {
+		return 0
+	}
+	return s.version()
+}
+
+// session returns the live session, redialing if the previous one
+// died (and the client knows its address).
+func (c *Client) session(opts Options) (*session, error) {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	if c.closed {
+		return nil, errors.New("ipc: client closed")
+	}
+	if c.sess != nil && !c.sess.isDead() {
+		return c.sess, nil
+	}
+	if c.sess != nil {
+		c.sess.close()
+		c.sess = nil
+	}
+	if c.addr == "" {
+		return nil, errors.New("ipc: connection lost (no address to redial)")
+	}
+	conn, err := dialAddr(c.addr, opts.ConnectTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c.sess = newSession(conn, opts.ForceV1)
+	return c.sess, nil
+}
 
 // Call performs one request/response exchange under the client's
 // configured CallTimeout.
@@ -359,28 +485,29 @@ func (c *Client) Call(req *Request) (*Response, error) {
 // open fails fast with an *OverloadedError instead of touching the
 // network.
 func (c *Client) CallCtx(ctx context.Context, req *Request) (*Response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	opts := c.options()
 
 	// Breaker open: don't even pile this request onto the server.
-	if rem := time.Until(c.brOpenUntil); rem > 0 {
+	if rem := c.breakerRemaining(); rem > 0 {
 		return nil, fmt.Errorf("omosd: %w", &OverloadedError{RetryAfter: rem})
 	}
 
 	transportLeft := 0
 	if idempotent(req.Op) {
-		transportLeft = c.opts.Retries
+		transportLeft = opts.Retries
 	}
-	// Overload sheds happen before any server-side work, so they are
-	// retry-safe for every op; they draw from the same retry budget.
-	overloadLeft := c.opts.Retries
-	backoff := c.opts.Backoff
+	// Session establishment (redial + version handshake) happens
+	// before the request is transmitted, so its failures are
+	// retry-safe for every op, from their own budget.  Overload sheds
+	// likewise happen before any server-side work.
+	preSendLeft := opts.Retries
+	overloadLeft := opts.Retries
+	backoff := opts.Backoff
 	if backoff <= 0 {
 		backoff = 10 * time.Millisecond
 	}
-	reconnected := false
 	for {
-		resp, err := c.exchange(ctx, req)
+		resp, err := c.exchange(ctx, req, opts)
 		if err == nil {
 			switch {
 			case resp.Err == drainingMsg:
@@ -394,7 +521,7 @@ func (c *Client) CallCtx(ctx context.Context, req *Request) (*Response, error) {
 					overloadLeft--
 					// Wait out the hold, then this call is the
 					// half-open probe.
-					if err := c.sleep(ctx, hold); err != nil {
+					if err := sleepCtx(ctx, hold); err != nil {
 						return nil, err
 					}
 					continue
@@ -411,41 +538,46 @@ func (c *Client) CallCtx(ctx context.Context, req *Request) (*Response, error) {
 			return resp, nil
 		}
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			// The stream may still carry the late response; a later
-			// call must not mistake it for its own reply.  Poison the
-			// connection and (best effort) replace it.
-			c.conn.Close()
-			if c.addr != "" {
-				if nc, derr := dialAddr(c.addr, c.opts.ConnectTimeout); derr == nil {
-					c.conn = nc
-				}
-			}
+			// A timed-out v1 exchange poisons its session (the stream
+			// may still carry the late response); a timed-out v2 call
+			// just abandons its tag and the connection lives on.
+			// Either way the deadline is the caller's answer.
 			return nil, err
 		}
-		// Transport failure: the connection is suspect.  Idempotent
-		// callers get one transparent reconnect per Call.
-		if transportLeft <= 0 {
-			return nil, err
-		}
-		transportLeft--
-		if !reconnected && c.addr != "" {
-			if nc, derr := dialAddr(c.addr, c.opts.ConnectTimeout); derr == nil {
-				c.conn.Close()
-				c.conn = nc
-				reconnected = true
+		var pre *preSendError
+		if errors.As(err, &pre) {
+			// The request never hit the wire: dial or handshake
+			// failure, retryable even for non-idempotent ops.
+			if preSendLeft <= 0 {
+				return nil, pre.err
 			}
+			preSendLeft--
+		} else {
+			// Transport failure mid-exchange: the session is dead and
+			// the next attempt redials.  Only idempotent ops may
+			// retry — the request may have been acted on.
+			if transportLeft <= 0 {
+				return nil, err
+			}
+			transportLeft--
 		}
-		if err := c.sleep(ctx, c.jitter(backoff)); err != nil {
+		if err := sleepCtx(ctx, c.jitter(backoff)); err != nil {
 			return nil, err
 		}
 		backoff *= 2
 	}
 }
 
-// sleep waits d or until ctx is done.  Caller holds mu (deliberately:
-// the connection is single-exchange, so a sleeping call blocks the
-// line exactly like an in-flight one).
-func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+// preSendError marks a failure that happened before the request was
+// transmitted (dial, version handshake): retrying is safe for every
+// operation.
+type preSendError struct{ err error }
+
+func (e *preSendError) Error() string { return e.err.Error() }
+func (e *preSendError) Unwrap() error { return e.err }
+
+// sleepCtx waits d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
 	if d <= 0 {
 		return ctx.Err()
 	}
@@ -465,6 +597,8 @@ func (c *Client) jitter(d time.Duration) time.Duration {
 	if d <= 0 {
 		return d
 	}
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
 	if c.rng == nil {
 		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
 	}
@@ -478,10 +612,20 @@ const (
 	maxBreakerHold = 5 * time.Second
 )
 
+// breakerRemaining reports how long the breaker stays open (<= 0 when
+// closed or half-open).
+func (c *Client) breakerRemaining() time.Duration {
+	c.brMu.Lock()
+	defer c.brMu.Unlock()
+	return time.Until(c.brOpenUntil)
+}
+
 // tripBreaker opens the breaker after an overloaded response and
 // returns the jittered hold (at least the server's hint; doubling
-// while sheds repeat).  Caller holds mu.
+// while sheds repeat).
 func (c *Client) tripBreaker(hint time.Duration) time.Duration {
+	c.brMu.Lock()
+	defer c.brMu.Unlock()
 	base := c.brHold * 2
 	if hint > base {
 		base = hint
@@ -500,34 +644,46 @@ func (c *Client) tripBreaker(hint time.Duration) time.Duration {
 }
 
 // resetBreaker closes the breaker after any successful exchange.
-// Caller holds mu.
 func (c *Client) resetBreaker() {
+	c.brMu.Lock()
+	defer c.brMu.Unlock()
 	c.brHold = 0
 	c.brOpenUntil = time.Time{}
 }
 
-// exchange performs one raw write/read on the current connection,
-// mapping I/O timeouts to context.DeadlineExceeded.  Caller holds mu.
-func (c *Client) exchange(ctx context.Context, req *Request) (*Response, error) {
+// callDeadline resolves the sooner of the configured CallTimeout and
+// the context deadline (zero when neither applies).
+func callDeadline(ctx context.Context, opts Options) time.Time {
 	deadline := time.Time{}
-	if c.opts.CallTimeout > 0 {
-		deadline = time.Now().Add(c.opts.CallTimeout)
+	if opts.CallTimeout > 0 {
+		deadline = time.Now().Add(opts.CallTimeout)
 	}
 	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
 		deadline = d
 	}
+	return deadline
+}
+
+// exchange performs one attempt: get (or redial) a session, complete
+// the version handshake if this is its first use, then run the
+// request over whichever protocol was negotiated.  I/O timeouts map
+// to context.DeadlineExceeded.
+func (c *Client) exchange(ctx context.Context, req *Request, opts Options) (*Response, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	c.conn.SetDeadline(deadline) // zero time clears any prior deadline
-	if err := WriteFrame(c.conn, req); err != nil {
-		return nil, mapTimeout(err)
+	s, err := c.session(opts)
+	if err != nil {
+		return nil, &preSendError{err: err}
 	}
-	var resp Response
-	if err := ReadFrame(c.conn, &resp); err != nil {
-		return nil, mapTimeout(err)
+	deadline := callDeadline(ctx, opts)
+	if err := s.ensureHandshake(deadline); err != nil {
+		return nil, &preSendError{err: mapTimeout(err)}
 	}
-	return &resp, nil
+	if s.version() == ProtoV2 {
+		return s.callV2(ctx, deadline, req)
+	}
+	return s.callV1(deadline, req)
 }
 
 // mapTimeout converts net timeout errors into context.DeadlineExceeded

@@ -1,0 +1,504 @@
+package ipc
+
+// Client side of the multiplexed (v2) protocol: the session type.  A
+// session is one connection in either protocol mode.  On v2 it runs a
+// single reader goroutine that demultiplexes tagged completions to
+// per-call channels, so any number of calls share the connection; on
+// v1 it serializes exchanges on a lock, as the single-shot protocol
+// requires.
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// session is one client connection.  It is created in a
+// pre-handshake state; the first call completes the version
+// negotiation (so connect-time failures flow through that call's
+// retry budget) and, on v2, starts the reader goroutine.
+type session struct {
+	conn    net.Conn
+	forceV1 bool
+
+	// Handshake state, serialized by hsMu.
+	hsMu   sync.Mutex
+	hsDone bool
+	hsErr  error
+	proto  int
+
+	// dead flips once the session is unusable; the client redials.
+	dead atomic.Bool
+
+	// v1 mode: one outstanding exchange at a time.
+	exMu sync.Mutex
+
+	// v2 send side (guarded by sendMu): a persistent gob encoder into
+	// the reused frame buffer — type descriptors cross once, frames
+	// go out in a single write each, no allocation in steady state.
+	sendMu sync.Mutex
+	enc    *gob.Encoder
+	sbuf   sendBuf
+
+	// v2 receive side: the tag table shared between callers and the
+	// reader goroutine (guarded by tagMu).  err is set exactly once,
+	// before done closes; calls is nil afterwards.
+	tagMu   sync.Mutex
+	nextTag uint64
+	calls   map[uint64]*pending
+	err     error
+	done    chan struct{}
+}
+
+// pending is one in-flight tag: the channel is buffered with the
+// expected completion count (1 for a call, items+1 for a batch) so
+// the reader never blocks delivering and a duplicate completion is
+// detectably droppable.
+type pending struct {
+	tag uint64
+	ch  chan *Response
+}
+
+func newSession(conn net.Conn, forceV1 bool) *session {
+	return &session{conn: conn, forceV1: forceV1, done: make(chan struct{})}
+}
+
+func (s *session) isDead() bool { return s.dead.Load() }
+
+// close tears the session down; in-flight v2 calls fail with a
+// transport error when the reader notices.
+func (s *session) close() error {
+	s.dead.Store(true)
+	return s.conn.Close()
+}
+
+// version reports the negotiated protocol (0 before the handshake).
+func (s *session) version() int {
+	s.hsMu.Lock()
+	defer s.hsMu.Unlock()
+	if !s.hsDone || s.hsErr != nil {
+		return 0
+	}
+	return s.proto
+}
+
+// ensureHandshake negotiates the protocol version on first use: a
+// v1-framed OpHello that a capable server acknowledges (switching the
+// connection to tagged framing) and a legacy server refuses (the
+// session falls back to single-shot v1).  Transport failures poison
+// the session; the caller's retry redials.
+func (s *session) ensureHandshake(deadline time.Time) error {
+	s.hsMu.Lock()
+	defer s.hsMu.Unlock()
+	if s.hsDone {
+		return s.hsErr
+	}
+	s.hsDone = true
+	if s.forceV1 {
+		s.proto = ProtoV1
+		return nil
+	}
+	s.conn.SetDeadline(deadline)
+	if err := WriteFrame(s.conn, &Request{Op: OpHello, Text: protoVersionText}); err != nil {
+		s.hsErr = err
+		s.close()
+		return err
+	}
+	var resp Response
+	if err := ReadFrame(s.conn, &resp); err != nil {
+		s.hsErr = err
+		s.close()
+		return err
+	}
+	if resp.Flag && resp.Text == protoVersionText {
+		s.proto = ProtoV2
+		s.conn.SetDeadline(time.Time{})
+		s.enc = gob.NewEncoder(&s.sbuf)
+		s.calls = make(map[uint64]*pending)
+		go s.readLoop()
+		return nil
+	}
+	// Any refusal (typically `unknown operation "hello"`) is a
+	// v1-only peer: fall back to the single-shot protocol.  The
+	// refused hello consumed one harmless exchange.
+	s.proto = ProtoV1
+	return nil
+}
+
+// readLoop is the reader goroutine of a v2 session: it demultiplexes
+// tagged completions to parked callers.  Frame buffers and header
+// scratch are reused across iterations; the persistent decoder is fed
+// one payload per frame.  Any failure fails the whole session — every
+// parked call errors out and the client redials.
+func (s *session) readLoop() {
+	feeder := &payloadFeeder{}
+	dec := gob.NewDecoder(feeder)
+	var hdr [hdrSize]byte
+	var buf []byte
+	for {
+		tag, payload, err := readTagged(s.conn, &hdr, &buf)
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		feeder.set(payload)
+		resp := new(Response)
+		if err := dec.Decode(resp); err != nil {
+			s.fail(&FrameError{Reason: "malformed", Err: err})
+			return
+		}
+		s.tagMu.Lock()
+		p, ok := s.calls[tag]
+		issued := tag > 0 && tag <= s.nextTag
+		s.tagMu.Unlock()
+		if !ok {
+			if issued {
+				// Late completion for an abandoned (timed-out or
+				// canceled) tag: discard; the connection is healthy.
+				continue
+			}
+			// A tag this session never issued: the stream is corrupt
+			// (bit damage, a confused server).  Nothing on it can be
+			// trusted any more.
+			s.fail(&FrameError{Reason: "tag-mismatch",
+				Err: fmt.Errorf("completion for tag %d, never issued", tag)})
+			return
+		}
+		select {
+		case p.ch <- resp:
+		default:
+			// Duplicate completion beyond the tag's expected count:
+			// drop it; the tag's caller already has its answer and
+			// the connection survives.
+		}
+	}
+}
+
+// fail marks the session dead with err: parked calls wake via done,
+// later registrations are refused.  Idempotent; the first cause wins.
+func (s *session) fail(err error) {
+	s.tagMu.Lock()
+	if s.err == nil {
+		if err == nil {
+			err = errors.New("ipc: session closed")
+		}
+		s.err = err
+		s.calls = nil
+		close(s.done)
+	}
+	s.tagMu.Unlock()
+	s.dead.Store(true)
+	s.conn.Close()
+}
+
+// failure returns why the session died (nil while alive).
+func (s *session) failure() error {
+	s.tagMu.Lock()
+	defer s.tagMu.Unlock()
+	return s.err
+}
+
+// register assigns the next tag, expecting want completions.
+func (s *session) register(want int) (*pending, error) {
+	s.tagMu.Lock()
+	defer s.tagMu.Unlock()
+	if s.err != nil {
+		return nil, s.err
+	}
+	s.nextTag++
+	p := &pending{tag: s.nextTag, ch: make(chan *Response, want)}
+	s.calls[p.tag] = p
+	return p, nil
+}
+
+// deregister abandons a tag; a completion arriving later is discarded
+// by the reader.
+func (s *session) deregister(tag uint64) {
+	s.tagMu.Lock()
+	if s.calls != nil {
+		delete(s.calls, tag)
+	}
+	s.tagMu.Unlock()
+}
+
+// send writes one tagged request frame under the send lock: encode
+// into the reused buffer after the reserved header hole, seal, one
+// write.  A send failure fails the session — a partial frame may be
+// on the wire and the encoder's stream state is unrecoverable.
+func (s *session) send(tag uint64, req *Request, deadline time.Time) error {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	s.sbuf.reset()
+	if err := s.enc.Encode(req); err != nil {
+		err = fmt.Errorf("ipc: encode: %w", err)
+		s.fail(err)
+		return err
+	}
+	if s.sbuf.payloadLen() > maxFrame {
+		err := fmt.Errorf("ipc: frame too large (%d bytes)", s.sbuf.payloadLen())
+		s.fail(err)
+		return err
+	}
+	s.sbuf.seal(tag)
+	s.conn.SetWriteDeadline(deadline)
+	if _, err := s.conn.Write(s.sbuf.b); err != nil {
+		s.fail(err)
+		return err
+	}
+	return nil
+}
+
+// callV1 is one single-shot exchange under the session's exchange
+// lock.  Any failure poisons the session (the stream may be desynced
+// or carry a late response); the caller's retry redials.
+func (s *session) callV1(deadline time.Time, req *Request) (*Response, error) {
+	s.exMu.Lock()
+	defer s.exMu.Unlock()
+	s.conn.SetDeadline(deadline) // zero time clears any prior deadline
+	if err := WriteFrame(s.conn, req); err != nil {
+		s.close()
+		return nil, mapTimeout(err)
+	}
+	var resp Response
+	if err := ReadFrame(s.conn, &resp); err != nil {
+		s.close()
+		return nil, mapTimeout(err)
+	}
+	return &resp, nil
+}
+
+// callV2 is one multiplexed call: register a tag, send the frame,
+// park on the tag's channel until the completion, a session failure,
+// the deadline, or cancellation.  Deadline and cancellation merely
+// abandon the tag — the connection stays healthy for everyone else.
+func (s *session) callV2(ctx context.Context, deadline time.Time, req *Request) (*Response, error) {
+	p, err := s.register(1)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.send(p.tag, req, deadline); err != nil {
+		s.deregister(p.tag)
+		return nil, mapTimeout(err)
+	}
+	var timerC <-chan time.Time
+	if !deadline.IsZero() {
+		t := time.NewTimer(time.Until(deadline))
+		defer t.Stop()
+		timerC = t.C
+	}
+	select {
+	case resp := <-p.ch:
+		s.deregister(p.tag)
+		return resp, nil
+	case <-s.done:
+		// The completion may have raced in just before the failure.
+		select {
+		case resp := <-p.ch:
+			s.deregister(p.tag)
+			return resp, nil
+		default:
+		}
+		return nil, s.failure()
+	case <-timerC:
+		s.deregister(p.tag)
+		return nil, fmt.Errorf("ipc: call: %w", context.DeadlineExceeded)
+	case <-ctx.Done():
+		s.deregister(p.tag)
+		return nil, ctx.Err()
+	}
+}
+
+// BatchResult is one item's outcome from InstantiateBatch.
+type BatchResult struct {
+	Path string
+	Err  error
+}
+
+// batchOK is the v1 aggregated wire form of a successful batch item.
+const batchOK = "ok"
+
+// InstantiateBatch asks the daemon to instantiate every named
+// meta-object in one request (OpInstantiateBatch), warming its image
+// cache in parallel.  Results are positional; a per-item failure
+// lands in that item's Err and never aborts its siblings.
+func (c *Client) InstantiateBatch(paths []string) ([]BatchResult, error) {
+	return c.InstantiateBatchCtx(context.Background(), paths)
+}
+
+// InstantiateBatchCtx is InstantiateBatch bounded by ctx and the
+// configured CallTimeout.  On a v2 session the per-item completions
+// stream back as the server's executor finishes them; on v1 the
+// server answers one aggregated response.  Instantiation is
+// idempotent, so transport failures retry with jittered backoff like
+// any idempotent call.
+func (c *Client) InstantiateBatchCtx(ctx context.Context, paths []string) ([]BatchResult, error) {
+	if len(paths) == 0 {
+		return nil, nil
+	}
+	opts := c.options()
+	if rem := c.breakerRemaining(); rem > 0 {
+		return nil, fmt.Errorf("omosd: %w", &OverloadedError{RetryAfter: rem})
+	}
+	attempts := 1 + opts.Retries
+	backoff := opts.Backoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	for {
+		results, err := c.batchOnce(ctx, paths, opts)
+		if err == nil {
+			c.resetBreaker()
+			return results, nil
+		}
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) ||
+			errors.Is(err, ErrDraining) {
+			return nil, err
+		}
+		attempts--
+		if attempts <= 0 {
+			return nil, err
+		}
+		if serr := sleepCtx(ctx, c.jitter(backoff)); serr != nil {
+			return nil, serr
+		}
+		backoff *= 2
+	}
+}
+
+// batchOnce performs one batch attempt over whichever protocol the
+// session negotiated.
+func (c *Client) batchOnce(ctx context.Context, paths []string, opts Options) ([]BatchResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s, err := c.session(opts)
+	if err != nil {
+		return nil, err
+	}
+	deadline := callDeadline(ctx, opts)
+	if err := s.ensureHandshake(deadline); err != nil {
+		return nil, mapTimeout(err)
+	}
+	req := &Request{Op: OpInstantiateBatch, Args: paths}
+	if s.version() != ProtoV2 {
+		// v1 fallback: a single aggregated response.
+		resp, err := s.callV1(deadline, req)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case resp.Err == drainingMsg:
+			return nil, fmt.Errorf("omosd: %w", ErrDraining)
+		case resp.Err != "":
+			return nil, fmt.Errorf("omosd: %s", resp.Err)
+		}
+		if len(resp.Paths) != len(paths) {
+			return nil, fmt.Errorf("ipc: batch shape: %d outcomes for %d items",
+				len(resp.Paths), len(paths))
+		}
+		results := make([]BatchResult, len(paths))
+		for i, o := range resp.Paths {
+			results[i].Path = paths[i]
+			if o != batchOK {
+				results[i].Err = errors.New(o)
+			}
+		}
+		return results, nil
+	}
+	// v2: one tag carries len(paths) item completions plus the Final
+	// summary, streamed in whatever order the server finishes them.
+	p, err := s.register(len(paths) + 1)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.send(p.tag, req, deadline); err != nil {
+		s.deregister(p.tag)
+		return nil, mapTimeout(err)
+	}
+	results := make([]BatchResult, len(paths))
+	for i := range results {
+		results[i].Path = paths[i]
+	}
+	var timerC <-chan time.Time
+	if !deadline.IsZero() {
+		t := time.NewTimer(time.Until(deadline))
+		defer t.Stop()
+		timerC = t.C
+	}
+	record := func(resp *Response) (final bool, err error) {
+		if resp.Final {
+			switch {
+			case resp.Err == drainingMsg:
+				return true, fmt.Errorf("omosd: %w", ErrDraining)
+			case resp.Err != "":
+				return true, fmt.Errorf("omosd: %s", resp.Err)
+			}
+			return true, nil
+		}
+		if i := resp.Index; i >= 0 && i < len(results) {
+			results[i].Err = batchItemError(resp)
+		}
+		return false, nil
+	}
+	for {
+		select {
+		case resp := <-p.ch:
+			final, err := record(resp)
+			if final {
+				s.deregister(p.tag)
+				if err != nil {
+					return nil, err
+				}
+				return results, nil
+			}
+		case <-s.done:
+			// Drain completions that raced in before the failure —
+			// the Final may already be buffered.
+			for {
+				select {
+				case resp := <-p.ch:
+					final, err := record(resp)
+					if !final {
+						continue
+					}
+					s.deregister(p.tag)
+					if err != nil {
+						return nil, err
+					}
+					return results, nil
+				default:
+					return nil, s.failure()
+				}
+			}
+		case <-timerC:
+			s.deregister(p.tag)
+			return nil, fmt.Errorf("ipc: call: %w", context.DeadlineExceeded)
+		case <-ctx.Done():
+			s.deregister(p.tag)
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// batchItemError maps one streamed item completion to its error: nil,
+// a typed *OverloadedError (that item was shed at the admission gate
+// — retry-safe), or the server's error text.
+func batchItemError(resp *Response) error {
+	switch {
+	case resp.Err == "":
+		return nil
+	case resp.Err == overloadedMsg:
+		hint := time.Duration(resp.RetryAfterMS) * time.Millisecond
+		if hint <= 0 {
+			hint = minBreakerHold
+		}
+		return fmt.Errorf("omosd: %w", &OverloadedError{RetryAfter: hint})
+	default:
+		return fmt.Errorf("omosd: %s", resp.Err)
+	}
+}

@@ -51,9 +51,26 @@ type GraphBackend interface {
 	Graph() string
 }
 
+// BatchBackend is optionally implemented by backends that can
+// instantiate a vector of meta-objects in one request
+// (OpInstantiateBatch).  done is called exactly once per index — from
+// any goroutine, in any order — as each item completes; err is nil on
+// success.  InstantiateBatch returns when every item has completed.
+type BatchBackend interface {
+	InstantiateBatch(paths []string, done func(i int, err error))
+}
+
 // DefaultDrainGrace is how long a draining server keeps answering
 // ErrDraining to retrying clients before closing their connections.
 const DefaultDrainGrace = 250 * time.Millisecond
+
+// DefaultHandlerPool bounds how many requests one multiplexed (v2)
+// connection may have in handlers at once.  When the pool is full the
+// connection's read loop blocks, so backpressure reaches the peer
+// through the transport instead of unbounded goroutine growth; the
+// admission gate behind the handlers still bounds total build
+// concurrency across all connections.
+const DefaultHandlerPool = 32
 
 // Server accepts protocol connections for a Backend and supports
 // graceful shutdown: stop accepting, let every in-flight request
@@ -65,6 +82,17 @@ type Server struct {
 
 	// DrainGrace overrides DefaultDrainGrace when set before Serve.
 	DrainGrace time.Duration
+
+	// HandlerPool overrides DefaultHandlerPool (per-connection
+	// concurrent handler bound for v2 connections) when set before
+	// Serve.
+	HandlerPool int
+
+	// DisableMux refuses protocol upgrades, emulating a legacy
+	// v1-only server: OpHello is answered "unknown operation" and
+	// every connection stays single-shot.  For wire-compat tests and
+	// staged rollouts.
+	DisableMux bool
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -197,6 +225,20 @@ func (s *Server) serveConn(conn net.Conn) {
 			// (*FrameError): all fatal to this connection only.
 			return
 		}
+		if req.Op == OpHello && !s.DisableMux {
+			// Protocol upgrade: acknowledge in v1 framing, then the
+			// connection switches to tagged v2 frames.  (A v1-only
+			// server falls through to handle(), whose unknown-op
+			// error tells the client to stay on v1.)
+			if err := s.faults.Fire(fault.SiteIPCWrite); err != nil {
+				return
+			}
+			if err := WriteFrame(conn, &Response{Text: protoVersionText, Flag: true}); err != nil {
+				return
+			}
+			s.serveMux(conn)
+			return
+		}
 		// Register in-flight under the lock: a request is either
 		// registered before Shutdown flips closed (and thus drained),
 		// or refused.
@@ -242,23 +284,28 @@ func Serve(l net.Listener, b Backend) error {
 	return NewServer(b).Serve(l)
 }
 
+// applyError records err on resp.  An admission-gate shed travels as
+// the overloaded sentinel plus the server's retry-after hint (matched
+// structurally so this package need not import the server's error
+// type); anything else travels as its text.
+func applyError(resp *Response, err error) {
+	var ra interface{ RetryAfterHint() time.Duration }
+	if errors.As(err, &ra) {
+		resp.Err = overloadedMsg
+		resp.RetryAfterMS = int64(ra.RetryAfterHint() / time.Millisecond)
+		if resp.RetryAfterMS < 1 {
+			resp.RetryAfterMS = 1
+		}
+		return
+	}
+	resp.Err = err.Error()
+}
+
 func (s *Server) handle(req *Request) *Response {
 	b := s.b
 	resp := &Response{}
 	fail := func(err error) *Response {
-		// An admission-gate shed travels as the overloaded sentinel
-		// plus the server's retry-after hint (matched structurally so
-		// this package need not import the server's error type).
-		var ra interface{ RetryAfterHint() time.Duration }
-		if errors.As(err, &ra) {
-			resp.Err = overloadedMsg
-			resp.RetryAfterMS = int64(ra.RetryAfterHint() / time.Millisecond)
-			if resp.RetryAfterMS < 1 {
-				resp.RetryAfterMS = 1
-			}
-			return resp
-		}
-		resp.Err = err.Error()
+		applyError(resp, err)
 		return resp
 	}
 	switch req.Op {
@@ -333,6 +380,28 @@ func (s *Server) handle(req *Request) *Response {
 			return fail(fmt.Errorf("backend does not expose a build graph"))
 		}
 		resp.Text = gb.Graph()
+	case OpInstantiateBatch:
+		// v1 aggregated form: the items still build concurrently
+		// server-side, but the outcomes travel in one response
+		// ("ok" or the error text, positionally).  v2 connections
+		// stream per-item completions instead (handleBatchMux).
+		bb, ok := b.(BatchBackend)
+		if !ok {
+			return fail(fmt.Errorf("backend does not support batch instantiation"))
+		}
+		outcomes := make([]string, len(req.Args))
+		bb.InstantiateBatch(req.Args, func(i int, err error) {
+			if i < 0 || i >= len(outcomes) {
+				return
+			}
+			if err != nil {
+				outcomes[i] = err.Error()
+			} else {
+				outcomes[i] = batchOK
+			}
+		})
+		resp.Paths = outcomes
+		resp.Final = true
 	default:
 		return fail(fmt.Errorf("unknown operation %q", req.Op))
 	}

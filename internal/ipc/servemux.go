@@ -1,0 +1,179 @@
+package ipc
+
+// Server side of the multiplexed (v2) protocol.  serveConn upgrades a
+// connection here after acknowledging OpHello: a read loop decodes
+// tagged requests and dispatches each into a bounded per-connection
+// handler pool, and completions are written back as they land — out
+// of order — under a send mutex.  The v1 robustness semantics hold
+// per tag instead of per connection: a draining server answers every
+// late tag with a clean ErrDraining, the inflight ledger spans every
+// admitted tag (so Shutdown waits for all of them), and a handler
+// panic is contained to its connection, never the accept loop.
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"omos/internal/fault"
+)
+
+// muxConn is the send half of one v2 connection: a persistent gob
+// encoder into a reused frame buffer, serialized by sendMu so
+// concurrent handlers interleave whole frames, never bytes.
+type muxConn struct {
+	conn   net.Conn
+	faults *fault.Set
+
+	sendMu sync.Mutex
+	enc    *gob.Encoder
+	sbuf   sendBuf
+}
+
+// write seals and sends one tagged completion in a single conn.Write.
+func (m *muxConn) write(tag uint64, resp *Response) error {
+	m.sendMu.Lock()
+	defer m.sendMu.Unlock()
+	m.sbuf.reset()
+	if err := m.enc.Encode(resp); err != nil {
+		return fmt.Errorf("ipc: encode: %w", err)
+	}
+	if m.sbuf.payloadLen() > maxFrame {
+		return fmt.Errorf("ipc: frame too large (%d bytes)", m.sbuf.payloadLen())
+	}
+	m.sbuf.seal(tag)
+	// Corrupt-kind rules at ipc.write damage the tag field in place:
+	// a deterministic tag-mismatch at the receiver without desyncing
+	// the gob payload stream (which damaged length bytes would).
+	copy(m.sbuf.tagBytes(), m.faults.Corrupt(fault.SiteIPCWrite, m.sbuf.tagBytes()))
+	_, err := m.conn.Write(m.sbuf.b)
+	return err
+}
+
+// handlerPool is the per-connection concurrent handler bound.
+func (s *Server) handlerPool() int {
+	if s.HandlerPool > 0 {
+		return s.HandlerPool
+	}
+	return DefaultHandlerPool
+}
+
+// serveMux runs one upgraded connection until it dies or the drain
+// deadline expires.  The read loop never handles requests itself:
+// each decoded request takes a pool slot (blocking when the pool is
+// saturated — backpressure reaches the peer through the transport)
+// and runs in its own goroutine, so a slow request never delays the
+// tags behind it.
+func (s *Server) serveMux(conn net.Conn) {
+	m := &muxConn{conn: conn, faults: s.faults}
+	m.enc = gob.NewEncoder(&m.sbuf)
+	feeder := &payloadFeeder{}
+	dec := gob.NewDecoder(feeder)
+	pool := make(chan struct{}, s.handlerPool())
+	var handlers sync.WaitGroup
+	defer func() {
+		// Close first so a handler blocked writing cannot stall the
+		// teardown, then wait so the connection is not unregistered
+		// (by serveConn) while handlers still reference it.
+		conn.Close()
+		handlers.Wait()
+	}()
+	var hdr [hdrSize]byte
+	var buf []byte
+	for {
+		if err := s.faults.Fire(fault.SiteIPCRead); err != nil {
+			return // simulated receive failure: drop the connection
+		}
+		tag, payload, err := readTagged(conn, &hdr, &buf)
+		if err != nil {
+			// EOF, a drain-deadline expiry, or a damaged frame: all
+			// fatal to this connection only.
+			return
+		}
+		feeder.set(payload)
+		req := new(Request)
+		if err := dec.Decode(req); err != nil {
+			return
+		}
+		// Admit under the lock: a tag is either in the inflight
+		// ledger before Shutdown flips closed (and thus drained), or
+		// refused per-tag with a clean draining answer.
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			if err := m.write(tag, &Response{Err: drainingMsg, Final: true}); err != nil {
+				return
+			}
+			continue
+		}
+		s.inflight.Add(1)
+		s.mu.Unlock()
+		pool <- struct{}{} // blocks when the pool is saturated
+		handlers.Add(1)
+		go s.handleTag(m, tag, req, pool, &handlers)
+	}
+}
+
+// handleTag runs one admitted request and writes its completion(s).
+func (s *Server) handleTag(m *muxConn, tag uint64, req *Request, pool chan struct{}, handlers *sync.WaitGroup) {
+	defer handlers.Done()
+	defer func() { <-pool }()
+	defer s.inflight.Done()
+	defer func() {
+		// An escaped panic (e.g. an injected write fault of kind
+		// panic) costs this connection, never the daemon: the
+		// response stream's integrity is unknown, so the connection
+		// is shut and the client fails every tag still parked on it.
+		if r := recover(); r != nil {
+			s.recovered.Add(1)
+			m.conn.Close()
+		}
+	}()
+	if req.Op == OpInstantiateBatch {
+		s.handleBatchMux(m, tag, req)
+		return
+	}
+	resp := s.safeHandle(req)
+	if err := s.faults.Fire(fault.SiteIPCWrite); err != nil {
+		m.conn.Close() // simulated send failure: completion lost, conn dropped
+		return
+	}
+	resp.Final = true
+	if err := m.write(tag, resp); err != nil {
+		m.conn.Close()
+		return
+	}
+}
+
+// handleBatchMux streams one batch request: every item lands as its
+// own tagged response (Index set, Final false) the moment the
+// executor finishes it — out of order, from concurrent goroutines —
+// and a Final summary closes the batch.  One inflight credit spans
+// the whole batch, so graceful drain waits for every item.  Per-item
+// failures (including admission sheds, which carry the retry-after
+// hint) stay per item and never abort siblings.
+func (s *Server) handleBatchMux(m *muxConn, tag uint64, req *Request) {
+	bb, ok := s.b.(BatchBackend)
+	if !ok {
+		m.write(tag, &Response{Err: "backend does not support batch instantiation", Final: true})
+		return
+	}
+	bb.InstantiateBatch(req.Args, func(i int, err error) {
+		resp := &Response{Index: i}
+		if err != nil {
+			applyError(resp, err)
+		}
+		// A dead connection fails every write; the batch still runs
+		// to completion server-side (the work is cache-warming — not
+		// wasted).
+		m.write(tag, resp)
+	})
+	if err := s.faults.Fire(fault.SiteIPCWrite); err != nil {
+		m.conn.Close()
+		return
+	}
+	if err := m.write(tag, &Response{Final: true}); err != nil {
+		m.conn.Close()
+	}
+}

@@ -81,6 +81,10 @@ type CostModel struct {
 	IPCRoundTrip uint64
 	// IPCPerByte prices message payload transfer.
 	IPCPerByte uint64
+	// IPCBatchItem prices one item inside a batched request
+	// (OpInstantiateBatch): the per-item dispatch share of a single
+	// exchange, far below a full round trip — the point of batching.
+	IPCBatchItem uint64
 
 	// ServerCacheLookup prices the server finding a cached image for a
 	// meta-object + specialization (server time).
@@ -141,6 +145,7 @@ func DefaultCost() CostModel {
 
 		IPCRoundTrip: 34000,
 		IPCPerByte:   2,
+		IPCBatchItem: 800,
 
 		ServerCacheLookup:  1200,
 		ServerMapSegment:   600,

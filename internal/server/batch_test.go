@@ -1,0 +1,88 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func defineBatchWorkload(t *testing.T, s *Server, n int) []string {
+	t.Helper()
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("/bin/b%d", i)
+		src := fmt.Sprintf(`(merge /lib/crt0.o (source "c" "int main() { return %d; }"))`, i+1)
+		if err := s.Define(name, src); err != nil {
+			t.Fatal(err)
+		}
+		names[i] = name
+	}
+	return names
+}
+
+func TestInstantiateBatchWarmsCache(t *testing.T) {
+	s := newTestServer(t)
+	names := defineBatchWorkload(t, s, 6)
+
+	var mu sync.Mutex
+	got := map[int]error{}
+	s.InstantiateBatch(context.Background(), names, nil, func(i int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if _, dup := got[i]; dup {
+			t.Errorf("done called twice for item %d", i)
+		}
+		got[i] = err
+	})
+	if len(got) != len(names) {
+		t.Fatalf("%d completions for %d items", len(got), len(names))
+	}
+	for i, err := range got {
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+	}
+	built := s.Stats().ImagesBuilt
+
+	// Every image is now cached: instantiating again builds nothing.
+	for _, name := range names {
+		if _, err := s.Instantiate(name, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := s.Stats().ImagesBuilt; after != built {
+		t.Fatalf("warm instantiations rebuilt images: %d -> %d", built, after)
+	}
+}
+
+func TestInstantiateBatchPerItemFailure(t *testing.T) {
+	s := newTestServer(t)
+	names := defineBatchWorkload(t, s, 2)
+	names = append(names, "/bin/missing")
+
+	var mu sync.Mutex
+	got := map[int]error{}
+	s.InstantiateBatch(context.Background(), names, nil, func(i int, err error) {
+		mu.Lock()
+		got[i] = err
+		mu.Unlock()
+	})
+	if got[0] != nil || got[1] != nil {
+		t.Fatalf("healthy items failed: %v %v", got[0], got[1])
+	}
+	if got[2] == nil {
+		t.Fatal("missing meta-object did not fail its item")
+	}
+}
+
+func TestInstantiateBatchChargesRequester(t *testing.T) {
+	s := newTestServer(t)
+	names := defineBatchWorkload(t, s, 3)
+	p := s.Kernel().Spawn()
+	s.InstantiateBatch(context.Background(), names, p, func(int, error) {})
+	want := uint64(len(names)) * s.Kernel().Cost.IPCBatchItem
+	if p.Clock.Server < want {
+		t.Fatalf("requester charged %d server cycles, want >= %d", p.Clock.Server, want)
+	}
+}
