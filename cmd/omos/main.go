@@ -28,11 +28,18 @@
 //	                            meta-objects in one batched request;
 //	                            per-item results, exit 1 on any failure
 //	dis <path>                  disassemble a stored object
+//	explain <symbol>            binding provenance: which definer each
+//	                            cached image binds the symbol to, how
+//	                            it was resolved, at which generation
 //	stats                       server and memory statistics
 //	health                      daemon liveness + robustness counters
 //	                            (exits 1 when draining or degraded)
 //	graph                       build-graph report: node counters,
 //	                            recent instantiation runs, event tail
+//
+// -allow-rebind makes define/define-lib/rm explicit about re-binding:
+// without it the daemon refuses any mutation that would silently
+// re-bind a live program's symbol to a different definer.
 package main
 
 import (
@@ -50,6 +57,7 @@ func main() {
 	connectTimeout := flag.Duration("connect-timeout", ipc.DefaultOptions.ConnectTimeout, "dial deadline (0: none)")
 	retries := flag.Int("retries", ipc.DefaultOptions.Retries, "retry attempts for idempotent operations")
 	backoff := flag.Duration("backoff", ipc.DefaultOptions.Backoff, "initial retry backoff (doubles per attempt)")
+	allowRebind := flag.Bool("allow-rebind", false, "let define/define-lib/rm re-bind symbols of live programs")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -89,7 +97,7 @@ func main() {
 		if cmd == "define-lib" {
 			op = ipc.OpDefineLib
 		}
-		call(c, &ipc.Request{Op: op, Path: rest[0], Text: text})
+		call(c, &ipc.Request{Op: op, Path: rest[0], Text: text, AllowRebind: *allowRebind})
 	case "asm":
 		if len(rest) != 2 {
 			usage()
@@ -116,7 +124,7 @@ func main() {
 		if len(rest) != 1 {
 			usage()
 		}
-		call(c, &ipc.Request{Op: ipc.OpRemove, Path: rest[0]})
+		call(c, &ipc.Request{Op: ipc.OpRemove, Path: rest[0], AllowRebind: *allowRebind})
 	case "run", "run-boot":
 		if len(rest) < 1 {
 			usage()
@@ -155,6 +163,12 @@ func main() {
 			usage()
 		}
 		resp := call(c, &ipc.Request{Op: ipc.OpDisasm, Path: rest[0]})
+		fmt.Print(resp.Text)
+	case "explain":
+		if len(rest) != 1 {
+			usage()
+		}
+		resp := call(c, &ipc.Request{Op: ipc.OpExplain, Path: rest[0]})
 		fmt.Print(resp.Text)
 	case "stats":
 		resp := call(c, &ipc.Request{Op: ipc.OpStats})
@@ -210,10 +224,11 @@ func fatal(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: omos [-server addr] [-timeout D] [-retries N] <command> [args]
+	fmt.Fprintln(os.Stderr, `usage: omos [-server addr] [-timeout D] [-retries N] [-allow-rebind] <command> [args]
 commands: ping | ls [prefix] | define <path> <file> | define-lib <path> <file>
           asm <path> <file.s> | cc <dir> <unit> <file.c> | put <path> <file.rof>
           rm <path> | run <path> [args...] | run-boot <path> [args...]
-          instantiate <path>... | dis <path> | stats | health | graph`)
+          instantiate <path>... | dis <path> | explain <symbol>
+          stats | health | graph`)
 	os.Exit(2)
 }

@@ -9,8 +9,8 @@
 //
 // Table ids: 1a 1b 1c 1d reorder memory linktime cache constraints
 // schemes binding cacheoff monitor clients warmrestart concurrency
-// degraded rebase buildgraph soak ipcmux all.  -list prints every table id
-// with a
+// degraded rebase buildgraph resolution soak ipcmux all.  -list prints
+// every table id with a
 // one-line description and exits.  -json additionally writes every
 // table that ran to the given path as JSON (table -> rows -> metric
 // map), for CI artifacts and offline comparison.
@@ -67,6 +67,7 @@ func main() {
 		{"degraded", "degraded store: warm-hit latency under 1% injected read faults", bench.Degraded},
 		{"rebase", "rebase fast path: full relink vs slide at 1/4/16 distinct bases", bench.Rebase},
 		{"buildgraph", "checkpointed build graph: cold build vs crash-resume at 25/50/75%", bench.Buildgraph},
+		{"resolution", "stable resolution cache: symbol search vs binding replay vs invalidation", bench.Resolution},
 		{"soak", "overload soak: shed rate and latency at 1x/4x/16x saturation (wall clock)", bench.Soak},
 		{"ipcmux", "tagged pipelining: ops/sec on one connection, serial v1 vs pipelined v2", bench.IPCMux},
 	}

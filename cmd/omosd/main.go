@@ -13,6 +13,7 @@
 //	      [-handlers-per-conn N]
 //	omosd -health [-listen addr]
 //	omosd -graph [-listen addr]
+//	omosd -list-faults
 //
 // With -workloads the daemon boots with the evaluation workloads
 // preinstalled (/bin/ls, /bin/codegen, /lib/libc, ...).
@@ -46,7 +47,10 @@
 // fault injection for resilience drills.  The spec syntax is
 // "site:kind[:p=P|n=N][:count=C][:delay=D]" entries joined by ';',
 // e.g. "store.read:error:p=0.01" or "build.link:panic:n=100:count=1".
-// -fault-seed makes probabilistic rules reproducible.
+// -fault-seed makes probabilistic rules reproducible.  -list-faults
+// prints every injectable site and kind the build knows and exits —
+// the authoritative registry for drill scripts and the fault-matrix
+// test.
 //
 // On SIGINT/SIGTERM the daemon shuts down gracefully: it stops
 // accepting, lets in-flight requests finish, answers stragglers with
@@ -67,6 +71,7 @@ import (
 
 	"omos"
 	"omos/internal/daemon"
+	"omos/internal/fault"
 	"omos/internal/ipc"
 	"omos/internal/workload"
 )
@@ -78,6 +83,7 @@ func main() {
 	storeMax := flag.Int64("store-max-bytes", 0, "image store capacity in bytes (0: unlimited)")
 	health := flag.Bool("health", false, "query a running daemon's health and exit")
 	graph := flag.Bool("graph", false, "query a running daemon's build-graph report and exit")
+	listFaults := flag.Bool("list-faults", false, "print every injectable fault site and kind, then exit")
 	faults := flag.String("faults", os.Getenv("OMOS_FAULTS"),
 		"fault-injection spec, e.g. \"store.read:error:p=0.01;build.link:panic:n=100\" (default $OMOS_FAULTS)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault rules")
@@ -96,6 +102,13 @@ func main() {
 	}
 	if *graph {
 		os.Exit(queryGraph(*listen))
+	}
+	if *listFaults {
+		// The registry dump needs no daemon: it is the build's own
+		// fault surface, the ground truth the fault-matrix test pins.
+		fmt.Printf("sites: %s\n", strings.Join(fault.Sites(), " "))
+		fmt.Printf("kinds: %s\n", strings.Join(fault.Kinds(), " "))
+		os.Exit(0)
 	}
 
 	sys, err := omos.NewSystemWith(omos.Options{

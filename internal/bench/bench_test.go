@@ -338,3 +338,32 @@ func TestBuildgraphShape(t *testing.T) {
 	}
 	t.Log("\n" + tab.Format())
 }
+
+func TestResolutionShape(t *testing.T) {
+	tab, err := Resolution(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("row count = %d, want 4\n%s", len(tab.Rows), tab.Format())
+	}
+	miss, hit, inv := &tab.Rows[1], &tab.Rows[2], &tab.Rows[3]
+	// The replayed relink must beat the identical relink that was
+	// forced to re-search — that delta is what the binding cache buys.
+	if hit.Clock.Server >= miss.Clock.Server {
+		t.Errorf("binding hit %d cycles, want < forced miss %d", hit.Clock.Server, miss.Clock.Server)
+	}
+	if hit.Extra["symbol-searches"] != 0 {
+		t.Errorf("binding hit row searched %v symbols, want 0", hit.Extra["symbol-searches"])
+	}
+	if hit.Extra["binding-hits"] <= 0 {
+		t.Errorf("binding hit row recorded no hits")
+	}
+	if miss.Extra["symbol-searches"] <= 0 || tab.Rows[0].Extra["symbol-searches"] <= 0 {
+		t.Errorf("search rows recorded no symbol searches")
+	}
+	if inv.Extra["binding-invalidations"] <= 0 || inv.Extra["symbol-searches"] <= 0 {
+		t.Errorf("invalidation row did not invalidate and re-search: %v", inv.Extra)
+	}
+	t.Log("\n" + tab.Format())
+}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+
+	"omos/internal/fault"
+	"omos/internal/osim"
+	"omos/internal/server"
+	"omos/internal/workload"
+)
+
+// Resolution measures what the stable resolution cache buys a relink:
+// the same program image is rebuilt three times — first resolution
+// (cold symbol search), a forced binding miss (the search again), and
+// a binding hit (the recorded table replays with direct definer
+// lookups, zero symbol searches) — plus the invalidation row, where a
+// permitted library mutation makes the recorded table stale and the
+// server detects it and re-searches rather than replaying garbage.
+func Resolution(cfg Config) (*Table, error) {
+	t := &Table{ID: "resolution",
+		Title: fmt.Sprintf("stable resolution cache: symbol search vs binding replay (%d libs + program)", graphLibs),
+		Iters: 1,
+		Notes: []string{
+			"rows 2-4 relink the evicted program against cached libraries, so only",
+			"the resolution strategy differs; the miss row is forced with an",
+			"injected resolve.cache fault; the invalidation row follows an allowed",
+			"library redefine (rebind guard passed with the explicit allow flag)",
+		}}
+
+	ow, err := workload.SetupOMOS(cfg.CG)
+	if err != nil {
+		return nil, err
+	}
+	srv := ow.Srv
+	if err := defineGraphWorld(srv); err != nil {
+		return nil, err
+	}
+
+	instantiate := func() (uint64, server.Stats, error) {
+		p := ow.Kern.Spawn()
+		defer p.Release()
+		if _, err := srv.Instantiate("/bin/bgraph", p); err != nil {
+			return 0, server.Stats{}, err
+		}
+		return p.Clock.Server, srv.Stats(), nil
+	}
+
+	// Row 1: the cold build — every library plus the program, resolved
+	// by the full symbol search.
+	base := srv.Stats()
+	cycles, st, err := instantiate()
+	if err != nil {
+		return nil, err
+	}
+	if st.SymbolSearches == base.SymbolSearches || st.BindingHits != base.BindingHits {
+		return nil, fmt.Errorf("bench resolution: cold stats %+v", st)
+	}
+	t.Rows = append(t.Rows, Row{Label: "cold build (first resolution, search)",
+		Clock: osim.Clock{Server: cycles},
+		Extra: map[string]float64{
+			"symbol-searches": float64(st.SymbolSearches - base.SymbolSearches),
+			"binding-misses":  float64(st.BindingMisses - base.BindingMisses),
+		}})
+
+	// Row 2: relink with a forced binding miss — the injected
+	// resolve.cache fault degrades the lookup, so the relink pays the
+	// symbol search again.
+	if n := srv.Evict("/bin/bgraph"); n == 0 {
+		return nil, fmt.Errorf("bench resolution: nothing evicted")
+	}
+	f := fault.New(1)
+	f.Enable(fault.Rule{Site: fault.SiteResolveCache, Kind: fault.KindError, EveryN: 1, Count: 1})
+	srv.SetFaults(f)
+	prev := st
+	missCycles, st2, err := instantiate()
+	if err != nil {
+		return nil, err
+	}
+	if st2.SymbolSearches == prev.SymbolSearches {
+		return nil, fmt.Errorf("bench resolution: forced miss did not re-search")
+	}
+	t.Rows = append(t.Rows, Row{Label: "relink, binding miss (search)",
+		Clock: osim.Clock{Server: missCycles},
+		Extra: map[string]float64{
+			"symbol-searches": float64(st2.SymbolSearches - prev.SymbolSearches),
+			"binding-misses":  float64(st2.BindingMisses - prev.BindingMisses),
+		}})
+
+	// Row 3: the same relink with the binding cache hitting — the
+	// acceptance criterion: zero symbol searches, measurably cheaper.
+	if n := srv.Evict("/bin/bgraph"); n == 0 {
+		return nil, fmt.Errorf("bench resolution: nothing evicted")
+	}
+	prev = st2
+	hitCycles, st3, err := instantiate()
+	if err != nil {
+		return nil, err
+	}
+	if st3.SymbolSearches != prev.SymbolSearches {
+		return nil, fmt.Errorf("bench resolution: warm relink searched %d symbols, want 0",
+			st3.SymbolSearches-prev.SymbolSearches)
+	}
+	if st3.BindingHits == prev.BindingHits {
+		return nil, fmt.Errorf("bench resolution: warm relink did not hit the binding cache")
+	}
+	if hitCycles >= missCycles {
+		return nil, fmt.Errorf("bench resolution: replay (%d cycles) not cheaper than search (%d cycles)",
+			hitCycles, missCycles)
+	}
+	t.Rows = append(t.Rows, Row{Label: "relink, binding hit (replay)",
+		Clock: osim.Clock{Server: hitCycles},
+		Extra: map[string]float64{
+			"symbol-searches": 0,
+			"binding-hits":    float64(st3.BindingHits - prev.BindingHits),
+		}})
+
+	// Row 4: invalidation after mutation — an allowed library redefine
+	// makes the recorded table stale; the next build must detect the
+	// staleness (counted) and re-search, never replay the old binding.
+	if err := srv.DefineLibraryAllow("/lib/bglib1",
+		"(constraint-list \"T\" 0x8400000 \"D\" 0x48400000)\n"+
+			"(source \"c\" \"int bval1 = 2; int bfn1(int x) { return x + bval1; }\")",
+		true); err != nil {
+		return nil, err
+	}
+	prev = st3
+	invCycles, st4, err := instantiate()
+	if err != nil {
+		return nil, err
+	}
+	if st4.BindingInvalidations == prev.BindingInvalidations {
+		return nil, fmt.Errorf("bench resolution: library mutation not detected as invalidation")
+	}
+	if st4.RebindsAllowed == 0 {
+		return nil, fmt.Errorf("bench resolution: allowed rebind not counted")
+	}
+	t.Rows = append(t.Rows, Row{Label: "relink after library mutation (invalidate + re-search)",
+		Clock: osim.Clock{Server: invCycles},
+		Extra: map[string]float64{
+			"binding-invalidations": float64(st4.BindingInvalidations - prev.BindingInvalidations),
+			"symbol-searches":       float64(st4.SymbolSearches - prev.SymbolSearches),
+			"rebinds-allowed":       float64(st4.RebindsAllowed),
+		}})
+	return t, nil
+}

@@ -23,10 +23,12 @@ type Backend struct {
 }
 
 var (
-	_ ipc.Backend       = (*Backend)(nil)
-	_ ipc.HealthBackend = (*Backend)(nil)
-	_ ipc.GraphBackend  = (*Backend)(nil)
-	_ ipc.BatchBackend  = (*Backend)(nil)
+	_ ipc.Backend        = (*Backend)(nil)
+	_ ipc.HealthBackend  = (*Backend)(nil)
+	_ ipc.GraphBackend   = (*Backend)(nil)
+	_ ipc.BatchBackend   = (*Backend)(nil)
+	_ ipc.ExplainBackend = (*Backend)(nil)
+	_ ipc.RebindBackend  = (*Backend)(nil)
 )
 
 // New wraps a system.
@@ -85,6 +87,28 @@ func (b *Backend) List(prefix string) []string { return b.Sys.List(prefix) }
 
 // Remove implements ipc.Backend.
 func (b *Backend) Remove(path string) { b.Sys.Srv.Remove(path) }
+
+// DefineAllow implements ipc.RebindBackend: Define carrying the
+// request's explicit-rebind flag through to the server's guard.
+func (b *Backend) DefineAllow(path, bp string, allow bool) error {
+	return b.Sys.Srv.DefineAllow(path, bp, allow)
+}
+
+// DefineLibraryAllow implements ipc.RebindBackend.
+func (b *Backend) DefineLibraryAllow(path, bp string, allow bool) error {
+	return b.Sys.Srv.DefineLibraryAllow(path, bp, allow)
+}
+
+// RemoveAllow implements ipc.RebindBackend.
+func (b *Backend) RemoveAllow(path string, allow bool) error {
+	return b.Sys.Srv.RemoveAllow(path, allow)
+}
+
+// Explain implements ipc.ExplainBackend: the binding audit trail
+// behind `omos explain`.
+func (b *Backend) Explain(sym string) (string, error) {
+	return b.Sys.Srv.Explain(sym)
+}
 
 // Run implements ipc.Backend.
 func (b *Backend) Run(name string, args []string, bootstrap bool) (ipc.RunOutcome, error) {
@@ -203,11 +227,14 @@ func (b *Backend) Stats() string {
 			"rebase: slides=%d misses=%d patches=%d dirty-pages=%d shared-pages=%d\n"+
 			"memory: frames=%d resident=%dKB shared-frames=%d saved=%dKB\n"+
 			"store: warm-loaded=%d loads=%d stores=%d evictions=%d corrupt=%d bytes=%d\n"+
-			"graph: built=%d cached=%d resumed=%d failed=%d checkpoints=%d ckpt-failed=%d ckpt-bytes=%d\n",
+			"graph: built=%d cached=%d resumed=%d failed=%d checkpoints=%d ckpt-failed=%d ckpt-bytes=%d\n"+
+			"resolve: searches=%d hits=%d misses=%d invalidations=%d pin-violations=%d rebinds-blocked=%d rebinds-allowed=%d\n",
 		srv.CacheHits, srv.CacheMisses, srv.ImagesBuilt, srv.RelocsApplied, srv.BuildCycles,
 		srv.Rebases, srv.RebaseMiss, srv.RebasePatches, srv.RebaseDirtyPages, srv.RebaseSharedPages,
 		st.Frames, st.Bytes()/1024, st.SharedFrames, st.SavedBytes()/1024,
 		srv.WarmLoaded, srv.StoreLoads, srv.StoreStores, srv.StoreEvictions, srv.StoreCorrupt, srv.StoreBytes,
 		srv.NodesBuilt, srv.NodesCached, srv.NodesResumed, srv.NodesFailed,
-		srv.NodesCheckpointed, srv.CheckpointsFailed, srv.CheckpointBytes)
+		srv.NodesCheckpointed, srv.CheckpointsFailed, srv.CheckpointBytes,
+		srv.SymbolSearches, srv.BindingHits, srv.BindingMisses, srv.BindingInvalidations,
+		srv.PinViolations, srv.RebindsBlocked, srv.RebindsAllowed)
 }

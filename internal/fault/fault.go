@@ -114,6 +114,17 @@ const (
 	// SiteFrameMake fires in the kernel frame table when a shared
 	// segment is materialized.
 	SiteFrameMake = "osim.frame"
+	// SiteResolveCache fires in the server's binding-cache lookup —
+	// a corrupt or missing persisted binding record.  The cache is
+	// best-effort: a triggered fault degrades the lookup to a miss and
+	// resolution falls back to the full symbol search.
+	SiteResolveCache = "resolve.cache"
+	// SiteNamespaceHijack fires inside the pin verification that runs
+	// at map and warm-restart time: an injected definer swap that the
+	// provenance check must catch.  Unlike SiteResolveCache this is a
+	// hard failure — the pinned image is rejected (and quarantined),
+	// never silently re-bound.
+	SiteNamespaceHijack = "namespace.hijack"
 )
 
 // Sites returns every registered site name, sorted.
@@ -122,9 +133,16 @@ func Sites() []string {
 		SiteBuildEval, SiteBuildLink,
 		SiteCheckpoint,
 		SiteIPCRead, SiteIPCWrite,
+		SiteNamespaceHijack,
 		SiteFrameMake,
+		SiteResolveCache,
 		SiteStoreRead, SiteStoreRename, SiteStoreScrub, SiteStoreWrite,
 	}
+}
+
+// Kinds returns every fault kind's spec-syntax name, sorted.
+func Kinds() []string {
+	return []string{"corrupt", "delay", "error", "panic"}
 }
 
 // knownSite reports whether name is a registered injection site.

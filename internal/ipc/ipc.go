@@ -61,6 +61,7 @@ const (
 	OpGetObject Op = "get-object" // Path; returns encoded ROF bytes
 	OpHealth    Op = "health"     // liveness + robustness counters
 	OpGraph     Op = "graph"      // build-graph report (runs, nodes, events)
+	OpExplain   Op = "explain"    // Path (symbol name); binding audit trail
 	// OpHello negotiates the protocol version: Text carries the
 	// client's requested version ("2"); a capable server acknowledges
 	// with Flag set and the connection switches to tagged v2 framing.
@@ -99,6 +100,12 @@ type Request struct {
 	Text string
 	Args []string
 	Blob []byte
+	// AllowRebind makes a namespace mutation (define/define-lib/remove)
+	// explicit about re-binding: without it the daemon rejects any
+	// mutation that would silently re-bind a live program's symbol to a
+	// different definer (see ErrRebindBlocked).  (gob tolerates the
+	// field's absence, so old peers interoperate.)
+	AllowRebind bool
 }
 
 // HealthInfo is the payload of OpHealth: enough to tell a live,
@@ -166,6 +173,11 @@ type Response struct {
 	// fields, so v1 peers interoperate.)
 	Index int
 	Final bool
+	// Rebind and Pin carry the structured detail of a typed rebind /
+	// pin-violation rejection (Err is rebindMsg / pinViolationMsg).
+	// (gob tolerates absent fields, so old peers interoperate.)
+	Rebind *RebindInfo
+	Pin    *PinInfo
 }
 
 // maxFrame bounds a single message (largest realistic payload is a
@@ -204,6 +216,79 @@ func (e *OverloadedError) Error() string {
 
 // Is lets errors.Is(err, ErrOverloaded) match.
 func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
+
+// rebindMsg is the wire form of a rebind rejection: a namespace
+// mutation that would silently re-bind a live program's symbol to a
+// different definer, refused because the request did not set
+// AllowRebind.
+const rebindMsg = "rebind blocked"
+
+// ErrRebindBlocked is the sentinel for rebind rejections: match with
+// errors.Is.  The concrete error is a *RebindError carrying the
+// mutation, the program, and the symbol at stake.
+var ErrRebindBlocked = errors.New("ipc: rebind blocked")
+
+// RebindInfo is the structured detail of a rebind rejection.
+type RebindInfo struct {
+	Mutation string // "define", "remove", "mount", "unmount"
+	Path     string // the path or prefix being mutated
+	Program  string // an image whose resolution would change
+	Symbol   string // one symbol bound through the mutated path
+	Definer  string // its current definer
+}
+
+// RebindError is the typed client-side form of a rebind rejection.
+// Repeat the mutation with AllowRebind set to make it explicit.
+type RebindError struct {
+	RebindInfo
+}
+
+func (e *RebindError) Error() string {
+	if e.Program == "" {
+		return "ipc: rebind blocked (set AllowRebind to proceed)"
+	}
+	return fmt.Sprintf("ipc: %s %s blocked: would re-bind %q of %s away from %s (set AllowRebind to proceed)",
+		e.Mutation, e.Path, e.Symbol, e.Program, e.Definer)
+}
+
+// Is lets errors.Is(err, ErrRebindBlocked) match.
+func (e *RebindError) Is(target error) bool { return target == ErrRebindBlocked }
+
+// pinViolationMsg is the wire form of a pin violation: a pinned image
+// whose library identities no longer match what it was linked
+// against, rejected and quarantined by the loader instead of run.
+const pinViolationMsg = "pin violation"
+
+// ErrPinViolation is the sentinel for pin violations: match with
+// errors.Is.  The concrete error is a *PinViolationError.
+var ErrPinViolation = errors.New("ipc: pin violation")
+
+// PinInfo is the structured detail of a pin violation.
+type PinInfo struct {
+	Image string // the pinned image that was rejected
+	Lib   string // the library whose identity mismatched
+	Field string // which identity: "content-key", "checksum", "lib-key", "libs", "injected"
+	Want  string
+	Got   string
+}
+
+// PinViolationError is the typed client-side form of a pin violation.
+// The offending image was quarantined; retrying rebuilds and re-pins
+// it from source.
+type PinViolationError struct {
+	PinInfo
+}
+
+func (e *PinViolationError) Error() string {
+	if e.Image == "" {
+		return "ipc: pin violation (image quarantined; retry rebuilds)"
+	}
+	return fmt.Sprintf("ipc: pin violation: %s library %s %s mismatch (pinned %s, found %s); image quarantined, retry rebuilds",
+		e.Image, e.Lib, e.Field, e.Want, e.Got)
+}
+
+// Is lets errors.Is(err, ErrPinViolation) match.
+func (e *PinViolationError) Is(target error) bool { return target == ErrPinViolation }
 
 // FrameError reports a damaged protocol frame: truncated mid-message,
 // an oversized length prefix, or a payload gob cannot decode.  The
@@ -527,6 +612,24 @@ func (c *Client) CallCtx(ctx context.Context, req *Request) (*Response, error) {
 					continue
 				}
 				return resp, fmt.Errorf("omosd: %w", &OverloadedError{RetryAfter: hold})
+			case resp.Err == rebindMsg:
+				// Typed refusal: the mutation needs an explicit
+				// AllowRebind.  The server is healthy.
+				c.resetBreaker()
+				re := &RebindError{}
+				if resp.Rebind != nil {
+					re.RebindInfo = *resp.Rebind
+				}
+				return resp, fmt.Errorf("omosd: %w", re)
+			case resp.Err == pinViolationMsg:
+				// Typed refusal: the hijack defense rejected a pinned
+				// image.  Retrying is the caller's choice (it rebuilds).
+				c.resetBreaker()
+				pe := &PinViolationError{}
+				if resp.Pin != nil {
+					pe.PinInfo = *resp.Pin
+				}
+				return resp, fmt.Errorf("omosd: %w", pe)
 			case resp.Err != "":
 				// Any ordinary application error still proves the
 				// server is answering; a half-open probe may close the

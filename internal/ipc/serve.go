@@ -51,6 +51,25 @@ type GraphBackend interface {
 	Graph() string
 }
 
+// ExplainBackend is optionally implemented by backends that can
+// report the binding audit trail for a symbol (OpExplain); OpExplain
+// answers an error when the backend cannot.
+type ExplainBackend interface {
+	Explain(sym string) (string, error)
+}
+
+// RebindBackend is optionally implemented by backends that enforce
+// the rebind guard: namespace mutations carry the request's
+// AllowRebind flag so a mutation that would silently re-bind a live
+// program's symbol is refused unless the caller made it explicit.
+// Without it, OpDefine/OpDefineLib/OpRemove fall back to the plain
+// Backend methods (no guard at the wire level).
+type RebindBackend interface {
+	DefineAllow(path, blueprint string, allow bool) error
+	DefineLibraryAllow(path, blueprint string, allow bool) error
+	RemoveAllow(path string, allow bool) error
+}
+
 // BatchBackend is optionally implemented by backends that can
 // instantiate a vector of meta-objects in one request
 // (OpInstantiateBatch).  done is called exactly once per index — from
@@ -285,9 +304,11 @@ func Serve(l net.Listener, b Backend) error {
 }
 
 // applyError records err on resp.  An admission-gate shed travels as
-// the overloaded sentinel plus the server's retry-after hint (matched
-// structurally so this package need not import the server's error
-// type); anything else travels as its text.
+// the overloaded sentinel plus the server's retry-after hint; a
+// rebind rejection or pin violation travels as its sentinel plus the
+// structured detail (all matched structurally so this package need
+// not import the server's error types); anything else travels as its
+// text.
 func applyError(resp *Response, err error) {
 	var ra interface{ RetryAfterHint() time.Duration }
 	if errors.As(err, &ra) {
@@ -296,6 +317,24 @@ func applyError(resp *Response, err error) {
 		if resp.RetryAfterMS < 1 {
 			resp.RetryAfterMS = 1
 		}
+		return
+	}
+	var rb interface {
+		RebindDetail() (mutation, path, program, symbol, definer string)
+	}
+	if errors.As(err, &rb) {
+		m, p, prog, sym, def := rb.RebindDetail()
+		resp.Err = rebindMsg
+		resp.Rebind = &RebindInfo{Mutation: m, Path: p, Program: prog, Symbol: sym, Definer: def}
+		return
+	}
+	var pv interface {
+		PinDetail() (image, lib, field, want, got string)
+	}
+	if errors.As(err, &pv) {
+		img, lib, field, want, got := pv.PinDetail()
+		resp.Err = pinViolationMsg
+		resp.Pin = &PinInfo{Image: img, Lib: lib, Field: field, Want: want, Got: got}
 		return
 	}
 	resp.Err = err.Error()
@@ -312,11 +351,19 @@ func (s *Server) handle(req *Request) *Response {
 	case OpPing:
 		resp.Text = "omos server: alive"
 	case OpDefine:
-		if err := b.Define(req.Path, req.Text); err != nil {
+		if rb, ok := b.(RebindBackend); ok {
+			if err := rb.DefineAllow(req.Path, req.Text, req.AllowRebind); err != nil {
+				return fail(err)
+			}
+		} else if err := b.Define(req.Path, req.Text); err != nil {
 			return fail(err)
 		}
 	case OpDefineLib:
-		if err := b.DefineLibrary(req.Path, req.Text); err != nil {
+		if rb, ok := b.(RebindBackend); ok {
+			if err := rb.DefineLibraryAllow(req.Path, req.Text, req.AllowRebind); err != nil {
+				return fail(err)
+			}
+		} else if err := b.DefineLibrary(req.Path, req.Text); err != nil {
 			return fail(err)
 		}
 	case OpPutObject:
@@ -336,7 +383,13 @@ func (s *Server) handle(req *Request) *Response {
 	case OpList:
 		resp.Paths = b.List(req.Path)
 	case OpRemove:
-		b.Remove(req.Path)
+		if rb, ok := b.(RebindBackend); ok {
+			if err := rb.RemoveAllow(req.Path, req.AllowRebind); err != nil {
+				return fail(err)
+			}
+		} else {
+			b.Remove(req.Path)
+		}
 	case OpRun, OpRunBoot:
 		out, err := b.Run(req.Path, req.Args, req.Op == OpRunBoot)
 		if err != nil {
@@ -380,6 +433,16 @@ func (s *Server) handle(req *Request) *Response {
 			return fail(fmt.Errorf("backend does not expose a build graph"))
 		}
 		resp.Text = gb.Graph()
+	case OpExplain:
+		eb, ok := b.(ExplainBackend)
+		if !ok {
+			return fail(fmt.Errorf("backend does not expose binding provenance"))
+		}
+		text, err := eb.Explain(req.Path)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Text = text
 	case OpInstantiateBatch:
 		// v1 aggregated form: the items still build concurrently
 		// server-side, but the outcomes travel in one response

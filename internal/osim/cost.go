@@ -108,6 +108,14 @@ type CostModel struct {
 	// server's worker pool (queue + join bookkeeping, charged to the
 	// requester like the cache lookup).
 	ServerNodeSchedule uint64
+	// ServerSymbolSearch prices probing one library's export table for
+	// one undefined symbol during cold resolution (the classic symbol
+	// search: undefined symbols x libraries examined in link order).
+	ServerSymbolSearch uint64
+	// ServerBindingBind prices replaying one cached binding on the warm
+	// resolution path: a direct definer lookup instead of a search, far
+	// below probes * ServerSymbolSearch.
+	ServerBindingBind uint64
 
 	// StoreLoadPerByte prices reading one byte of a persisted image
 	// blob at warm boot (server time, charged to the kernel total —
@@ -153,6 +161,8 @@ func DefaultCost() CostModel {
 		ServerBuildRecord:  50,
 		ServerRebasePatch:  60,
 		ServerNodeSchedule: 30,
+		ServerSymbolSearch: 45,
+		ServerBindingBind:  8,
 
 		StoreLoadPerByte:  6,
 		StoreWritePerByte: 8,

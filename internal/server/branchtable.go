@@ -88,7 +88,7 @@ func (s *Server) buildBranchTableLib(ctx context.Context, dep mgraph.LibDep, v *
 		// Branch-table libraries stay out of the rebase path (empty
 		// content key): their per-process slot patching is placement
 		// metadata the slide does not model.
-		inst, err := s.materialize(key, "", "lib:"+dep.Path, res, libs, c)
+		inst, err := s.materialize(key, "", "", "lib:"+dep.Path, res, libs, c)
 		if err != nil {
 			return nil, err
 		}

@@ -227,7 +227,14 @@ func TestConcurrentRemoveRedefineRebuilds(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	s.Remove("/lib/rl")
+	// Removing a live definer trips the rebind guard; the explicit
+	// allow flag makes the remove+redefine a deliberate update.
+	if err := s.Remove("/lib/rl"); err == nil {
+		t.Fatal("Remove of a live definer succeeded without allow")
+	}
+	if err := s.RemoveAllow("/lib/rl", true); err != nil {
+		t.Fatal(err)
+	}
 	if err := s.DefineLibrary("/lib/rl", lib(2)); err != nil {
 		t.Fatal(err)
 	}

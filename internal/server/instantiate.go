@@ -146,7 +146,10 @@ func (s *Server) evalValue(ctx context.Context, meta *mgraph.Meta, c charger) (*
 }
 
 // externsOf unions the exported symbols of library instances (first
-// definition wins, matching link search order).
+// definition wins, matching link search order).  The main build paths
+// resolve through the stable resolution cache instead (resolve.go);
+// this remains the branch-table path's resolver, where the slot
+// symbols make the undefined set an unreliable guide.
 func externsOf(libs []*Instance) map[string]uint64 {
 	ext := map[string]uint64{}
 	for _, li := range libs {
@@ -211,6 +214,7 @@ func (s *Server) instantiateLibrary(ctx context.Context, dep mgraph.LibDep, c ch
 	key := digestStr("lib", ch, dep.Spec.Hash(),
 		fmt.Sprintf("%#x/%#x", pl.TextBase, pl.DataBase), libKeys(libs))
 	ckey := contentKeyLib(ch, dep.Spec.Kind, libs)
+	bkey := bindKeyLib(dep, meta)
 	pr := placeRec{
 		SolverKey: "lib:" + dep.Path + "|" + dep.Spec.Hash(),
 		TextBase:  pl.TextBase, TextSize: textSize,
@@ -221,7 +225,7 @@ func (s *Server) instantiateLibrary(ctx context.Context, dep mgraph.LibDep, c ch
 	return s.buildShared(ctx, key, func() (*Instance, error) {
 		// Placement miss: a cached variant of the same content at other
 		// bases can be slid here instead of relinked (rebase.go).
-		if inst, ok := s.tryRebase(node, key, ckey, dep.Path, pl.TextBase, pl.DataBase, libs, pr, c); ok {
+		if inst, ok := s.tryRebase(node, key, ckey, bkey, dep.Path, pl.TextBase, pl.DataBase, libs, pr, c); ok {
 			return inst, nil
 		}
 		s.stats.rebaseMiss.Add(1)
@@ -233,12 +237,12 @@ func (s *Server) instantiateLibrary(ctx context.Context, dep mgraph.LibDep, c ch
 			Name:     "lib:" + dep.Path,
 			TextBase: pl.TextBase,
 			DataBase: pl.DataBase,
-			Externs:  externsOf(libs),
+			Externs:  s.resolveExterns(dep.Path, bkey, v, libs, c),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("server: linking library %s: %w", dep.Path, err)
 		}
-		inst, err := s.materialize(key, ckey, dep.Path, res, libs, c)
+		inst, err := s.materialize(key, ckey, bkey, dep.Path, res, libs, c)
 		if err != nil {
 			return nil, err
 		}
@@ -288,6 +292,7 @@ func (s *Server) instantiateProgram(ctx context.Context, name string, meta *mgra
 	key := digestStr("prog", meta.SrcHash, subHash,
 		fmt.Sprintf("%#x/%#x", pl.TextBase, pl.DataBase), libKeys(libs))
 	ckey := contentKeyProg(subHash, libs)
+	bkey := bindKeyProg(meta)
 	pr := placeRec{
 		SolverKey: "prog:" + name,
 		TextBase:  pl.TextBase, TextSize: textSize,
@@ -296,7 +301,7 @@ func (s *Server) instantiateProgram(ctx context.Context, name string, meta *mgra
 	node := buildgraph.NodeFrom(ctx)
 	node.SetKeys(key, ckey)
 	return s.buildShared(ctx, key, func() (*Instance, error) {
-		if inst, ok := s.tryRebase(node, key, ckey, name, pl.TextBase, pl.DataBase, libs, pr, c); ok {
+		if inst, ok := s.tryRebase(node, key, ckey, bkey, name, pl.TextBase, pl.DataBase, libs, pr, c); ok {
 			return inst, nil
 		}
 		s.stats.rebaseMiss.Add(1)
@@ -309,12 +314,12 @@ func (s *Server) instantiateProgram(ctx context.Context, name string, meta *mgra
 			TextBase: pl.TextBase,
 			DataBase: pl.DataBase,
 			Entry:    "_start",
-			Externs:  externsOf(libs),
+			Externs:  s.resolveExterns(name, bkey, v, libs, c),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("server: linking %s: %w", name, err)
 		}
-		inst, err := s.materialize(key, ckey, name, res, libs, c)
+		inst, err := s.materialize(key, ckey, bkey, name, res, libs, c)
 		if err != nil {
 			return nil, err
 		}
@@ -349,9 +354,14 @@ func (s *Server) ReleaseInstance(inst *Instance) {
 // bytes for per-client copying.  Build cost is charged to the
 // requesting process (the only one that ever pays it).  ckey is the
 // placement-independent content identity registered in the variants
-// index (empty to keep the instance out of the rebase path).
-func (s *Server) materialize(key, ckey, name string, res *link.Result, libs []*Instance, c charger) (*Instance, error) {
-	inst := &Instance{Key: key, ContentKey: ckey, Name: name, Res: res, Libs: libs}
+// index (empty to keep the instance out of the rebase path); bindKey
+// the resolution identity the binding table lives under (empty for
+// images whose resolution is not cached).  Library pins are attached
+// here — before publication, so concurrent cache hits never observe a
+// partially pinned instance.
+func (s *Server) materialize(key, ckey, bindKey, name string, res *link.Result, libs []*Instance, c charger) (*Instance, error) {
+	inst := &Instance{Key: key, ContentKey: ckey, Name: name, Res: res, Libs: libs,
+		Pins: s.pinsOf(libs), bindKey: bindKey}
 	for i := range res.Image.Segments {
 		seg := &res.Image.Segments[i]
 		if seg.Perm&image.PermW != 0 {
@@ -434,6 +444,14 @@ func (s *Server) evictEntryLocked(inst *Instance) {
 // Library images that are already mapped (shared text pages) are
 // detected via the page table and skipped.
 func (s *Server) MapInstance(p *osim.Process, inst *Instance) error {
+	// Hijack defense: a pinned image only maps while its library
+	// identities still match what it was linked against.  A violation
+	// (or an injected definer swap at the namespace.hijack site)
+	// rejects and quarantines the image; the caller's retry rebuilds
+	// and re-pins from source.
+	if err := s.verifyPinned(inst); err != nil {
+		return err
+	}
 	mapped := map[string]bool{}
 	var mapOne func(in *Instance) error
 	mapOne = func(in *Instance) error {

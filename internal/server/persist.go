@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"encoding/hex"
 	"sort"
 	"strings"
 
@@ -131,13 +132,16 @@ func (s *Server) persistInstance(inst *Instance) (int, error) {
 	if st == nil || inst.place.SolverKey == "" {
 		return 0, nil
 	}
-	blob, err := store.Encode(recordOf(inst))
+	blob, err := store.Encode(s.recordOf(inst))
 	if err != nil {
 		return 0, err
 	}
 	if err := st.Put(inst.Key, blob); err != nil {
 		return 0, err
 	}
+	// Record the blob's envelope checksum: images linked against this
+	// instance from here on pin the exact bytes now on disk.
+	s.setBlobSum(inst.Key, blobChecksum(blob))
 	s.kern.ChargeTotalServer(uint64(len(blob)) * s.kern.Cost.StoreWritePerByte)
 	// Capacity enforcement happens in buildShared once this build's
 	// flight is deregistered; an in-flight build must not evict the
@@ -145,9 +149,29 @@ func (s *Server) persistInstance(inst *Instance) (int, error) {
 	return len(blob), nil
 }
 
+// blobCheckSumLo/Hi delimit the SHA-256 payload checksum inside a
+// store blob's envelope (magic + version + paylen precede it).
+const (
+	blobCheckSumLo = 16
+	blobCheckSumHi = 48
+)
+
+// blobChecksum extracts the envelope checksum of an encoded blob as
+// hex — the on-disk identity pins carry.  Reading it from the bytes
+// already in hand (rather than re-reading the store) keeps pin
+// bookkeeping off the store's fault surface.
+func blobChecksum(blob []byte) string {
+	if len(blob) < blobCheckSumHi {
+		return ""
+	}
+	return hex.EncodeToString(blob[blobCheckSumLo:blobCheckSumHi])
+}
+
 // recordOf serializes an instance's reconstruction state: segment
-// bytes, bound symbols, branch-table slots, placement, library keys.
-func recordOf(inst *Instance) *store.Record {
+// bytes, bound symbols, branch-table slots, placement, library keys,
+// and (v3) the resolution state — the binding table recorded for the
+// image and the library pins to re-verify at warm load.
+func (s *Server) recordOf(inst *Instance) *store.Record {
 	rec := &store.Record{
 		Key:         inst.Key,
 		Name:        inst.Name,
@@ -215,6 +239,33 @@ func recordOf(inst *Instance) *store.Record {
 	for _, li := range inst.Libs {
 		rec.LibKeys = append(rec.LibKeys, li.Key)
 	}
+	rec.BindKey = inst.bindKey
+	for _, p := range inst.Pins {
+		rec.Pins = append(rec.Pins, store.LibPin{
+			LibKey: p.LibKey, ContentKey: p.ContentKey, Checksum: p.Checksum,
+		})
+	}
+	// Persist the binding table only while it still describes this
+	// instance's libraries — a concurrent re-resolution for different
+	// library content must not be attributed to this image.
+	if tbl := s.bindingTable(inst.bindKey); tbl != nil && len(tbl.LibKeys) == len(inst.Libs) {
+		match := true
+		for i, ck := range tbl.LibKeys {
+			if ck == "" || inst.Libs[i].ContentKey != ck {
+				match = false
+				break
+			}
+		}
+		if match {
+			rec.Gen = tbl.Gen
+			for _, b := range tbl.Bindings {
+				rec.Bindings = append(rec.Bindings, store.Binding{
+					Symbol: b.Symbol, Definer: b.Definer, DefKey: b.DefKey,
+					LibIdx: uint32(b.LibIdx), Addr: b.Addr,
+				})
+			}
+		}
+	}
 	return rec
 }
 
@@ -248,6 +299,9 @@ func (s *Server) loadFromStore(key string, visiting map[string]bool) *Instance {
 	if err != nil || rec.Key != key {
 		return reject()
 	}
+	// Register the blob's on-disk identity first: images loaded after
+	// this one verify their library pins against it.
+	s.setBlobSum(key, blobChecksum(blob))
 	var libs []*Instance
 	for _, lk := range rec.LibKeys {
 		li := s.loadFromStore(lk, visiting)
@@ -268,6 +322,35 @@ func (s *Server) loadFromStore(key string, visiting map[string]bool) *Instance {
 	inst, err = s.instanceFromRecord(rec, libs)
 	if err != nil {
 		return reject()
+	}
+	// Hijack defense at warm-restart time: a pinned image whose
+	// library identities no longer match (or an injected definer swap
+	// at the namespace.hijack site) is quarantined, never loaded — the
+	// next instantiation rebuilds and re-pins from source.
+	if err := s.verifyPins(inst); err != nil {
+		s.ReleaseInstance(inst)
+		return reject()
+	}
+	// Reinstall the persisted binding table so this session resolves
+	// the image with zero symbol searches.  A table this session
+	// already recomputed wins over the stored one.
+	if rec.BindKey != "" && len(rec.Bindings) > 0 {
+		tbl := &BindingTable{
+			Image:    rec.Name,
+			Gen:      rec.Gen,
+			Resolved: "warm-load",
+			LibKeys:  make([]string, len(libs)),
+		}
+		for i, li := range libs {
+			tbl.LibKeys[i] = li.ContentKey
+		}
+		for _, b := range rec.Bindings {
+			tbl.Bindings = append(tbl.Bindings, Binding{
+				Symbol: b.Symbol, Definer: b.Definer, DefKey: b.DefKey,
+				LibIdx: int(b.LibIdx), Addr: b.Addr,
+			})
+		}
+		s.installBindings(rec.BindKey, tbl, false)
 	}
 	// Mark the instance as a prior session's checkpoint: the first
 	// build-graph node that resolves to it counts as a resume
@@ -355,6 +438,7 @@ func (s *Server) instanceFromRecord(rec *store.Record, libs []*Instance) (*Insta
 	}
 	inst := &Instance{
 		Key: rec.Key, ContentKey: rec.ContentKey, Name: rec.Name, Res: res, Libs: libs,
+		bindKey: rec.BindKey,
 		place: placeRec{
 			SolverKey: rec.SolverKey,
 			TextBase:  rec.TextBase, TextSize: rec.TextSize,
@@ -382,6 +466,11 @@ func (s *Server) instanceFromRecord(rec *store.Record, libs []*Instance) (*Insta
 		for _, sym := range rec.BTSlots {
 			inst.BTSlots[sym.Name] = sym.Addr
 		}
+	}
+	for _, p := range rec.Pins {
+		inst.Pins = append(inst.Pins, Pin{
+			LibKey: p.LibKey, ContentKey: p.ContentKey, Checksum: p.Checksum,
+		})
 	}
 	return inst, nil
 }

@@ -53,7 +53,7 @@ func rebaseSource(src *Instance) bool {
 // materialize the result sharing clean pages with the source.
 // Returns (nil, false) when no variant is usable — the caller falls
 // back to the full relink.
-func (s *Server) tryRebase(node *buildgraph.Node, key, ckey, name string, textBase, dataBase uint64, libs []*Instance, pr placeRec, c charger) (*Instance, bool) {
+func (s *Server) tryRebase(node *buildgraph.Node, key, ckey, bindKey, name string, textBase, dataBase uint64, libs []*Instance, pr placeRec, c charger) (*Instance, bool) {
 	if s.DisableCache || ckey == "" {
 		return nil, false
 	}
@@ -76,7 +76,7 @@ func (s *Server) tryRebase(node *buildgraph.Node, key, ckey, name string, textBa
 		return nil, false
 	}
 	node.MarkRebase()
-	inst, err := s.materializeRebased(key, ckey, name, slid, libs, src, c)
+	inst, err := s.materializeRebased(key, ckey, bindKey, name, slid, libs, src, c)
 	if err != nil {
 		return nil, false
 	}
@@ -89,9 +89,10 @@ func (s *Server) tryRebase(node *buildgraph.Node, key, ckey, name string, textBa
 // segments become frames that share every clean page with the source
 // variant's frames, and the cost charged is proportional to the patch
 // count, not the relocation count.
-func (s *Server) materializeRebased(key, ckey, name string, res *link.Result, libs []*Instance, src *Instance, c charger) (*Instance, error) {
+func (s *Server) materializeRebased(key, ckey, bindKey, name string, res *link.Result, libs []*Instance, src *Instance, c charger) (*Instance, error) {
 	res.Image.Name = name
-	inst := &Instance{Key: key, ContentKey: ckey, Name: name, Res: res, Libs: libs}
+	inst := &Instance{Key: key, ContentKey: ckey, Name: name, Res: res, Libs: libs,
+		Pins: s.pinsOf(libs), bindKey: bindKey}
 	shared := 0
 	for i := range res.Image.Segments {
 		seg := &res.Image.Segments[i]

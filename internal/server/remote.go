@@ -31,8 +31,21 @@ type mount struct {
 // cached in the local namespace (fetch-once).  Blueprint sources are
 // re-parsed locally, so remote meta-objects may themselves reference
 // further remote entries under the same prefix.
-func (s *Server) Mount(prefix string, f RemoteFetcher) {
+//
+// Mounting over a live definer path that has no local namespace entry
+// would let the remote capture an existing program's next resolution;
+// that is rejected with a typed *RebindError unless made explicit via
+// MountAllow.
+func (s *Server) Mount(prefix string, f RemoteFetcher) error {
+	return s.MountAllow(prefix, f, false)
+}
+
+// MountAllow is Mount with an explicit rebind-allow flag.
+func (s *Server) MountAllow(prefix string, f RemoteFetcher, allow bool) error {
 	prefix = cleanPath(prefix)
+	if err := s.guardRebind("mount", prefix, allow); err != nil {
+		return err
+	}
 	s.nsMu.Lock()
 	s.mounts = append(s.mounts, mount{prefix: prefix, fetcher: f})
 	// Longest prefix first.
@@ -43,11 +56,22 @@ func (s *Server) Mount(prefix string, f RemoteFetcher) {
 	// A new mount changes what paths resolve to; memoized content
 	// hashes may no longer describe what a lookup would now find.
 	s.invalidateHashes()
+	return nil
 }
 
-// Unmount removes every mount at prefix.
-func (s *Server) Unmount(prefix string) {
+// Unmount removes every mount at prefix.  Like Mount, it is rejected
+// when a live program binds a symbol through a fetched-but-not-local
+// definer under the prefix, unless made explicit via UnmountAllow.
+func (s *Server) Unmount(prefix string) error {
+	return s.UnmountAllow(prefix, false)
+}
+
+// UnmountAllow is Unmount with an explicit rebind-allow flag.
+func (s *Server) UnmountAllow(prefix string, allow bool) error {
 	prefix = cleanPath(prefix)
+	if err := s.guardRebind("unmount", prefix, allow); err != nil {
+		return err
+	}
 	s.nsMu.Lock()
 	keep := s.mounts[:0]
 	for _, m := range s.mounts {
@@ -58,6 +82,7 @@ func (s *Server) Unmount(prefix string) {
 	s.mounts = keep
 	s.nsMu.Unlock()
 	s.invalidateHashes()
+	return nil
 }
 
 func (s *Server) mountFor(p string) *mount {
@@ -83,7 +108,10 @@ func (s *Server) fetchRemote(p string) (bool, error) {
 	// Try a meta-object first; fall back to a raw object.
 	src, isLib, metaErr := m.fetcher.FetchMeta(p)
 	if metaErr == nil {
-		if err := s.define(p, src, isLib); err != nil {
+		// The mount itself passed the rebind guard (or was explicitly
+		// allowed); installing the fetched entry locally is its sanctioned
+		// consequence, not a second mutation to re-approve.
+		if err := s.define(p, src, isLib, true); err != nil {
 			return false, fmt.Errorf("server: importing remote meta %s: %w", p, err)
 		}
 		return true, nil

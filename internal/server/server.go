@@ -135,6 +135,26 @@ type Stats struct {
 	NodesCheckpointed uint64
 	CheckpointsFailed uint64
 	CheckpointBytes   uint64
+
+	// The resolution-cache counters (resolve.go).  SymbolSearches
+	// counts symbols resolved by searching the library list (the cold
+	// path); a warm build replaying a valid binding table performs
+	// zero.  BindingHits/Misses/Invalidations account the table
+	// lookups: an invalidation is a table found but no longer matching
+	// the live library identities (a definer changed), which forces a
+	// re-search.
+	SymbolSearches       uint64
+	BindingHits          uint64
+	BindingMisses        uint64
+	BindingInvalidations uint64
+	// PinViolations counts pinned images rejected (and quarantined)
+	// because a library identity no longer matched its pin — the
+	// hijack defense firing.  RebindsBlocked/RebindsAllowed count
+	// namespace mutations that would have re-bound a live program's
+	// symbol: blocked without the allow flag, permitted with it.
+	PinViolations  uint64
+	RebindsBlocked uint64
+	RebindsAllowed uint64
 }
 
 // statsCounters are the live counters behind the Stats snapshot.
@@ -154,6 +174,14 @@ type statsCounters struct {
 	rebasePatches     atomic.Uint64
 	rebaseDirtyPages  atomic.Uint64
 	rebaseSharedPages atomic.Uint64
+
+	symbolSearches       atomic.Uint64
+	bindingHits          atomic.Uint64
+	bindingMisses        atomic.Uint64
+	bindingInvalidations atomic.Uint64
+	pinViolations        atomic.Uint64
+	rebindsBlocked       atomic.Uint64
+	rebindsAllowed       atomic.Uint64
 }
 
 // Stats returns a consistent-enough snapshot of the activity counters.
@@ -176,6 +204,14 @@ func (s *Server) Stats() Stats {
 		RebasePatches:     s.stats.rebasePatches.Load(),
 		RebaseDirtyPages:  s.stats.rebaseDirtyPages.Load(),
 		RebaseSharedPages: s.stats.rebaseSharedPages.Load(),
+
+		SymbolSearches:       s.stats.symbolSearches.Load(),
+		BindingHits:          s.stats.bindingHits.Load(),
+		BindingMisses:        s.stats.bindingMisses.Load(),
+		BindingInvalidations: s.stats.bindingInvalidations.Load(),
+		PinViolations:        s.stats.pinViolations.Load(),
+		RebindsBlocked:       s.stats.rebindsBlocked.Load(),
+		RebindsAllowed:       s.stats.rebindsAllowed.Load(),
 	}
 	gc := s.graph.Counters()
 	st.NodesBuilt = gc.NodesBuilt
@@ -250,6 +286,16 @@ type Instance struct {
 	// text stays shared even though it references client procedures.
 	BTSlots map[string]uint64
 
+	// Pins are the pinned identities of the libraries this image was
+	// linked against (content keys + store checksums), recorded at
+	// first link and verified whenever the image is mapped or
+	// warm-loaded (resolve.go).  Empty for images without libraries.
+	Pins []Pin
+	// bindKey is the image's resolution identity: the key its binding
+	// table is recorded under (empty when resolution is not cached,
+	// e.g. branch-table libraries).
+	bindKey string
+
 	// place records the constraint-solver request this instance was
 	// placed under, so the persistent store can re-reserve the same
 	// addresses on warm boot.
@@ -322,6 +368,15 @@ type Server struct {
 	hashMu   sync.RWMutex
 	hashMemo map[string]memoHash
 
+	// bindMu guards the stable-resolution state (resolve.go): the
+	// binding tables keyed by resolution identity and the store-blob
+	// checksums pins verify against.  Lock order: bindMu may be taken
+	// before nsMu (the rebind guard consults the namespace); never the
+	// reverse.
+	bindMu   sync.RWMutex
+	bindings map[string]*BindingTable
+	blobSums map[string]string
+
 	stats statsCounters
 
 	// exec is the build graph's bounded worker pool: the dependency
@@ -371,6 +426,8 @@ func New(kern *osim.Kernel) *Server {
 		specs:    map[string]SpecFunc{},
 		inflight: map[string]*flight{},
 		hashMemo: map[string]memoHash{},
+		bindings: map[string]*BindingTable{},
+		blobSums: map[string]string{},
 		exec:     buildgraph.NewExecutor(DefaultBuildWorkers),
 		graph:    buildgraph.NewLog(),
 	}
@@ -422,16 +479,50 @@ func (s *Server) PutObject(p string, o *obj.Object) error {
 	return nil
 }
 
-// Define stores a program meta-object from blueprint source.
-func (s *Server) Define(p, src string) error { return s.define(p, src, false) }
+// Define stores a program meta-object from blueprint source.  It is
+// rejected with a typed *RebindError when the path currently defines
+// a symbol some live program's resolution binds through it and the
+// new source differs — use DefineAllow to make the re-bind explicit.
+func (s *Server) Define(p, src string) error { return s.define(p, src, false, false) }
+
+// DefineAllow is Define with an explicit rebind-allow flag.
+func (s *Server) DefineAllow(p, src string, allow bool) error {
+	return s.define(p, src, false, allow)
+}
 
 // DefineLibrary stores a library-class meta-object.  Its source may
 // begin with a (constraint-list ...) expression giving default address
 // preferences (paper Figure 1); the remaining expression is the
-// construction blueprint.
-func (s *Server) DefineLibrary(p, src string) error { return s.define(p, src, true) }
+// construction blueprint.  Like Define, a content-changing redefine
+// of a live definer is rejected without the allow flag.
+func (s *Server) DefineLibrary(p, src string) error { return s.define(p, src, true, false) }
 
-func (s *Server) define(p, src string, isLib bool) error {
+// DefineLibraryAllow is DefineLibrary with an explicit rebind-allow
+// flag.
+func (s *Server) DefineLibraryAllow(p, src string, allow bool) error {
+	return s.define(p, src, true, allow)
+}
+
+func (s *Server) define(p, src string, isLib, allow bool) error {
+	// The rebind guard fires only on a content-changing redefine of an
+	// existing entry.  A redefine with identical source is idempotent —
+	// no resolution can change.  A define with no prior entry is
+	// namespace population, not mutation: after a warm restart the
+	// namespace is empty while binding tables are warm-loaded, and the
+	// bootstrap re-defines must not need allow flags.  (A bootstrap
+	// define that does change content is still caught: its programs'
+	// warm bindings fail replay and are counted as invalidations —
+	// audited, never silent.)
+	newHash := digestStr(src, fmt.Sprintf("lib=%v", isLib))
+	s.nsMu.RLock()
+	prior, hadPrior := s.ns[cleanPath(p)]
+	s.nsMu.RUnlock()
+	identical := prior.meta != nil && prior.meta.SrcHash == newHash
+	if hadPrior && !identical {
+		if err := s.guardRebind("define", p, allow); err != nil {
+			return err
+		}
+	}
 	exprs, err := blueprint.ParseAll(src)
 	if err != nil {
 		return fmt.Errorf("server: define %s: %w", p, err)
@@ -477,12 +568,29 @@ func (s *Server) GetObject(p string) (*obj.Object, error) {
 
 // Remove deletes a namespace entry.  Memoized hashes are invalidated,
 // so a later redefine at the same path yields new cache keys rather
-// than serving a stale image.
-func (s *Server) Remove(p string) {
+// than serving a stale image.  Removing a path some live program's
+// resolution binds a symbol through is rejected with a typed
+// *RebindError — use RemoveAllow to make it explicit.
+func (s *Server) Remove(p string) error { return s.RemoveAllow(p, false) }
+
+// RemoveAllow is Remove with an explicit rebind-allow flag.
+func (s *Server) RemoveAllow(p string, allow bool) error {
+	// Removing a path with no entry is a no-op; only a real removal
+	// can re-bind anything.
+	s.nsMu.RLock()
+	_, present := s.ns[cleanPath(p)]
+	s.nsMu.RUnlock()
+	if !present {
+		return nil
+	}
+	if err := s.guardRebind("remove", p, allow); err != nil {
+		return err
+	}
 	s.nsMu.Lock()
 	delete(s.ns, cleanPath(p))
 	s.nsMu.Unlock()
 	s.invalidateHashes()
+	return nil
 }
 
 // List returns namespace paths under a prefix, sorted.

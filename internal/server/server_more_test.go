@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -36,8 +37,14 @@ func TestLibraryUpdateInvalidatesCache(t *testing.T) {
 		t.Fatalf("v1 exit = %d", code)
 	}
 
-	// Fix the library.
-	if err := s.DefineLibrary("/lib/ans", lib(7)); err != nil {
+	// Fixing the library re-binds /bin/ask's "answer": without the
+	// allow flag the rebind guard refuses, with it the fix lands.
+	err = s.DefineLibrary("/lib/ans", lib(7))
+	var re *RebindError
+	if !errors.As(err, &re) {
+		t.Fatalf("unallowed library update: err = %v, want *RebindError", err)
+	}
+	if err := s.DefineLibraryAllow("/lib/ans", lib(7), true); err != nil {
 		t.Fatal(err)
 	}
 	inst2, err := s.Instantiate("/bin/ask", nil)

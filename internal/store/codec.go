@@ -41,9 +41,13 @@ var Magic = [4]byte{'O', 'M', 'S', '1'}
 // Version 2 adds the rebase metadata: per-symbol segment classes, the
 // content key, the link-result bases, and the recorded patch sites,
 // so a warm-restarted server can slide a stored image to a new
-// placement without relinking.  Version 1 blobs still decode (their
-// instances simply cannot serve as rebase sources).
-const Version = 2
+// placement without relinking.  Version 3 adds the stable-resolution
+// state: the image's resolution identity, its recorded binding table
+// (symbol -> definer, with the namespace generation it was resolved
+// under), and the pinned library identities verified at warm load.
+// Version 1 and 2 blobs still decode (v1 instances cannot serve as
+// rebase sources; v1/v2 instances carry no bindings or pins).
+const Version = 3
 
 // minVersion is the oldest codec version Decode still accepts.
 const minVersion = 1
@@ -87,6 +91,28 @@ type Patch struct {
 
 // KindNone marks a symbol whose link kind was not recorded.
 const KindNone = uint8(0xff)
+
+// Binding is one persisted symbol resolution: the symbol, the
+// namespace path and content key of its definer, the definer's
+// position in the image's library list, and the address bound at
+// resolution time.
+type Binding struct {
+	Symbol  string
+	Definer string
+	DefKey  string
+	LibIdx  uint32
+	Addr    uint64
+}
+
+// LibPin is one pinned library identity: the cache key the image
+// linked against, its placement-independent content key, and the
+// store blob checksum at pin time (empty if the library was never
+// persisted).
+type LibPin struct {
+	LibKey     string
+	ContentKey string
+	Checksum   string
+}
 
 // Record is the serializable form of one cached instance.  It carries
 // everything the server needs to reconstruct the image without
@@ -145,6 +171,17 @@ type Record struct {
 	EntrySeg    uint8
 	AbsPatches  []Patch
 	RelPatches  []Patch
+
+	// The remaining fields (v3) carry the stable-resolution state.
+	// BindKey is the image's resolution identity; Gen the namespace
+	// generation the binding table was recorded under; Bindings the
+	// symbol -> definer table replayed at warm resolution; Pins the
+	// library identities verified before the instance is trusted.
+	// v1/v2 records decode with these zero/empty.
+	BindKey  string
+	Gen      uint64
+	Bindings []Binding
+	Pins     []LibPin
 }
 
 // Encode serializes a record with the versioned header and checksum.
@@ -204,6 +241,22 @@ func encodePayload(rec *Record) []byte {
 	buf.WriteByte(rec.EntrySeg)
 	writePatches(&buf, rec.AbsPatches)
 	writePatches(&buf, rec.RelPatches)
+	writeStr(&buf, rec.BindKey)
+	writeU64(&buf, rec.Gen)
+	writeU32(&buf, uint32(len(rec.Bindings)))
+	for _, b := range rec.Bindings {
+		writeStr(&buf, b.Symbol)
+		writeStr(&buf, b.Definer)
+		writeStr(&buf, b.DefKey)
+		writeU32(&buf, b.LibIdx)
+		writeU64(&buf, b.Addr)
+	}
+	writeU32(&buf, uint32(len(rec.Pins)))
+	for _, p := range rec.Pins {
+		writeStr(&buf, p.LibKey)
+		writeStr(&buf, p.ContentKey)
+		writeStr(&buf, p.Checksum)
+	}
 	return buf.Bytes()
 }
 
@@ -328,6 +381,41 @@ func Decode(b []byte) (*Record, error) {
 		rec.EntrySeg = r.u8()
 		rec.AbsPatches = r.patches(len(payload))
 		rec.RelPatches = r.patches(len(payload))
+	}
+	if ver >= 3 {
+		rec.BindKey = r.str()
+		rec.Gen = r.u64()
+		nbind := r.count(len(payload))
+		if nbind > 0 {
+			rec.Bindings = make([]Binding, 0, nbind)
+		}
+		for i := 0; i < nbind && r.err == nil; i++ {
+			var bd Binding
+			bd.Symbol = r.str()
+			bd.Definer = r.str()
+			bd.DefKey = r.str()
+			bd.LibIdx = r.u32()
+			bd.Addr = r.u64()
+			// A binding pointing outside the library list is a corrupt
+			// record: reject it here so the server quarantines the blob
+			// instead of replaying a nonsense resolution.
+			if r.err == nil && int(bd.LibIdx) >= len(rec.LibKeys) {
+				r.err = fmt.Errorf("binding %q: library index %d out of range (have %d libraries)",
+					bd.Symbol, bd.LibIdx, len(rec.LibKeys))
+			}
+			rec.Bindings = append(rec.Bindings, bd)
+		}
+		npins := r.count(len(payload))
+		if npins > 0 {
+			rec.Pins = make([]LibPin, 0, npins)
+		}
+		for i := 0; i < npins && r.err == nil; i++ {
+			var p LibPin
+			p.LibKey = r.str()
+			p.ContentKey = r.str()
+			p.Checksum = r.str()
+			rec.Pins = append(rec.Pins, p)
+		}
 	}
 	if r.err != nil {
 		return nil, fmt.Errorf("store: decode: %w", r.err)

@@ -1,0 +1,138 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"reflect"
+	"testing"
+)
+
+// encodeV2 reproduces the version-2 payload layout byte for byte: the
+// rebase metadata is present but the stable-resolution tail (bind
+// key, binding table, library pins) does not exist.  It exists only
+// to pin backward compatibility — blobs written by a
+// pre-resolution-cache daemon must keep decoding.
+func encodeV2(rec *Record) []byte {
+	var buf bytes.Buffer
+	writeStr(&buf, rec.Key)
+	writeStr(&buf, rec.Name)
+	writeStr(&buf, rec.SolverKey)
+	writeU64(&buf, rec.TextBase)
+	writeU64(&buf, rec.TextSize)
+	writeU64(&buf, rec.DataBase)
+	writeU64(&buf, rec.DataSize)
+	writeU64(&buf, rec.Entry)
+	writeU32(&buf, uint32(len(rec.Syms)))
+	for _, s := range rec.Syms {
+		writeStr(&buf, s.Name)
+		writeU64(&buf, s.Addr)
+		writeU64(&buf, s.Size)
+		buf.WriteByte(s.Kind)
+		buf.WriteByte(s.Seg)
+	}
+	writeU64(&buf, rec.NumRelocs)
+	writeU64(&buf, rec.ExternBinds)
+	writeU64(&buf, rec.ResTextSize)
+	writeU64(&buf, rec.ResDataSize)
+	writeU64(&buf, rec.ResBSSSize)
+	writeSegs(&buf, rec.ROSegs)
+	writeSegs(&buf, rec.RWSegs)
+	writeU32(&buf, uint32(len(rec.BTSlots)))
+	for _, s := range rec.BTSlots {
+		writeStr(&buf, s.Name)
+		writeU64(&buf, s.Addr)
+	}
+	writeU32(&buf, uint32(len(rec.LibKeys)))
+	for _, k := range rec.LibKeys {
+		writeStr(&buf, k)
+	}
+	writeStr(&buf, rec.ContentKey)
+	writeU64(&buf, rec.ResTextBase)
+	writeU64(&buf, rec.ResDataBase)
+	buf.WriteByte(rec.EntrySeg)
+	writePatches(&buf, rec.AbsPatches)
+	writePatches(&buf, rec.RelPatches)
+	payload := buf.Bytes()
+
+	var blob bytes.Buffer
+	blob.Write(Magic[:])
+	writeU32(&blob, 2)
+	writeU64(&blob, uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	blob.Write(sum[:])
+	blob.Write(payload)
+	return blob.Bytes()
+}
+
+// TestCodecDecodesV2 checks that a pre-resolution-cache (version 2)
+// blob still decodes: every v2 field round-trips bit-exact and the v3
+// stable-resolution state comes back zero, which is what marks the
+// instance as carrying no bindings or pins to verify.
+func TestCodecDecodesV2(t *testing.T) {
+	rec := sampleRecord()
+	blob := encodeV2(rec)
+	if err := Verify(blob); err != nil {
+		t.Fatalf("Verify rejected v2 blob: %v", err)
+	}
+	got, err := Decode(blob)
+	if err != nil {
+		t.Fatalf("Decode rejected v2 blob: %v", err)
+	}
+	if got.BindKey != "" || got.Gen != 0 || got.Bindings != nil || got.Pins != nil {
+		t.Fatalf("v2 decode invented resolution state: %+v", got)
+	}
+	// Everything that existed in v2 must match the original record.
+	got.BindKey, got.Gen, got.Bindings, got.Pins = rec.BindKey, rec.Gen, rec.Bindings, rec.Pins
+	if !reflect.DeepEqual(rec, got) {
+		t.Fatalf("v2 fields mismatch:\nwant %+v\ngot  %+v", rec, got)
+	}
+}
+
+// TestCodecRoundTripsBindings pins the v3 tail itself: a record with
+// bindings and pins survives Encode/Decode exactly.
+func TestCodecRoundTripsBindings(t *testing.T) {
+	rec := sampleRecord()
+	rec.BindKey = "bind-key-1"
+	rec.Gen = 17
+	rec.Bindings = []Binding{
+		{Symbol: "printf", Definer: "/lib/libc", DefKey: "ck-libc", LibIdx: 0, Addr: 0x1000010},
+		{Symbol: "qsort", Definer: "/lib/util", DefKey: "ck-util", LibIdx: 1, Addr: 0x1200040},
+	}
+	rec.Pins = []LibPin{
+		{LibKey: "feedbeef0001", ContentKey: "ck-libc", Checksum: "aa55"},
+		{LibKey: "feedbeef0002", ContentKey: "ck-util", Checksum: ""},
+	}
+	blob, err := Encode(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec, got) {
+		t.Fatalf("v3 round trip mismatch:\nwant %+v\ngot  %+v", rec, got)
+	}
+}
+
+// TestCodecRejectsOutOfRangeBindingIndex: a binding whose library
+// index points outside the record's library list is a corrupt record
+// and must fail decode (the server then quarantines the blob) rather
+// than replay a nonsense resolution.
+func TestCodecRejectsOutOfRangeBindingIndex(t *testing.T) {
+	rec := sampleRecord()
+	rec.BindKey = "bind-key-1"
+	rec.Bindings = []Binding{
+		{Symbol: "printf", Definer: "/lib/libc", DefKey: "ck", LibIdx: uint32(len(rec.LibKeys)), Addr: 1},
+	}
+	blob, err := Encode(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(blob); err != nil {
+		t.Fatalf("envelope must still verify (the corruption is structural): %v", err)
+	}
+	if _, err := Decode(blob); err == nil {
+		t.Fatal("Decode accepted a binding index outside the library list")
+	}
+}
