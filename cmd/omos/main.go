@@ -33,9 +33,18 @@
 //	                            it was resolved, at which generation
 //	stats                       server and memory statistics
 //	health                      daemon liveness + robustness counters
-//	                            (exits 1 when draining or degraded)
+//	                            (exits 1 when draining, degraded, or a
+//	                            live-upgrade rollback is in progress)
 //	graph                       build-graph report: node counters,
 //	                            recent instantiation runs, event tail
+//	upgrade [--canary=N%] [--prog] <path> <file> ...
+//	                            open a live-upgrade epoch (N% canary)
+//	                            and stage new definitions; running
+//	                            processes keep v1, the canary cohort
+//	                            builds v2
+//	upgrade --commit            apply the staged definitions atomically
+//	upgrade --rollback [reason] abort the epoch, restoring v1 bindings
+//	upgrade --status            report the upgrade engine's state
 //
 // -allow-rebind makes define/define-lib/rm explicit about re-binding:
 // without it the daemon refuses any mutation that would silently
@@ -46,6 +55,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"omos/internal/ipc"
@@ -176,6 +186,50 @@ func main() {
 	case "graph":
 		resp := call(c, &ipc.Request{Op: ipc.OpGraph})
 		fmt.Print(resp.Text)
+	case "upgrade":
+		if len(rest) == 0 {
+			usage()
+		}
+		switch rest[0] {
+		case "--commit", "commit":
+			call(c, &ipc.Request{Op: ipc.OpUpgrade, Unit: "commit"})
+			fmt.Println("upgrade committed")
+		case "--rollback", "rollback":
+			call(c, &ipc.Request{Op: ipc.OpRollback, Text: strings.Join(rest[1:], " ")})
+			fmt.Println("upgrade rolled back")
+		case "--status", "status":
+			resp := call(c, &ipc.Request{Op: ipc.OpUpgradeStatus})
+			fmt.Println(resp.Text)
+		default:
+			pct := ""
+			isLib := true
+			i := 0
+			for ; i < len(rest) && strings.HasPrefix(rest[i], "--"); i++ {
+				switch {
+				case strings.HasPrefix(rest[i], "--canary="):
+					pct = strings.TrimSuffix(strings.TrimPrefix(rest[i], "--canary="), "%")
+				case rest[i] == "--prog":
+					isLib = false
+				default:
+					usage()
+				}
+			}
+			pairs := rest[i:]
+			if len(pairs) == 0 || len(pairs)%2 != 0 {
+				usage()
+			}
+			resp := call(c, &ipc.Request{Op: ipc.OpUpgrade, Unit: "start", Text: pct})
+			fmt.Printf("epoch %s opened\n", resp.Text)
+			kind := "prog"
+			if isLib {
+				kind = "lib"
+			}
+			for j := 0; j < len(pairs); j += 2 {
+				call(c, &ipc.Request{Op: ipc.OpUpgrade, Unit: "stage",
+					Path: pairs[j], Text: readFile(pairs[j+1]), Args: []string{kind}})
+				fmt.Printf("staged %s\n", pairs[j])
+			}
+		}
 	case "health":
 		resp := call(c, &ipc.Request{Op: ipc.OpHealth})
 		if resp.Health == nil {
@@ -192,9 +246,15 @@ func main() {
 		if h.Degraded {
 			fmt.Printf("degraded-reason: %s\n", h.DegradedReason)
 		}
-		// A draining or degraded daemon is not a healthy daemon:
-		// non-zero exit so scripts and orchestrators notice.
-		if h.Draining || h.Degraded {
+		if h.UpgradeActive || h.UpgradeVerdict != "" {
+			fmt.Printf("upgrade: active=%v epoch=%s canary=%d%% rolling-back=%v verdict=%q\n",
+				h.UpgradeActive, h.UpgradeEpoch, h.UpgradeCanaryPct,
+				h.UpgradeRollingBack, h.UpgradeVerdict)
+		}
+		// A draining or degraded daemon is not a healthy daemon — nor
+		// is one mid-rollback: non-zero exit so scripts and
+		// orchestrators notice.
+		if h.Draining || h.Degraded || h.UpgradeRollingBack {
 			os.Exit(1)
 		}
 	default:
@@ -229,6 +289,8 @@ commands: ping | ls [prefix] | define <path> <file> | define-lib <path> <file>
           asm <path> <file.s> | cc <dir> <unit> <file.c> | put <path> <file.rof>
           rm <path> | run <path> [args...] | run-boot <path> [args...]
           instantiate <path>... | dis <path> | explain <symbol>
-          stats | health | graph`)
+          stats | health | graph
+          upgrade [--canary=N%] [--prog] <path> <file> ...
+          upgrade --commit | --rollback [reason] | --status`)
 	os.Exit(2)
 }

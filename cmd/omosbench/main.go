@@ -9,7 +9,8 @@
 //
 // Table ids: 1a 1b 1c 1d reorder memory linktime cache constraints
 // schemes binding cacheoff monitor clients warmrestart concurrency
-// degraded rebase buildgraph resolution soak ipcmux all.  -list prints
+// degraded rebase buildgraph resolution upgrade soak ipcmux all.
+// -list prints
 // every table id with a
 // one-line description and exits.  -json additionally writes every
 // table that ran to the given path as JSON (table -> rows -> metric
@@ -68,6 +69,7 @@ func main() {
 		{"rebase", "rebase fast path: full relink vs slide at 1/4/16 distinct bases", bench.Rebase},
 		{"buildgraph", "checkpointed build graph: cold build vs crash-resume at 25/50/75%", bench.Buildgraph},
 		{"resolution", "stable resolution cache: symbol search vs binding replay vs invalidation", bench.Resolution},
+		{"upgrade", "live upgrade: warm instantiation stream while flipping 6 libraries", bench.Upgrade},
 		{"soak", "overload soak: shed rate and latency at 1x/4x/16x saturation (wall clock)", bench.Soak},
 		{"ipcmux", "tagged pipelining: ops/sec on one connection, serial v1 vs pipelined v2", bench.IPCMux},
 	}

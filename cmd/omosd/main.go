@@ -228,8 +228,13 @@ func queryHealth(addr string) int {
 	if h.Degraded {
 		fmt.Printf("degraded-reason: %s\n", h.DegradedReason)
 	}
+	if h.UpgradeActive || h.UpgradeVerdict != "" {
+		fmt.Printf("upgrade:         active=%v epoch=%s canary=%d%% rolling-back=%v verdict=%q\n",
+			h.UpgradeActive, h.UpgradeEpoch, h.UpgradeCanaryPct,
+			h.UpgradeRollingBack, h.UpgradeVerdict)
+	}
 	fmt.Printf("draining:        %v\n", h.Draining)
-	if h.Draining || h.Degraded {
+	if h.Draining || h.Degraded || h.UpgradeRollingBack {
 		return 1
 	}
 	return 0

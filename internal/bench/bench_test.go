@@ -367,3 +367,36 @@ func TestResolutionShape(t *testing.T) {
 	}
 	t.Log("\n" + tab.Format())
 }
+
+func TestUpgradeShape(t *testing.T) {
+	tab, err := Upgrade(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("row count = %d, want 3\n%s", len(tab.Rows), tab.Format())
+	}
+	off, ten, full := &tab.Rows[0], &tab.Rows[1], &tab.Rows[2]
+	// 0% canary routes nobody; routing is monotone in the percentage.
+	if off.Extra["canary-instantiations"] != 0 {
+		t.Errorf("0%% canary routed %v instantiations, want 0", off.Extra["canary-instantiations"])
+	}
+	if ten.Extra["canary-instantiations"] > full.Extra["canary-instantiations"] {
+		t.Errorf("canary routing not monotone: 10%% = %v > 100%% = %v",
+			ten.Extra["canary-instantiations"], full.Extra["canary-instantiations"])
+	}
+	if full.Extra["canary-instantiations"] <= 0 {
+		t.Errorf("100%% canary routed nothing")
+	}
+	for _, r := range tab.Rows {
+		// The stream pays more than an undisturbed warm instantiation
+		// while the namespace churns — that is the dip being measured.
+		if r.Extra["warm-dip-x"] < 1 {
+			t.Errorf("%s: dip ratio %v < 1", r.Label, r.Extra["warm-dip-x"])
+		}
+		if r.Extra["images-built"] <= 0 {
+			t.Errorf("%s: no images built while flipping", r.Label)
+		}
+	}
+	t.Log("\n" + tab.Format())
+}

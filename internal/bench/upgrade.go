@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"omos/internal/osim"
+	"omos/internal/workload"
+)
+
+// upgradeLibV2 renders the i-th auxiliary library's blueprint with a
+// marker function appended: behaviour-identical, content-distinct —
+// the same shape a production live flip has.
+func upgradeLibV2(i int, name, source string) string {
+	src := source + fmt.Sprintf("\nint up_marker_%s(int x) { return x; }\n", name)
+	return fmt.Sprintf("(constraint-list \"T\" %#x \"D\" %#x)\n(merge (source \"c\" %q))",
+		0x0200_0000+uint64(i)*0x40_0000, 0x4200_0000+uint64(i)*0x40_0000, src)
+}
+
+// Upgrade measures what a live upgrade costs the warm path: the
+// 6-library workload is flipped one library at a time under a stream
+// of warm instantiations, at 0%, 10% and 100% canary routing.  Each
+// row reports the total server cycles of the instantiation stream
+// during the flips, the dip relative to an undisturbed warm
+// instantiation, and how much of the stream was routed to the canary
+// cohort.
+func Upgrade(cfg Config) (*Table, error) {
+	t := &Table{ID: "upgrade",
+		Title: "live upgrade: warm instantiation stream while flipping 6 libraries",
+		Iters: 1,
+		Notes: []string{
+			"each flip is a full epoch (start, stage, canary traffic, commit); the",
+			"stream instantiates the 6-library program between every phase, so the",
+			"dip column is the cost a warm client sees while the namespace churns;",
+			"at 100% canary the cohort prebuilds v2, so commit converts its images",
+			"into everyone's cache hits instead of forcing post-commit rebuilds",
+		}}
+	for _, pct := range []int{0, 10, 100} {
+		row, err := upgradeRow(cfg, pct)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, *row)
+	}
+	return t, nil
+}
+
+func upgradeRow(cfg Config, pct int) (*Row, error) {
+	ow, err := workload.SetupOMOS(cfg.CG)
+	if err != nil {
+		return nil, err
+	}
+	srv := ow.Srv
+	instantiate := func() (uint64, error) {
+		p := ow.Kern.Spawn()
+		defer p.Release()
+		if _, err := srv.Instantiate("/bin/codegen", p); err != nil {
+			return 0, err
+		}
+		return p.Clock.Server, nil
+	}
+	// Cold build, then the undisturbed warm cost as the dip baseline.
+	if _, err := instantiate(); err != nil {
+		return nil, err
+	}
+	warm, err := instantiate()
+	if err != nil {
+		return nil, err
+	}
+	if warm == 0 {
+		return nil, fmt.Errorf("bench upgrade: zero-cycle warm instantiation")
+	}
+
+	st0 := srv.Stats()
+	var streamCycles, streamN uint64
+	stream := func() error {
+		c, err := instantiate()
+		if err != nil {
+			return err
+		}
+		streamCycles += c
+		streamN++
+		return nil
+	}
+	flip := func(path, blueprint string) error {
+		if _, err := srv.UpgradeStart(pct); err != nil {
+			return err
+		}
+		if err := srv.UpgradeStage(path, blueprint, true); err != nil {
+			return err
+		}
+		// Canary-phase traffic: routed to the cohort (and billed the v2
+		// build) or served v1 warm, per the placement.
+		for i := 0; i < 2; i++ {
+			if err := stream(); err != nil {
+				return err
+			}
+		}
+		if err := srv.UpgradeCommit(); err != nil {
+			return err
+		}
+		// Post-commit traffic: rebased/rebuilt onto v2, or — at 100%
+		// canary — a straight hit on the cohort's images.
+		return stream()
+	}
+	libcV2 := strings.TrimSuffix(workload.LibcBlueprint(), ")\n") +
+		"  (source \"c\" \"int up_marker_libc(int x) { return x; }\")\n)\n"
+	if err := flip("/lib/libc", libcV2); err != nil {
+		return nil, fmt.Errorf("bench upgrade (canary %d%%): %w", pct, err)
+	}
+	for i, lib := range workload.ExtraLibs() {
+		if err := flip("/lib/"+lib.Name, upgradeLibV2(i, lib.Name, lib.Source)); err != nil {
+			return nil, fmt.Errorf("bench upgrade (canary %d%%): %w", pct, err)
+		}
+	}
+	st1 := srv.Stats()
+	if got := st1.UpgradesCommitted - st0.UpgradesCommitted; got != 6 {
+		return nil, fmt.Errorf("bench upgrade (canary %d%%): committed %d epochs, want 6", pct, got)
+	}
+	if pct == 0 && st1.CanaryInstantiations != st0.CanaryInstantiations {
+		return nil, fmt.Errorf("bench upgrade: 0%% canary routed %d instantiations",
+			st1.CanaryInstantiations-st0.CanaryInstantiations)
+	}
+	return &Row{
+		Label: fmt.Sprintf("flip 6 libs, canary %d%%", pct),
+		Clock: osim.Clock{Server: streamCycles},
+		Extra: map[string]float64{
+			"canary-instantiations": float64(st1.CanaryInstantiations - st0.CanaryInstantiations),
+			"rebase-dirty-pages":    float64(st1.RebaseDirtyPages - st0.RebaseDirtyPages),
+			"images-built":          float64(st1.ImagesBuilt - st0.ImagesBuilt),
+			"warm-dip-x":            float64(streamCycles) / float64(streamN) / float64(warm),
+		},
+	}, nil
+}

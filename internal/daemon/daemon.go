@@ -29,6 +29,7 @@ var (
 	_ ipc.BatchBackend   = (*Backend)(nil)
 	_ ipc.ExplainBackend = (*Backend)(nil)
 	_ ipc.RebindBackend  = (*Backend)(nil)
+	_ ipc.UpgradeBackend = (*Backend)(nil)
 )
 
 // New wraps a system.
@@ -108,6 +109,29 @@ func (b *Backend) RemoveAllow(path string, allow bool) error {
 // behind `omos explain`.
 func (b *Backend) Explain(sym string) (string, error) {
 	return b.Sys.Srv.Explain(sym)
+}
+
+// UpgradeStart implements ipc.UpgradeBackend.
+func (b *Backend) UpgradeStart(canaryPct int) (string, error) {
+	return b.Sys.Srv.UpgradeStart(canaryPct)
+}
+
+// UpgradeStage implements ipc.UpgradeBackend.
+func (b *Backend) UpgradeStage(path, bp string, isLib bool) error {
+	return b.Sys.Srv.UpgradeStage(path, bp, isLib)
+}
+
+// UpgradeCommit implements ipc.UpgradeBackend.
+func (b *Backend) UpgradeCommit() error { return b.Sys.Srv.UpgradeCommit() }
+
+// UpgradeRollback implements ipc.UpgradeBackend.
+func (b *Backend) UpgradeRollback(reason string) error {
+	return b.Sys.Srv.UpgradeRollback(reason)
+}
+
+// UpgradeStatus implements ipc.UpgradeBackend.
+func (b *Backend) UpgradeStatus() (string, bool) {
+	return b.Sys.Srv.UpgradeStatsLine(), b.Sys.Srv.UpgradeStatus().Active
 }
 
 // Run implements ipc.Backend.
@@ -194,23 +218,33 @@ func (f Fetcher) FetchObject(path string) ([]byte, error) {
 func (b *Backend) Health() ipc.HealthInfo {
 	st := b.Sys.Srv.Stats()
 	degraded, reason := b.Sys.Srv.Degraded()
+	up := b.Sys.Srv.UpgradeStatus()
+	verdict := up.Verdict
+	if !up.Active {
+		verdict = up.LastAborted
+	}
 	return ipc.HealthInfo{
-		UptimeMS:          uint64(time.Since(b.start).Milliseconds()),
-		InflightBuilds:    b.Sys.Srv.InflightBuilds(),
-		Recovered:         st.Recovered,
-		Quarantined:       st.StoreQuarantined,
-		WarmLoaded:        st.WarmLoaded,
-		Degraded:          degraded,
-		DegradedReason:    reason,
-		QueueDepth:        b.Sys.Srv.Admission().Queued(),
-		Shed:              st.Shed,
-		BuildTimeouts:     st.BuildTimeouts,
-		ScrubChecked:      st.ScrubChecked,
-		ScrubQuarantined:  st.ScrubQuarantined,
-		NodesBuilt:        st.NodesBuilt,
-		NodesResumed:      st.NodesResumed,
-		NodesCheckpointed: st.NodesCheckpointed,
-		CheckpointBytes:   st.CheckpointBytes,
+		UptimeMS:           uint64(time.Since(b.start).Milliseconds()),
+		InflightBuilds:     b.Sys.Srv.InflightBuilds(),
+		Recovered:          st.Recovered,
+		Quarantined:        st.StoreQuarantined,
+		WarmLoaded:         st.WarmLoaded,
+		Degraded:           degraded,
+		DegradedReason:     reason,
+		QueueDepth:         b.Sys.Srv.Admission().Queued(),
+		Shed:               st.Shed,
+		BuildTimeouts:      st.BuildTimeouts,
+		ScrubChecked:       st.ScrubChecked,
+		ScrubQuarantined:   st.ScrubQuarantined,
+		NodesBuilt:         st.NodesBuilt,
+		NodesResumed:       st.NodesResumed,
+		NodesCheckpointed:  st.NodesCheckpointed,
+		CheckpointBytes:    st.CheckpointBytes,
+		UpgradeActive:      up.Active,
+		UpgradeEpoch:       up.Epoch,
+		UpgradeCanaryPct:   up.CanaryPct,
+		UpgradeRollingBack: up.RollingBack,
+		UpgradeVerdict:     verdict,
 	}
 }
 
@@ -236,5 +270,6 @@ func (b *Backend) Stats() string {
 		srv.NodesBuilt, srv.NodesCached, srv.NodesResumed, srv.NodesFailed,
 		srv.NodesCheckpointed, srv.CheckpointsFailed, srv.CheckpointBytes,
 		srv.SymbolSearches, srv.BindingHits, srv.BindingMisses, srv.BindingInvalidations,
-		srv.PinViolations, srv.RebindsBlocked, srv.RebindsAllowed)
+		srv.PinViolations, srv.RebindsBlocked, srv.RebindsAllowed) +
+		b.Sys.Srv.UpgradeStatsLine() + "\n"
 }

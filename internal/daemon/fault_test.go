@@ -1,6 +1,7 @@
 package daemon
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -68,6 +69,63 @@ func defineWorkload(t *testing.T, c *ipc.Client) {
 		Text: `(merge /lib/crt0.o (source "c" "extern int triple(int); int main() { return triple(14); }") /lib/l)`}, 4)
 }
 
+// upgradeV2Lib is a behaviour-identical v2 of the fault workload's
+// library (the program still exits 42), so the matrix can flip it live
+// without changing what correctness looks like.
+const upgradeV2Lib = `(source "c" "int triple(int x) { return 3 * x; } int triple_aux(int x) { return x; }")`
+
+// upgradeCycle drives a full live-upgrade lifecycle against the
+// daemon: one epoch with cohort traffic rolled back, then one
+// committed — enough to reach every upgrade.* fault site while the
+// armed budget fires.  Every step tolerates injected failures: a
+// canary fault trips the automatic rollback (that IS the feature), a
+// faulted rollback or commit is retried until the budget drains.
+func upgradeCycle(t *testing.T, c *ipc.Client) {
+	t.Helper()
+	openAndStage := func() {
+		callRetry(t, c, &ipc.Request{Op: ipc.OpUpgrade, Unit: "start", Text: "100"}, 4)
+		callRetry(t, c, &ipc.Request{Op: ipc.OpUpgrade, Unit: "stage",
+			Path: "/lib/l", Text: upgradeV2Lib, Args: []string{"lib"}}, 4)
+	}
+	cohortTraffic := func() {
+		// Run the program a few times; during an epoch these are canary
+		// builds.  A failure here is an armed upgrade.canary fault — it
+		// feeds the health gate, which auto-rolls-back, and that is a
+		// legitimate outcome the rest of the cycle must absorb.
+		for i := 0; i < 3; i++ {
+			c.Call(&ipc.Request{Op: ipc.OpRun, Path: "/bin/t"})
+		}
+	}
+	// Epoch 1: cohort traffic, then an operator rollback (retried past
+	// injected rollback faults; "no active epoch" means the gate got
+	// there first).
+	openAndStage()
+	cohortTraffic()
+	for i := 0; i < 5; i++ {
+		_, err := c.Call(&ipc.Request{Op: ipc.OpRollback, Text: "fault drill"})
+		if err == nil || strings.Contains(err.Error(), "no active upgrade epoch") {
+			break
+		}
+	}
+	// Epoch 2: cohort traffic, then commit (retried past injected
+	// commit faults; a typed abort means the gate rolled it back).
+	openAndStage()
+	cohortTraffic()
+	for i := 0; i < 5; i++ {
+		_, err := c.Call(&ipc.Request{Op: ipc.OpUpgrade, Unit: "commit"})
+		if err == nil || errors.Is(err, ipc.ErrUpgradeAborted) ||
+			strings.Contains(err.Error(), "no active upgrade epoch") {
+			break
+		}
+	}
+	// Whatever the epochs' fates, the engine must come to rest and the
+	// workload must be correct.
+	st := callRetry(t, c, &ipc.Request{Op: ipc.OpUpgradeStatus}, 4)
+	if st.Flag {
+		t.Fatalf("upgrade engine did not come to rest: %s", st.Text)
+	}
+}
+
 // runUntilCorrect retries the (non-idempotent, so never auto-retried)
 // run op until the injected fault budget is exhausted and the program
 // completes with the right answer.
@@ -107,6 +165,12 @@ func TestFaultMatrix(t *testing.T) {
 				c, _ := startFaultDaemon(t, sys)
 				defineWorkload(t, c)
 				runUntilCorrect(t, c, 6)
+				if strings.HasPrefix(site, "upgrade.") {
+					// The upgrade sites fire only inside an epoch
+					// lifecycle; drive one so the budget lands there.
+					upgradeCycle(t, c)
+					runUntilCorrect(t, c, 6)
+				}
 				hresp, err := c.Call(&ipc.Request{Op: ipc.OpHealth})
 				if err != nil || hresp.Health == nil {
 					t.Fatalf("daemon unhealthy after faults: %v", err)
@@ -125,6 +189,10 @@ func TestFaultMatrix(t *testing.T) {
 				c2, _ := startFaultDaemon(t, sys2)
 				defineWorkload(t, c2)
 				runUntilCorrect(t, c2, 6)
+				if strings.HasPrefix(site, "upgrade.") {
+					upgradeCycle(t, c2)
+					runUntilCorrect(t, c2, 6)
+				}
 				if err := sys2.Close(); err != nil {
 					t.Fatal(err)
 				}

@@ -21,6 +21,7 @@ func TestFaultRegistryPinned(t *testing.T) {
 		fault.SiteIPCRead, fault.SiteIPCWrite, fault.SiteNamespaceHijack,
 		fault.SiteFrameMake, fault.SiteResolveCache, fault.SiteStoreRead,
 		fault.SiteStoreRename, fault.SiteStoreScrub, fault.SiteStoreWrite,
+		fault.SiteUpgradeCanary, fault.SiteUpgradeCommit, fault.SiteUpgradeRollback,
 	}
 	if got := fault.Sites(); !reflect.DeepEqual(got, wantSites) {
 		t.Fatalf("fault.Sites() = %v, want %v", got, wantSites)

@@ -125,6 +125,19 @@ const (
 	// hard failure — the pinned image is rejected (and quarantined),
 	// never silently re-bound.
 	SiteNamespaceHijack = "namespace.hijack"
+	// SiteUpgradeCanary fires inside a canary-cohort build during a
+	// live upgrade epoch — the injected regression the health gate must
+	// catch and answer with an automatic rollback.
+	SiteUpgradeCanary = "upgrade.canary"
+	// SiteUpgradeCommit fires inside UpgradeCommit after the epoch's
+	// commit intent is durable but before the staged definitions are
+	// applied — the mid-commit crash window.  Warm restart must finish
+	// the commit, never boot a torn namespace.
+	SiteUpgradeCommit = "upgrade.commit"
+	// SiteUpgradeRollback fires inside UpgradeRollback before the old
+	// bindings are restored.  A triggered fault leaves the epoch
+	// rolling back (health reports it); the rollback is retried.
+	SiteUpgradeRollback = "upgrade.rollback"
 )
 
 // Sites returns every registered site name, sorted.
@@ -137,6 +150,7 @@ func Sites() []string {
 		SiteFrameMake,
 		SiteResolveCache,
 		SiteStoreRead, SiteStoreRename, SiteStoreScrub, SiteStoreWrite,
+		SiteUpgradeCanary, SiteUpgradeCommit, SiteUpgradeRollback,
 	}
 }
 

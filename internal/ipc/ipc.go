@@ -62,6 +62,15 @@ const (
 	OpHealth    Op = "health"     // liveness + robustness counters
 	OpGraph     Op = "graph"      // build-graph report (runs, nodes, events)
 	OpExplain   Op = "explain"    // Path (symbol name); binding audit trail
+	// OpUpgrade drives a live-upgrade epoch; Unit selects the phase:
+	// "start" (Text: canary percentage, returns the epoch id in Text),
+	// "stage" (Path + Text blueprint, Args[0] "lib"/"prog"), or
+	// "commit".  OpRollback aborts the epoch (Text: reason);
+	// OpUpgradeStatus reports the engine state (Text: status line,
+	// Flag: epoch active).
+	OpUpgrade       Op = "upgrade"
+	OpUpgradeStatus Op = "upgrade-status"
+	OpRollback      Op = "rollback"
 	// OpHello negotiates the protocol version: Text carries the
 	// client's requested version ("2"); a capable server acknowledges
 	// with Flag set and the connection switches to tagged v2 framing.
@@ -87,6 +96,11 @@ const protoVersionText = "2"
 func idempotent(op Op) bool {
 	switch op {
 	case OpRun, OpRunBoot:
+		return false
+	case OpUpgrade, OpRollback:
+		// Upgrade transitions are not blindly replayable: a retried
+		// "start" would refuse (epoch already open) and a retried
+		// commit/rollback may race the health gate.  The caller decides.
 		return false
 	}
 	return true
@@ -148,6 +162,17 @@ type HealthInfo struct {
 	NodesResumed      uint64
 	NodesCheckpointed uint64
 	CheckpointBytes   uint64
+	// Live-upgrade state: whether an epoch is open, which one, how wide
+	// its canary is, and whether a rollback is in progress (a rollback
+	// in progress makes `omos health` exit nonzero).  UpgradeVerdict
+	// carries the health gate's verdict while rolling back, or the last
+	// aborted epoch's verdict when idle.  (gob tolerates absent fields,
+	// so old daemons interoperate.)
+	UpgradeActive      bool
+	UpgradeEpoch       string
+	UpgradeCanaryPct   int
+	UpgradeRollingBack bool
+	UpgradeVerdict     string
 }
 
 // Response is the server's reply.
@@ -178,6 +203,10 @@ type Response struct {
 	// (gob tolerates absent fields, so old peers interoperate.)
 	Rebind *RebindInfo
 	Pin    *PinInfo
+	// Upgrade carries the structured detail of an aborted live upgrade
+	// (Err is upgradeAbortedMsg).  (gob tolerates absent fields, so old
+	// peers interoperate.)
+	Upgrade *UpgradeAbortedInfo
 }
 
 // maxFrame bounds a single message (largest realistic payload is a
@@ -289,6 +318,43 @@ func (e *PinViolationError) Error() string {
 
 // Is lets errors.Is(err, ErrPinViolation) match.
 func (e *PinViolationError) Is(target error) bool { return target == ErrPinViolation }
+
+// upgradeAbortedMsg is the wire form of an aborted live upgrade: the
+// epoch was rolled back (by the health gate or an operator) and the
+// attempted upgrade operation cannot proceed.
+const upgradeAbortedMsg = "upgrade aborted"
+
+// ErrUpgradeAborted is the sentinel for aborted live upgrades: match
+// with errors.Is.  The concrete error is an *UpgradeAbortedError.
+var ErrUpgradeAborted = errors.New("ipc: upgrade aborted")
+
+// UpgradeAbortedInfo is the structured detail of an aborted upgrade.
+type UpgradeAbortedInfo struct {
+	Epoch   string // the epoch that was rolled back
+	Verdict string // the triggering health-gate or operator verdict
+	Auto    bool   // true when the health gate pulled the trigger
+}
+
+// UpgradeAbortedError is the typed client-side form of an aborted
+// upgrade.  The namespace is back on the pre-upgrade version; starting
+// a fresh epoch is the way forward.
+type UpgradeAbortedError struct {
+	UpgradeAbortedInfo
+}
+
+func (e *UpgradeAbortedError) Error() string {
+	if e.Epoch == "" {
+		return "ipc: upgrade aborted (epoch rolled back)"
+	}
+	how := "rolled back"
+	if e.Auto {
+		how = "automatically rolled back by the health gate"
+	}
+	return fmt.Sprintf("ipc: upgrade %s %s: %s", e.Epoch, how, e.Verdict)
+}
+
+// Is lets errors.Is(err, ErrUpgradeAborted) match.
+func (e *UpgradeAbortedError) Is(target error) bool { return target == ErrUpgradeAborted }
 
 // FrameError reports a damaged protocol frame: truncated mid-message,
 // an oversized length prefix, or a payload gob cannot decode.  The
@@ -630,6 +696,15 @@ func (c *Client) CallCtx(ctx context.Context, req *Request) (*Response, error) {
 					pe.PinInfo = *resp.Pin
 				}
 				return resp, fmt.Errorf("omosd: %w", pe)
+			case resp.Err == upgradeAbortedMsg:
+				// Typed refusal: the epoch was rolled back; the server
+				// is healthy and serving the pre-upgrade version.
+				c.resetBreaker()
+				ue := &UpgradeAbortedError{}
+				if resp.Upgrade != nil {
+					ue.UpgradeAbortedInfo = *resp.Upgrade
+				}
+				return resp, fmt.Errorf("omosd: %w", ue)
 			case resp.Err != "":
 				// Any ordinary application error still proves the
 				// server is answering; a half-open probe may close the

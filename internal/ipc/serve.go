@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -68,6 +69,21 @@ type RebindBackend interface {
 	DefineAllow(path, blueprint string, allow bool) error
 	DefineLibraryAllow(path, blueprint string, allow bool) error
 	RemoveAllow(path string, allow bool) error
+}
+
+// UpgradeBackend is optionally implemented by backends that support
+// live library upgrades (OpUpgrade/OpUpgradeStatus/OpRollback): epoch
+// open, staging, write-ahead commit, and rollback.  The epoch itself
+// carries the rebind allow, so staged definitions apply atomically at
+// commit without per-call AllowRebind flags.
+type UpgradeBackend interface {
+	UpgradeStart(canaryPct int) (string, error)
+	UpgradeStage(path, blueprint string, isLib bool) error
+	UpgradeCommit() error
+	UpgradeRollback(reason string) error
+	// UpgradeStatus returns the engine's one-line status and whether an
+	// epoch is currently open.
+	UpgradeStatus() (line string, active bool)
 }
 
 // BatchBackend is optionally implemented by backends that can
@@ -337,6 +353,15 @@ func applyError(resp *Response, err error) {
 		resp.Pin = &PinInfo{Image: img, Lib: lib, Field: field, Want: want, Got: got}
 		return
 	}
+	var ua interface {
+		UpgradeDetail() (epoch, verdict string, auto bool)
+	}
+	if errors.As(err, &ua) {
+		epoch, verdict, auto := ua.UpgradeDetail()
+		resp.Err = upgradeAbortedMsg
+		resp.Upgrade = &UpgradeAbortedInfo{Epoch: epoch, Verdict: verdict, Auto: auto}
+		return
+	}
 	resp.Err = err.Error()
 }
 
@@ -443,6 +468,54 @@ func (s *Server) handle(req *Request) *Response {
 			return fail(err)
 		}
 		resp.Text = text
+	case OpUpgrade:
+		ub, ok := b.(UpgradeBackend)
+		if !ok {
+			return fail(fmt.Errorf("backend does not support live upgrades"))
+		}
+		switch req.Unit {
+		case "start":
+			pct := 100
+			if req.Text != "" {
+				n, err := strconv.Atoi(req.Text)
+				if err != nil {
+					return fail(fmt.Errorf("bad canary percentage %q", req.Text))
+				}
+				pct = n
+			}
+			id, err := ub.UpgradeStart(pct)
+			if err != nil {
+				return fail(err)
+			}
+			resp.Text = id
+		case "stage":
+			isLib := len(req.Args) > 0 && req.Args[0] == "lib"
+			if err := ub.UpgradeStage(req.Path, req.Text, isLib); err != nil {
+				return fail(err)
+			}
+		case "commit":
+			if err := ub.UpgradeCommit(); err != nil {
+				return fail(err)
+			}
+		default:
+			return fail(fmt.Errorf("unknown upgrade phase %q", req.Unit))
+		}
+	case OpUpgradeStatus:
+		ub, ok := b.(UpgradeBackend)
+		if !ok {
+			return fail(fmt.Errorf("backend does not support live upgrades"))
+		}
+		line, active := ub.UpgradeStatus()
+		resp.Text = line
+		resp.Flag = active
+	case OpRollback:
+		ub, ok := b.(UpgradeBackend)
+		if !ok {
+			return fail(fmt.Errorf("backend does not support live upgrades"))
+		}
+		if err := ub.UpgradeRollback(req.Text); err != nil {
+			return fail(err)
+		}
 	case OpInstantiateBatch:
 		// v1 aggregated form: the items still build concurrently
 		// server-side, but the outcomes travel in one response

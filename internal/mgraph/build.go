@@ -203,6 +203,24 @@ func buildList(n *blueprint.Node) (Node, error) {
 		}
 		return &ConstrainNode{Prefs: prefs, Child: child}, nil
 
+	case "optional":
+		// (optional /lib/x [fallback-expr])
+		if len(args) != 1 && len(args) != 2 {
+			return nil, berrf(n, "optional needs a path and at most one fallback")
+		}
+		p, err := stringArg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		var fb Node
+		if len(args) == 2 {
+			fb, err = Build(args[1])
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &OptionalNode{Path: p, Fallback: fb}, nil
+
 	case "initializers":
 		if len(args) != 1 {
 			return nil, berrf(n, "initializers needs one operand")

@@ -102,6 +102,20 @@ type Context interface {
 	Specialize(kind string, args []string, v *Value) (*Value, error)
 }
 
+// OptionalResolver is implemented by evaluation contexts that can
+// answer availability queries for optional imports: whether a path
+// currently resolves to a usable definition.  Contexts without it
+// treat every optional import as available (plain-ref semantics).
+type OptionalResolver interface {
+	OptionalAvailable(path string) bool
+}
+
+// StubRecorder is implemented by contexts that count degraded
+// optional imports (stub servings) for observability.
+type StubRecorder interface {
+	RecordOptionalStub(path string)
+}
+
 // Node is one m-graph operation.
 type Node interface {
 	// Eval executes the subgraph.
@@ -424,6 +438,72 @@ func (n *RefNode) Hash(ctx Context) (string, error) {
 
 // String renders the node in blueprint syntax.
 func (n *RefNode) String() string { return n.Path }
+
+// OptionalNode is an availability-checked reference (the `optional`
+// operator): when the target resolves, it behaves exactly like a
+// plain reference; when the target is absent — or mid-rollback during
+// a live upgrade — it degrades to its fallback expression (or an
+// empty contribution) instead of failing the build.  Availability is
+// folded into the hash, so the degraded and full builds occupy
+// distinct cache entries and an availability flip naturally rebuilds.
+type OptionalNode struct {
+	Path     string
+	Fallback Node // nil: degrade to an empty contribution
+	memo     hashMemo
+}
+
+// Eval implements Node.
+func (n *OptionalNode) Eval(ctx Context) (*Value, error) {
+	avail := true
+	if r, ok := ctx.(OptionalResolver); ok {
+		avail = r.OptionalAvailable(n.Path)
+	}
+	if avail {
+		ref := RefNode{Path: n.Path}
+		return ref.Eval(ctx)
+	}
+	if s, ok := ctx.(StubRecorder); ok {
+		s.RecordOptionalStub(n.Path)
+	}
+	if n.Fallback != nil {
+		return n.Fallback.Eval(ctx)
+	}
+	return &Value{}, nil
+}
+
+// Hash implements Node.
+func (n *OptionalNode) Hash(ctx Context) (string, error) {
+	return n.memo.resolve(ctx, func() (string, error) {
+		avail := true
+		if r, ok := ctx.(OptionalResolver); ok {
+			avail = r.OptionalAvailable(n.Path)
+		}
+		if avail {
+			ch, err := ctx.ContentHash(n.Path)
+			if err != nil {
+				return "", err
+			}
+			return digest("optional", "present", n.Path, ch), nil
+		}
+		fh := "none"
+		if n.Fallback != nil {
+			h, err := n.Fallback.Hash(ctx)
+			if err != nil {
+				return "", err
+			}
+			fh = h
+		}
+		return digest("optional", "absent", n.Path, fh), nil
+	})
+}
+
+// String renders the node in blueprint syntax.
+func (n *OptionalNode) String() string {
+	if n.Fallback == nil {
+		return fmt.Sprintf("(optional %s)", n.Path)
+	}
+	return fmt.Sprintf("(optional %s %s)", n.Path, n.Fallback)
+}
 
 // SourceNode compiles source text into fragments (the `source`
 // operator).

@@ -5,6 +5,7 @@ import (
 	"path"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // FileKind distinguishes inode types.
@@ -29,8 +30,12 @@ type inode struct {
 
 // FS is the simulated in-memory filesystem.  It backs the `ls`
 // workload's directories, the executable files parsed by native exec,
-// and the link-time I/O cost experiment.
+// and the link-time I/O cost experiment.  A single mutex serializes
+// all access: many simulated processes (one per daemon handler) walk
+// the same tree concurrently, and even reads mutate the buffer-cache
+// bit.
 type FS struct {
+	mu   sync.Mutex
 	root *inode
 }
 
@@ -64,6 +69,12 @@ func (fs *FS) walk(p string) (*inode, error) {
 
 // MkdirAll creates the directory p and any missing parents.
 func (fs *FS) MkdirAll(p string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.mkdirAll(p)
+}
+
+func (fs *FS) mkdirAll(p string) error {
 	n := fs.root
 	for _, part := range splitPath(p) {
 		c, ok := n.children[part]
@@ -80,11 +91,13 @@ func (fs *FS) MkdirAll(p string) error {
 
 // WriteFile creates or replaces the file at p with data.
 func (fs *FS) WriteFile(p string, data []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	dir, base := path.Split(path.Clean("/" + p))
 	if base == "" {
 		return fmt.Errorf("fs: invalid path %q", p)
 	}
-	if err := fs.MkdirAll(dir); err != nil {
+	if err := fs.mkdirAll(dir); err != nil {
 		return err
 	}
 	parent, err := fs.walk(dir)
@@ -106,6 +119,8 @@ func (fs *FS) WriteFile(p string, data []byte) error {
 // ReadFile returns the file's contents and whether this read hit the
 // buffer cache (false means the caller should charge disk cost).
 func (fs *FS) ReadFile(p string) (data []byte, cacheHit bool, err error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	n, err := fs.walk(p)
 	if err != nil {
 		return nil, false, err
@@ -115,7 +130,9 @@ func (fs *FS) ReadFile(p string) (data []byte, cacheHit bool, err error) {
 	}
 	hit := n.cached
 	n.cached = true
-	return n.data, hit, nil
+	// A copy: WriteFile reuses the inode's backing array, and the
+	// caller may hold the result across a concurrent rewrite.
+	return append([]byte(nil), n.data...), hit, nil
 }
 
 // Stat describes a file.
@@ -127,6 +144,8 @@ type Stat struct {
 
 // Stat returns file metadata.
 func (fs *FS) Stat(p string) (Stat, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	n, err := fs.walk(p)
 	if err != nil {
 		return Stat{}, err
@@ -136,6 +155,8 @@ func (fs *FS) Stat(p string) (Stat, error) {
 
 // ReadDir lists the entry names of directory p, sorted.
 func (fs *FS) ReadDir(p string) ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	n, err := fs.walk(p)
 	if err != nil {
 		return nil, err
@@ -153,12 +174,16 @@ func (fs *FS) ReadDir(p string) ([]string, error) {
 
 // Exists reports whether p names a file or directory.
 func (fs *FS) Exists(p string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	_, err := fs.walk(p)
 	return err == nil
 }
 
 // Remove deletes a file or empty directory.
 func (fs *FS) Remove(p string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	dir, base := path.Split(path.Clean("/" + p))
 	parent, err := fs.walk(dir)
 	if err != nil {
@@ -178,6 +203,8 @@ func (fs *FS) Remove(p string) error {
 // DropCaches marks every file uncached, so subsequent reads pay disk
 // cost again (used to measure cold-start behaviour).
 func (fs *FS) DropCaches() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	var walk func(n *inode)
 	walk = func(n *inode) {
 		n.cached = false

@@ -33,14 +33,14 @@ func HashName(name string) uint64 {
 // covering its transitive references (the version identity used by
 // partial-image stub validation).
 func (s *Server) ContentHashOf(path string) (string, error) {
-	return evalCtx{s}.ContentHash(path)
+	return evalCtx{s: s}.ContentHash(path)
 }
 
 // EvalProgram evaluates a program meta-object without linking it,
 // returning its value (module + library deps).  The loader package
 // uses this to build partial-image executables (§4.2).
 func (s *Server) EvalProgram(name string) (*mgraph.Value, *mgraph.Meta, error) {
-	c := evalCtx{s}
+	c := evalCtx{s: s}
 	meta, err := c.LookupMeta(name)
 	if err != nil {
 		return nil, nil, err

@@ -54,13 +54,26 @@ func (s *Server) InstantiateCtx(ctx context.Context, name string, p *osim.Proces
 		return nil, err
 	}
 	defer release()
-	c := evalCtx{s}
+	c := evalCtx{s: s}
 	meta, err := c.LookupMeta(name)
 	if err != nil {
 		return nil, err
 	}
 	if meta == nil {
 		return nil, fmt.Errorf("server: %s is not a meta-object", name)
+	}
+	// Canary placement (upgrade.go): during an upgrade epoch a
+	// deterministic fraction of top-level instantiations joins the v2
+	// cohort — their evaluations see the staged definitions, and their
+	// outcomes feed the health gate.
+	cohort := s.canaryPick(name, meta)
+	if cohort {
+		ctx = withCanary(ctx)
+		c = evalCtx{s: s, v2: true}
+		s.stats.canaryInstantiations.Add(1)
+		if m2, err2 := c.LookupMeta(name); err2 == nil && m2 != nil {
+			meta = m2
+		}
 	}
 	kind := buildgraph.KindProgram
 	if meta.IsLibrary {
@@ -78,6 +91,11 @@ func (s *Server) InstantiateCtx(ctx context.Context, name string, p *osim.Proces
 	}
 	s.finishNode(root, inst, err)
 	run.End(err)
+	// Feed the health gate: the server-wide failure baseline always,
+	// the canary cohort's verdict during an epoch.  A regression here
+	// triggers the automatic rollback (synchronously, so the caller
+	// that tripped the gate observes the post-rollback namespace).
+	s.observeInstantiation(cohort, err)
 	return inst, err
 }
 
@@ -134,7 +152,7 @@ func (s *Server) evalValue(ctx context.Context, meta *mgraph.Meta, c charger) (*
 	if err := s.faults.Fire(fault.SiteBuildEval); err != nil {
 		return nil, nil, fmt.Errorf("server: evaluating %s: %w", meta.Path, err)
 	}
-	v, err := meta.Root.Eval(evalCtx{s})
+	v, err := meta.Root.Eval(s.ectx(ctx))
 	if err != nil {
 		return nil, nil, fmt.Errorf("server: evaluating %s: %w", meta.Path, err)
 	}
@@ -173,7 +191,7 @@ func (s *Server) instantiateLibrary(ctx context.Context, dep mgraph.LibDep, c ch
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	cx := evalCtx{s}
+	cx := s.ectx(ctx)
 	meta, err := cx.LookupMeta(dep.Path)
 	if err != nil {
 		return nil, err
@@ -229,6 +247,11 @@ func (s *Server) instantiateLibrary(ctx context.Context, dep mgraph.LibDep, c ch
 			return inst, nil
 		}
 		s.stats.rebaseMiss.Add(1)
+		if canaryFrom(ctx) {
+			if err := s.faults.Fire(fault.SiteUpgradeCanary); err != nil {
+				return nil, fmt.Errorf("server: canary build of library %s: %w", dep.Path, err)
+			}
+		}
 		if err := s.faults.Fire(fault.SiteBuildLink); err != nil {
 			return nil, fmt.Errorf("server: linking library %s: %w", dep.Path, err)
 		}
@@ -254,7 +277,7 @@ func (s *Server) instantiateLibrary(ctx context.Context, dep mgraph.LibDep, c ch
 
 func (s *Server) instantiateProgram(ctx context.Context, name string, meta *mgraph.Meta, c charger) (*Instance, error) {
 	s.chargeLookup(c)
-	subHash, err := meta.Root.Hash(evalCtx{s})
+	subHash, err := meta.Root.Hash(s.ectx(ctx))
 	if err != nil {
 		return nil, err
 	}
@@ -305,6 +328,11 @@ func (s *Server) instantiateProgram(ctx context.Context, name string, meta *mgra
 			return inst, nil
 		}
 		s.stats.rebaseMiss.Add(1)
+		if canaryFrom(ctx) {
+			if err := s.faults.Fire(fault.SiteUpgradeCanary); err != nil {
+				return nil, fmt.Errorf("server: canary build of %s: %w", name, err)
+			}
+		}
 		if err := s.faults.Fire(fault.SiteBuildLink); err != nil {
 			return nil, fmt.Errorf("server: linking %s: %w", name, err)
 		}
@@ -387,8 +415,9 @@ func (s *Server) materialize(key, ckey, bindKey, name string, res *link.Result, 
 }
 
 // Evict removes every cached instance derived from the named
-// meta-object and releases its address-space placements, forcing the
-// next instantiation to rebuild.  This is the module-unlinking ability
+// meta-object — and, transitively, every cached instance that links
+// against one — and releases their address-space placements, forcing
+// the next instantiation to rebuild.  This is the module-unlinking ability
 // the paper notes dld has and OMOS could add (§9): the server retains
 // all the information needed to reconstruct, so eviction is safe at
 // any time — processes already running keep their mapped frames alive
@@ -397,12 +426,35 @@ func (s *Server) Evict(name string) int {
 	name = cleanPath(name)
 	s.cacheMu.Lock()
 	defer s.cacheMu.Unlock()
-	evicted := 0
+	victims := map[string]bool{}
 	for key, inst := range s.cache {
-		if inst.Name != name && inst.Name != "lib:"+name {
-			continue
+		if inst.Name == name || inst.Name == "lib:"+name {
+			victims[key] = true
 		}
-		s.evictEntryLocked(inst)
+	}
+	// Close over dependents: a cached image linking against a victim
+	// would keep mapping the released frames (the capacity evictor
+	// refuses such victims for exactly this reason) — explicit
+	// eviction instead takes the dependents along, so they rebuild
+	// against whatever the namespace says next.
+	for changed := true; changed; {
+		changed = false
+		for key, inst := range s.cache {
+			if victims[key] {
+				continue
+			}
+			for _, li := range inst.Libs {
+				if victims[li.Key] {
+					victims[key] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	evicted := 0
+	for key := range victims {
+		s.evictEntryLocked(s.cache[key])
 		if s.store != nil {
 			s.store.Delete(key)
 		}

@@ -41,6 +41,10 @@ func (s *Server) AttachStore(st *store.Store) int {
 	// injected fault) skips that entry — the image rebuilds from
 	// source on demand — and must never prevent boot.
 	for _, key := range st.KeysLRU() {
+		if key == epochStoreKey {
+			// Transaction state, not an image; resolved below.
+			continue
+		}
 		func() {
 			defer func() {
 				if r := recover(); r != nil {
@@ -51,6 +55,10 @@ func (s *Server) AttachStore(st *store.Store) int {
 		}()
 	}
 	n := int(s.stats.warmLoaded.Load() - before)
+	// A daemon killed mid-upgrade left its epoch record behind: redo a
+	// durable commit intent, roll back anything earlier — either way
+	// the namespace boots consistent, never torn.
+	s.recoverEpoch(st)
 	// The byte budget may have shrunk since the blobs were written.
 	s.evictForCapacity("")
 	return n
@@ -507,7 +515,7 @@ func (s *Server) evictForCapacity(exclude string) {
 		if st.OverCapacity() == 0 {
 			break
 		}
-		if key == exclude {
+		if key == exclude || key == epochStoreKey {
 			continue
 		}
 		if inst := s.cache[key]; inst != nil {

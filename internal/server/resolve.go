@@ -95,11 +95,11 @@ func (e *RebindError) RebindDetail() (mutation, path, program, symbol, definer s
 // library identities no longer match what it was linked against — a
 // definer swap or a tampered store blob caught by the pin check.
 type PinViolationError struct {
-	Image  string // the pinned image
-	Lib    string // the library whose identity mismatched
-	Field  string // which identity mismatched: "content-key", "checksum", "lib-key", "libs", "injected"
-	Want   string
-	Got    string
+	Image string // the pinned image
+	Lib   string // the library whose identity mismatched
+	Field string // which identity mismatched: "content-key", "checksum", "lib-key", "libs", "injected"
+	Want  string
+	Got   string
 }
 
 // Error implements error.
@@ -470,10 +470,20 @@ func (s *Server) Explain(sym string) (string, error) {
 	sort.Slice(rows, func(i, j int) bool { return rows[i].image < rows[j].image })
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "symbol %s:\n", sym)
+	definers := make(map[string]bool, len(rows))
 	for _, r := range rows {
 		fmt.Fprintf(&sb, "  %s binds %s -> %s @%#x\n", r.image, sym, r.b.Definer, r.b.Addr)
 		fmt.Fprintf(&sb, "    view: library %d of %s, definer key %s\n", r.b.LibIdx, r.image, orNone(r.b.DefKey))
 		fmt.Fprintf(&sb, "    resolved by %s at namespace generation %d\n", r.how, r.gen)
+		definers[r.b.Definer] = true
+	}
+	// Any live-upgrade history touching a definer of this symbol is
+	// part of the answer to "why is it bound here".
+	if hist := s.upgradeHistoryFor(definers); len(hist) > 0 {
+		sb.WriteString("upgrade history:\n")
+		for _, line := range hist {
+			fmt.Fprintf(&sb, "  %s\n", line)
+		}
 	}
 	return sb.String(), nil
 }

@@ -155,6 +155,20 @@ type Stats struct {
 	PinViolations  uint64
 	RebindsBlocked uint64
 	RebindsAllowed uint64
+
+	// The live-upgrade counters (upgrade.go).  UpgradesStarted counts
+	// epochs opened; every epoch ends in exactly one of
+	// UpgradesCommitted or UpgradesRolledBack (a warm-restart recovery
+	// of an interrupted epoch counts there too).  CanaryInstantiations
+	// counts top-level instantiations routed to the canary (v2) cohort;
+	// OptionalStubsServed counts optional imports that resolved to
+	// their fallback stub because the definer was absent or
+	// mid-rollback.
+	UpgradesStarted      uint64
+	UpgradesCommitted    uint64
+	UpgradesRolledBack   uint64
+	CanaryInstantiations uint64
+	OptionalStubsServed  uint64
 }
 
 // statsCounters are the live counters behind the Stats snapshot.
@@ -182,6 +196,12 @@ type statsCounters struct {
 	pinViolations        atomic.Uint64
 	rebindsBlocked       atomic.Uint64
 	rebindsAllowed       atomic.Uint64
+
+	upgradesStarted      atomic.Uint64
+	upgradesCommitted    atomic.Uint64
+	upgradesRolledBack   atomic.Uint64
+	canaryInstantiations atomic.Uint64
+	optionalStubsServed  atomic.Uint64
 }
 
 // Stats returns a consistent-enough snapshot of the activity counters.
@@ -212,6 +232,12 @@ func (s *Server) Stats() Stats {
 		PinViolations:        s.stats.pinViolations.Load(),
 		RebindsBlocked:       s.stats.rebindsBlocked.Load(),
 		RebindsAllowed:       s.stats.rebindsAllowed.Load(),
+
+		UpgradesStarted:      s.stats.upgradesStarted.Load(),
+		UpgradesCommitted:    s.stats.upgradesCommitted.Load(),
+		UpgradesRolledBack:   s.stats.upgradesRolledBack.Load(),
+		CanaryInstantiations: s.stats.canaryInstantiations.Load(),
+		OptionalStubsServed:  s.stats.optionalStubsServed.Load(),
 	}
 	gc := s.graph.Counters()
 	st.NodesBuilt = gc.NodesBuilt
@@ -377,6 +403,30 @@ type Server struct {
 	bindings map[string]*BindingTable
 	blobSums map[string]string
 
+	// upMu guards the live-upgrade epoch (upgrade.go): the staged v2
+	// definitions, the canary cohort's health accounting, and the
+	// pre-upgrade baseline.  Lock order: upMu is a leaf for namespace
+	// purposes — it is never held across a define, an evaluation, or
+	// store I/O (the commit/rollback paths copy what they need out
+	// first).
+	upMu sync.Mutex
+	// epoch is the active upgrade epoch, nil when none is open.
+	epoch *upgradeEpoch
+	// epochSeq numbers epochs within this process (epoch IDs also fold
+	// in the namespace generation so restarts do not collide).
+	epochSeq atomic.Uint64
+	// lastAborted retains the terminal verdict of the most recent
+	// automatic rollback so the status/commit path can surface a typed
+	// UpgradeAbortedError after the epoch itself is gone.
+	lastAborted atomic.Pointer[UpgradeAbortedError]
+	// baseFailEWMA is the server-wide instantiation-failure EWMA: the
+	// pre-upgrade baseline a canary cohort is judged against.  Guarded
+	// by upMu.
+	baseFailEWMA float64
+	// upgradeLog is the bounded upgrade audit trail surfaced through
+	// Explain and the upgrade status report.  Guarded by upMu.
+	upgradeLog []upgradeEvent
+
 	stats statsCounters
 
 	// exec is the build graph's bounded worker pool: the dependency
@@ -523,12 +573,27 @@ func (s *Server) define(p, src string, isLib, allow bool) error {
 			return err
 		}
 	}
+	meta, err := parseMeta(p, src, isLib)
+	if err != nil {
+		return err
+	}
+	s.nsMu.Lock()
+	s.ns[meta.Path] = nsEntry{meta: meta}
+	s.nsMu.Unlock()
+	s.invalidateHashes()
+	return nil
+}
+
+// parseMeta parses a blueprint into a meta-object without installing
+// it — shared by define and the upgrade engine's staging path, which
+// must validate v2 sources before they ever touch the namespace.
+func parseMeta(p, src string, isLib bool) (*mgraph.Meta, error) {
 	exprs, err := blueprint.ParseAll(src)
 	if err != nil {
-		return fmt.Errorf("server: define %s: %w", p, err)
+		return nil, fmt.Errorf("server: define %s: %w", p, err)
 	}
 	if len(exprs) == 0 {
-		return fmt.Errorf("server: define %s: empty blueprint", p)
+		return nil, fmt.Errorf("server: define %s: empty blueprint", p)
 	}
 	meta := &mgraph.Meta{
 		Path:      cleanPath(p),
@@ -541,29 +606,25 @@ func (s *Server) define(p, src string, isLib, allow bool) error {
 	if exprs[0].Op() == "constraint-list" {
 		prefs, err := mgraph.ParseConstraintList(exprs[0])
 		if err != nil {
-			return fmt.Errorf("server: define %s: %w", p, err)
+			return nil, fmt.Errorf("server: define %s: %w", p, err)
 		}
 		meta.DefaultSpec.Prefs = prefs
 		idx = 1
 	}
 	if len(exprs) != idx+1 {
-		return fmt.Errorf("server: define %s: want one construction expression, got %d", p, len(exprs)-idx)
+		return nil, fmt.Errorf("server: define %s: want one construction expression, got %d", p, len(exprs)-idx)
 	}
 	root, err := mgraph.Build(exprs[idx])
 	if err != nil {
-		return fmt.Errorf("server: define %s: %w", p, err)
+		return nil, fmt.Errorf("server: define %s: %w", p, err)
 	}
 	meta.Root = root
-	s.nsMu.Lock()
-	s.ns[meta.Path] = nsEntry{meta: meta}
-	s.nsMu.Unlock()
-	s.invalidateHashes()
-	return nil
+	return meta, nil
 }
 
 // GetObject returns the relocatable object stored at a namespace path.
 func (s *Server) GetObject(p string) (*obj.Object, error) {
-	return evalCtx{s}.LookupObject(p)
+	return evalCtx{s: s}.LookupObject(p)
 }
 
 // Remove deletes a namespace entry.  Memoized hashes are invalidated,
@@ -623,19 +684,74 @@ func digestStr(parts ...string) string {
 // any server lock held (the context methods take the fine-grained
 // locks they need), which is what lets many evaluations proceed in
 // parallel.
-type evalCtx struct{ s *Server }
+//
+// v2 marks a canary-cohort evaluation during a live upgrade epoch:
+// namespace lookups see the epoch's staged definitions layered over
+// the committed namespace, and every hash generation carries the
+// canaryGenBit so v1 and v2 evaluations never share a memo slot (the
+// single-slot per-node memos in mgraph would otherwise alternate
+// between cohorts and, worse, serve one cohort the other's hash).
+type evalCtx struct {
+	s  *Server
+	v2 bool
+}
 
 var _ mgraph.Context = evalCtx{}
 var _ mgraph.HashGenerator = evalCtx{}
+var _ mgraph.OptionalResolver = evalCtx{}
+var _ mgraph.StubRecorder = evalCtx{}
+
+// canaryGenBit segregates canary-cohort hash generations from
+// baseline ones.  hashGen is a mutation counter that will never reach
+// 2^63 in practice, so the top bit is free to carry the cohort.
+const canaryGenBit = uint64(1) << 63
+
+// gen returns the namespace generation for this evaluation's cohort.
+func (c evalCtx) gen() uint64 {
+	g := c.s.hashGen.Load()
+	if c.v2 {
+		g |= canaryGenBit
+	}
+	return g
+}
 
 // HashGeneration implements mgraph.HashGenerator: m-graph subtree
 // hashes memoized under this generation stay valid until the next
-// namespace mutation.
-func (c evalCtx) HashGeneration() uint64 { return c.s.hashGen.Load() }
+// namespace mutation (and are cohort-segregated during an upgrade).
+func (c evalCtx) HashGeneration() uint64 { return c.gen() }
+
+// entry resolves a namespace path for this evaluation's cohort: a
+// canary evaluation sees the upgrade epoch's staged definitions
+// layered over the committed namespace.
+func (c evalCtx) entry(p string) (nsEntry, bool, error) {
+	if c.v2 {
+		if e, ok := c.s.stagedEntry(p); ok {
+			return e, true, nil
+		}
+	}
+	return c.s.lookupEntry(p)
+}
+
+// OptionalAvailable implements mgraph.OptionalResolver: an optional
+// import resolves to its definer only while the definer exists and is
+// not mid-rollback (a path whose staged upgrade is being unwound must
+// degrade, not bind to a version about to disappear).
+func (c evalCtx) OptionalAvailable(p string) bool {
+	if c.s.optionalUnavailable(p, c.v2) {
+		return false
+	}
+	e, ok, err := c.entry(p)
+	return err == nil && ok && (e.meta != nil || e.object != nil)
+}
+
+// RecordOptionalStub implements mgraph.StubRecorder.
+func (c evalCtx) RecordOptionalStub(p string) {
+	c.s.stats.optionalStubsServed.Add(1)
+}
 
 // LookupObject implements mgraph.Context.
 func (c evalCtx) LookupObject(p string) (*obj.Object, error) {
-	e, ok, err := c.s.lookupEntry(p)
+	e, ok, err := c.entry(p)
 	if err != nil {
 		return nil, err
 	}
@@ -647,7 +763,7 @@ func (c evalCtx) LookupObject(p string) (*obj.Object, error) {
 
 // LookupMeta implements mgraph.Context.
 func (c evalCtx) LookupMeta(p string) (*mgraph.Meta, error) {
-	e, ok, err := c.s.lookupEntry(p)
+	e, ok, err := c.entry(p)
 	if err != nil {
 		return nil, err
 	}
@@ -662,14 +778,14 @@ func (c evalCtx) LookupMeta(p string) (*mgraph.Meta, error) {
 // read-locked map lookup instead of a transitive re-hash.
 func (c evalCtx) ContentHash(p string) (string, error) {
 	p = cleanPath(p)
-	gen := c.s.hashGen.Load()
+	gen := c.gen()
 	c.s.hashMu.RLock()
 	m, ok := c.s.hashMemo[p]
 	c.s.hashMu.RUnlock()
 	if ok && m.gen == gen {
 		return m.val, nil
 	}
-	e, ok, err := c.s.lookupEntry(p)
+	e, ok, err := c.entry(p)
 	if err != nil {
 		return "", err
 	}

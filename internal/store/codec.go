@@ -45,12 +45,50 @@ var Magic = [4]byte{'O', 'M', 'S', '1'}
 // state: the image's resolution identity, its recorded binding table
 // (symbol -> definer, with the namespace generation it was resolved
 // under), and the pinned library identities verified at warm load.
-// Version 1 and 2 blobs still decode (v1 instances cannot serve as
-// rebase sources; v1/v2 instances carry no bindings or pins).
-const Version = 3
+// Version 4 adds a leading record-type byte to the payload so the
+// store can hold more than one kind of record: type 0 is a cached
+// image, type 1 is a live-upgrade epoch record (the write-ahead
+// transaction state of an in-flight library upgrade).  Version 1–3
+// blobs still decode as images (v1 instances cannot serve as rebase
+// sources; v1/v2 instances carry no bindings or pins).
+const Version = 4
 
 // minVersion is the oldest codec version Decode still accepts.
 const minVersion = 1
+
+// Record-type bytes leading every v4 payload.
+const (
+	recImage = uint8(0)
+	recEpoch = uint8(1)
+)
+
+// Epoch states persisted in an EpochRecord.  An active epoch found at
+// warm boot rolls back (it never reached commit); a committing epoch
+// is a durable intent and is redone.
+const (
+	EpochActive     = uint8(1)
+	EpochCommitting = uint8(2)
+)
+
+// EpochLib is one staged definition of a live-upgrade epoch.
+type EpochLib struct {
+	Path     string
+	OldSrc   string
+	NewSrc   string
+	IsLib    bool
+	HadPrior bool
+}
+
+// EpochRecord is the durable state of a live-upgrade epoch: which
+// paths are staged with what sources, how wide the canary is, and how
+// far the transaction got.
+type EpochRecord struct {
+	ID        string
+	State     uint8
+	CanaryPct uint32
+	Verdict   string
+	Libs      []EpochLib
+}
 
 const headerSize = 4 + 4 + 8 + 32
 
@@ -189,7 +227,11 @@ func Encode(rec *Record) ([]byte, error) {
 	if rec.Key == "" {
 		return nil, fmt.Errorf("store: encode: empty key")
 	}
-	payload := encodePayload(rec)
+	return seal(encodePayload(rec)), nil
+}
+
+// seal wraps a payload in the versioned, checksummed envelope.
+func seal(payload []byte) []byte {
 	var buf bytes.Buffer
 	buf.Grow(headerSize + len(payload))
 	buf.Write(Magic[:])
@@ -198,11 +240,40 @@ func Encode(rec *Record) ([]byte, error) {
 	sum := sha256.Sum256(payload)
 	buf.Write(sum[:])
 	buf.Write(payload)
-	return buf.Bytes(), nil
+	return buf.Bytes()
+}
+
+// EncodeEpoch serializes a live-upgrade epoch record.
+func EncodeEpoch(rec *EpochRecord) ([]byte, error) {
+	if rec.ID == "" {
+		return nil, fmt.Errorf("store: encode epoch: empty id")
+	}
+	var buf bytes.Buffer
+	buf.WriteByte(recEpoch)
+	writeStr(&buf, rec.ID)
+	buf.WriteByte(rec.State)
+	writeU32(&buf, rec.CanaryPct)
+	writeStr(&buf, rec.Verdict)
+	writeU32(&buf, uint32(len(rec.Libs)))
+	for _, l := range rec.Libs {
+		writeStr(&buf, l.Path)
+		writeStr(&buf, l.OldSrc)
+		writeStr(&buf, l.NewSrc)
+		flags := uint8(0)
+		if l.IsLib {
+			flags |= 1
+		}
+		if l.HadPrior {
+			flags |= 2
+		}
+		buf.WriteByte(flags)
+	}
+	return seal(buf.Bytes()), nil
 }
 
 func encodePayload(rec *Record) []byte {
 	var buf bytes.Buffer
+	buf.WriteByte(recImage)
 	writeStr(&buf, rec.Key)
 	writeStr(&buf, rec.Name)
 	writeStr(&buf, rec.SolverKey)
@@ -307,31 +378,91 @@ func Verify(b []byte) error {
 	return nil
 }
 
+// open verifies the envelope and returns the payload and version.
+func open(b []byte) ([]byte, uint32, error) {
+	if len(b) < headerSize {
+		return nil, 0, fmt.Errorf("store: blob too short (%d bytes)", len(b))
+	}
+	if !bytes.Equal(b[:4], Magic[:]) {
+		return nil, 0, fmt.Errorf("store: bad magic %q", b[:4])
+	}
+	ver := binary.LittleEndian.Uint32(b[4:8])
+	if ver < minVersion || ver > Version {
+		return nil, 0, fmt.Errorf("store: unsupported version %d", ver)
+	}
+	paylen := binary.LittleEndian.Uint64(b[8:16])
+	payload := b[headerSize:]
+	if paylen != uint64(len(payload)) {
+		return nil, 0, fmt.Errorf("store: payload length %d, have %d bytes", paylen, len(payload))
+	}
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], b[16:48]) {
+		return nil, 0, fmt.Errorf("store: checksum mismatch")
+	}
+	return payload, ver, nil
+}
+
+// DecodeEpoch parses a live-upgrade epoch record.  Only v4 blobs can
+// carry one; anything else — including an image record under the
+// epoch key — is an error the caller treats as corrupt.
+func DecodeEpoch(b []byte) (*EpochRecord, error) {
+	payload, ver, err := open(b)
+	if err != nil {
+		return nil, err
+	}
+	if ver < 4 {
+		return nil, fmt.Errorf("store: version %d carries no epoch records", ver)
+	}
+	r := &reader{b: payload}
+	if t := r.u8(); r.err == nil && t != recEpoch {
+		return nil, fmt.Errorf("store: record type %d is not an epoch", t)
+	}
+	rec := &EpochRecord{}
+	rec.ID = r.str()
+	rec.State = r.u8()
+	rec.CanaryPct = r.u32()
+	rec.Verdict = r.str()
+	n := r.count(len(payload))
+	for i := 0; i < n && r.err == nil; i++ {
+		var l EpochLib
+		l.Path = r.str()
+		l.OldSrc = r.str()
+		l.NewSrc = r.str()
+		flags := r.u8()
+		l.IsLib = flags&1 != 0
+		l.HadPrior = flags&2 != 0
+		rec.Libs = append(rec.Libs, l)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("store: decode epoch: %w", r.err)
+	}
+	if r.off != len(payload) {
+		return nil, fmt.Errorf("store: %d trailing payload bytes", len(payload)-r.off)
+	}
+	if rec.ID == "" {
+		return nil, fmt.Errorf("store: decode epoch: empty id")
+	}
+	if rec.State != EpochActive && rec.State != EpochCommitting {
+		return nil, fmt.Errorf("store: decode epoch: unknown state %d", rec.State)
+	}
+	return rec, nil
+}
+
 // Decode parses and verifies a serialized record.  Any structural
 // problem — bad magic, unknown version, truncation, checksum
 // mismatch, implausible counts, trailing bytes — is an error; the
 // caller treats the entry as corrupt and rebuilds.
 func Decode(b []byte) (*Record, error) {
-	if len(b) < headerSize {
-		return nil, fmt.Errorf("store: blob too short (%d bytes)", len(b))
-	}
-	if !bytes.Equal(b[:4], Magic[:]) {
-		return nil, fmt.Errorf("store: bad magic %q", b[:4])
-	}
-	ver := binary.LittleEndian.Uint32(b[4:8])
-	if ver < minVersion || ver > Version {
-		return nil, fmt.Errorf("store: unsupported version %d", ver)
-	}
-	paylen := binary.LittleEndian.Uint64(b[8:16])
-	payload := b[headerSize:]
-	if paylen != uint64(len(payload)) {
-		return nil, fmt.Errorf("store: payload length %d, have %d bytes", paylen, len(payload))
-	}
-	sum := sha256.Sum256(payload)
-	if !bytes.Equal(sum[:], b[16:48]) {
-		return nil, fmt.Errorf("store: checksum mismatch")
+	payload, ver, err := open(b)
+	if err != nil {
+		return nil, err
 	}
 	r := &reader{b: payload}
+	if ver >= 4 {
+		if t := r.u8(); r.err == nil && t != recImage {
+			return nil, fmt.Errorf("store: record type %d is not an image", t)
+		}
+	}
 	rec := &Record{}
 	rec.Key = r.str()
 	rec.Name = r.str()
