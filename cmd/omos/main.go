@@ -251,6 +251,11 @@ func main() {
 				h.UpgradeActive, h.UpgradeEpoch, h.UpgradeCanaryPct,
 				h.UpgradeRollingBack, h.UpgradeVerdict)
 		}
+		if h.MeshShards > 0 {
+			fmt.Printf("mesh: peers-up=%d/%d shards=%d peer-fetches=%d meta-rebases=%d blob-fetches=%d gossip-rounds=%d\n",
+				h.MeshPeersUp, h.MeshPeers, h.MeshShards,
+				h.MeshPeerFetches, h.MeshMetaRebases, h.MeshBlobFetches, h.MeshGossipRounds)
+		}
 		// A draining or degraded daemon is not a healthy daemon — nor
 		// is one mid-rollback: non-zero exit so scripts and
 		// orchestrators notice.

@@ -11,6 +11,7 @@
 //	      [-max-inflight N] [-queue-depth N] [-build-timeout D]
 //	      [-scrub-interval D] [-scrub-per-tick N] [-supervise-interval D]
 //	      [-handlers-per-conn N]
+//	      [-peers addr,addr...] [-mesh-secret S] [-mesh-gossip-interval D]
 //	omosd -health [-listen addr]
 //	omosd -graph [-listen addr]
 //	omosd -list-faults
@@ -43,6 +44,14 @@
 // -build-timeout arms the per-build watchdog.  -scrub-interval enables the background store scrubber.
 // -supervise-interval enables the degraded-health supervisor.
 //
+// -peers joins the daemon to a federated mesh: the named daemons and
+// this one consistent-hash shard the content-addressed store, and a
+// placement miss on a non-owning daemon asks the shard owner before
+// relinking locally (metadata-only rebase when the bytes are already
+// local, streamed blob otherwise).  -mesh-secret (or $OMOS_MESH_SECRET)
+// authenticates peer traffic; client ops stay open.
+// -mesh-gossip-interval sets the anti-entropy period.
+//
 // -faults (or the OMOS_FAULTS environment variable) arms deterministic
 // fault injection for resilience drills.  The spec syntax is
 // "site:kind[:p=P|n=N][:count=C][:delay=D]" entries joined by ';',
@@ -73,6 +82,7 @@ import (
 	"omos/internal/daemon"
 	"omos/internal/fault"
 	"omos/internal/ipc"
+	"omos/internal/mesh"
 	"omos/internal/workload"
 )
 
@@ -95,6 +105,11 @@ func main() {
 	superviseInterval := flag.Duration("supervise-interval", 250*time.Millisecond, "supervisor sampling period (0: no supervisor)")
 	handlersPerConn := flag.Int("handlers-per-conn", ipc.DefaultHandlerPool,
 		"concurrent tagged requests per v2 connection (backpressure: the reader pauses when full)")
+	peers := flag.String("peers", "", "comma-separated peer daemon addresses: join the federated mesh")
+	meshSecret := flag.String("mesh-secret", os.Getenv("OMOS_MESH_SECRET"),
+		"shared secret authenticating mesh peers (default $OMOS_MESH_SECRET)")
+	meshGossip := flag.Duration("mesh-gossip-interval", 2*time.Second,
+		"anti-entropy gossip period for the mesh (0: manual gossip only)")
 	flag.Parse()
 
 	if *health {
@@ -143,8 +158,41 @@ func main() {
 	}
 	log.Printf("omosd: serving on %s (workloads=%v)", l.Addr(), *workloads)
 
-	srv := ipc.NewServer(daemon.New(sys))
+	b := daemon.New(sys)
+	var node *mesh.Node
+	if *peers != "" {
+		self := *listen
+		if strings.HasPrefix(self, ":") {
+			self = "127.0.0.1" + self
+		}
+		node, err = mesh.New(sys.Srv, mesh.Config{
+			Self:           self,
+			Secret:         *meshSecret,
+			GossipInterval: *meshGossip,
+			Faults:         sys.Faults,
+		})
+		if err != nil {
+			log.Fatalf("omosd: mesh: %v", err)
+		}
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				node.AddPeer(p)
+			}
+		}
+		b.Mesh = node
+		// Tell the fleet we own a shard now; peers that are up push the
+		// content the new ring assigns to us, stragglers catch up via
+		// gossip.
+		if err := node.AnnounceMembership(); err != nil {
+			log.Printf("omosd: mesh join (will converge via gossip): %v", err)
+		}
+		node.Start()
+		log.Printf("omosd: mesh member %s with peers %s", self, *peers)
+	}
+
+	srv := ipc.NewServer(b)
 	srv.HandlerPool = *handlersPerConn
+	srv.MeshSecret = *meshSecret
 	srv.SetFaults(sys.Faults)
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
@@ -160,6 +208,9 @@ func main() {
 		log.Fatalf("omosd: %v", err)
 	}
 	<-done
+	if node != nil {
+		node.Close()
+	}
 	if err := sys.Close(); err != nil {
 		log.Printf("omosd: closing store: %v", err)
 	}
@@ -232,6 +283,11 @@ func queryHealth(addr string) int {
 		fmt.Printf("upgrade:         active=%v epoch=%s canary=%d%% rolling-back=%v verdict=%q\n",
 			h.UpgradeActive, h.UpgradeEpoch, h.UpgradeCanaryPct,
 			h.UpgradeRollingBack, h.UpgradeVerdict)
+	}
+	if h.MeshShards > 0 {
+		fmt.Printf("mesh:            peers-up=%d/%d shards=%d peer-fetches=%d meta-rebases=%d blob-fetches=%d gossip-rounds=%d\n",
+			h.MeshPeersUp, h.MeshPeers, h.MeshShards,
+			h.MeshPeerFetches, h.MeshMetaRebases, h.MeshBlobFetches, h.MeshGossipRounds)
 	}
 	fmt.Printf("draining:        %v\n", h.Draining)
 	if h.Draining || h.Degraded || h.UpgradeRollingBack {

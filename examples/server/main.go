@@ -1,8 +1,8 @@
 // Server demonstrates OMOS's server-nature features beyond plain
 // linking: exporting namespace entries as "#!" Unix files (§5),
 // evicting cached images so a library fix propagates (§2.1/§9), the
-// versioning safety of partial images (§4.2), and federating two OMOS
-// servers over the network (§10).
+// versioning safety of partial images (§4.2), and federating OMOS
+// daemons into a mesh over the network (§10).
 package main
 
 import (
@@ -13,9 +13,32 @@ import (
 	"omos"
 	"omos/internal/daemon"
 	"omos/internal/ipc"
+	"omos/internal/mesh"
 )
 
+// member stands up one mesh daemon: a simulated machine with the
+// object server attached, serving the wire protocol, joined to the
+// fleet by address.
+func member(sys *omos.System, secret string) (*mesh.Node, string) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	node, err := mesh.New(sys.Srv, mesh.Config{Self: l.Addr().String(), Secret: secret})
+	if err != nil {
+		log.Fatal(err)
+	}
+	b := daemon.New(sys)
+	b.Mesh = node
+	srv := ipc.NewServer(b)
+	srv.MeshSecret = secret
+	go srv.Serve(l)
+	return node, l.Addr().String()
+}
+
 func main() {
+	const secret = "example-mesh"
+
 	// ---- Server A: owns a shared library ----
 	sysA, err := omos.NewSystem()
 	if err != nil {
@@ -31,24 +54,21 @@ func main() {
 		}
 	}
 	defineLib(2)
-	l, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
-	}
-	go ipc.Serve(l, daemon.New(sysA))
-	fmt.Printf("server A listening on %s, owns /shared/libscale\n", l.Addr())
+	nodeA, addrA := member(sysA, secret)
+	_ = nodeA
+	fmt.Printf("server A listening on %s, owns /shared/libscale\n", addrA)
 
-	// ---- Server B: mounts A's namespace ----
+	// ---- Server B: joins the mesh and mounts A's namespace ----
 	sysB, err := omos.NewSystem()
 	if err != nil {
 		log.Fatal(err)
 	}
-	c, err := ipc.Dial(l.Addr().String())
-	if err != nil {
+	nodeB, addrB := member(sysB, secret)
+	nodeA.AddPeer(addrB)
+	nodeB.AddPeer(addrA)
+	if err := nodeB.MountPeer("/shared", addrA); err != nil {
 		log.Fatal(err)
 	}
-	defer c.Close()
-	sysB.Srv.Mount("/shared", daemon.Fetcher{C: c})
 	err = sysB.Define("/bin/app", `
 (merge /lib/crt0.o
   (source "c" "extern int scale(int); int main() { return scale(21); }")
@@ -62,6 +82,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("server B ran /bin/app against A's library: exit=%d\n", res.ExitCode)
+	fmt.Println(nodeB.StatsLine())
 
 	// ---- Unix-namespace export: #! files (§5) ----
 	if err := sysB.RT.ExportToUnix("/bin/app", "/usr/bin/app"); err != nil {
@@ -101,8 +122,15 @@ func main() {
 	}
 	fmt.Printf("partial image bound at current version: exit=%d\n", r3.ExitCode)
 	// Change the library locally; the stale partial image must refuse.
-	if err := sysB.DefineLibrary("/shared/libscale",
-		`(source "c" "int scale(int x) { return x * 5; }")`); err != nil {
+	// The hijack defense blocks the silent re-bind of a live program's
+	// symbol, so the redefinition must be explicit.
+	v5 := `(source "c" "int scale(int x) { return x * 5; }")`
+	if err := sysB.DefineLibrary("/shared/libscale", v5); err == nil {
+		log.Fatal("silent re-bind of a live program's symbol was not blocked")
+	} else {
+		fmt.Printf("hijack defense blocked the silent re-bind:\n  %v\n", err)
+	}
+	if err := sysB.Srv.DefineLibraryAllow("/shared/libscale", v5, true); err != nil {
 		log.Fatal(err)
 	}
 	if _, err := sysB.RunPartial("/bin/app.exe", nil); err != nil {

@@ -368,6 +368,38 @@ func TestResolutionShape(t *testing.T) {
 	t.Log("\n" + tab.Format())
 }
 
+func TestMeshShape(t *testing.T) {
+	tab, err := Mesh(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("row count = %d, want 2\n%s", len(tab.Rows), tab.Format())
+	}
+	indep, meshed := &tab.Rows[0], &tab.Rows[1]
+	// The whole point: the mesh links each content key once fleet-wide,
+	// so it must build strictly fewer total bytes than four daemons
+	// each relinking the world.
+	if meshed.Extra["built-bytes-total"] >= indep.Extra["built-bytes-total"] {
+		t.Errorf("mesh built %.0f bytes, independent fleet %.0f — want strictly fewer",
+			meshed.Extra["built-bytes-total"], indep.Extra["built-bytes-total"])
+	}
+	// At least half of the remote misses must be served by the
+	// metadata-only peer rebase, not blob streaming.
+	if meshed.Extra["mesh-meta-rebases"] <= 0 || meshed.Extra["mesh-blob-installs"] <= 0 {
+		t.Errorf("mesh fleet did not exercise both serve paths: %v", meshed.Extra)
+	}
+	if pct := meshed.Extra["meta-share-pct"]; pct < 50 {
+		t.Errorf("metadata rebases served %.0f%% of remote misses, want >= 50%%", pct)
+	}
+	// The warm path must stay an ordinary cache hit on both fleets.
+	if indep.Extra["warm-ops-per-sec"] <= 0 || meshed.Extra["warm-ops-per-sec"] <= 0 {
+		t.Errorf("warm throughput missing: indep %v mesh %v",
+			indep.Extra["warm-ops-per-sec"], meshed.Extra["warm-ops-per-sec"])
+	}
+	t.Log("\n" + tab.Format())
+}
+
 func TestUpgradeShape(t *testing.T) {
 	tab, err := Upgrade(QuickConfig())
 	if err != nil {

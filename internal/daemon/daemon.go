@@ -11,6 +11,7 @@ import (
 
 	"omos"
 	"omos/internal/ipc"
+	"omos/internal/mesh"
 	"omos/internal/obj"
 	"omos/internal/vm"
 	"omos/internal/workload"
@@ -18,7 +19,10 @@ import (
 
 // Backend serves the OMOS daemon protocol over an omos.System.
 type Backend struct {
-	Sys   *omos.System
+	Sys *omos.System
+	// Mesh federates this daemon into a mesh (nil outside one); set it
+	// before serving traffic.
+	Mesh  *mesh.Node
 	start time.Time
 }
 
@@ -30,6 +34,7 @@ var (
 	_ ipc.ExplainBackend = (*Backend)(nil)
 	_ ipc.RebindBackend  = (*Backend)(nil)
 	_ ipc.UpgradeBackend = (*Backend)(nil)
+	_ ipc.MeshBackend    = (*Backend)(nil)
 )
 
 // New wraps a system.
@@ -188,6 +193,41 @@ func (b *Backend) ExportObject(path string) ([]byte, error) {
 	return b.Sys.Srv.ExportObject(path)
 }
 
+// errNoMesh answers mesh operations on a daemon that is not federated.
+var errNoMesh = fmt.Errorf("daemon is not in a mesh")
+
+// MeshFetch implements ipc.MeshBackend.
+func (b *Backend) MeshFetch(req *ipc.MeshReq) (*ipc.MeshInfo, []byte, error) {
+	if b.Mesh == nil {
+		return nil, nil, errNoMesh
+	}
+	return b.Mesh.AcceptFetch(req)
+}
+
+// MeshPut implements ipc.MeshBackend.
+func (b *Backend) MeshPut(req *ipc.MeshReq) error {
+	if b.Mesh == nil {
+		return errNoMesh
+	}
+	return b.Mesh.AcceptPut(req)
+}
+
+// MeshGossip implements ipc.MeshBackend.
+func (b *Backend) MeshGossip(req *ipc.MeshReq) (*ipc.MeshInfo, error) {
+	if b.Mesh == nil {
+		return nil, errNoMesh
+	}
+	return b.Mesh.AcceptGossip(req)
+}
+
+// MeshRebalance implements ipc.MeshBackend.
+func (b *Backend) MeshRebalance(req *ipc.MeshReq) (*ipc.MeshInfo, error) {
+	if b.Mesh == nil {
+		return nil, errNoMesh
+	}
+	return b.Mesh.AcceptRebalance(req)
+}
+
 // Fetcher adapts an ipc.Client to server.RemoteFetcher, letting one
 // OMOS server mount another's namespace over the wire.
 type Fetcher struct {
@@ -223,7 +263,7 @@ func (b *Backend) Health() ipc.HealthInfo {
 	if !up.Active {
 		verdict = up.LastAborted
 	}
-	return ipc.HealthInfo{
+	hi := ipc.HealthInfo{
 		UptimeMS:           uint64(time.Since(b.start).Milliseconds()),
 		InflightBuilds:     b.Sys.Srv.InflightBuilds(),
 		Recovered:          st.Recovered,
@@ -246,6 +286,10 @@ func (b *Backend) Health() ipc.HealthInfo {
 		UpgradeRollingBack: up.RollingBack,
 		UpgradeVerdict:     verdict,
 	}
+	if b.Mesh != nil {
+		b.Mesh.Health(&hi)
+	}
+	return hi
 }
 
 // Graph implements ipc.GraphBackend: the build-graph report behind
@@ -271,5 +315,13 @@ func (b *Backend) Stats() string {
 		srv.NodesCheckpointed, srv.CheckpointsFailed, srv.CheckpointBytes,
 		srv.SymbolSearches, srv.BindingHits, srv.BindingMisses, srv.BindingInvalidations,
 		srv.PinViolations, srv.RebindsBlocked, srv.RebindsAllowed) +
-		b.Sys.Srv.UpgradeStatsLine() + "\n"
+		b.Sys.Srv.UpgradeStatsLine() + "\n" + b.meshLine()
+}
+
+// meshLine renders the mesh stats line (empty outside a mesh).
+func (b *Backend) meshLine() string {
+	if b.Mesh == nil {
+		return ""
+	}
+	return b.Mesh.StatsLine() + "\n"
 }

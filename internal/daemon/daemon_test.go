@@ -7,6 +7,7 @@ import (
 
 	"omos"
 	"omos/internal/ipc"
+	"omos/internal/mesh"
 	"omos/internal/workload"
 )
 
@@ -106,9 +107,32 @@ func TestDaemonWorkloads(t *testing.T) {
 	}
 }
 
-// TestNamespaceFederation: the §10 network-consolidation item — server
-// B mounts server A's namespace over the wire and instantiates a
-// program whose library lives on A.
+// startMeshMember serves a system as one mesh member and returns its
+// node (the listener address is the ring member ID).
+func startMeshMember(t *testing.T, sys *omos.System, cfg mesh.Config) (*mesh.Node, *ipc.Server, string) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Self = l.Addr().String()
+	node, err := mesh.New(sys.Srv, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(node.Close)
+	b := New(sys)
+	b.Mesh = node
+	srv := ipc.NewServer(b)
+	srv.MeshSecret = cfg.Secret
+	go srv.Serve(l)
+	t.Cleanup(srv.Shutdown)
+	return node, srv, cfg.Self
+}
+
+// TestNamespaceFederation: the §10 network-consolidation item on the
+// mesh API — daemon B mounts mesh peer A's namespace and instantiates
+// a program whose library lives on A.
 func TestNamespaceFederation(t *testing.T) {
 	// Server A holds the shared library and a helper object.
 	sysA, err := omos.NewSystem()
@@ -146,24 +170,22 @@ int z_entry(int x) { return z_helper(x) * 2; }
 `); err != nil {
 		t.Fatal(err)
 	}
-	l, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	go ipc.Serve(l, New(sysA))
-	t.Cleanup(func() { l.Close() })
+	_, srvA, addrA := startMeshMember(t, sysA, mesh.Config{Secret: "fed-secret"})
 
-	// Server B mounts A under /shared.
+	// Daemon B joins the mesh and mounts peer A under /shared.
 	sysB, err := omos.NewSystem()
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := ipc.Dial(l.Addr().String())
-	if err != nil {
+	nodeB, _, _ := startMeshMember(t, sysB, mesh.Config{Secret: "fed-secret"})
+	nodeB.AddPeer(addrA)
+	if err := nodeB.MountPeer("/shared", addrA); err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { c.Close() })
-	sysB.Srv.Mount("/shared", Fetcher{C: c})
+	// Unknown peers are refused.
+	if err := nodeB.MountPeer("/nowhere", "127.0.0.1:1"); err == nil {
+		t.Fatal("mounted an address that is not a mesh peer")
+	}
 
 	if err := sysB.Define("/bin/z", `
 (merge /lib/crt0.o
@@ -180,8 +202,8 @@ int z_entry(int x) { return z_helper(x) * 2; }
 		t.Fatalf("exit = %d, want 22", res.ExitCode)
 	}
 	// The fetched entries are cached locally: a second run needs no
-	// wire traffic (close the connection and rerun).
-	c.Close()
+	// wire traffic (take peer A down entirely and rerun).
+	srvA.Shutdown()
 	res2, err := sysB.Run("/bin/z", nil)
 	if err != nil {
 		t.Fatal(err)

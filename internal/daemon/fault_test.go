@@ -1,6 +1,7 @@
 package daemon
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -13,6 +14,7 @@ import (
 	"omos"
 	"omos/internal/fault"
 	"omos/internal/ipc"
+	"omos/internal/mesh"
 )
 
 // startFaultDaemon serves a system over the real protocol with the
@@ -39,6 +41,57 @@ func startFaultDaemon(t *testing.T, sys *omos.System) (*ipc.Client, *ipc.Server)
 	}
 	t.Cleanup(func() { c.Close() })
 	return c, srv
+}
+
+// startMeshFaultDaemon is startFaultDaemon with the system federated
+// into a (single-member) mesh whose fault set is the system's own, so
+// the mesh.* sites are armed end to end: inbound mesh ops arrive over
+// the real wire, outbound rounds run on the real node.
+func startMeshFaultDaemon(t *testing.T, sys *omos.System) (*ipc.Client, *mesh.Node) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(sys)
+	node, err := mesh.New(sys.Srv, mesh.Config{Self: l.Addr().String(), Faults: sys.Faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Mesh = node
+	t.Cleanup(node.Close)
+	srv := ipc.NewServer(b)
+	srv.SetFaults(sys.Faults)
+	go srv.Serve(l)
+	t.Cleanup(srv.Shutdown)
+	c, err := ipc.DialWith(l.Addr().String(), ipc.Options{
+		ConnectTimeout: 2 * time.Second,
+		CallTimeout:    30 * time.Second,
+		Retries:        3,
+		Backoff:        5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, node
+}
+
+// meshCycle reaches every mesh.* fault site while the armed budget
+// fires: inbound fetches over the wire (the transport recovers injected
+// panics), then gossip and rebalance rounds on the node (which recover
+// their own).  Every error is an injected fault being absorbed — the
+// matrix then re-verifies workload correctness.
+func meshCycle(t *testing.T, c *ipc.Client, node *mesh.Node) {
+	t.Helper()
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		c.MeshFetch(ctx, &ipc.MeshReq{From: "drill", CKey: fmt.Sprintf("drill-%d", i)})
+	}
+	for i := 0; i < 3; i++ {
+		node.GossipTick()
+		node.Rebalance()
+	}
 }
 
 // callRetry issues a call with workload-level retries on top of the
@@ -162,13 +215,25 @@ func TestFaultMatrix(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				c, _ := startFaultDaemon(t, sys)
+				var c *ipc.Client
+				var node *mesh.Node
+				if strings.HasPrefix(site, "mesh.") {
+					c, node = startMeshFaultDaemon(t, sys)
+				} else {
+					c, _ = startFaultDaemon(t, sys)
+				}
 				defineWorkload(t, c)
 				runUntilCorrect(t, c, 6)
 				if strings.HasPrefix(site, "upgrade.") {
 					// The upgrade sites fire only inside an epoch
 					// lifecycle; drive one so the budget lands there.
 					upgradeCycle(t, c)
+					runUntilCorrect(t, c, 6)
+				}
+				if node != nil {
+					// The mesh sites fire only on mesh traffic; drive
+					// rounds of each op so the budget lands there.
+					meshCycle(t, c, node)
 					runUntilCorrect(t, c, 6)
 				}
 				hresp, err := c.Call(&ipc.Request{Op: ipc.OpHealth})
@@ -186,11 +251,21 @@ func TestFaultMatrix(t *testing.T) {
 				if err != nil {
 					t.Fatalf("warm boot under %s: %v", spec, err)
 				}
-				c2, _ := startFaultDaemon(t, sys2)
+				var c2 *ipc.Client
+				var node2 *mesh.Node
+				if strings.HasPrefix(site, "mesh.") {
+					c2, node2 = startMeshFaultDaemon(t, sys2)
+				} else {
+					c2, _ = startFaultDaemon(t, sys2)
+				}
 				defineWorkload(t, c2)
 				runUntilCorrect(t, c2, 6)
 				if strings.HasPrefix(site, "upgrade.") {
 					upgradeCycle(t, c2)
+					runUntilCorrect(t, c2, 6)
+				}
+				if node2 != nil {
+					meshCycle(t, c2, node2)
 					runUntilCorrect(t, c2, 6)
 				}
 				if err := sys2.Close(); err != nil {

@@ -18,7 +18,9 @@ import (
 func TestFaultRegistryPinned(t *testing.T) {
 	wantSites := []string{
 		fault.SiteBuildEval, fault.SiteBuildLink, fault.SiteCheckpoint,
-		fault.SiteIPCRead, fault.SiteIPCWrite, fault.SiteNamespaceHijack,
+		fault.SiteIPCRead, fault.SiteIPCWrite,
+		fault.SiteMeshGossip, fault.SiteMeshPeerFetch, fault.SiteMeshRebalance,
+		fault.SiteNamespaceHijack,
 		fault.SiteFrameMake, fault.SiteResolveCache, fault.SiteStoreRead,
 		fault.SiteStoreRename, fault.SiteStoreScrub, fault.SiteStoreWrite,
 		fault.SiteUpgradeCanary, fault.SiteUpgradeCommit, fault.SiteUpgradeRollback,

@@ -125,6 +125,23 @@ const (
 	// hard failure — the pinned image is rejected (and quarantined),
 	// never silently re-bound.
 	SiteNamespaceHijack = "namespace.hijack"
+	// SiteMeshPeerFetch fires on the mesh's peer-fetch path, both when
+	// a non-owning daemon consults a content key's ring owner and when
+	// the owner serves the fetch.  A triggered fault degrades the miss
+	// to the local build path (rebase or relink) — never an
+	// availability loss.
+	SiteMeshPeerFetch = "mesh.peer-fetch"
+	// SiteMeshGossip fires at the top of an anti-entropy gossip round.
+	// Gossip is convergence, not correctness: a faulted round is
+	// skipped and the next one retries the same digests.
+	SiteMeshGossip = "mesh.gossip"
+	// SiteMeshRebalance fires on a shard rebalance (join or leave
+	// moving content keys to their new owners): once at the start of
+	// the round and once per content push, so a budget can interrupt a
+	// rebalance partway through.  Rebalance is copy-only over
+	// content-addressed records, so a fault mid-push leaves both
+	// shards consistent; the next rebalance resumes.
+	SiteMeshRebalance = "mesh.rebalance"
 	// SiteUpgradeCanary fires inside a canary-cohort build during a
 	// live upgrade epoch — the injected regression the health gate must
 	// catch and answer with an automatic rollback.
@@ -146,6 +163,7 @@ func Sites() []string {
 		SiteBuildEval, SiteBuildLink,
 		SiteCheckpoint,
 		SiteIPCRead, SiteIPCWrite,
+		SiteMeshGossip, SiteMeshPeerFetch, SiteMeshRebalance,
 		SiteNamespaceHijack,
 		SiteFrameMake,
 		SiteResolveCache,

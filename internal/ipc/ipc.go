@@ -28,8 +28,12 @@ package ipc
 
 import (
 	"context"
+	"crypto/hmac"
+	crand "crypto/rand"
+	"crypto/sha256"
 	"encoding/binary"
 	"encoding/gob"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -83,11 +87,50 @@ const (
 	// its own tagged response (Index set) before a Final summary.  On
 	// v1 connections the reply is a single aggregated response.
 	OpInstantiateBatch Op = "instantiate-batch"
+	// Mesh operations federate daemons into a consistent-hash sharded
+	// image store (internal/mesh).  All carry Request.Mesh and answer
+	// with Response.Mesh; when the serving daemon has a mesh secret
+	// configured they require the connection to have authenticated via
+	// the HMAC proof on OpHello.  OpMeshFetch asks a content key's ring
+	// owner for its image — metadata only when the requester holds a
+	// local variant to rebase, otherwise the encoded record blob,
+	// streamed in chunks over v2 framing.  OpMeshPut hands the owner a
+	// record built elsewhere; OpMeshGossip exchanges anti-entropy
+	// digests; OpMeshRebalance announces ring membership for
+	// join/leave.  All four are idempotent (content-addressed records
+	// make replay harmless).
+	OpMeshFetch     Op = "mesh-fetch"
+	OpMeshPut       Op = "mesh-put"
+	OpMeshGossip    Op = "mesh-gossip"
+	OpMeshRebalance Op = "mesh-rebalance"
 )
 
 // protoVersionText is the version string OpHello carries ("2"): the
 // highest protocol this package speaks.
 const protoVersionText = "2"
+
+// meshProof computes the shared-secret proof a peer's hello carries:
+// HMAC-SHA256(secret, nonce || version).  Binding the negotiated
+// version into the MAC keeps a replayed hello from downgrading the
+// session, and the per-connection nonce keeps it from replaying at
+// all.
+func meshProof(secret, nonce, version string) []byte {
+	mac := hmac.New(sha256.New, []byte(secret))
+	io.WriteString(mac, nonce)
+	io.WriteString(mac, version)
+	return mac.Sum(nil)
+}
+
+// meshNonce returns a fresh random hello nonce (hex).
+func meshNonce() string {
+	var b [16]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// crypto/rand failing means the platform is broken; fall back
+		// to a time-derived nonce rather than refusing to connect.
+		binary.BigEndian.PutUint64(b[:8], uint64(time.Now().UnixNano()))
+	}
+	return hex.EncodeToString(b[:])
+}
 
 // idempotent reports whether an operation can be retried safely: the
 // result of doing it twice is the result of doing it once.  Namespace
@@ -120,6 +163,52 @@ type Request struct {
 	// different definer (see ErrRebindBlocked).  (gob tolerates the
 	// field's absence, so old peers interoperate.)
 	AllowRebind bool
+	// Mesh carries the payload of the mesh operations.  (gob tolerates
+	// the field's absence, so old peers interoperate.)
+	Mesh *MeshReq
+}
+
+// MeshReq is the request payload of the mesh operations.
+type MeshReq struct {
+	// From is the sender's advertised mesh address (its ring member
+	// ID); the owner keys its per-peer admission gate on it.
+	From string
+	// CKey is the content key being fetched or offered.
+	CKey string
+	// TextBase and DataBase are the requester's placement for a fetch,
+	// echoed so the owner can report what a rebase must slide to.
+	TextBase, DataBase uint64
+	// HaveBytes tells the owner the requester already holds a local
+	// variant of CKey: a metadata-only reply suffices and the requester
+	// rebases locally.
+	HaveBytes bool
+	// Blob is the encoded store record of a put.
+	Blob []byte
+	// Gen is the sender's namespace generation (gossip).
+	Gen uint64
+	// Keys lists content keys: digests the sender holds for the
+	// receiver (gossip), or the full ring membership (rebalance).
+	Keys []string
+}
+
+// MeshInfo is the response payload of the mesh operations.
+type MeshInfo struct {
+	// Found reports whether the owner holds the fetched content key.
+	Found bool
+	// MetaOnly marks a metadata-only fetch reply: no bytes followed,
+	// the requester rebases its local variant instead.
+	MetaOnly bool
+	// Link-time invariants of the owner's build, for validating the
+	// requester's local variant before a metadata-only rebase.
+	AbsPatches, RelPatches, Syms int
+	TextSize, DataSize           uint64
+	// Size is the total blob length of a streamed fetch.
+	Size uint64
+	// Gen is the responder's namespace generation (gossip).
+	Gen uint64
+	// Want lists content keys the responder would like pushed
+	// (gossip/rebalance replies).
+	Want []string
 }
 
 // HealthInfo is the payload of OpHealth: enough to tell a live,
@@ -173,6 +262,17 @@ type HealthInfo struct {
 	UpgradeCanaryPct   int
 	UpgradeRollingBack bool
 	UpgradeVerdict     string
+	// Mesh state: ring size and peer liveness, peer-fetch traffic split
+	// by how misses were served (metadata rebase vs streamed blob), and
+	// anti-entropy progress.  All zero on an unmeshed daemon.  (gob
+	// tolerates absent fields, so old daemons interoperate.)
+	MeshPeers        int
+	MeshPeersUp      int
+	MeshShards       int
+	MeshPeerFetches  uint64
+	MeshMetaRebases  uint64
+	MeshBlobFetches  uint64
+	MeshGossipRounds uint64
 }
 
 // Response is the server's reply.
@@ -207,6 +307,9 @@ type Response struct {
 	// (Err is upgradeAbortedMsg).  (gob tolerates absent fields, so old
 	// peers interoperate.)
 	Upgrade *UpgradeAbortedInfo
+	// Mesh carries the payload of the mesh operations.  (gob tolerates
+	// absent fields, so old peers interoperate.)
+	Mesh *MeshInfo
 }
 
 // maxFrame bounds a single message (largest realistic payload is a
@@ -468,6 +571,12 @@ type Options struct {
 	// the serial baseline for benchmarks and wire-compat tests.
 	// Affects sessions established after it is set.
 	ForceV1 bool
+	// MeshSecret, when set, makes the v2 hello carry an HMAC-SHA256
+	// proof of the shared mesh secret so the server marks the
+	// connection as an authenticated peer (required for mesh
+	// operations against a secretful daemon).  Affects sessions
+	// established after it is set.
+	MeshSecret string
 }
 
 // DefaultOptions is the tuning cmd/omos ships with: fail a dead
@@ -535,7 +644,7 @@ func DialWith(addr string, opts Options) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{addr: addr, sess: newSession(conn, opts.ForceV1)}
+	c := &Client{addr: addr, sess: newSession(conn, opts.ForceV1, opts.MeshSecret)}
 	c.opts.Store(&opts)
 	return c, nil
 }
@@ -550,7 +659,7 @@ func dialAddr(addr string, timeout time.Duration) (net.Conn, error) {
 // NewClient wraps an existing connection.  No reconnect is possible
 // (the client does not know how the connection was made).
 func NewClient(conn net.Conn) *Client {
-	return &Client{sess: newSession(conn, false)}
+	return &Client{sess: newSession(conn, false, "")}
 }
 
 // SetOptions replaces the client's robustness tuning.  Safe to call
@@ -614,7 +723,7 @@ func (c *Client) session(opts Options) (*session, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.sess = newSession(conn, opts.ForceV1)
+	c.sess = newSession(conn, opts.ForceV1, opts.MeshSecret)
 	return c.sess, nil
 }
 
@@ -797,6 +906,12 @@ func (c *Client) breakerRemaining() time.Duration {
 	defer c.brMu.Unlock()
 	return time.Until(c.brOpenUntil)
 }
+
+// BreakerOpen reports whether the client's circuit breaker is open:
+// calls fail fast with *OverloadedError, without a round trip, until
+// the hold expires.  Mesh nodes keep one client per peer, so this is
+// the per-peer breaker state.
+func (c *Client) BreakerOpen() bool { return c.breakerRemaining() > 0 }
 
 // tripBreaker opens the breaker after an overloaded response and
 // returns the jittered hold (at least the server's hint; doubling

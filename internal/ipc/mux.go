@@ -25,6 +25,9 @@ import (
 type session struct {
 	conn    net.Conn
 	forceV1 bool
+	// secret, when set, makes the hello carry a mesh-peer HMAC proof
+	// (see meshProof) so the server authenticates this connection.
+	secret string
 
 	// Handshake state, serialized by hsMu.
 	hsMu   sync.Mutex
@@ -64,8 +67,8 @@ type pending struct {
 	ch  chan *Response
 }
 
-func newSession(conn net.Conn, forceV1 bool) *session {
-	return &session{conn: conn, forceV1: forceV1, done: make(chan struct{})}
+func newSession(conn net.Conn, forceV1 bool, secret string) *session {
+	return &session{conn: conn, forceV1: forceV1, secret: secret, done: make(chan struct{})}
 }
 
 func (s *session) isDead() bool { return s.dead.Load() }
@@ -104,7 +107,15 @@ func (s *session) ensureHandshake(deadline time.Time) error {
 		return nil
 	}
 	s.conn.SetDeadline(deadline)
-	if err := WriteFrame(s.conn, &Request{Op: OpHello, Text: protoVersionText}); err != nil {
+	hello := &Request{Op: OpHello, Text: protoVersionText}
+	if s.secret != "" {
+		// Mesh-peer authentication rides the hello: a fresh nonce and
+		// the HMAC proof of the shared secret.  A server without the
+		// secret ignores both fields.
+		hello.Unit = meshNonce()
+		hello.Blob = meshProof(s.secret, hello.Unit, protoVersionText)
+	}
+	if err := WriteFrame(s.conn, hello); err != nil {
 		s.hsErr = err
 		s.close()
 		return err
@@ -481,6 +492,157 @@ func (c *Client) batchOnce(ctx context.Context, paths []string, opts Options) ([
 		case <-ctx.Done():
 			s.deregister(p.tag)
 			return nil, ctx.Err()
+		}
+	}
+}
+
+// meshChunk is the blob chunk size OpMeshFetch streams over v2
+// framing: large enough to amortize framing, small enough that a blob
+// transfer never monopolizes the connection's send lock.
+const meshChunk = 256 << 10
+
+// maxMeshChunks bounds a streamed fetch's chunk count (a blob is at
+// most maxFrame bytes; +1 leaves room for a short tail chunk).
+const maxMeshChunks = maxFrame/meshChunk + 1
+
+// MeshFetch asks a mesh peer for a content key's image (OpMeshFetch):
+// a metadata-only MeshInfo when the request set HaveBytes and the
+// owner confirms a rebase suffices, otherwise the encoded record blob,
+// streamed in chunks on a v2 session.  An overload shed trips the
+// per-peer breaker and surfaces as *OverloadedError so the caller can
+// fall back to a local build immediately.
+func (c *Client) MeshFetch(ctx context.Context, mreq *MeshReq) (*MeshInfo, []byte, error) {
+	opts := c.options()
+	if rem := c.breakerRemaining(); rem > 0 {
+		return nil, nil, fmt.Errorf("omosd: %w", &OverloadedError{RetryAfter: rem})
+	}
+	attempts := 1 + opts.Retries
+	backoff := opts.Backoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	for {
+		info, blob, err := c.meshFetchOnce(ctx, mreq, opts)
+		if err == nil {
+			c.resetBreaker()
+			return info, blob, nil
+		}
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) ||
+			errors.Is(err, ErrDraining) || errors.Is(err, ErrOverloaded) {
+			return nil, nil, err
+		}
+		attempts--
+		if attempts <= 0 {
+			return nil, nil, err
+		}
+		if serr := sleepCtx(ctx, c.jitter(backoff)); serr != nil {
+			return nil, nil, serr
+		}
+		backoff *= 2
+	}
+}
+
+// meshFetchError maps a fetch completion's Err field to a typed error
+// (nil for success), tripping the breaker on an overload shed.
+func (c *Client) meshFetchError(resp *Response) error {
+	switch {
+	case resp.Err == "":
+		return nil
+	case resp.Err == drainingMsg:
+		return fmt.Errorf("omosd: %w", ErrDraining)
+	case resp.Err == overloadedMsg:
+		hold := c.tripBreaker(time.Duration(resp.RetryAfterMS) * time.Millisecond)
+		return fmt.Errorf("omosd: %w", &OverloadedError{RetryAfter: hold})
+	default:
+		return fmt.Errorf("omosd: %s", resp.Err)
+	}
+}
+
+// meshFetchOnce performs one fetch attempt over whichever protocol the
+// session negotiated.
+func (c *Client) meshFetchOnce(ctx context.Context, mreq *MeshReq, opts Options) (*MeshInfo, []byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	s, err := c.session(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	deadline := callDeadline(ctx, opts)
+	if err := s.ensureHandshake(deadline); err != nil {
+		return nil, nil, mapTimeout(err)
+	}
+	req := &Request{Op: OpMeshFetch, Mesh: mreq}
+	if s.version() != ProtoV2 {
+		// v1 fallback: the whole blob in one response.
+		resp, err := s.callV1(deadline, req)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := c.meshFetchError(resp); err != nil {
+			return nil, nil, err
+		}
+		return resp.Mesh, resp.Blob, nil
+	}
+	// v2: chunked blob responses (Index set) close with a Final frame
+	// carrying the MeshInfo.  The server writes them sequentially, so
+	// they arrive in order.
+	p, err := s.register(maxMeshChunks + 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := s.send(p.tag, req, deadline); err != nil {
+		s.deregister(p.tag)
+		return nil, nil, mapTimeout(err)
+	}
+	var timerC <-chan time.Time
+	if !deadline.IsZero() {
+		t := time.NewTimer(time.Until(deadline))
+		defer t.Stop()
+		timerC = t.C
+	}
+	var blob []byte
+	for {
+		select {
+		case resp := <-p.ch:
+			if !resp.Final {
+				blob = append(blob, resp.Blob...)
+				continue
+			}
+			s.deregister(p.tag)
+			if err := c.meshFetchError(resp); err != nil {
+				return nil, nil, err
+			}
+			if resp.Mesh != nil && resp.Mesh.Found && !resp.Mesh.MetaOnly &&
+				uint64(len(blob)) != resp.Mesh.Size {
+				return nil, nil, fmt.Errorf("ipc: mesh fetch: got %d blob bytes, want %d",
+					len(blob), resp.Mesh.Size)
+			}
+			return resp.Mesh, blob, nil
+		case <-s.done:
+			// Drain completions that raced in before the failure.
+			for {
+				select {
+				case resp := <-p.ch:
+					if !resp.Final {
+						blob = append(blob, resp.Blob...)
+						continue
+					}
+					s.deregister(p.tag)
+					if err := c.meshFetchError(resp); err != nil {
+						return nil, nil, err
+					}
+					return resp.Mesh, blob, nil
+				default:
+					return nil, nil, s.failure()
+				}
+			}
+		case <-timerC:
+			s.deregister(p.tag)
+			return nil, nil, fmt.Errorf("ipc: call: %w", context.DeadlineExceeded)
+		case <-ctx.Done():
+			s.deregister(p.tag)
+			return nil, nil, ctx.Err()
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package ipc
 
 import (
+	"crypto/hmac"
 	"errors"
 	"fmt"
 	"net"
@@ -86,6 +87,22 @@ type UpgradeBackend interface {
 	UpgradeStatus() (line string, active bool)
 }
 
+// MeshBackend is optionally implemented by backends federated into a
+// daemon mesh (internal/mesh): content-key fetch/offer between shard
+// owners, anti-entropy gossip, and membership rebalance.  When the
+// server has a MeshSecret these operations additionally require the
+// connection to have authenticated via the hello HMAC proof.
+type MeshBackend interface {
+	MeshFetch(req *MeshReq) (*MeshInfo, []byte, error)
+	MeshPut(req *MeshReq) error
+	MeshGossip(req *MeshReq) (*MeshInfo, error)
+	MeshRebalance(req *MeshReq) (*MeshInfo, error)
+}
+
+// meshAuthMsg is the wire form of a mesh operation refused because the
+// connection never proved the shared secret.
+const meshAuthMsg = "mesh peer not authenticated"
+
 // BatchBackend is optionally implemented by backends that can
 // instantiate a vector of meta-objects in one request
 // (OpInstantiateBatch).  done is called exactly once per index — from
@@ -128,6 +145,14 @@ type Server struct {
 	// every connection stays single-shot.  For wire-compat tests and
 	// staged rollouts.
 	DisableMux bool
+
+	// MeshSecret, when set before Serve, gates the mesh operations:
+	// only connections whose hello carried a valid HMAC proof of this
+	// shared secret may issue them.  Ordinary client operations are
+	// unaffected.  (Authentication rides the v2 hello, so against a
+	// DisableMux server a secretful mesh peer cannot authenticate —
+	// mesh and mux are deployed together.)
+	MeshSecret string
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -264,14 +289,20 @@ func (s *Server) serveConn(conn net.Conn) {
 			// Protocol upgrade: acknowledge in v1 framing, then the
 			// connection switches to tagged v2 frames.  (A v1-only
 			// server falls through to handle(), whose unknown-op
-			// error tells the client to stay on v1.)
+			// error tells the client to stay on v1.)  A hello carrying
+			// a valid HMAC proof of the mesh secret marks the whole
+			// connection as an authenticated peer; an absent or wrong
+			// proof still upgrades the protocol — only the mesh
+			// operations are gated.
+			authed := s.MeshSecret != "" && req.Unit != "" &&
+				hmac.Equal(req.Blob, meshProof(s.MeshSecret, req.Unit, protoVersionText))
 			if err := s.faults.Fire(fault.SiteIPCWrite); err != nil {
 				return
 			}
 			if err := WriteFrame(conn, &Response{Text: protoVersionText, Flag: true}); err != nil {
 				return
 			}
-			s.serveMux(conn)
+			s.serveMux(conn, authed)
 			return
 		}
 		// Register in-flight under the lock: a request is either
@@ -289,7 +320,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		s.inflight.Add(1)
 		s.mu.Unlock()
-		resp := s.safeHandle(&req)
+		resp := s.safeHandle(&req, false)
 		s.inflight.Done()
 		if err := s.faults.Fire(fault.SiteIPCWrite); err != nil {
 			return // simulated send failure: response lost, conn dropped
@@ -302,15 +333,16 @@ func (s *Server) serveConn(conn net.Conn) {
 
 // safeHandle dispatches one request with panic isolation: a panicking
 // handler produces an error response and a Recovered increment, and
-// the connection lives on.
-func (s *Server) safeHandle(req *Request) (resp *Response) {
+// the connection lives on.  authed reports whether the connection
+// proved the mesh secret at hello time.
+func (s *Server) safeHandle(req *Request, authed bool) (resp *Response) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.recovered.Add(1)
 			resp = &Response{Err: fmt.Sprintf("internal error: recovered panic: %v", r)}
 		}
 	}()
-	return s.handle(req)
+	return s.handle(req, authed)
 }
 
 // Serve accepts connections until the listener closes.  Each
@@ -365,7 +397,7 @@ func applyError(resp *Response, err error) {
 	resp.Err = err.Error()
 }
 
-func (s *Server) handle(req *Request) *Response {
+func (s *Server) handle(req *Request, authed bool) *Response {
 	b := s.b
 	resp := &Response{}
 	fail := func(err error) *Response {
@@ -538,6 +570,42 @@ func (s *Server) handle(req *Request) *Response {
 		})
 		resp.Paths = outcomes
 		resp.Final = true
+	case OpMeshFetch, OpMeshPut, OpMeshGossip, OpMeshRebalance:
+		mb, ok := b.(MeshBackend)
+		if !ok {
+			return fail(fmt.Errorf("backend is not part of a mesh"))
+		}
+		if s.MeshSecret != "" && !authed {
+			return fail(errors.New(meshAuthMsg))
+		}
+		if req.Mesh == nil {
+			return fail(fmt.Errorf("mesh request without payload"))
+		}
+		switch req.Op {
+		case OpMeshFetch:
+			info, blob, err := mb.MeshFetch(req.Mesh)
+			if err != nil {
+				return fail(err)
+			}
+			resp.Mesh = info
+			resp.Blob = blob
+		case OpMeshPut:
+			if err := mb.MeshPut(req.Mesh); err != nil {
+				return fail(err)
+			}
+		case OpMeshGossip:
+			info, err := mb.MeshGossip(req.Mesh)
+			if err != nil {
+				return fail(err)
+			}
+			resp.Mesh = info
+		case OpMeshRebalance:
+			info, err := mb.MeshRebalance(req.Mesh)
+			if err != nil {
+				return fail(err)
+			}
+			resp.Mesh = info
+		}
 	default:
 		return fail(fmt.Errorf("unknown operation %q", req.Op))
 	}

@@ -25,6 +25,9 @@ import (
 type muxConn struct {
 	conn   net.Conn
 	faults *fault.Set
+	// authed reports whether this connection's hello carried a valid
+	// proof of the mesh secret (set once at upgrade, read-only after).
+	authed bool
 
 	sendMu sync.Mutex
 	enc    *gob.Encoder
@@ -65,8 +68,8 @@ func (s *Server) handlerPool() int {
 // saturated — backpressure reaches the peer through the transport)
 // and runs in its own goroutine, so a slow request never delays the
 // tags behind it.
-func (s *Server) serveMux(conn net.Conn) {
-	m := &muxConn{conn: conn, faults: s.faults}
+func (s *Server) serveMux(conn net.Conn, authed bool) {
+	m := &muxConn{conn: conn, faults: s.faults, authed: authed}
 	m.enc = gob.NewEncoder(&m.sbuf)
 	feeder := &payloadFeeder{}
 	dec := gob.NewDecoder(feeder)
@@ -134,7 +137,11 @@ func (s *Server) handleTag(m *muxConn, tag uint64, req *Request, pool chan struc
 		s.handleBatchMux(m, tag, req)
 		return
 	}
-	resp := s.safeHandle(req)
+	if req.Op == OpMeshFetch {
+		s.handleMeshFetchMux(m, tag, req)
+		return
+	}
+	resp := s.safeHandle(req, m.authed)
 	if err := s.faults.Fire(fault.SiteIPCWrite); err != nil {
 		m.conn.Close() // simulated send failure: completion lost, conn dropped
 		return
@@ -174,6 +181,36 @@ func (s *Server) handleBatchMux(m *muxConn, tag uint64, req *Request) {
 		return
 	}
 	if err := m.write(tag, &Response{Final: true}); err != nil {
+		m.conn.Close()
+	}
+}
+
+// handleMeshFetchMux streams one mesh fetch: a metadata-only or
+// not-found reply is a single Final frame, while a blob reply travels
+// as meshChunk-sized chunk frames (Index set, Final false) closed by a
+// Final frame carrying the MeshInfo.  The chunks are written
+// sequentially from this one goroutine, so they arrive in order.
+func (s *Server) handleMeshFetchMux(m *muxConn, tag uint64, req *Request) {
+	resp := s.safeHandle(req, m.authed)
+	blob := resp.Blob
+	resp.Blob = nil
+	if err := s.faults.Fire(fault.SiteIPCWrite); err != nil {
+		m.conn.Close()
+		return
+	}
+	for i := 0; len(blob) > 0; i++ {
+		n := len(blob)
+		if n > meshChunk {
+			n = meshChunk
+		}
+		if err := m.write(tag, &Response{Index: i, Blob: blob[:n]}); err != nil {
+			m.conn.Close()
+			return
+		}
+		blob = blob[n:]
+	}
+	resp.Final = true
+	if err := m.write(tag, resp); err != nil {
 		m.conn.Close()
 	}
 }

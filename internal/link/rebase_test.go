@@ -137,11 +137,11 @@ scratch:
 	}
 	opts := Options{Name: "diff", TextBase: 0x100000, DataBase: 0x40000000, Entry: "_start"}
 	cases := []struct{ text, data uint64 }{
-		{0x200000, 0x50000000},  // both move, different deltas
-		{0x100000, 0x60000000},  // data only
-		{0x700000, 0x40000000},  // text only
-		{0x40000000, 0x100000},  // segments swap sides
-		{0x101000, 0x40001000},  // minimal one-page slide
+		{0x200000, 0x50000000}, // both move, different deltas
+		{0x100000, 0x60000000}, // data only
+		{0x700000, 0x40000000}, // text only
+		{0x40000000, 0x100000}, // segments swap sides
+		{0x101000, 0x40001000}, // minimal one-page slide
 	}
 	for _, c := range cases {
 		rebaseAgainstFresh(t, m, opts, c.text, c.data)

@@ -1,0 +1,109 @@
+// Package mesh federates omos daemons into a consistent-hash sharded
+// image store.  Each content key (the placement-independent identity a
+// build is cached under) has exactly one ring owner; non-owning daemons
+// consult the owner on a placement miss and either rebase a local
+// variant with the owner's metadata or stream the owner's bytes,
+// so the fleet converges on one build per content key.
+package mesh
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// defaultReplicas is the number of virtual nodes each member projects
+// onto the ring.  Enough to keep shard sizes within a few percent of
+// each other for small fleets without making Owner lookups expensive.
+const defaultReplicas = 64
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// Ring is a consistent-hash ring with virtual nodes.  The zero value is
+// unusable; construct with NewRing.  Ring is not safe for concurrent
+// mutation; Node guards it with its own mutex.
+type Ring struct {
+	replicas int
+	points   []ringPoint // sorted by hash
+	members  map[string]struct{}
+}
+
+// NewRing returns an empty ring with the given virtual-node count per
+// member (defaultReplicas when n <= 0).
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = defaultReplicas
+	}
+	return &Ring{replicas: n, members: make(map[string]struct{})}
+}
+
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts a member's virtual nodes.  Adding an existing member is a
+// no-op.
+func (r *Ring) Add(member string) {
+	if _, ok := r.members[member]; ok {
+		return
+	}
+	r.members[member] = struct{}{}
+	for i := 0; i < r.replicas; i++ {
+		h := ringHash(member + "#" + strconv.Itoa(i))
+		r.points = append(r.points, ringPoint{hash: h, member: member})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a member's virtual nodes.  Removing an unknown member
+// is a no-op.
+func (r *Ring) Remove(member string) {
+	if _, ok := r.members[member]; !ok {
+		return
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Members returns the ring membership, sorted.
+func (r *Ring) Members() []string {
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the number of members.
+func (r *Ring) Size() int { return len(r.members) }
+
+// Has reports whether member is on the ring.
+func (r *Ring) Has(member string) bool {
+	_, ok := r.members[member]
+	return ok
+}
+
+// Owner returns the member owning key, or "" for an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}

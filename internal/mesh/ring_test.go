@@ -1,0 +1,79 @@
+package mesh
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDistribution: virtual nodes keep shard sizes useful — every
+// member of a small fleet owns a meaningful share of the keyspace.
+func TestRingDistribution(t *testing.T) {
+	r := NewRing(0)
+	members := []string{"a:1", "b:1", "c:1", "d:1"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("content-key-%d", i))]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / keys
+		if share < 0.10 {
+			t.Fatalf("member %s owns %.1f%% of the keyspace (counts %v)", m, 100*share, counts)
+		}
+	}
+}
+
+// TestRingRemovalStability: removing a member only reassigns the keys
+// it owned — everything else keeps its owner, which is the property
+// that bounds rebalance traffic to the departed shard.
+func TestRingRemovalStability(t *testing.T) {
+	r := NewRing(0)
+	for _, m := range []string{"a:1", "b:1", "c:1"} {
+		r.Add(m)
+	}
+	before := map[string]string{}
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		before[k] = r.Owner(k)
+	}
+	r.Remove("c:1")
+	for k, owner := range before {
+		if owner == "c:1" {
+			continue
+		}
+		if got := r.Owner(k); got != owner {
+			t.Fatalf("key %s moved %s -> %s though its owner stayed on the ring", k, owner, got)
+		}
+	}
+}
+
+// TestRingBasics: membership bookkeeping and the empty ring.
+func TestRingBasics(t *testing.T) {
+	r := NewRing(8)
+	if r.Owner("anything") != "" {
+		t.Fatal("empty ring owns a key")
+	}
+	r.Add("a:1")
+	r.Add("a:1") // idempotent
+	if !r.Has("a:1") || r.Has("b:1") || r.Size() != 1 {
+		t.Fatalf("membership: %v", r.Members())
+	}
+	if got := r.Owner("k"); got != "a:1" {
+		t.Fatalf("single-member ring owner = %q", got)
+	}
+	r.Add("b:1")
+	if got := r.Members(); len(got) != 2 || got[0] != "a:1" || got[1] != "b:1" {
+		t.Fatalf("members = %v", got)
+	}
+	r.Remove("a:1")
+	r.Remove("a:1") // idempotent
+	if r.Has("a:1") || r.Size() != 1 {
+		t.Fatalf("after removal: %v", r.Members())
+	}
+	if got := r.Owner("k"); got != "b:1" {
+		t.Fatalf("owner after removal = %q", got)
+	}
+}

@@ -241,6 +241,11 @@ func (s *Server) instantiateLibrary(ctx context.Context, dep mgraph.LibDep, c ch
 	node := buildgraph.NodeFrom(ctx)
 	node.SetKeys(key, ckey)
 	return s.buildShared(ctx, key, func() (*Instance, error) {
+		// Cache miss: in a mesh, content another daemon owns is asked
+		// for before anything is built locally (meshhook.go).
+		if inst, ok := s.tryMeshFetch(node, key, ckey, bkey, dep.Path, pl.TextBase, pl.DataBase, libs, pr, c); ok {
+			return inst, nil
+		}
 		// Placement miss: a cached variant of the same content at other
 		// bases can be slid here instead of relinked (rebase.go).
 		if inst, ok := s.tryRebase(node, key, ckey, bkey, dep.Path, pl.TextBase, pl.DataBase, libs, pr, c); ok {
@@ -271,6 +276,7 @@ func (s *Server) instantiateLibrary(ctx context.Context, dep mgraph.LibDep, c ch
 		}
 		inst.place = pr
 		s.checkpointInstance(node, inst)
+		s.offerMesh(ckey, inst)
 		return inst, nil
 	})
 }
@@ -324,6 +330,9 @@ func (s *Server) instantiateProgram(ctx context.Context, name string, meta *mgra
 	node := buildgraph.NodeFrom(ctx)
 	node.SetKeys(key, ckey)
 	return s.buildShared(ctx, key, func() (*Instance, error) {
+		if inst, ok := s.tryMeshFetch(node, key, ckey, bkey, name, pl.TextBase, pl.DataBase, libs, pr, c); ok {
+			return inst, nil
+		}
 		if inst, ok := s.tryRebase(node, key, ckey, bkey, name, pl.TextBase, pl.DataBase, libs, pr, c); ok {
 			return inst, nil
 		}
@@ -353,6 +362,7 @@ func (s *Server) instantiateProgram(ctx context.Context, name string, meta *mgra
 		}
 		inst.place = pr
 		s.checkpointInstance(node, inst)
+		s.offerMesh(ckey, inst)
 		return inst, nil
 	})
 }
@@ -408,6 +418,7 @@ func (s *Server) materialize(key, ckey, bindKey, name string, res *link.Result, 
 	}
 	s.stats.cacheMisses.Add(1)
 	s.stats.imagesBuilt.Add(1)
+	s.stats.builtBytes.Add(res.TextSize + res.DataSize + res.BSSSize)
 	s.stats.relocsApplied.Add(uint64(res.NumRelocs))
 	s.stats.externBinds.Add(uint64(res.ExternBinds))
 	s.stats.buildCycles.Add(cost)

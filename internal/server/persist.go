@@ -385,6 +385,53 @@ func (s *Server) loadFromStore(key string, visiting map[string]bool) *Instance {
 // for read-only segments, pristine byte templates for writable ones,
 // and a link.Result carrying the bound symbol table and accounting.
 func (s *Server) instanceFromRecord(rec *store.Record, libs []*Instance) (*Instance, error) {
+	res := resultFromRecord(rec)
+	inst := &Instance{
+		Key: rec.Key, ContentKey: rec.ContentKey, Name: rec.Name, Res: res, Libs: libs,
+		bindKey: rec.BindKey,
+		place: placeRec{
+			SolverKey: rec.SolverKey,
+			TextBase:  rec.TextBase, TextSize: rec.TextSize,
+			DataBase: rec.DataBase, DataSize: rec.DataSize,
+		},
+	}
+	for _, sr := range rec.ROSegs {
+		fs, err := s.kern.FT.MakeFrameSeg(sr.Name, sr.Addr, sr.Data, sr.MemSize, sr.Perm)
+		if err != nil {
+			for _, made := range inst.ROSegs {
+				s.kern.FT.Release(made)
+			}
+			return nil, err
+		}
+		inst.ROSegs = append(inst.ROSegs, fs)
+	}
+	for _, sr := range rec.RWSegs {
+		inst.RWSegs = append(inst.RWSegs, image.Segment{
+			Name: sr.Name, Addr: sr.Addr, Data: sr.Data,
+			MemSize: sr.MemSize, Perm: image.Perm(sr.Perm),
+		})
+	}
+	if len(rec.BTSlots) > 0 {
+		inst.BTSlots = make(map[string]uint64, len(rec.BTSlots))
+		for _, sym := range rec.BTSlots {
+			inst.BTSlots[sym.Name] = sym.Addr
+		}
+	}
+	for _, p := range rec.Pins {
+		inst.Pins = append(inst.Pins, Pin{
+			LibKey: p.LibKey, ContentKey: p.ContentKey, Checksum: p.Checksum,
+		})
+	}
+	return inst, nil
+}
+
+// resultFromRecord rebuilds the link.Result a record was persisted
+// from: the bound symbol table, the accounting, and — for v2 records
+// (ContentKey set) — the full rebase metadata, so the result can serve
+// as a link.Rebase source.  Shared between warm restore and the mesh
+// blob-install path, which decodes a peer's record instead of a store
+// entry.
+func resultFromRecord(rec *store.Record) *link.Result {
 	im := &image.Image{Name: rec.Name, Entry: rec.Entry, Syms: map[string]uint64{}}
 	res := &link.Result{
 		Image:       im,
@@ -444,43 +491,7 @@ func (s *Server) instanceFromRecord(rec *store.Record, libs []*Instance) (*Insta
 			})
 		}
 	}
-	inst := &Instance{
-		Key: rec.Key, ContentKey: rec.ContentKey, Name: rec.Name, Res: res, Libs: libs,
-		bindKey: rec.BindKey,
-		place: placeRec{
-			SolverKey: rec.SolverKey,
-			TextBase:  rec.TextBase, TextSize: rec.TextSize,
-			DataBase: rec.DataBase, DataSize: rec.DataSize,
-		},
-	}
-	for _, sr := range rec.ROSegs {
-		fs, err := s.kern.FT.MakeFrameSeg(sr.Name, sr.Addr, sr.Data, sr.MemSize, sr.Perm)
-		if err != nil {
-			for _, made := range inst.ROSegs {
-				s.kern.FT.Release(made)
-			}
-			return nil, err
-		}
-		inst.ROSegs = append(inst.ROSegs, fs)
-	}
-	for _, sr := range rec.RWSegs {
-		inst.RWSegs = append(inst.RWSegs, image.Segment{
-			Name: sr.Name, Addr: sr.Addr, Data: sr.Data,
-			MemSize: sr.MemSize, Perm: image.Perm(sr.Perm),
-		})
-	}
-	if len(rec.BTSlots) > 0 {
-		inst.BTSlots = make(map[string]uint64, len(rec.BTSlots))
-		for _, sym := range rec.BTSlots {
-			inst.BTSlots[sym.Name] = sym.Addr
-		}
-	}
-	for _, p := range rec.Pins {
-		inst.Pins = append(inst.Pins, Pin{
-			LibKey: p.LibKey, ContentKey: p.ContentKey, Checksum: p.Checksum,
-		})
-	}
-	return inst, nil
+	return res
 }
 
 // evictForCapacity brings the store back under its byte budget by

@@ -169,6 +169,24 @@ type Stats struct {
 	UpgradesRolledBack   uint64
 	CanaryInstantiations uint64
 	OptionalStubsServed  uint64
+
+	// BuiltBytes totals the image bytes produced by full links
+	// (text + data + bss extents at materialize time).  Rebases and
+	// mesh-fetched installs deliberately do not count: avoiding those
+	// bytes is what both fast paths buy.
+	BuiltBytes uint64
+
+	// The Mesh* counters account the federated-mesh hook (meshhook.go;
+	// all zero on an unmeshed server): placement misses that consulted
+	// a remote shard owner, split by how they were served — a
+	// metadata-only reply rebased against a local variant, a streamed
+	// blob installed — and consults that fell back to the local build
+	// path (owner down or shedding, content unknown, validation
+	// failed).
+	MeshFetches      uint64
+	MeshMetaRebases  uint64
+	MeshBlobInstalls uint64
+	MeshFallbacks    uint64
 }
 
 // statsCounters are the live counters behind the Stats snapshot.
@@ -202,6 +220,12 @@ type statsCounters struct {
 	upgradesRolledBack   atomic.Uint64
 	canaryInstantiations atomic.Uint64
 	optionalStubsServed  atomic.Uint64
+
+	builtBytes       atomic.Uint64
+	meshFetches      atomic.Uint64
+	meshMetaRebases  atomic.Uint64
+	meshBlobInstalls atomic.Uint64
+	meshFallbacks    atomic.Uint64
 }
 
 // Stats returns a consistent-enough snapshot of the activity counters.
@@ -238,6 +262,12 @@ func (s *Server) Stats() Stats {
 		UpgradesRolledBack:   s.stats.upgradesRolledBack.Load(),
 		CanaryInstantiations: s.stats.canaryInstantiations.Load(),
 		OptionalStubsServed:  s.stats.optionalStubsServed.Load(),
+
+		BuiltBytes:       s.stats.builtBytes.Load(),
+		MeshFetches:      s.stats.meshFetches.Load(),
+		MeshMetaRebases:  s.stats.meshMetaRebases.Load(),
+		MeshBlobInstalls: s.stats.meshBlobInstalls.Load(),
+		MeshFallbacks:    s.stats.meshFallbacks.Load(),
 	}
 	gc := s.graph.Counters()
 	st.NodesBuilt = gc.NodesBuilt
@@ -444,6 +474,12 @@ type Server struct {
 	// (admission.go).  Install with SetAdmission before serving
 	// traffic.
 	admit *Admission
+
+	// mesh, when non-nil, federates this server into a daemon mesh
+	// (meshhook.go): placement misses for remotely owned content
+	// consult the shard owner before building locally.  Install with
+	// SetMesh before serving traffic.
+	mesh MeshHook
 
 	// buildTimeout, when positive, bounds each singleflight build
 	// (watchdog.go).  Set with SetBuildTimeout before serving traffic.
