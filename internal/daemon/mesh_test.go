@@ -420,6 +420,125 @@ func TestMeshRebalanceCrashConsistency(t *testing.T) {
 	}
 }
 
+// TestMeshAnnounceMergesConcurrentJoins: two daemons that each believe
+// the mesh is {self, B, C} announce membership concurrently.  The
+// epoch-versioned announce detects the conflict at the shared peers
+// and the losing announcer re-announces the union, so every ring
+// converges on all four members — no live member is silently dropped
+// by whichever announce happened to arrive last.
+func TestMeshAnnounceMergesConcurrentJoins(t *testing.T) {
+	const nD = 4
+	nodes := make([]*mesh.Node, nD)
+	addrs := make([]string, nD)
+	for i := 0; i < nD; i++ {
+		sys, err := omos.NewSystem()
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i], _, addrs[i] = startMeshMember(t, sys, mesh.Config{Secret: "announce"})
+	}
+	a, b, c, d := 0, 1, 2, 3
+	nodes[a].AddPeer(addrs[b])
+	nodes[a].AddPeer(addrs[c])
+	nodes[d].AddPeer(addrs[b])
+	nodes[d].AddPeer(addrs[c])
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i, n := range []*mesh.Node{nodes[a], nodes[d]} {
+		wg.Add(1)
+		go func(i int, n *mesh.Node) {
+			defer wg.Done()
+			errs[i] = n.AnnounceMembership()
+		}(i, n)
+	}
+	wg.Wait()
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("announce errors: %v / %v", errs[0], errs[1])
+	}
+	for i, n := range nodes {
+		members := n.Members()
+		if len(members) != nD {
+			t.Fatalf("node %d membership after racing announces = %v, want all %d members",
+				i, members, nD)
+		}
+	}
+}
+
+// TestMeshHoldBytesBounded: the hold area is bounded by total encoded
+// bytes, not just record count, and gossip declines re-offering keys
+// it just evicted for capacity — otherwise the mesh would churn the
+// same blobs over the wire every anti-entropy round.
+func TestMeshHoldBytesBounded(t *testing.T) {
+	sysA, err := omos.NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defineMeshWorkload(t, sysA, 2)
+	for p := 0; p < 2; p++ {
+		runMeshProg(t, sysA, fmt.Sprintf("/bin/mp%d", p), 10*(p+2))
+	}
+	keys := sysA.Srv.ContentKeys()
+	if len(keys) < 2 {
+		t.Fatalf("workload produced %d content keys, need 2", len(keys))
+	}
+	blobs := make([][]byte, 2)
+	maxLen := 0
+	for i := 0; i < 2; i++ {
+		blob, _, ok := sysA.Srv.ExportContent(keys[i], false)
+		if !ok {
+			t.Fatalf("content key %s not exportable", keys[i])
+		}
+		blobs[i] = blob
+		if len(blob) > maxLen {
+			maxLen = len(blob)
+		}
+	}
+
+	// A hold area sized for one record at a time.
+	sysB, err := omos.NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeB, err := mesh.New(sysB.Srv, mesh.Config{Self: "hold-test", HoldMaxBytes: maxLen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(nodeB.Close)
+
+	if err := nodeB.AcceptPut(&ipc.MeshReq{From: "a", CKey: keys[0], Blob: blobs[0]}); err != nil {
+		t.Fatal(err)
+	}
+	if held := nodeB.HeldKeys(); len(held) != 1 || held[0] != keys[0] {
+		t.Fatalf("holds after first put = %v", held)
+	}
+	// The second record does not fit next to the first: the byte bound
+	// evicts the oldest.
+	if err := nodeB.AcceptPut(&ipc.MeshReq{From: "a", CKey: keys[1], Blob: blobs[1]}); err != nil {
+		t.Fatal(err)
+	}
+	if held := nodeB.HeldKeys(); len(held) != 1 || held[0] != keys[1] {
+		t.Fatalf("holds after second put = %v, want just %s (byte bound not enforced)", held, keys[1])
+	}
+	// A gossip offer of both keys wants neither: one is held, the other
+	// was just evicted for capacity and re-requesting it would churn.
+	info, err := nodeB.AcceptGossip(&ipc.MeshReq{From: "a", Keys: []string{keys[0], keys[1]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Want) != 0 {
+		t.Fatalf("gossip re-requests evicted keys: want list = %v", info.Want)
+	}
+	// The decline is targeted: a never-seen key is still wanted.
+	info, err = nodeB.AcceptGossip(&ipc.MeshReq{From: "a", Keys: []string{"fresh-key"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Want) != 1 || info.Want[0] != "fresh-key" {
+		t.Fatalf("fresh key not wanted: %v", info.Want)
+	}
+}
+
 // TestMeshAuthReject: mesh operations need the HMAC hello proof when
 // the daemon has a mesh secret; ordinary client traffic does not.
 func TestMeshAuthReject(t *testing.T) {

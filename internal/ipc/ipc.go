@@ -80,6 +80,17 @@ const (
 	// with Flag set and the connection switches to tagged v2 framing.
 	// A v1-only server answers "unknown operation" and the client
 	// falls back.  Always sent in v1 framing.
+	//
+	// Mesh peer auth is a challenge-response inside the hello: a
+	// client configured with the mesh secret puts a fresh nonce in
+	// Unit; a server that also has the secret answers the ack with a
+	// challenge nonce in Output, the client sends one more v1-framed
+	// OpHello whose Blob is meshProof(secret, server nonce, client
+	// nonce, version), and the server verifies it (hmac.Equal) before
+	// the final ack.  A wrong proof still upgrades the protocol —
+	// only the mesh operations are gated on the authenticated mark.
+	// A secretless server ignores Unit (no challenge, no extra round
+	// trip) and a secretless client sends no nonce.
 	OpHello Op = "hello"
 	// OpInstantiateBatch instantiates a vector of meta-objects (Args)
 	// in one request: the server fans the items into its build
@@ -109,27 +120,34 @@ const (
 // highest protocol this package speaks.
 const protoVersionText = "2"
 
-// meshProof computes the shared-secret proof a peer's hello carries:
-// HMAC-SHA256(secret, nonce || version).  Binding the negotiated
-// version into the MAC keeps a replayed hello from downgrading the
-// session, and the per-connection nonce keeps it from replaying at
-// all.
-func meshProof(secret, nonce, version string) []byte {
+// meshProof computes the shared-secret proof of the mesh handshake:
+// HMAC-SHA256(secret, server nonce || "|" || client nonce || "|" ||
+// version).  The server nonce is a fresh challenge the server issues
+// in its hello ack, so a captured proof is useless on any other
+// connection (true challenge-response, not a client-chosen nonce);
+// the client nonce binds the proof to the hello that asked for the
+// challenge, and the version keeps a proof from authenticating a
+// downgraded session.  Nonces are fixed-width hex, so the "|"
+// separators make the MAC input injective.
+func meshProof(secret, serverNonce, clientNonce, version string) []byte {
 	mac := hmac.New(sha256.New, []byte(secret))
-	io.WriteString(mac, nonce)
+	io.WriteString(mac, serverNonce)
+	io.WriteString(mac, "|")
+	io.WriteString(mac, clientNonce)
+	io.WriteString(mac, "|")
 	io.WriteString(mac, version)
 	return mac.Sum(nil)
 }
 
-// meshNonce returns a fresh random hello nonce (hex).
-func meshNonce() string {
+// meshNonce returns a fresh random handshake nonce (hex).  A failing
+// crypto/rand is a broken platform: the handshake errors out rather
+// than degrading to a guessable nonce.
+func meshNonce() (string, error) {
 	var b [16]byte
 	if _, err := crand.Read(b[:]); err != nil {
-		// crypto/rand failing means the platform is broken; fall back
-		// to a time-derived nonce rather than refusing to connect.
-		binary.BigEndian.PutUint64(b[:8], uint64(time.Now().UnixNano()))
+		return "", fmt.Errorf("ipc: mesh nonce: %w", err)
 	}
-	return hex.EncodeToString(b[:])
+	return hex.EncodeToString(b[:]), nil
 }
 
 // idempotent reports whether an operation can be retried safely: the
@@ -184,7 +202,8 @@ type MeshReq struct {
 	HaveBytes bool
 	// Blob is the encoded store record of a put.
 	Blob []byte
-	// Gen is the sender's namespace generation (gossip).
+	// Gen is the sender's namespace generation (gossip) or the
+	// announced membership epoch (rebalance; see mesh.Node).
 	Gen uint64
 	// Keys lists content keys: digests the sender holds for the
 	// receiver (gossip), or the full ring membership (rebalance).
@@ -193,7 +212,9 @@ type MeshReq struct {
 
 // MeshInfo is the response payload of the mesh operations.
 type MeshInfo struct {
-	// Found reports whether the owner holds the fetched content key.
+	// Found reports whether the owner holds the fetched content key
+	// (fetch), or whether an announced membership was applied as sent
+	// (rebalance; false flags a stale or conflicting announce).
 	Found bool
 	// MetaOnly marks a metadata-only fetch reply: no bytes followed,
 	// the requester rebases its local variant instead.
@@ -204,10 +225,12 @@ type MeshInfo struct {
 	TextSize, DataSize           uint64
 	// Size is the total blob length of a streamed fetch.
 	Size uint64
-	// Gen is the responder's namespace generation (gossip).
+	// Gen is the responder's namespace generation (gossip) or its
+	// membership epoch after processing an announce (rebalance).
 	Gen uint64
 	// Want lists content keys the responder would like pushed
-	// (gossip/rebalance replies).
+	// (gossip), or the responder's ring membership after processing an
+	// announce (rebalance) so the announcer can detect divergence.
 	Want []string
 }
 
@@ -571,11 +594,12 @@ type Options struct {
 	// the serial baseline for benchmarks and wire-compat tests.
 	// Affects sessions established after it is set.
 	ForceV1 bool
-	// MeshSecret, when set, makes the v2 hello carry an HMAC-SHA256
-	// proof of the shared mesh secret so the server marks the
-	// connection as an authenticated peer (required for mesh
-	// operations against a secretful daemon).  Affects sessions
-	// established after it is set.
+	// MeshSecret, when set, makes the v2 hello request a server
+	// challenge and answer it with an HMAC-SHA256 proof of the shared
+	// mesh secret, so the server marks the connection as an
+	// authenticated peer (required for mesh operations against a
+	// secretful daemon).  Affects sessions established after it is
+	// set.
 	MeshSecret string
 }
 

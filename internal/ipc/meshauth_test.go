@@ -1,0 +1,154 @@
+package ipc
+
+// Tests of the mesh peer-auth handshake: the hello challenge-response
+// must reject a captured proof replayed on a new connection (the
+// server nonce is fresh per connection and never client-chosen).
+
+import (
+	"context"
+	"encoding/gob"
+	"net"
+	"testing"
+)
+
+// meshFakeBackend makes the fake backend a MeshBackend so the auth
+// gate — not a capability error — decides mesh requests.
+type meshFakeBackend struct{ *fakeBackend }
+
+func (meshFakeBackend) MeshFetch(req *MeshReq) (*MeshInfo, []byte, error) {
+	return &MeshInfo{Found: false}, nil, nil
+}
+func (meshFakeBackend) MeshPut(req *MeshReq) error                    { return nil }
+func (meshFakeBackend) MeshGossip(req *MeshReq) (*MeshInfo, error)    { return &MeshInfo{}, nil }
+func (meshFakeBackend) MeshRebalance(req *MeshReq) (*MeshInfo, error) { return &MeshInfo{}, nil }
+
+// meshCallRaw sends one tagged OpMeshFetch over an upgraded (v2)
+// connection and returns the Final response — the raw-wire equivalent
+// of Client.MeshFetch, for connections whose handshake the test spoke
+// by hand.
+func meshCallRaw(t *testing.T, conn net.Conn, tag uint64) *Response {
+	t.Helper()
+	var sb sendBuf
+	enc := gob.NewEncoder(&sb)
+	sb.reset()
+	if err := enc.Encode(&Request{Op: OpMeshFetch, Mesh: &MeshReq{From: "raw", CKey: "k"}}); err != nil {
+		t.Fatal(err)
+	}
+	sb.seal(tag)
+	if _, err := conn.Write(sb.b); err != nil {
+		t.Fatal(err)
+	}
+	feeder := &payloadFeeder{}
+	dec := gob.NewDecoder(feeder)
+	var hdr [hdrSize]byte
+	var buf []byte
+	for {
+		gotTag, payload, err := readTagged(conn, &hdr, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotTag != tag {
+			t.Fatalf("completion for tag %d, sent %d", gotTag, tag)
+		}
+		feeder.set(payload)
+		resp := new(Response)
+		if err := dec.Decode(resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Final {
+			return resp
+		}
+	}
+}
+
+// TestMeshHelloReplayRejected pins the challenge-response property: a
+// hello and proof captured off one authenticated connection do not
+// authenticate a second connection, because the server issues a fresh
+// challenge nonce per connection and the proof is bound to it.
+func TestMeshHelloReplayRejected(t *testing.T) {
+	const secret = "replay-secret"
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(meshFakeBackend{newFakeBackend()})
+	srv.MeshSecret = secret
+	go srv.Serve(l)
+	t.Cleanup(srv.Shutdown)
+	t.Cleanup(func() { l.Close() })
+	addr := l.Addr().String()
+
+	// The real client path still authenticates.
+	c, err := DialWith(addr, Options{MeshSecret: secret})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.MeshFetch(context.Background(), &MeshReq{From: "x", CKey: "k"}); err != nil {
+		t.Fatalf("authenticated mesh fetch: %v", err)
+	}
+	c.Close()
+
+	// Speak the handshake by hand, recording the frames an on-path
+	// attacker could capture: the hello (client nonce) and the proof.
+	clientNonce, err := meshNonce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn1, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn1.Close()
+	hello := &Request{Op: OpHello, Text: protoVersionText, Unit: clientNonce}
+	if err := WriteFrame(conn1, hello); err != nil {
+		t.Fatal(err)
+	}
+	var ack1 Response
+	if err := ReadFrame(conn1, &ack1); err != nil {
+		t.Fatal(err)
+	}
+	if !ack1.Flag || ack1.Output == "" {
+		t.Fatalf("secretful server issued no challenge: %+v", ack1)
+	}
+	capturedProof := meshProof(secret, ack1.Output, clientNonce, protoVersionText)
+	if err := WriteFrame(conn1, &Request{Op: OpHello, Text: protoVersionText, Blob: capturedProof}); err != nil {
+		t.Fatal(err)
+	}
+	var fin1 Response
+	if err := ReadFrame(conn1, &fin1); err != nil || !fin1.Flag {
+		t.Fatalf("final ack: %v %+v", err, fin1)
+	}
+	if resp := meshCallRaw(t, conn1, 1); resp.Err != "" {
+		t.Fatalf("legitimate handshake not authenticated: %q", resp.Err)
+	}
+
+	// Replay both captured frames on a fresh connection.  The server
+	// must issue a different challenge, so the captured proof fails and
+	// mesh operations are refused — while the protocol upgrade itself
+	// still succeeds (only mesh ops are gated).
+	conn2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if err := WriteFrame(conn2, hello); err != nil {
+		t.Fatal(err)
+	}
+	var ack2 Response
+	if err := ReadFrame(conn2, &ack2); err != nil {
+		t.Fatal(err)
+	}
+	if ack2.Output == "" || ack2.Output == ack1.Output {
+		t.Fatalf("challenge not fresh per connection: %q then %q", ack1.Output, ack2.Output)
+	}
+	if err := WriteFrame(conn2, &Request{Op: OpHello, Text: protoVersionText, Blob: capturedProof}); err != nil {
+		t.Fatal(err)
+	}
+	var fin2 Response
+	if err := ReadFrame(conn2, &fin2); err != nil || !fin2.Flag {
+		t.Fatalf("wrong proof must still upgrade the protocol: %v %+v", err, fin2)
+	}
+	if resp := meshCallRaw(t, conn2, 1); resp.Err != meshAuthMsg {
+		t.Fatalf("replayed proof: mesh fetch answered %q, want %q", resp.Err, meshAuthMsg)
+	}
+}

@@ -25,8 +25,9 @@ import (
 type session struct {
 	conn    net.Conn
 	forceV1 bool
-	// secret, when set, makes the hello carry a mesh-peer HMAC proof
-	// (see meshProof) so the server authenticates this connection.
+	// secret, when set, makes the hello request a server challenge
+	// and answer it with a mesh-peer HMAC proof (see meshProof) so
+	// the server authenticates this connection.
 	secret string
 
 	// Handshake state, serialized by hsMu.
@@ -109,11 +110,16 @@ func (s *session) ensureHandshake(deadline time.Time) error {
 	s.conn.SetDeadline(deadline)
 	hello := &Request{Op: OpHello, Text: protoVersionText}
 	if s.secret != "" {
-		// Mesh-peer authentication rides the hello: a fresh nonce and
-		// the HMAC proof of the shared secret.  A server without the
-		// secret ignores both fields.
-		hello.Unit = meshNonce()
-		hello.Blob = meshProof(s.secret, hello.Unit, protoVersionText)
+		// Mesh-peer authentication rides the hello: the nonce asks a
+		// secretful server for a challenge (answered below).  A server
+		// without the secret ignores it.
+		nonce, err := meshNonce()
+		if err != nil {
+			s.hsErr = err
+			s.close()
+			return err
+		}
+		hello.Unit = nonce
 	}
 	if err := WriteFrame(s.conn, hello); err != nil {
 		s.hsErr = err
@@ -125,6 +131,25 @@ func (s *session) ensureHandshake(deadline time.Time) error {
 		s.hsErr = err
 		s.close()
 		return err
+	}
+	if resp.Flag && resp.Text == protoVersionText && s.secret != "" && resp.Output != "" {
+		// The server issued a challenge (Output): answer it with the
+		// HMAC proof over both nonces before the final ack.  Failing
+		// the extra round trip poisons the session like any other
+		// handshake transport error.
+		proof := &Request{Op: OpHello, Text: protoVersionText,
+			Blob: meshProof(s.secret, resp.Output, hello.Unit, protoVersionText)}
+		if err := WriteFrame(s.conn, proof); err != nil {
+			s.hsErr = err
+			s.close()
+			return err
+		}
+		resp = Response{}
+		if err := ReadFrame(s.conn, &resp); err != nil {
+			s.hsErr = err
+			s.close()
+			return err
+		}
 	}
 	if resp.Flag && resp.Text == protoVersionText {
 		s.proto = ProtoV2

@@ -91,7 +91,7 @@ type UpgradeBackend interface {
 // daemon mesh (internal/mesh): content-key fetch/offer between shard
 // owners, anti-entropy gossip, and membership rebalance.  When the
 // server has a MeshSecret these operations additionally require the
-// connection to have authenticated via the hello HMAC proof.
+// connection to have authenticated via the hello challenge-response.
 type MeshBackend interface {
 	MeshFetch(req *MeshReq) (*MeshInfo, []byte, error)
 	MeshPut(req *MeshReq) error
@@ -147,8 +147,9 @@ type Server struct {
 	DisableMux bool
 
 	// MeshSecret, when set before Serve, gates the mesh operations:
-	// only connections whose hello carried a valid HMAC proof of this
-	// shared secret may issue them.  Ordinary client operations are
+	// only connections that answered the hello challenge with a valid
+	// HMAC proof of this shared secret may issue them (see
+	// helloUpgrade).  Ordinary client operations are
 	// unaffected.  (Authentication rides the v2 hello, so against a
 	// DisableMux server a secretful mesh peer cannot authenticate —
 	// mesh and mux are deployed together.)
@@ -289,17 +290,13 @@ func (s *Server) serveConn(conn net.Conn) {
 			// Protocol upgrade: acknowledge in v1 framing, then the
 			// connection switches to tagged v2 frames.  (A v1-only
 			// server falls through to handle(), whose unknown-op
-			// error tells the client to stay on v1.)  A hello carrying
-			// a valid HMAC proof of the mesh secret marks the whole
-			// connection as an authenticated peer; an absent or wrong
-			// proof still upgrades the protocol — only the mesh
-			// operations are gated.
-			authed := s.MeshSecret != "" && req.Unit != "" &&
-				hmac.Equal(req.Blob, meshProof(s.MeshSecret, req.Unit, protoVersionText))
-			if err := s.faults.Fire(fault.SiteIPCWrite); err != nil {
-				return
-			}
-			if err := WriteFrame(conn, &Response{Text: protoVersionText, Flag: true}); err != nil {
+			// error tells the client to stay on v1.)  When both sides
+			// hold the mesh secret the hello also runs the
+			// challenge-response that marks the connection as an
+			// authenticated peer; a wrong proof still upgrades the
+			// protocol — only the mesh operations are gated.
+			authed, ok := s.helloUpgrade(conn, &req)
+			if !ok {
 				return
 			}
 			s.serveMux(conn, authed)
@@ -329,6 +326,50 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// helloUpgrade acknowledges a hello in v1 framing and, when this
+// server has a mesh secret and the hello carried a client nonce, runs
+// the peer-auth challenge-response: the ack carries a fresh server
+// nonce (Output), the client answers with one more v1-framed hello
+// whose Blob is meshProof(secret, server nonce, client nonce,
+// version), and a final ack closes the exchange.  The server nonce is
+// issued here, never chosen by the client, so a proof captured off one
+// connection never authenticates another.  ok=false means the
+// connection must be dropped (transport failure, a malformed
+// continuation, or no secure randomness for the challenge).
+func (s *Server) helloUpgrade(conn net.Conn, req *Request) (authed, ok bool) {
+	challenge := ""
+	if s.MeshSecret != "" && req.Unit != "" {
+		c, err := meshNonce()
+		if err != nil {
+			// No secure challenge possible: refuse the connection
+			// rather than authenticate against a guessable nonce.
+			return false, false
+		}
+		challenge = c
+	}
+	if err := s.faults.Fire(fault.SiteIPCWrite); err != nil {
+		return false, false
+	}
+	if err := WriteFrame(conn, &Response{Text: protoVersionText, Flag: true, Output: challenge}); err != nil {
+		return false, false
+	}
+	if challenge == "" {
+		return false, true
+	}
+	var proof Request
+	if err := ReadFrame(conn, &proof); err != nil {
+		return false, false
+	}
+	if proof.Op != OpHello {
+		return false, false
+	}
+	authed = hmac.Equal(proof.Blob, meshProof(s.MeshSecret, challenge, req.Unit, protoVersionText))
+	if err := WriteFrame(conn, &Response{Text: protoVersionText, Flag: true}); err != nil {
+		return false, false
+	}
+	return authed, true
 }
 
 // safeHandle dispatches one request with panic isolation: a panicking

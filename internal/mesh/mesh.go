@@ -54,8 +54,11 @@ type Config struct {
 	// means gossip only runs on explicit GossipTick calls.
 	GossipInterval time.Duration
 	// HoldMax bounds how many peer-pushed records the node holds
-	// (default 256; oldest evicted first).
-	HoldMax int
+	// (default 256; oldest evicted first).  HoldMaxBytes bounds their
+	// total encoded size (default 64 MB) — records carry full image
+	// segments, so a count bound alone could pin hundreds of MB.
+	HoldMax      int
+	HoldMaxBytes int
 	// Faults arms deterministic fault injection on the mesh sites.
 	Faults *fault.Set
 }
@@ -78,6 +81,9 @@ func (c *Config) defaults() {
 	}
 	if c.HoldMax <= 0 {
 		c.HoldMax = 256
+	}
+	if c.HoldMaxBytes <= 0 {
+		c.HoldMaxBytes = 64 << 20
 	}
 }
 
@@ -125,13 +131,28 @@ type Node struct {
 	cfg    Config
 	faults *fault.Set
 
-	mu      sync.Mutex
-	ring    *Ring
-	peers   map[string]*peer
-	admits  map[string]*server.Admission
-	holds   map[string][]byte
-	holdSeq []string
+	mu        sync.Mutex
+	ring      *Ring
+	peers     map[string]*peer
+	admits    map[string]*server.Admission
+	holds     map[string][]byte
+	holdSeq   []string
+	holdBytes int
+	// evicted remembers keys recently pushed out of the hold area for
+	// capacity, so AcceptGossip declines their re-offer instead of the
+	// mesh churning the same blobs over the wire every round.
+	evicted map[string]time.Time
 	peerGen map[string]uint64
+	// memberEpoch/memberFrom version the applied ring membership: a
+	// rebalance announce carries a monotonic epoch, stale or
+	// conflicting announces are detected instead of silently replacing
+	// the ring (see AcceptRebalance / AnnounceMembership).
+	memberEpoch uint64
+	memberFrom  string
+	// rebalRunning/rebalPending coalesce async rebalance kicks: at
+	// most one push loop runs, at most one more is queued.
+	rebalRunning bool
+	rebalPending bool
 
 	served       atomic.Uint64 // inbound fetches served (found)
 	gossipRounds atomic.Uint64
@@ -160,6 +181,7 @@ func New(srv *server.Server, cfg Config) (*Node, error) {
 		peers:   map[string]*peer{},
 		admits:  map[string]*server.Admission{},
 		holds:   map[string][]byte{},
+		evicted: map[string]time.Time{},
 		peerGen: map[string]uint64{},
 		stop:    make(chan struct{}),
 	}
@@ -216,13 +238,23 @@ func (n *Node) RemovePeer(addr string) {
 // SetMembers replaces the ring membership wholesale (self is always a
 // member, listed or not).
 func (n *Node) SetMembers(members []string) {
+	n.mu.Lock()
+	closing := n.setMembersLocked(members)
+	n.mu.Unlock()
+	for _, p := range closing {
+		p.close()
+	}
+}
+
+// setMembersLocked is SetMembers under n.mu: it returns the peers to
+// close once the lock is released.
+func (n *Node) setMembersLocked(members []string) []*peer {
 	want := map[string]bool{n.cfg.Self: true}
 	for _, m := range members {
 		if m != "" {
 			want[m] = true
 		}
 	}
-	n.mu.Lock()
 	var closing []*peer
 	for _, m := range n.ring.Members() {
 		if !want[m] {
@@ -244,10 +276,7 @@ func (n *Node) SetMembers(members []string) {
 			n.peers[m] = &peer{addr: m}
 		}
 	}
-	n.mu.Unlock()
-	for _, p := range closing {
-		p.close()
-	}
+	return closing
 }
 
 // Members returns the current ring membership, sorted.
@@ -380,21 +409,41 @@ func (n *Node) admitPeer(from string) (func(), error) {
 	return a.Acquire(context.Background())
 }
 
-// hold parks a peer-pushed record, bounded by HoldMax (oldest out
-// first).  Held records never enter the server's persistent store —
-// their placements belong to another daemon's solver — but they are
-// served to fetching peers and moved on by rebalance.
+// holdEvictTTL is how long a capacity-evicted key stays declined in
+// gossip replies: long enough that successive anti-entropy rounds stop
+// re-streaming blobs the hold area cannot keep, short enough that the
+// key becomes acceptable again once pressure has likely passed.
+const holdEvictTTL = time.Minute
+
+// hold parks a peer-pushed record, bounded by HoldMax records and
+// HoldMaxBytes total encoded size (oldest out first).  Held records
+// never enter the server's persistent store — their placements belong
+// to another daemon's solver — but they are served to fetching peers
+// and moved on by rebalance.  Keys evicted for capacity are remembered
+// so gossip stops re-requesting them (see AcceptGossip).
 func (n *Node) hold(ckey string, blob []byte) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if _, ok := n.holds[ckey]; !ok {
+	if len(blob) > n.cfg.HoldMaxBytes {
+		// Larger than the whole budget: never fits, decline re-offers.
+		n.evicted[ckey] = time.Now()
+		return
+	}
+	if old, ok := n.holds[ckey]; ok {
+		n.holdBytes -= len(old)
+	} else {
 		n.holdSeq = append(n.holdSeq, ckey)
 	}
 	n.holds[ckey] = blob
-	for len(n.holdSeq) > n.cfg.HoldMax {
+	n.holdBytes += len(blob)
+	// An explicit push overrides a standing decline.
+	delete(n.evicted, ckey)
+	for len(n.holdSeq) > n.cfg.HoldMax || n.holdBytes > n.cfg.HoldMaxBytes {
 		old := n.holdSeq[0]
 		n.holdSeq = n.holdSeq[1:]
+		n.holdBytes -= len(n.holds[old])
 		delete(n.holds, old)
+		n.evicted[old] = time.Now()
 	}
 }
 
@@ -407,9 +456,11 @@ func (n *Node) heldBlob(ckey string) []byte {
 func (n *Node) dropHold(ckey string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if _, ok := n.holds[ckey]; !ok {
+	blob, ok := n.holds[ckey]
+	if !ok {
 		return
 	}
+	n.holdBytes -= len(blob)
 	delete(n.holds, ckey)
 	for i, k := range n.holdSeq {
 		if k == ckey {
@@ -417,6 +468,22 @@ func (n *Node) dropHold(ckey string) {
 			break
 		}
 	}
+}
+
+// declineEvicted reports whether a gossip offer of ckey should be
+// declined because the hold area evicted it for capacity recently; it
+// also prunes expired decline entries in passing.
+func (n *Node) declineEvicted(ckey string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	now := time.Now()
+	for k, at := range n.evicted {
+		if now.Sub(at) > holdEvictTTL {
+			delete(n.evicted, k)
+		}
+	}
+	_, ok := n.evicted[ckey]
+	return ok
 }
 
 // HeldKeys lists the content keys parked in the hold area, oldest
@@ -517,28 +584,149 @@ func (n *Node) AcceptPut(req *ipc.MeshReq) error {
 
 // AcceptGossip answers a peer's anti-entropy digest: the reply carries
 // this daemon's namespace generation and which of the offered content
-// keys it wants pushed.
+// keys it wants pushed.  Keys the hold area evicted for capacity
+// recently are declined — re-requesting them every round would churn
+// the same blobs over the wire forever.
 func (n *Node) AcceptGossip(req *ipc.MeshReq) (*ipc.MeshInfo, error) {
 	n.mu.Lock()
 	n.peerGen[req.From] = req.Gen
 	n.mu.Unlock()
 	info := &ipc.MeshInfo{Gen: n.srv.NamespaceGen()}
 	for _, k := range req.Keys {
-		if !n.srv.HasVariant(k) && n.heldBlob(k) == nil {
+		if !n.srv.HasVariant(k) && n.heldBlob(k) == nil && !n.declineEvicted(k) {
 			info.Want = append(info.Want, k)
 		}
 	}
 	return info, nil
 }
 
-// AcceptRebalance applies an announced membership (self always stays a
-// member), then synchronously pushes every record whose owner changed.
+// sameMembers reports whether two membership lists name the same set.
+func sameMembers(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]string(nil), a...)
+	bs := append([]string(nil), b...)
+	sort.Strings(as)
+	sort.Strings(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// applyAnnounce applies an epoch-versioned membership announcement
+// under one lock.  Newer epochs replace the ring wholesale (that is
+// what lets a leave propagate); a stale epoch is rejected untouched;
+// an equal epoch from a different announcer is a concurrent announce —
+// identical lists are idempotent, divergent lists are merged (union)
+// so no live member is silently dropped, and applied=false tells the
+// announcer to pick the union up and re-announce it.  Epoch 0 (a
+// legacy announce) always applies.
+func (n *Node) applyAnnounce(members []string, epoch uint64, from string) (applied, changed bool) {
+	n.mu.Lock()
+	cur := n.ring.Members()
+	apply := members
+	switch {
+	case epoch == 0 || epoch > n.memberEpoch:
+		applied = true
+	case epoch < n.memberEpoch:
+		// Stale: an older announce lost the race; the reply carries
+		// the authoritative membership.
+	case from == n.memberFrom || sameMembers(cur, members):
+		// The same announcer retrying, or a concurrent announce of the
+		// identical list: idempotent.
+		applied = true
+		apply = nil
+	default:
+		// Concurrent conflicting announce at the same epoch: keep
+		// every member from both lists and make the announcer converge
+		// the fleet on the union.
+		seen := map[string]bool{}
+		apply = apply[:0:0]
+		for _, m := range append(append([]string(nil), cur...), members...) {
+			if m != "" && !seen[m] {
+				seen[m] = true
+				apply = append(apply, m)
+			}
+		}
+	}
+	var closing []*peer
+	if applied || epoch == n.memberEpoch {
+		if epoch != 0 && applied {
+			n.memberEpoch = epoch
+			n.memberFrom = from
+		}
+		if apply != nil {
+			closing = n.setMembersLocked(apply)
+			changed = !sameMembers(cur, n.ring.Members())
+		}
+	}
+	n.mu.Unlock()
+	for _, p := range closing {
+		p.close()
+	}
+	return applied, changed
+}
+
+// AcceptRebalance handles an announced membership: it passes the
+// sender's admission gate like every other inbound mesh operation,
+// applies the announce if its epoch wins (self always stays a member),
+// and replies immediately with this node's resulting epoch and
+// membership — the shard push runs asynchronously (kickRebalance), so
+// a large store cannot time out the announcer's call or be spammed
+// into synchronous amplification; gossip converges anything an
+// interrupted push leaves behind.
 func (n *Node) AcceptRebalance(req *ipc.MeshReq) (*ipc.MeshInfo, error) {
-	n.SetMembers(req.Keys)
-	if _, err := n.Rebalance(); err != nil {
+	release, err := n.admitPeer(req.From)
+	if err != nil {
 		return nil, err
 	}
-	return &ipc.MeshInfo{Gen: n.srv.NamespaceGen()}, nil
+	defer release()
+	applied, changed := n.applyAnnounce(req.Keys, req.Gen, req.From)
+	if changed {
+		n.kickRebalance()
+	}
+	n.mu.Lock()
+	epoch := n.memberEpoch
+	members := n.ring.Members()
+	n.mu.Unlock()
+	return &ipc.MeshInfo{Found: applied, Gen: epoch, Want: members}, nil
+}
+
+// kickRebalance runs Rebalance in the background, coalescing kicks: at
+// most one push loop at a time, at most one more queued behind it.
+func (n *Node) kickRebalance() {
+	select {
+	case <-n.stop:
+		return // shutting down: nothing to converge any more
+	default:
+	}
+	n.mu.Lock()
+	if n.rebalRunning {
+		n.rebalPending = true
+		n.mu.Unlock()
+		return
+	}
+	n.rebalRunning = true
+	n.mu.Unlock()
+	n.loopWG.Add(1)
+	go func() {
+		defer n.loopWG.Done()
+		for {
+			n.Rebalance()
+			n.mu.Lock()
+			if !n.rebalPending {
+				n.rebalRunning = false
+				n.mu.Unlock()
+				return
+			}
+			n.rebalPending = false
+			n.mu.Unlock()
+		}
+	}()
 }
 
 // exportOrHold fetches the push payload for a content key: the encoded
@@ -569,6 +757,13 @@ func (n *Node) Rebalance() (moved int, err error) {
 	keys = append(keys, n.HeldKeys()...)
 	seen := map[string]bool{}
 	for _, ckey := range keys {
+		select {
+		case <-n.stop:
+			// Close was called: abandon the push loop promptly; the
+			// content stays put and gossip or a rerun resumes the move.
+			return moved, nil
+		default:
+		}
 		if seen[ckey] {
 			continue
 		}
@@ -596,33 +791,85 @@ func (n *Node) Rebalance() (moved int, err error) {
 }
 
 // AnnounceMembership broadcasts the current ring membership to every
-// peer (each applies it and rebalances synchronously), then rebalances
-// locally.  Call after AddPeer/RemovePeer to effect a join or leave.
+// peer under a fresh membership epoch (each applies it and kicks an
+// asynchronous shard push), then rebalances locally.  Call after
+// AddPeer/RemovePeer to effect a join or leave.  A reply reporting a
+// stale or conflicting announce carries the peer's authoritative
+// membership: the announcer folds it in (union — concurrent joins keep
+// every live member) and re-announces under a higher epoch, so two
+// racing announces converge instead of whichever arrived last silently
+// winning.
 func (n *Node) AnnounceMembership() error {
-	members := n.Members()
 	var firstErr error
-	for _, p := range n.peerList() {
-		c, err := p.client(n.clientOpts())
-		if err != nil {
-			p.up.Store(false)
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
+	for attempt := 0; attempt < 3; attempt++ {
+		n.mu.Lock()
+		n.memberEpoch++
+		n.memberFrom = n.cfg.Self
+		epoch := n.memberEpoch
+		members := n.ring.Members()
+		n.mu.Unlock()
+		divergent := map[string]bool{}
+		for _, m := range members {
+			divergent[m] = true
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), n.cfg.CallTimeout)
-		_, err = c.CallCtx(ctx, &ipc.Request{Op: ipc.OpMeshRebalance, Mesh: &ipc.MeshReq{
-			From: n.cfg.Self, Keys: members,
-		}})
-		cancel()
-		if err != nil {
-			p.up.Store(false)
-			if firstErr == nil {
-				firstErr = err
+		var divergentEpoch uint64
+		diverged := false
+		for _, p := range n.peerList() {
+			c, err := p.client(n.clientOpts())
+			if err != nil {
+				p.up.Store(false)
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
 			}
-			continue
+			ctx, cancel := context.WithTimeout(context.Background(), n.cfg.CallTimeout)
+			resp, err := c.CallCtx(ctx, &ipc.Request{Op: ipc.OpMeshRebalance, Mesh: &ipc.MeshReq{
+				From: n.cfg.Self, Keys: members, Gen: epoch,
+			}})
+			cancel()
+			if err != nil {
+				p.up.Store(false)
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			p.up.Store(true)
+			if resp.Mesh != nil && !resp.Mesh.Found {
+				diverged = true
+				if resp.Mesh.Gen > divergentEpoch {
+					divergentEpoch = resp.Mesh.Gen
+				}
+				for _, m := range resp.Mesh.Want {
+					if m != "" {
+						divergent[m] = true
+					}
+				}
+			}
 		}
-		p.up.Store(true)
+		if !diverged {
+			break
+		}
+		// Some peer holds a newer or conflicting membership: adopt the
+		// union and announce it again under an epoch past everything
+		// seen.  The union only grows, so this reaches a fixed point;
+		// if three rounds are not enough, gossip and the competing
+		// announcer finish the convergence.
+		union := make([]string, 0, len(divergent))
+		for m := range divergent {
+			union = append(union, m)
+		}
+		sort.Strings(union)
+		n.mu.Lock()
+		if divergentEpoch > n.memberEpoch {
+			n.memberEpoch = divergentEpoch
+		}
+		closing := n.setMembersLocked(union)
+		n.mu.Unlock()
+		for _, p := range closing {
+			p.close()
+		}
 	}
 	if _, err := n.Rebalance(); err != nil && firstErr == nil {
 		firstErr = err
